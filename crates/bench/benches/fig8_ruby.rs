@@ -1,0 +1,104 @@
+//! **Figure 8 + §6.3** — the Ruby string microbenchmark: the empirical
+//! value of randomization.
+//!
+//! Paper result: on a *regular* allocation pattern, full Mesh reduces
+//! mean heap size by ~18–19% relative to both the non-compacting
+//! baseline and Mesh without randomization; disabling randomization
+//! leaves only a ~3% reduction. Runtime overhead: +10.7% (full) and +4%
+//! (no-rand) relative to jemalloc.
+
+use mesh_bench::{banner, calibrate_vm_ops, downsample, sparkline};
+use mesh_workloads::driver::AllocatorKind;
+use mesh_workloads::mstat::percent_change;
+use mesh_workloads::ruby::{run_ruby, RubyConfig, RubyReport};
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 8 / §6.3 — Ruby string microbenchmark");
+    let cfg = RubyConfig {
+        round_budget: 32 << 20,
+        rounds: 9,
+        ..RubyConfig::default()
+    };
+    let arena = 1usize << 30;
+
+    let mut reports: Vec<RubyReport> = Vec::new();
+    let mut mesh_times: Vec<Duration> = Vec::new();
+    let mut pages_released: Vec<u64> = Vec::new();
+    for kind in [
+        AllocatorKind::MeshNoMesh,
+        AllocatorKind::MeshNoRand,
+        AllocatorKind::MeshFull,
+    ] {
+        let mut alloc = kind.build(arena, 7);
+        reports.push(run_ruby(&mut alloc, &cfg));
+        let stats = alloc.mesh_handle().expect("mesh-backed kind").stats();
+        mesh_times.push(Duration::from_nanos(stats.mesh_nanos));
+        pages_released.push(stats.mesh_pages_released + stats.pages_purged);
+    }
+    let (base, norand, full) = (&reports[0], &reports[1], &reports[2]);
+
+    println!("\nheap-size timelines:");
+    for r in &reports {
+        let pts: Vec<usize> = r.timeline.samples().iter().map(|s| s.heap_bytes).collect();
+        println!("  {:<20} {}", r.label, sparkline(&downsample(&pts, 64)));
+    }
+
+    banner("mean heap size and runtime (paper: Mesh −18% heap, +10.7% time; no-rand −3%, +4%)");
+    println!(
+        "{:<20} {:>14} {:>12} {:>12} {:>12}",
+        "configuration", "mean heap", "vs baseline", "runtime", "vs baseline"
+    );
+    for r in &reports {
+        println!(
+            "{:<20} {:>10.1} MiB {:>11.1}% {:>11.2?} {:>+11.1}%",
+            r.label,
+            r.mean_heap_bytes / (1024.0 * 1024.0),
+            percent_change(base.mean_heap_bytes, r.mean_heap_bytes),
+            r.runtime,
+            percent_change(base.runtime.as_secs_f64(), r.runtime.as_secs_f64()),
+        );
+    }
+
+    let full_red = -percent_change(base.mean_heap_bytes, full.mean_heap_bytes);
+    let norand_red = -percent_change(base.mean_heap_bytes, norand.mean_heap_bytes);
+    println!("\nsummary:");
+    println!("  randomized meshing reduction: {full_red:.1}% (paper: ~18–19%)");
+    println!("  no-rand meshing reduction:    {norand_red:.1}% (paper: ~3%)");
+    println!("  randomization gap:            {:.1} points", full_red - norand_red);
+
+    // Runtime overhead at native VM-op prices (see fig6_firefox for the
+    // rationale: this sandbox charges ~40× for the mprotect/mmap/madvise
+    // sequence each meshed pair needs, and ~100× for the page refault
+    // every released page pays on its next touch — which in this
+    // workload, whose strings are written end to end, lands on the
+    // workload's own clock).
+    let costs = calibrate_vm_ops();
+    let full_mesh_time = mesh_times[2];
+    let refault_tax = costs.refault_excess(pages_released[2]);
+    let adj_runtime = (full.runtime - full_mesh_time + costs.native_equivalent(full_mesh_time))
+        .saturating_sub(refault_tax);
+    println!(
+        "  Mesh meshing time: {:.2?} of {:.2?} ({:.0}× VM-op inflation here)",
+        full_mesh_time,
+        full.runtime,
+        costs.inflation(),
+    );
+    println!(
+        "  refault tax: {} released pages × {:.1?} excess = {:.2?} on the workload clock",
+        pages_released[2],
+        costs.refault.saturating_sub(costs.native_refault),
+        refault_tax,
+    );
+    println!(
+        "  native-equivalent runtime {:.2?} ⇒ {:+.1}% vs baseline (paper: +10.7%)",
+        adj_runtime,
+        percent_change(base.runtime.as_secs_f64(), adj_runtime.as_secs_f64()),
+    );
+
+    assert!(
+        full_red > norand_red + 5.0,
+        "randomization must account for most of the savings \
+         (full {full_red:.1}% vs no-rand {norand_red:.1}%)"
+    );
+}

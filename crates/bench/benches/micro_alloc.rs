@@ -1,0 +1,100 @@
+//! **Microbenchmarks** — allocation fast-path latency (§4.2–§4.3 claims).
+//!
+//! The paper claims malloc/free are worst-case O(1) via shuffle vectors,
+//! with no locks or atomics on the thread-local fast path, and that Mesh
+//! "generally matches the runtime performance of state-of-the-art
+//! allocators". These Criterion benches measure:
+//!
+//! * thread-local malloc/free pairs across size classes, vs the system
+//!   allocator;
+//! * the global (remote-free) slow path;
+//! * large-object allocation;
+//! * a full meshing pass on a fragmented heap (the §6.2.2 compaction
+//!   cost).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mesh_core::{Mesh, MeshConfig};
+use std::hint::black_box;
+
+fn heap() -> Mesh {
+    Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(1 << 30)
+            .seed(42)
+            // Keep the rate limiter out of latency measurements.
+            .mesh_period(std::time::Duration::from_secs(3600)),
+    )
+    .expect("bench heap")
+}
+
+fn bench_local_malloc_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("malloc_free_pair");
+    for size in [16usize, 64, 256, 1024, 4096] {
+        group.throughput(Throughput::Elements(1));
+        let mesh = heap();
+        let mut th = mesh.thread_heap();
+        group.bench_function(format!("mesh_local/{size}"), |b| {
+            b.iter(|| {
+                let p = th.malloc(black_box(size));
+                unsafe { th.free(p) };
+            })
+        });
+        group.bench_function(format!("system/{size}"), |b| {
+            b.iter(|| unsafe {
+                let layout = std::alloc::Layout::from_size_align(size, 16).unwrap();
+                let p = std::alloc::alloc(black_box(layout));
+                std::alloc::dealloc(p, layout);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_remote_free(c: &mut Criterion) {
+    let mesh = heap();
+    let mut producer = mesh.thread_heap();
+    c.bench_function("free/global_path", |b| {
+        b.iter_batched(
+            || producer.malloc(256),
+            |p| unsafe { mesh.free(black_box(p)) },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_large_objects(c: &mut Criterion) {
+    let mesh = heap();
+    c.bench_function("malloc_free_pair/large_64k", |b| {
+        b.iter(|| {
+            let p = mesh.malloc(black_box(64 * 1024));
+            unsafe { mesh.free(p) };
+        })
+    });
+}
+
+fn bench_mesh_pass(c: &mut Criterion) {
+    // A fragmented heap: 4096 spans of 256 B objects at 12.5% occupancy.
+    c.bench_function("meshing/full_pass_8MiB_fragmented", |b| {
+        b.iter_batched(
+            || {
+                let mesh = heap();
+                let ptrs: Vec<*mut u8> = (0..32768).map(|_| mesh.malloc(256)).collect();
+                for (i, &p) in ptrs.iter().enumerate() {
+                    if i % 8 != 0 {
+                        unsafe { mesh.free(p) };
+                    }
+                }
+                mesh
+            },
+            |mesh| black_box(mesh.mesh_now()),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_local_malloc_free, bench_remote_free, bench_large_objects, bench_mesh_pass
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **§1 + §5.4** — breaking the Robson bounds.
+//!
+//! Robson: any classical allocator can be driven to ~log₂(max/min) times
+//! its live data — 13× for 16-byte-to-128-KB workloads (§1). Mesh breaks
+//! this *with high probability* (§5.4): segregated fit plus meshing keeps
+//! the footprint within a small constant of live data.
+//!
+//! Part 1 runs the doubling adversary against simulated first-fit,
+//! best-fit, and next-fit freelists plus a binary buddy heap (the
+//! bound's classical victims). Part 2 runs the within-size-class worst
+//! case against real Mesh heaps, with and without meshing.
+
+use mesh_bench::{banner, mib};
+use mesh_workloads::buddy::BuddySim;
+use mesh_workloads::driver::AllocatorKind;
+use mesh_workloads::firstfit::FitPolicy;
+use mesh_workloads::robson::{robson_adversary, robson_adversary_buddy, within_class_adversary};
+
+fn main() {
+    banner("Robson adversary vs classical allocators (paper §1: up to 13× for 16 B…128 KB)");
+    for policy in [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::NextFit] {
+        let report = robson_adversary(policy, 16, 128 * 1024, 8 << 20);
+        println!("\n  {policy:?}: log₂(max/min) bound = {:.0}×", report.robson_bound);
+        println!(
+            "  {:>10} {:>14} {:>14} {:>8}",
+            "size", "live", "footprint", "factor"
+        );
+        for p in report.phases.iter().step_by(2) {
+            println!(
+                "  {:>10} {:>14} {:>14} {:>7.1}×",
+                p.size,
+                mib(p.live_bytes),
+                mib(p.footprint),
+                p.footprint as f64 / p.live_bytes.max(1) as f64
+            );
+        }
+        println!(
+            "  final fragmentation factor: {:.1}× (bound {:.0}×)",
+            report.final_factor, report.robson_bound
+        );
+        assert!(report.final_factor > 3.0, "{policy:?} resisted the adversary");
+    }
+
+    // The buddy system: its power-of-two blocks dodge the *external*
+    // doubling trick (a freed s-block merges into exactly the 2s-block
+    // the next phase wants), so the adversary instead exposes its
+    // internal fragmentation on just-over-half-block sizes.
+    {
+        let report = robson_adversary_buddy(16, 128 * 1024, 8 << 20);
+        println!("\n  BinaryBuddy: log₂(max/min) bound = {:.0}×", report.robson_bound);
+        println!(
+            "  final fragmentation factor: {:.1}× (internal, size ≈ 2^k+1)",
+            report.final_factor
+        );
+        assert!(report.final_factor > 1.5, "buddy internal fragmentation missing");
+        let mut sanity = BuddySim::new();
+        let a = sanity.alloc(96);
+        assert_eq!(sanity.live_bytes(), 128, "96 B rounds to a 128 B block");
+        sanity.free(a);
+    }
+
+    banner("within-size-class worst case vs real Mesh heaps (1 live object per span)");
+    println!(
+        "{:<20} {:>14} {:>14} {:>12} {:>12}",
+        "configuration", "fragmented", "after mesh", "factor", "factor after"
+    );
+    for kind in [AllocatorKind::MeshNoMesh, AllocatorKind::MeshNoRand, AllocatorKind::MeshFull] {
+        let mut alloc = kind.build(1 << 30, 3);
+        let r = within_class_adversary(&mut alloc, 256, 512, 17);
+        println!(
+            "{:<20} {:>14} {:>14} {:>11.1}× {:>11.1}×",
+            kind.label(),
+            mib(r.fragmented_bytes),
+            mib(r.compacted_bytes),
+            r.fragmented_factor(),
+            r.compacted_factor(),
+        );
+        if kind == AllocatorKind::MeshFull {
+            assert!(
+                r.compacted_factor() < r.fragmented_factor() / 1.8,
+                "meshing failed to compact the worst case"
+            );
+        }
+        if kind == AllocatorKind::MeshNoMesh {
+            assert_eq!(r.fragmented_bytes, r.compacted_bytes);
+        }
+    }
+    println!(
+        "\n  randomized allocation makes the worst case vanishingly unlikely to\n  \
+         persist: each meshing pass halves the fragmented spans (alias-limit\n  \
+         bounded), breaking the Robson blowup with high probability (§5.4)."
+    );
+}

@@ -1,0 +1,122 @@
+//! **§2.2 + §5.2** — the analytical numbers: randomization guarantees,
+//! triangle counts, and Matching-vs-MinCliqueCover quality.
+//!
+//! Paper results reproduced here:
+//! * §2.2: 64 spans with one 16-byte object each (b = 256 slots) are all
+//!   pairwise-unmeshable with probability 10⁻¹⁵².
+//! * §5.2: for b = 32, r = 10, n = 1000, the expected number of
+//!   triangles is < 2, versus 167 if edges were independent (hence
+//!   Erdős–Renyi reasoning is invalid on meshing graphs).
+//! * §5.2's conclusion: solving Matching instead of MinCliqueCover
+//!   loses almost nothing, because cliques of size ≥ 3 are rare.
+
+use mesh_bench::banner;
+use mesh_core::rng::Rng;
+use mesh_graph::clique_cover::min_clique_cover_size;
+use mesh_graph::erdos_renyi::compare_models;
+use mesh_graph::graph::MeshGraph;
+use mesh_graph::matching::maximum_matching_size;
+use mesh_graph::probability::{
+    expected_triangles_actual, expected_triangles_independent, log10_all_same_offset,
+    mesh_probability,
+};
+
+fn main() {
+    banner("§2.2 — probability that randomization fails");
+    let log10 = log10_all_same_offset(256, 64);
+    println!("  P[64 one-object spans all collide at one offset] = 10^{log10:.1}");
+    println!("  (paper: 10^-152; ~10^82 particles in the universe)");
+    assert!(log10 < -150.0);
+
+    banner("§5.2 — triangle counts: meshing-graph edges are NOT independent");
+    let (n, b, r) = (1000, 32, 10);
+    let actual = expected_triangles_actual(n, b, r);
+    let indep = expected_triangles_independent(n, b, r);
+    println!("  b={b}, occupancy r={r}, n={n} spans");
+    println!("  E[triangles], true dependent model:   {actual:.2}  (paper: < 2)");
+    println!("  E[triangles], independent-edge model: {indep:.1}  (paper: 167)");
+    assert!(actual < 2.0 && (160.0..175.0).contains(&indep));
+
+    // Empirical census on sampled graphs (20 × n=200 graphs).
+    let mut rng = Rng::with_seed(5252);
+    let (sn, trials) = (200, 20);
+    let mut tri_sum = 0usize;
+    let mut edge_sum = 0usize;
+    for _ in 0..trials {
+        let g = MeshGraph::random(sn, b, r, &mut rng);
+        tri_sum += g.triangle_count();
+        edge_sum += g.edge_count();
+    }
+    let tri_mean = tri_sum as f64 / trials as f64;
+    let expected_small = expected_triangles_actual(sn, b, r);
+    let q = mesh_probability(b, r, r);
+    let emp_q = edge_sum as f64 / (trials * sn * (sn - 1) / 2) as f64;
+    println!("\n  empirical census over {trials} random graphs with n={sn}:");
+    println!("    mean triangles:  {tri_mean:.3} (closed form: {expected_small:.3})");
+    println!("    edge density:    {emp_q:.4} (closed form q: {q:.4})");
+    assert!((emp_q - q).abs() < 0.01);
+
+    // Sampled head-to-head against G(n, p) at equal density — the §7
+    // point about DRM's flawed analysis: assuming a simple random graph
+    // wildly overestimates clique structure.
+    let mesh_g = MeshGraph::random(400, b, r, &mut rng);
+    let cmp = compare_models(&mesh_g, &mut rng);
+    println!("\n  meshing graph vs Erdős–Renyi G(n, p) at equal density (n=400):");
+    println!(
+        "    meshing graph:   {} triangles (density {:.4})",
+        cmp.mesh_triangles, cmp.density
+    );
+    println!(
+        "    G(n, p) sample:  {} triangles (expectation {:.1})",
+        cmp.gnp_triangles, cmp.gnp_expected_triangles
+    );
+    assert!(
+        (cmp.gnp_triangles as f64) > 4.0 * (cmp.mesh_triangles as f64 + 1.0),
+        "independent-edge model should show far more triangles: {cmp:?}"
+    );
+
+    banner("§5.2 — Matching vs MinCliqueCover on small meshing graphs");
+    println!(
+        "{:>4} {:>4} {:>10} {:>16} {:>16} {:>8}",
+        "n", "r", "q", "released(match)", "released(cover)", "ratio"
+    );
+    let mut rng = Rng::with_seed(99);
+    for &(n, b, r) in &[(16usize, 32usize, 2usize), (16, 32, 4), (16, 32, 8), (20, 64, 8), (20, 64, 16)] {
+        let trials = 12;
+        let (mut m_sum, mut c_sum) = (0usize, 0usize);
+        for _ in 0..trials {
+            let g = MeshGraph::random(n, b, r, &mut rng);
+            m_sum += maximum_matching_size(&g);
+            // An optimal cover of k cliques releases n − k spans.
+            c_sum += n - min_clique_cover_size(&g);
+        }
+        let ratio = if c_sum > 0 { m_sum as f64 / c_sum as f64 } else { 1.0 };
+        // §5.2 argues Matching ≈ MinCliqueCover *because triangles are
+        // rare*; that premise (and hence the claim) only holds when the
+        // expected triangle count is small. Low-occupancy rows where
+        // cliques of size ≥ 3 abound are shown for contrast but are
+        // outside the claim's regime.
+        let tri = expected_triangles_actual(n, b, r);
+        let in_regime = tri < 1.0;
+        println!(
+            "{:>4} {:>4} {:>10.4} {:>16.2} {:>16.2} {:>8.2}{}",
+            n,
+            r,
+            mesh_probability(b, r, r),
+            m_sum as f64 / trials as f64,
+            c_sum as f64 / trials as f64,
+            ratio,
+            if in_regime { "" } else { "   (triangle-rich: outside §5.2 regime)" }
+        );
+        if in_regime {
+            assert!(
+                ratio > 0.75,
+                "matching should capture most of the cover's savings \
+                 where triangles are rare (got {ratio:.2} at n={n} b={b} r={r})"
+            );
+        }
+    }
+    println!("\n  conclusion: where cliques of size ≥ 3 are rare (the paper's");
+    println!("  operating regime), pairs capture nearly all achievable");
+    println!("  compaction (§5.2); dense-clique rows show what is forgone.");
+}

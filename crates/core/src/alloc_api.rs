@@ -1,0 +1,691 @@
+//! The public allocator API: [`Mesh`] heaps, per-thread [`ThreadHeap`]
+//! handles, and a [`MeshGlobalAlloc`] adapter implementing
+//! [`std::alloc::GlobalAlloc`] (the Rust analog of the paper's
+//! `LD_PRELOAD` interposition).
+
+use crate::config::MeshConfig;
+use crate::error::MeshError;
+use crate::global_heap::GlobalState;
+use crate::local_heap::ThreadHeapCore;
+use crate::meshing::MeshSummary;
+use crate::rng::Rng;
+use crate::size_classes::{SizeClass, MAX_SMALL_SIZE, PAGE_SIZE};
+use crate::stats::{Counters, HeapStats};
+use crate::sys::ReleaseStrategy;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) struct MeshInner {
+    pub state: Mutex<GlobalState>,
+    pub counters: Arc<Counters>,
+    base: usize,
+    bytes: usize,
+    seed_base: u64,
+    randomize: bool,
+    token_gen: AtomicU64,
+    main: Mutex<ThreadHeapCore>,
+}
+
+impl std::fmt::Debug for MeshInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeshInner")
+            .field("base", &(self.base as *const u8))
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A Mesh heap: a compacting, meshing memory allocator (the paper's
+/// drop-in `malloc` replacement, §4).
+///
+/// `Mesh` is cheaply cloneable (a handle to shared state) and `Send +
+/// Sync`. Allocation through `Mesh` itself serializes on an internal
+/// default thread heap — convenient for examples and single-threaded use;
+/// multi-threaded applications should give each thread its own
+/// [`ThreadHeap`] via [`Mesh::thread_heap`] to get the lock-free fast path
+/// of §4.3.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::{Mesh, MeshConfig};
+///
+/// # fn main() -> Result<(), mesh_core::MeshError> {
+/// let mesh = Mesh::new(MeshConfig::default().seed(1).arena_bytes(32 << 20))?;
+/// let p = mesh.malloc(128);
+/// assert!(!p.is_null());
+/// unsafe {
+///     std::ptr::write_bytes(p, 0xAB, 128);
+///     mesh.free(p);
+/// }
+/// let summary = mesh.mesh_now();
+/// println!("meshed {} pairs", summary.pairs_meshed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    inner: Arc<MeshInner>,
+}
+
+impl Mesh {
+    /// Creates a heap with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::InvalidConfig`] for bad configurations and
+    /// [`MeshError::ArenaCreation`]/[`MeshError::Map`] if the backing
+    /// arena cannot be established.
+    pub fn new(config: MeshConfig) -> Result<Mesh, MeshError> {
+        config.validate()?;
+        let counters = Arc::new(Counters::default());
+        let state = GlobalState::new(config.clone(), Arc::clone(&counters))?;
+        let base = state.arena.base_addr();
+        let bytes = state.arena.capacity_pages() as usize * PAGE_SIZE;
+        let seed_base = config
+            .seed
+            .unwrap_or_else(|| Rng::from_entropy().next_u64());
+        let randomize = config.randomize;
+        let main = ThreadHeapCore::new(seed_base ^ 0x6d61_696e, randomize, 0);
+        Ok(Mesh {
+            inner: Arc::new(MeshInner {
+                state: Mutex::new(state),
+                counters,
+                base,
+                bytes,
+                seed_base,
+                randomize,
+                token_gen: AtomicU64::new(1),
+                main: Mutex::new(main),
+            }),
+        })
+    }
+
+    /// Allocates `size` bytes, 16-byte aligned (page-aligned above 16 KiB).
+    /// Returns null when the arena is exhausted — never panics.
+    pub fn malloc(&self, size: usize) -> *mut u8 {
+        with_internal_alloc(|| {
+            self.inner
+                .main
+                .lock()
+                .malloc(&self.inner.state, &self.inner.counters, size)
+        })
+    }
+
+    /// Allocates `size` bytes with alignment `align` (a power of two up to
+    /// the page size). Returns null for unsatisfiable requests.
+    pub fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
+        debug_assert!(align.is_power_of_two());
+        if align > PAGE_SIZE {
+            return std::ptr::null_mut();
+        }
+        let request = aligned_request(size, align);
+        self.malloc(request)
+    }
+
+    /// Allocates zeroed memory for `count` elements of `size` bytes
+    /// (`calloc`). Returns null on overflow or exhaustion.
+    pub fn calloc(&self, count: usize, size: usize) -> *mut u8 {
+        let Some(total) = count.checked_mul(size) else {
+            return std::ptr::null_mut();
+        };
+        let p = self.malloc(total);
+        if !p.is_null() {
+            // Spans reused under the MADV_DONTNEED release strategy may
+            // hold stale bytes, so calloc always zeroes explicitly.
+            unsafe { std::ptr::write_bytes(p, 0, total) };
+        }
+        p
+    }
+
+    /// Resizes the allocation at `ptr` to `new_size` bytes (`realloc`).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be null or a live pointer from this heap; after a
+    /// non-null return the old pointer must not be used.
+    pub unsafe fn realloc(&self, ptr: *mut u8, new_size: usize) -> *mut u8 {
+        if ptr.is_null() {
+            return self.malloc(new_size);
+        }
+        let usable = self.usable_size(ptr).unwrap_or(0);
+        if new_size <= usable && new_size * 2 >= usable {
+            return ptr; // still the right size class
+        }
+        let fresh = self.malloc(new_size);
+        if !fresh.is_null() {
+            std::ptr::copy_nonoverlapping(ptr, fresh, usable.min(new_size));
+            self.free(ptr);
+        }
+        fresh
+    }
+
+    /// Frees `ptr`. Null is ignored; foreign pointers and double frees are
+    /// detected on the global path and discarded (§4.4.4).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be null or a pointer obtained from this heap that has
+    /// not been freed since (same contract as C `free`).
+    pub unsafe fn free(&self, ptr: *mut u8) {
+        if ptr.is_null() {
+            return;
+        }
+        with_internal_alloc(|| {
+            self.inner
+                .main
+                .lock()
+                .free(&self.inner.state, &self.inner.counters, ptr);
+        });
+    }
+
+    /// Usable size of the allocation at `ptr` (`malloc_usable_size`), or
+    /// `None` for foreign pointers.
+    pub fn usable_size(&self, ptr: *mut u8) -> Option<usize> {
+        self.inner.state.lock().usable_size(ptr as usize)
+    }
+
+    /// Whether `ptr` points into this heap's arena.
+    #[inline]
+    pub fn contains(&self, ptr: *const u8) -> bool {
+        let a = ptr as usize;
+        a >= self.inner.base && a < self.inner.base + self.inner.bytes
+    }
+
+    /// Creates a handle for lock-free allocation on the calling thread
+    /// (§4.3). The handle returns its spans to the global heap on drop.
+    pub fn thread_heap(&self) -> ThreadHeap {
+        let token = self.inner.token_gen.fetch_add(1, Ordering::Relaxed);
+        ThreadHeap {
+            core: ThreadHeapCore::new(
+                self.inner.seed_base.wrapping_add(token.wrapping_mul(0x9e37_79b9)),
+                self.inner.randomize,
+                token,
+            ),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Runs a meshing pass immediately, bypassing the rate limiter.
+    pub fn mesh_now(&self) -> MeshSummary {
+        // Internal-allocation guard: meshing allocates candidate lists
+        // while the global lock is held. When this heap also serves as
+        // the process allocator (`MeshGlobalAlloc`), those allocations
+        // must not recurse into Mesh or they would retake the lock.
+        with_internal_alloc(|| self.inner.state.lock().mesh_now())
+    }
+
+    /// Releases all dirty pages to the OS immediately.
+    pub fn purge_dirty(&self) {
+        with_internal_alloc(|| self.inner.state.lock().arena.purge_dirty());
+    }
+
+    /// A snapshot of heap statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// Current physical heap footprint in bytes (lock-free; see DESIGN.md
+    /// on why this — not process RSS — mirrors the paper's metric).
+    pub fn heap_bytes(&self) -> usize {
+        self.inner.counters.committed_pages.load(Ordering::Relaxed) * PAGE_SIZE
+    }
+
+    /// Runtime control analog of `mallctl` (§4.5): changes the meshing
+    /// rate limit.
+    pub fn set_mesh_period(&self, period: Duration) {
+        self.inner.state.lock().config.mesh_period = period;
+    }
+
+    /// Runtime control analog of `mallctl` (§4.5): enables or disables
+    /// meshing.
+    pub fn set_meshing_enabled(&self, enabled: bool) {
+        self.inner.state.lock().config.meshing = enabled;
+    }
+
+    /// Runtime control: adjusts the SplitMesher probe limit `t` (§3.3).
+    pub fn set_probe_limit(&self, t: usize) {
+        if t > 0 {
+            self.inner.state.lock().config.probe_limit = t;
+        }
+    }
+
+    /// The page-release primitive the arena detected at startup.
+    pub fn release_strategy(&self) -> ReleaseStrategy {
+        self.inner.state.lock().arena.release_strategy()
+    }
+
+    /// Snapshots of every live MiniHeap's allocation state — the heap's
+    /// span strings, for experiments cross-validating §5's theory against
+    /// real allocator state.
+    pub fn span_snapshots(&self) -> Vec<crate::stats::SpanSnapshot> {
+        // Allocates the snapshot vector while holding the global lock;
+        // see `mesh_now` for why the guard is required.
+        with_internal_alloc(|| self.span_snapshots_locked())
+    }
+
+    fn span_snapshots_locked(&self) -> Vec<crate::stats::SpanSnapshot> {
+        let st = self.inner.state.lock();
+        st.slab
+            .iter()
+            .map(|(_, mh)| crate::stats::SpanSnapshot {
+                object_size: mh.object_size(),
+                object_count: mh.object_count(),
+                in_use: mh.in_use(),
+                bitmap_words: mh.bitmap().load_words(),
+                virtual_span_count: mh.span_count(),
+                attached: mh.is_attached(),
+                large: mh.is_large(),
+            })
+            .collect()
+    }
+}
+
+/// Rounds a request so the serving size class (or page-rounded large
+/// object) guarantees `align`.
+fn aligned_request(size: usize, align: usize) -> usize {
+    if align <= 16 {
+        return size;
+    }
+    if let Some(class) = SizeClass::for_size(size.max(1)) {
+        // Find the smallest class that is both big enough and a multiple
+        // of the requested alignment (object addresses are
+        // `span_start + slot × class_size` with page-aligned span starts).
+        for idx in class.index()..crate::size_classes::NUM_SIZE_CLASSES {
+            let c = SizeClass::from_index(idx);
+            if c.object_size() >= size && c.object_size() % align == 0 {
+                return c.object_size();
+            }
+        }
+    }
+    // Fall through to a page-aligned large object.
+    size.max(MAX_SMALL_SIZE + 1)
+}
+
+/// A per-thread allocation handle (§4.3). Create one per worker thread via
+/// [`Mesh::thread_heap`]; malloc/free of thread-local objects take no lock.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::{Mesh, MeshConfig};
+///
+/// # fn main() -> Result<(), mesh_core::MeshError> {
+/// let mesh = Mesh::new(MeshConfig::default().seed(3).arena_bytes(32 << 20))?;
+/// let mut heap = mesh.thread_heap();
+/// let p = heap.malloc(48);
+/// unsafe { heap.free(p) };
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ThreadHeap {
+    core: ThreadHeapCore,
+    inner: Arc<MeshInner>,
+}
+
+impl ThreadHeap {
+    /// Allocates `size` bytes (lock-free for small sizes with an attached
+    /// span). Returns null on exhaustion.
+    pub fn malloc(&mut self, size: usize) -> *mut u8 {
+        with_internal_alloc(|| {
+            self.core
+                .malloc(&self.inner.state, &self.inner.counters, size)
+        })
+    }
+
+    /// Frees `ptr` (lock-free when local). Null is ignored.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Mesh::free`].
+    pub unsafe fn free(&mut self, ptr: *mut u8) {
+        if ptr.is_null() {
+            return;
+        }
+        with_internal_alloc(|| {
+            self.core.free(&self.inner.state, &self.inner.counters, ptr)
+        });
+    }
+
+    /// The owning heap.
+    pub fn mesh(&self) -> Mesh {
+        Mesh {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The unique token identifying this thread heap.
+    pub fn token(&self) -> u64 {
+        self.core.token()
+    }
+
+    /// Number of size classes with a currently attached span (diagnostic).
+    pub fn attached_spans(&self) -> usize {
+        self.core.attached_count()
+    }
+}
+
+impl Drop for ThreadHeap {
+    fn drop(&mut self) {
+        self.core.detach_all(&self.inner.state);
+    }
+}
+
+// ---------------------------------------------------------------------
+// GlobalAlloc adapter
+// ---------------------------------------------------------------------
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::{Cell, RefCell};
+use std::sync::OnceLock;
+
+static GLOBAL_MESH: OnceLock<Mesh> = OnceLock::new();
+
+thread_local! {
+    /// Re-entrancy guard: allocations made *by* Mesh's own metadata
+    /// structures are routed to the system allocator, mirroring the
+    /// reference implementation's internal allocator.
+    static IN_MESH: Cell<bool> = const { Cell::new(false) };
+    static TLS_HEAP: RefCell<Option<ThreadHeapCore>> = const { RefCell::new(None) };
+}
+
+/// Marks the current thread as executing inside Mesh for the duration of
+/// `f`: any allocation Mesh's own data structures make (candidate lists
+/// during meshing, slab growth during refill) is served by the system
+/// allocator instead of re-entering Mesh. Without this, installing
+/// [`MeshGlobalAlloc`] as `#[global_allocator]` would self-deadlock the
+/// global lock on the first pass that allocates while holding it; with a
+/// conventional global allocator the guard costs two thread-local writes.
+fn with_internal_alloc<T>(f: impl FnOnce() -> T) -> T {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            if self.0 {
+                IN_MESH.with(|g| g.set(false));
+            }
+        }
+    }
+    let entered = IN_MESH.with(|g| {
+        if g.get() {
+            false
+        } else {
+            g.set(true);
+            true
+        }
+    });
+    let _reset = Reset(entered);
+    f()
+}
+
+/// A [`GlobalAlloc`] backed by a process-wide Mesh heap — the Rust analog
+/// of `LD_PRELOAD=libmesh.so` (§4).
+///
+/// Internal metadata allocations recurse into the system allocator (the
+/// role of the reference implementation's internal heap), so this adapter
+/// is safe to install as `#[global_allocator]`:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: mesh_core::MeshGlobalAlloc = mesh_core::MeshGlobalAlloc;
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MeshGlobalAlloc;
+
+impl MeshGlobalAlloc {
+    /// The process-wide heap, created on first allocation. Exposed so
+    /// programs can inspect stats or force meshing.
+    pub fn mesh() -> &'static Mesh {
+        GLOBAL_MESH.get_or_init(|| {
+            let config = match std::env::var("MESH_ARENA_BYTES")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                Some(bytes) => MeshConfig::default().arena_bytes(bytes),
+                None => MeshConfig::default(),
+            };
+            Mesh::new(config).expect("failed to create global Mesh heap")
+        })
+    }
+}
+
+unsafe impl GlobalAlloc for MeshGlobalAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.align() > PAGE_SIZE {
+            return std::ptr::null_mut();
+        }
+        let entered = IN_MESH.with(|f| {
+            if f.get() {
+                false
+            } else {
+                f.set(true);
+                true
+            }
+        });
+        if !entered {
+            // Metadata allocation from inside Mesh itself.
+            return System.alloc(layout);
+        }
+        let mesh = Self::mesh();
+        let request = aligned_request(layout.size(), layout.align());
+        let p = TLS_HEAP.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let core = slot.get_or_insert_with(|| {
+                let token = mesh.inner.token_gen.fetch_add(1, Ordering::Relaxed);
+                ThreadHeapCore::new(
+                    mesh.inner.seed_base.wrapping_add(token.wrapping_mul(0x9e37)),
+                    mesh.inner.randomize,
+                    token,
+                )
+            });
+            core.malloc(&mesh.inner.state, &mesh.inner.counters, request)
+        });
+        IN_MESH.with(|f| f.set(false));
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        let Some(mesh) = GLOBAL_MESH.get() else {
+            return System.dealloc(ptr, layout);
+        };
+        if !mesh.contains(ptr) {
+            // Metadata allocation that went to the system allocator.
+            return System.dealloc(ptr, layout);
+        }
+        let entered = IN_MESH.with(|f| {
+            if f.get() {
+                false
+            } else {
+                f.set(true);
+                true
+            }
+        });
+        if !entered {
+            // A Mesh-owned pointer freed while servicing Mesh metadata —
+            // cannot happen by construction (metadata never holds arena
+            // pointers), but route globally for safety.
+            mesh.inner.state.lock().free_global(ptr as usize);
+            return;
+        }
+        TLS_HEAP.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if let Some(core) = slot.as_mut() {
+                core.free(&mesh.inner.state, &mesh.inner.counters, ptr);
+            } else {
+                mesh.inner.state.lock().free_global(ptr as usize);
+            }
+        });
+        IN_MESH.with(|f| f.set(false));
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = self.alloc(layout);
+        if !p.is_null() {
+            std::ptr::write_bytes(p, 0, layout.size());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(
+            MeshConfig::default()
+                .arena_bytes(64 << 20)
+                .seed(42)
+                .write_barrier(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn malloc_free_stats() {
+        let m = mesh();
+        let p = m.malloc(100);
+        assert!(!p.is_null());
+        assert!(m.contains(p));
+        assert_eq!(m.usable_size(p), Some(112));
+        unsafe { m.free(p) };
+        let s = m.stats();
+        assert_eq!(s.mallocs, 1);
+        assert_eq!(s.frees, 1);
+    }
+
+    #[test]
+    fn free_null_is_noop() {
+        let m = mesh();
+        unsafe { m.free(std::ptr::null_mut()) };
+        assert_eq!(m.stats().frees, 0);
+    }
+
+    #[test]
+    fn calloc_zeroes() {
+        let m = mesh();
+        let p = m.calloc(10, 100);
+        assert!(!p.is_null());
+        unsafe {
+            for i in 0..1000 {
+                assert_eq!(*p.add(i), 0);
+            }
+            m.free(p);
+        }
+        assert!(m.calloc(usize::MAX, 2).is_null(), "overflow rejected");
+    }
+
+    #[test]
+    fn realloc_grows_and_preserves() {
+        let m = mesh();
+        unsafe {
+            let p = m.realloc(std::ptr::null_mut(), 64);
+            std::ptr::write_bytes(p, 0x7E, 64);
+            let q = m.realloc(p, 100_000);
+            assert!(!q.is_null());
+            for i in 0..64 {
+                assert_eq!(*q.add(i), 0x7E);
+            }
+            m.free(q);
+        }
+    }
+
+    #[test]
+    fn realloc_within_class_returns_same_pointer() {
+        let m = mesh();
+        unsafe {
+            let p = m.realloc(std::ptr::null_mut(), 120);
+            let q = m.realloc(p, 128); // both in the 128 class
+            assert_eq!(p, q);
+            m.free(q);
+        }
+    }
+
+    #[test]
+    fn aligned_allocations() {
+        let m = mesh();
+        for align in [16usize, 32, 64, 128, 256, 1024, 4096] {
+            for size in [1usize, 17, 100, 1000, 5000] {
+                let p = m.malloc_aligned(size, align);
+                assert!(!p.is_null(), "align {align} size {size}");
+                assert_eq!(p as usize % align, 0, "align {align} size {size}");
+                assert!(m.usable_size(p).unwrap() >= size);
+                unsafe { m.free(p) };
+            }
+        }
+        assert!(m.malloc_aligned(64, 8192).is_null(), "beyond-page align");
+    }
+
+    #[test]
+    fn mesh_is_send_sync_and_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Mesh>();
+        fn assert_send<T: Send>() {}
+        assert_send::<ThreadHeap>();
+    }
+
+    #[test]
+    fn thread_heaps_across_threads() {
+        let m = mesh();
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let mesh = m.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut h = mesh.thread_heap();
+                let mut ptrs = vec![];
+                for i in 0..1000 {
+                    let p = h.malloc(16 + (i % 10) * 50);
+                    assert!(!p.is_null());
+                    ptrs.push(p as usize);
+                }
+                for p in ptrs {
+                    unsafe { h.free(p as *mut u8) };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.stats();
+        assert_eq!(s.mallocs, 4000);
+        assert_eq!(s.frees, 4000);
+        assert_eq!(s.live_bytes, 0);
+    }
+
+    #[test]
+    fn cross_thread_free_through_mesh_handle() {
+        let m = mesh();
+        let mut h = m.thread_heap();
+        let p = h.malloc(200) as usize;
+        let m2 = m.clone();
+        std::thread::spawn(move || unsafe { m2.free(p as *mut u8) })
+            .join()
+            .unwrap();
+        assert_eq!(m.stats().remote_frees, 1);
+    }
+
+    #[test]
+    fn runtime_controls() {
+        let m = mesh();
+        m.set_mesh_period(Duration::from_millis(1));
+        m.set_meshing_enabled(false);
+        m.set_probe_limit(16);
+        m.set_probe_limit(0); // ignored
+        assert_eq!(m.inner.state.lock().config.probe_limit, 16);
+    }
+
+    #[test]
+    fn aligned_request_picks_multiple_classes() {
+        assert_eq!(aligned_request(100, 16), 100);
+        assert_eq!(aligned_request(100, 32), 128);
+        assert_eq!(aligned_request(100, 64), 128);
+        assert_eq!(aligned_request(130, 128), 256);
+        assert_eq!(aligned_request(1000, 1024), 1024);
+        // 16K with page alignment is fine (16384 % 4096 == 0).
+        assert_eq!(aligned_request(16384, 4096), 16384);
+        // Unsatisfiable in-class → large object.
+        assert!(aligned_request(900, 4096) >= 4096);
+    }
+}

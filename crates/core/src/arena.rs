@@ -1,0 +1,609 @@
+//! The meshable arena (§4.4.1): a single file-backed mapping from which
+//! every span and large object is carved.
+//!
+//! The arena reserves one contiguous `MAP_SHARED` mapping of a memory file
+//! ([`crate::sys::MemFile`]). Virtual page *i* initially maps file page *i*
+//! (the *identity* mapping); meshing retargets a virtual span at another
+//! span's file range, and the arena restores identities when meshed
+//! MiniHeaps die.
+//!
+//! Freed spans are kept in two sets of bins, exactly as §4.4.1:
+//!
+//! * **dirty** — recently freed, physical pages still committed; preferred
+//!   for reuse because they are hot and reclamation is expensive.
+//! * **clean** — released to the OS (demand-zero on next touch under
+//!   punch-hole; possibly stale under the `MADV_DONTNEED` fallback — the
+//!   allocator never assumes zeroed spans).
+//!
+//! Dirty pages are released en masse once they exceed the configured
+//! threshold (64 MB in the paper) or whenever meshing runs.
+//!
+//! The arena also owns the page→MiniHeap table used for constant-time
+//! pointer lookup on free (§4.4.4), and the committed-page accounting that
+//! serves as the physical-footprint metric (see DESIGN.md).
+
+use crate::barrier::BarrierGuard;
+use crate::config::MeshConfig;
+use crate::error::MeshError;
+use crate::miniheap::MiniHeapId;
+use crate::span::Span;
+use crate::stats::Counters;
+use crate::sys::{self, MemFile, ReleaseStrategy, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where a span handed out by [`Arena::alloc_span`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSource {
+    /// Fresh, never-used pages from the high-water bump frontier.
+    Fresh,
+    /// Reused dirty pages (still committed, contents stale).
+    Dirty,
+    /// Reused clean pages (released to the OS since last use).
+    Clean,
+}
+
+/// The meshable arena. All methods require external synchronization (the
+/// global heap lock); the arena itself performs no locking.
+#[derive(Debug)]
+pub struct Arena {
+    file: MemFile,
+    base: *mut u8,
+    pages: u32,
+    strategy: ReleaseStrategy,
+    high_water: u32,
+    /// Clean spans, binned by exact page count.
+    clean: BTreeMap<u32, Vec<u32>>,
+    /// Dirty spans, binned by exact page count.
+    dirty: BTreeMap<u32, Vec<u32>>,
+    dirty_pages: usize,
+    committed_pages: usize,
+    max_dirty_pages: usize,
+    /// Page index → raw MiniHeap id (0 = unowned). Grows lazily with the
+    /// high-water mark.
+    page_map: Vec<u32>,
+    barrier: Option<BarrierGuard>,
+    counters: Arc<Counters>,
+}
+
+// SAFETY: the raw base pointer refers to a mapping owned by the arena; the
+// arena is only ever used under the global heap mutex.
+unsafe impl Send for Arena {}
+
+impl Arena {
+    /// Creates an arena per `config`, registering it with the write-barrier
+    /// fault handler when `config.write_barrier` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::ArenaCreation`]/[`MeshError::Map`] if the
+    /// backing file or mapping cannot be created.
+    pub fn new(config: &MeshConfig, counters: Arc<Counters>) -> Result<Arena, MeshError> {
+        let bytes = config.arena_pages() * PAGE_SIZE;
+        let file = MemFile::create(bytes).map_err(MeshError::ArenaCreation)?;
+        let base = sys::map_file_shared(&file).map_err(MeshError::Map)?;
+        let strategy = ReleaseStrategy::detect(&file, base);
+        let barrier = if config.write_barrier {
+            BarrierGuard::register(base as usize, bytes)
+        } else {
+            None
+        };
+        Ok(Arena {
+            file,
+            base,
+            pages: config.arena_pages() as u32,
+            strategy,
+            high_water: 0,
+            clean: BTreeMap::new(),
+            dirty: BTreeMap::new(),
+            dirty_pages: 0,
+            committed_pages: 0,
+            max_dirty_pages: config.max_dirty_bytes / PAGE_SIZE,
+            page_map: Vec::new(),
+            barrier,
+            counters,
+        })
+    }
+
+    /// Base address of the arena mapping.
+    #[inline]
+    pub fn base_addr(&self) -> usize {
+        self.base as usize
+    }
+
+    /// Total capacity in pages.
+    #[inline]
+    pub fn capacity_pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Pages currently committed (the physical footprint).
+    #[inline]
+    pub fn committed_pages(&self) -> usize {
+        self.committed_pages
+    }
+
+    /// The active release strategy (diagnostic).
+    #[inline]
+    pub fn release_strategy(&self) -> ReleaseStrategy {
+        self.strategy
+    }
+
+    /// The write-barrier guard, if registered.
+    #[inline]
+    pub(crate) fn barrier(&self) -> Option<&BarrierGuard> {
+        self.barrier.as_ref()
+    }
+
+    /// Address of arena page `page`.
+    #[inline]
+    pub fn addr_of_page(&self, page: u32) -> usize {
+        debug_assert!(page < self.pages);
+        self.base as usize + page as usize * PAGE_SIZE
+    }
+
+    /// Arena page containing `addr`, or `None` if outside the arena.
+    #[inline]
+    pub fn page_of_addr(&self, addr: usize) -> Option<u32> {
+        let base = self.base as usize;
+        if addr < base {
+            return None;
+        }
+        let page = (addr - base) / PAGE_SIZE;
+        if page < self.pages as usize {
+            Some(page as u32)
+        } else {
+            None
+        }
+    }
+
+    fn set_committed(&mut self, pages: usize) {
+        self.committed_pages = pages;
+        self.counters.set_committed(pages);
+    }
+
+    /// Hands out a span of `pages` pages, preferring dirty, then clean,
+    /// then fresh pages (§4.4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::ArenaExhausted`] when no free range is large
+    /// enough.
+    pub fn alloc_span(&mut self, pages: u32) -> Result<(Span, SpanSource), MeshError> {
+        assert!(pages > 0);
+        // 1. Dirty reuse: exact length only (dirty spans are transient).
+        if let Some(list) = self.dirty.get_mut(&pages) {
+            if let Some(offset) = list.pop() {
+                if list.is_empty() {
+                    self.dirty.remove(&pages);
+                }
+                self.dirty_pages -= pages as usize;
+                // Already committed; no accounting change.
+                return Ok((Span::new(offset, pages), SpanSource::Dirty));
+            }
+        }
+        // 2. Clean reuse: smallest clean span that fits, splitting the rest
+        //    back into the clean bins.
+        let fit = self
+            .clean
+            .range(pages..)
+            .next()
+            .map(|(&len, _)| len);
+        if let Some(len) = fit {
+            let list = self.clean.get_mut(&len).expect("bin just observed");
+            let offset = list.pop().expect("non-empty bin");
+            if list.is_empty() {
+                self.clean.remove(&len);
+            }
+            let (head, tail) = Span::new(offset, len).split(pages);
+            if let Some(tail) = tail {
+                self.clean.entry(tail.pages).or_default().push(tail.offset);
+            }
+            self.set_committed(self.committed_pages + pages as usize);
+            return Ok((head, SpanSource::Clean));
+        }
+        // 3. Fresh pages from the bump frontier.
+        if self.high_water as usize + pages as usize > self.pages as usize {
+            return Err(MeshError::ArenaExhausted {
+                requested_pages: pages as usize,
+                capacity_pages: self.pages as usize,
+            });
+        }
+        let span = Span::new(self.high_water, pages);
+        self.high_water += pages;
+        if self.page_map.len() < self.high_water as usize {
+            self.page_map.resize(self.high_water as usize, 0);
+        }
+        self.set_committed(self.committed_pages + pages as usize);
+        Ok((span, SpanSource::Fresh))
+    }
+
+    /// Returns a dead span to the dirty bins; triggers a purge when the
+    /// dirty threshold is exceeded.
+    pub fn free_span_dirty(&mut self, span: Span) {
+        debug_assert!(span.end() <= self.high_water);
+        self.dirty.entry(span.pages).or_default().push(span.offset);
+        self.dirty_pages += span.pages as usize;
+        if self.dirty_pages > self.max_dirty_pages {
+            self.purge_dirty();
+        }
+    }
+
+    /// Returns a span whose physical pages were already released (e.g. the
+    /// source of a mesh) straight to the clean bins. No accounting change:
+    /// the pages were uncommitted at release time.
+    pub fn free_span_clean(&mut self, span: Span) {
+        debug_assert!(span.end() <= self.high_water);
+        self.clean.entry(span.pages).or_default().push(span.offset);
+    }
+
+    /// Releases a dead span's physical pages immediately and files it
+    /// under clean (used for large objects, §4).
+    pub fn release_span(&mut self, span: Span) {
+        self.release_physical(span);
+        self.free_span_clean(span);
+    }
+
+    /// Releases the physical file range behind `span`. The span's identity
+    /// mapping must still be intact (guaranteed for any never-meshed span
+    /// and for mesh sources before their remap).
+    pub fn release_physical(&mut self, span: Span) {
+        unsafe {
+            self.strategy.release(
+                &self.file,
+                self.addr_of_page(span.offset) as *mut u8,
+                span.byte_len(),
+                span.byte_offset(),
+            );
+        }
+        self.set_committed(self.committed_pages - span.pages as usize);
+    }
+
+    /// Releases the file range behind a mesh source *after* its virtual
+    /// spans were retargeted (so no identity mapping of the range exists).
+    ///
+    /// Punch-hole releases by file offset directly; `MADV_REMOVE` goes
+    /// through a scratch mapping; the `MADV_DONTNEED` fallback cannot work
+    /// without a resident mapping, so callers using that strategy must
+    /// release *before* the remap via [`Arena::release_physical`] — this
+    /// method then only adjusts accounting (as does `Nop`).
+    pub fn release_after_remap(&mut self, span: Span) {
+        match self.strategy {
+            ReleaseStrategy::PunchHole => unsafe {
+                self.strategy.release(
+                    &self.file,
+                    std::ptr::null_mut(), // unused by punch-hole
+                    span.byte_len(),
+                    span.byte_offset(),
+                );
+            },
+            ReleaseStrategy::MadviseRemove => unsafe {
+                if let Ok(scratch) =
+                    sys::map_range_shared(&self.file, span.byte_offset(), span.byte_len())
+                {
+                    self.strategy
+                        .release(&self.file, scratch, span.byte_len(), span.byte_offset());
+                    sys::unmap(scratch, span.byte_len());
+                }
+            },
+            ReleaseStrategy::MadviseDontNeed | ReleaseStrategy::Nop => {}
+        }
+        self.set_committed(self.committed_pages - span.pages as usize);
+    }
+
+    /// Releases every dirty span to the OS, moving them to the clean bins
+    /// (§4.4.1: after 64 MB accumulate, or when meshing runs).
+    ///
+    /// Adjacent dirty spans are coalesced into maximal contiguous runs and
+    /// released with one kernel call per run (dirty spans always have their
+    /// identity mapping, so virtual adjacency equals file adjacency); with
+    /// thousands of spans dying together this saves the same factor in
+    /// syscalls.
+    pub fn purge_dirty(&mut self) {
+        if self.dirty_pages == 0 {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut spans: Vec<Span> = dirty
+            .iter()
+            .flat_map(|(&len, offsets)| offsets.iter().map(move |&o| Span::new(o, len)))
+            .collect();
+        spans.sort_unstable_by_key(|s| s.offset);
+        let mut i = 0;
+        while i < spans.len() {
+            let run_start = spans[i].offset;
+            let mut run_end = spans[i].end();
+            let mut j = i + 1;
+            while j < spans.len() && spans[j].offset == run_end {
+                run_end = spans[j].end();
+                j += 1;
+            }
+            self.release_physical(Span::new(run_start, run_end - run_start));
+            i = j;
+        }
+        for span in spans {
+            self.free_span_clean(span);
+        }
+        self.counters
+            .pages_purged
+            .fetch_add(self.dirty_pages as u64, std::sync::atomic::Ordering::Relaxed);
+        self.dirty_pages = 0;
+        self.counters
+            .dirty_purges
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Bytes currently sitting in the dirty bins.
+    pub fn dirty_bytes(&self) -> usize {
+        self.dirty_pages * PAGE_SIZE
+    }
+
+    // ----- meshing primitives -------------------------------------------
+
+    /// Remaps virtual span `vspan` to alias the file range of `target`
+    /// (which must have equal length): the §4.5.1 page-table update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::Map`] if the kernel rejects the remap; the
+    /// prior mapping is unchanged in that case.
+    pub fn remap_alias(&mut self, vspan: Span, target: Span) -> Result<(), MeshError> {
+        assert_eq!(vspan.pages, target.pages, "mesh of unequal spans");
+        unsafe {
+            sys::remap_fixed(
+                self.addr_of_page(vspan.offset) as *mut u8,
+                vspan.byte_len(),
+                &self.file,
+                target.byte_offset(),
+            )
+            .map_err(MeshError::Map)
+        }
+    }
+
+    /// Restores the identity mapping of `vspan` (virtual page *i* → file
+    /// page *i*), used when meshed MiniHeaps die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::Map`] if the kernel rejects the remap.
+    pub fn restore_identity(&mut self, vspan: Span) -> Result<(), MeshError> {
+        self.remap_alias(vspan, vspan)
+    }
+
+    /// Write-protects `span` (the §4.5.2 barrier's mprotect step).
+    pub fn protect_span(&mut self, span: Span) {
+        unsafe {
+            // mprotect on an established mapping only fails for invalid
+            // arguments, which would be an internal bug.
+            sys::protect_read(self.addr_of_page(span.offset) as *mut u8, span.byte_len())
+                .expect("mprotect(PROT_READ) failed on arena span");
+        }
+    }
+
+    /// Restores write access to `span`.
+    pub fn unprotect_span(&mut self, span: Span) {
+        unsafe {
+            sys::protect_read_write(self.addr_of_page(span.offset) as *mut u8, span.byte_len())
+                .expect("mprotect(PROT_READ|WRITE) failed on arena span");
+        }
+    }
+
+    // ----- page → MiniHeap table (§4.4.4) -------------------------------
+
+    /// Records `owner` for every page of `span`.
+    pub fn set_owner(&mut self, span: Span, owner: MiniHeapId) {
+        for page in span.iter_pages() {
+            self.page_map[page as usize] = owner.to_raw();
+        }
+    }
+
+    /// Clears ownership for every page of `span`.
+    pub fn clear_owner(&mut self, span: Span) {
+        for page in span.iter_pages() {
+            self.page_map[page as usize] = 0;
+        }
+    }
+
+    /// Constant-time owning-MiniHeap lookup for `addr` (§4.4.4). `None`
+    /// means the pointer is invalid (not heap memory) — double frees and
+    /// wild frees are discovered here.
+    #[inline]
+    pub fn owner_of_addr(&self, addr: usize) -> Option<MiniHeapId> {
+        let page = self.page_of_addr(addr)?;
+        let raw = *self.page_map.get(page as usize)?;
+        if raw == 0 {
+            None
+        } else {
+            Some(MiniHeapId::from_raw(raw))
+        }
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        // Deregister the fault handler range before the mapping disappears.
+        self.barrier = None;
+        unsafe { sys::unmap(self.base, self.pages as usize * PAGE_SIZE) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(pages: usize) -> Arena {
+        let config = MeshConfig::default()
+            .arena_bytes(pages * PAGE_SIZE)
+            .write_barrier(false);
+        Arena::new(&config, Arc::new(Counters::default())).unwrap()
+    }
+
+    #[test]
+    fn fresh_allocation_bumps_and_commits() {
+        let mut a = arena(64);
+        let (s1, src1) = a.alloc_span(2).unwrap();
+        let (s2, src2) = a.alloc_span(3).unwrap();
+        assert_eq!(src1, SpanSource::Fresh);
+        assert_eq!(src2, SpanSource::Fresh);
+        assert_eq!(s1, Span::new(0, 2));
+        assert_eq!(s2, Span::new(2, 3));
+        assert_eq!(a.committed_pages(), 5);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut a = arena(32);
+        assert!(a.alloc_span(32).is_ok());
+        match a.alloc_span(1) {
+            Err(MeshError::ArenaExhausted { requested_pages, capacity_pages }) => {
+                assert_eq!(requested_pages, 1);
+                assert_eq!(capacity_pages, 32);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_reuse_prefers_hot_spans() {
+        let mut a = arena(64);
+        let (s, _) = a.alloc_span(2).unwrap();
+        a.free_span_dirty(s);
+        assert_eq!(a.committed_pages(), 2, "dirty spans stay committed");
+        let (s2, src) = a.alloc_span(2).unwrap();
+        assert_eq!(src, SpanSource::Dirty);
+        assert_eq!(s2, s, "dirty span reused");
+        assert_eq!(a.committed_pages(), 2);
+    }
+
+    #[test]
+    fn clean_reuse_recommits_and_splits() {
+        let mut a = arena(64);
+        let (s, _) = a.alloc_span(4).unwrap();
+        a.release_span(s);
+        assert_eq!(a.committed_pages(), 0);
+        let (head, src) = a.alloc_span(1).unwrap();
+        assert_eq!(src, SpanSource::Clean);
+        assert_eq!(head, Span::new(0, 1));
+        assert_eq!(a.committed_pages(), 1);
+        // The 3-page tail is still clean.
+        let (tail, src) = a.alloc_span(3).unwrap();
+        assert_eq!(src, SpanSource::Clean);
+        assert_eq!(tail, Span::new(1, 3));
+    }
+
+    #[test]
+    fn purge_threshold_releases_dirty() {
+        let config = MeshConfig::default()
+            .arena_bytes(256 * PAGE_SIZE)
+            .max_dirty_bytes(4 * PAGE_SIZE)
+            .write_barrier(false);
+        let counters = Arc::new(Counters::default());
+        let mut a = Arena::new(&config, Arc::clone(&counters)).unwrap();
+        let spans: Vec<Span> = (0..3).map(|_| a.alloc_span(2).unwrap().0).collect();
+        assert_eq!(a.committed_pages(), 6);
+        a.free_span_dirty(spans[0]); // dirty: 2 pages
+        a.free_span_dirty(spans[1]); // dirty: 4 pages — at threshold
+        assert_eq!(a.dirty_bytes(), 4 * PAGE_SIZE);
+        a.free_span_dirty(spans[2]); // exceeds → purge all
+        assert_eq!(a.dirty_bytes(), 0);
+        assert_eq!(a.committed_pages(), 0);
+        assert_eq!(
+            counters.snapshot().dirty_purges, 1,
+            "exactly one purge event"
+        );
+        assert_eq!(
+            counters.snapshot().pages_purged, 6,
+            "all six dirty pages counted"
+        );
+    }
+
+    #[test]
+    fn purge_coalesces_adjacent_spans_into_runs() {
+        // Three adjacent 2-page spans freed dirty and purged together:
+        // accounting must match regardless of run coalescing.
+        let config = MeshConfig::default()
+            .arena_bytes(256 * PAGE_SIZE)
+            .write_barrier(false);
+        let counters = Arc::new(Counters::default());
+        let mut a = Arena::new(&config, Arc::clone(&counters)).unwrap();
+        let spans: Vec<Span> = (0..3).map(|_| a.alloc_span(2).unwrap().0).collect();
+        // Touch the pages so release really has something to drop.
+        for s in &spans {
+            unsafe {
+                std::ptr::write_bytes(a.addr_of_page(s.offset) as *mut u8, 1, s.byte_len());
+            }
+        }
+        for s in &spans {
+            a.free_span_dirty(*s);
+        }
+        a.purge_dirty();
+        assert_eq!(a.committed_pages(), 0);
+        assert_eq!(counters.snapshot().pages_purged, 6);
+        // The spans must be reusable as clean afterwards.
+        let (s, src) = a.alloc_span(2).unwrap();
+        assert_eq!(src, SpanSource::Clean);
+        assert!(s.offset < 6);
+    }
+
+    #[test]
+    fn page_owner_roundtrip_and_invalid_lookup() {
+        let mut a = arena(64);
+        let (s, _) = a.alloc_span(2).unwrap();
+        let id = MiniHeapId::from_raw(9);
+        a.set_owner(s, id);
+        let addr = a.addr_of_page(s.offset) + 4097;
+        assert_eq!(a.owner_of_addr(addr), Some(id));
+        a.clear_owner(s);
+        assert_eq!(a.owner_of_addr(addr), None);
+        assert_eq!(a.owner_of_addr(0x1234), None, "foreign pointer");
+    }
+
+    #[test]
+    fn remap_alias_and_restore_identity() {
+        let mut a = arena(64);
+        let (s1, _) = a.alloc_span(1).unwrap();
+        let (s2, _) = a.alloc_span(1).unwrap();
+        let p1 = a.addr_of_page(s1.offset) as *mut u8;
+        let p2 = a.addr_of_page(s2.offset) as *mut u8;
+        unsafe {
+            *p1 = 0xAA;
+            *p2 = 0xBB;
+            a.remap_alias(s2, s1).unwrap();
+            assert_eq!(*p2, 0xAA, "alias reads s1's physical page");
+            *p2 = 0xCC;
+            assert_eq!(*p1, 0xCC, "write through alias visible at s1");
+            a.restore_identity(s2).unwrap();
+            assert_eq!(*p2, 0xBB, "identity restored, original data intact");
+        }
+    }
+
+    #[test]
+    fn release_physical_uncommits() {
+        let mut a = arena(64);
+        let (s, _) = a.alloc_span(4).unwrap();
+        let addr = a.addr_of_page(s.offset) as *mut u8;
+        unsafe {
+            std::ptr::write_bytes(addr, 0x55, s.byte_len());
+        }
+        assert_eq!(a.committed_pages(), 4);
+        a.release_physical(s);
+        assert_eq!(a.committed_pages(), 0);
+        // Access after release must not fault regardless of strategy.
+        unsafe {
+            let v = *addr;
+            assert!(v == 0 || v == 0x55);
+        }
+    }
+
+    #[test]
+    fn protect_roundtrip() {
+        let mut a = arena(16);
+        let (s, _) = a.alloc_span(1).unwrap();
+        let p = a.addr_of_page(s.offset) as *mut u8;
+        unsafe { *p = 1 };
+        a.protect_span(s);
+        unsafe { assert_eq!(*p, 1) };
+        a.unprotect_span(s);
+        unsafe { *p = 2 };
+    }
+}

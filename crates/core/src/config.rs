@@ -1,0 +1,239 @@
+//! Heap configuration (§4.5's tunables plus experiment controls).
+//!
+//! The defaults reproduce the paper's shipped configuration: meshing at most
+//! once every 100 ms, probe limit `t = 64` (§3.3), randomization on. The
+//! ablation switches (`meshing`, `randomize`) correspond to the paper's
+//! "Mesh (no meshing)" and "Mesh (no rand)" configurations from §6.3.
+
+use crate::error::MeshError;
+use crate::size_classes::PAGE_SIZE;
+use std::time::Duration;
+
+/// Builder-style configuration for a [`crate::Mesh`] heap.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::MeshConfig;
+///
+/// let config = MeshConfig::default()
+///     .seed(42)
+///     .arena_bytes(64 * 1024 * 1024)
+///     .probe_limit(64);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshConfig {
+    /// Virtual size of the meshable arena in bytes.
+    pub(crate) arena_bytes: usize,
+    /// PRNG seed; `None` seeds from entropy.
+    pub(crate) seed: Option<u64>,
+    /// Master switch for meshing (§6.3 "Mesh (no meshing)" when false).
+    pub(crate) meshing: bool,
+    /// Master switch for randomized allocation (§6.3 "Mesh (no rand)"
+    /// when false).
+    pub(crate) randomize: bool,
+    /// Minimum interval between meshing passes (default 100 ms, §4.5).
+    pub(crate) mesh_period: Duration,
+    /// If the last pass freed less than this many bytes, the timer is not
+    /// restarted until another free reaches the global heap (§4.5).
+    pub(crate) min_mesh_gain_bytes: usize,
+    /// SplitMesher probe limit `t` (§3.3; the paper uses 64).
+    pub(crate) probe_limit: usize,
+    /// Spans with occupancy above this fraction are not mesh candidates.
+    pub(crate) occupancy_cutoff: f64,
+    /// Maximum virtual spans aliasing one physical span (bounds page-table
+    /// growth; the reference implementation uses 3).
+    pub(crate) max_span_count: usize,
+    /// Dirty (freed but still committed) pages are released to the OS once
+    /// they exceed this many bytes (§4.4.1; 64 MB in the paper).
+    pub(crate) max_dirty_bytes: usize,
+    /// Install the mprotect/SIGSEGV write barrier during meshing (§4.5.2).
+    pub(crate) write_barrier: bool,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            arena_bytes: 1 << 30, // 1 GiB of virtual space
+            seed: None,
+            meshing: true,
+            randomize: true,
+            mesh_period: Duration::from_millis(100),
+            min_mesh_gain_bytes: 1 << 20,
+            probe_limit: 64,
+            occupancy_cutoff: 0.8,
+            max_span_count: 3,
+            max_dirty_bytes: 64 << 20,
+            write_barrier: true,
+        }
+    }
+}
+
+impl MeshConfig {
+    /// Sets the virtual arena size in bytes (rounded up to a page).
+    pub fn arena_bytes(mut self, bytes: usize) -> Self {
+        self.arena_bytes = bytes;
+        self
+    }
+
+    /// Fixes the PRNG seed for deterministic experiments.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Enables or disables meshing (the compaction mechanism itself).
+    pub fn meshing(mut self, enabled: bool) -> Self {
+        self.meshing = enabled;
+        self
+    }
+
+    /// Enables or disables randomized allocation.
+    pub fn randomize(mut self, enabled: bool) -> Self {
+        self.randomize = enabled;
+        self
+    }
+
+    /// Sets the minimum interval between meshing passes.
+    pub fn mesh_period(mut self, period: Duration) -> Self {
+        self.mesh_period = period;
+        self
+    }
+
+    /// Sets the "don't restart the timer" gain threshold (§4.5).
+    pub fn min_mesh_gain_bytes(mut self, bytes: usize) -> Self {
+        self.min_mesh_gain_bytes = bytes;
+        self
+    }
+
+    /// Sets the SplitMesher probe limit `t` (§3.3).
+    pub fn probe_limit(mut self, t: usize) -> Self {
+        self.probe_limit = t;
+        self
+    }
+
+    /// Sets the occupancy fraction above which spans are not meshed.
+    pub fn occupancy_cutoff(mut self, cutoff: f64) -> Self {
+        self.occupancy_cutoff = cutoff;
+        self
+    }
+
+    /// Sets the maximum number of virtual spans per physical span.
+    pub fn max_span_count(mut self, n: usize) -> Self {
+        self.max_span_count = n;
+        self
+    }
+
+    /// Sets the dirty-page release threshold (§4.4.1).
+    pub fn max_dirty_bytes(mut self, bytes: usize) -> Self {
+        self.max_dirty_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables the concurrent-meshing write barrier.
+    ///
+    /// With the barrier disabled, meshing is only safe if no other thread
+    /// writes to objects in mesh candidates during a pass; the paper's
+    /// design keeps it on and so does the default.
+    pub fn write_barrier(mut self, enabled: bool) -> Self {
+        self.write_barrier = enabled;
+        self
+    }
+
+    /// Whether meshing is enabled.
+    pub fn is_meshing_enabled(&self) -> bool {
+        self.meshing
+    }
+
+    /// Whether randomized allocation is enabled.
+    pub fn is_randomized(&self) -> bool {
+        self.randomize
+    }
+
+    /// The configured arena size in bytes.
+    pub fn arena_size(&self) -> usize {
+        self.arena_bytes
+    }
+
+    /// The configured SplitMesher probe limit `t`.
+    pub fn probe_limit_t(&self) -> usize {
+        self.probe_limit
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::InvalidConfig`] if the arena is smaller than one
+    /// span, the probe limit is zero, the occupancy cutoff is outside
+    /// `(0, 1]`, or `max_span_count < 2` (meshing needs at least two).
+    pub fn validate(&self) -> Result<(), MeshError> {
+        if self.arena_bytes < 32 * PAGE_SIZE {
+            return Err(MeshError::InvalidConfig(format!(
+                "arena of {} bytes is smaller than the largest span",
+                self.arena_bytes
+            )));
+        }
+        if self.probe_limit == 0 {
+            return Err(MeshError::InvalidConfig("probe limit must be ≥ 1".into()));
+        }
+        if !(self.occupancy_cutoff > 0.0 && self.occupancy_cutoff <= 1.0) {
+            return Err(MeshError::InvalidConfig(format!(
+                "occupancy cutoff {} outside (0, 1]",
+                self.occupancy_cutoff
+            )));
+        }
+        if self.max_span_count < 2 {
+            return Err(MeshError::InvalidConfig(
+                "max_span_count must be ≥ 2 for meshing".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of whole pages in the configured arena.
+    pub(crate) fn arena_pages(&self) -> usize {
+        self.arena_bytes / PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MeshConfig::default();
+        assert_eq!(c.probe_limit, 64, "t = 64 (§3.3)");
+        assert_eq!(c.mesh_period, Duration::from_millis(100), "§4.5 rate limit");
+        assert_eq!(c.min_mesh_gain_bytes, 1 << 20, "1 MB rule (§4.5)");
+        assert_eq!(c.max_dirty_bytes, 64 << 20, "64 MB dirty threshold (§4.4.1)");
+        assert!(c.meshing && c.randomize && c.write_barrier);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = MeshConfig::default()
+            .seed(7)
+            .meshing(false)
+            .randomize(false)
+            .probe_limit(8)
+            .occupancy_cutoff(0.5)
+            .arena_bytes(1 << 24);
+        assert_eq!(c.seed, Some(7));
+        assert!(!c.meshing && !c.randomize);
+        assert_eq!(c.probe_limit, 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(MeshConfig::default().arena_bytes(4096).validate().is_err());
+        assert!(MeshConfig::default().probe_limit(0).validate().is_err());
+        assert!(MeshConfig::default().occupancy_cutoff(0.0).validate().is_err());
+        assert!(MeshConfig::default().occupancy_cutoff(1.5).validate().is_err());
+        assert!(MeshConfig::default().max_span_count(1).validate().is_err());
+    }
+}

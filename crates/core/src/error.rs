@@ -1,0 +1,80 @@
+//! Error types for the Mesh allocator.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by fallible Mesh operations (heap construction and
+/// explicit management calls; the malloc path itself reports failure by
+/// returning a null pointer, as malloc does).
+#[derive(Debug)]
+pub enum MeshError {
+    /// Creating or sizing the arena's backing memory file failed.
+    ArenaCreation(io::Error),
+    /// Mapping, remapping or protecting arena memory failed.
+    Map(io::Error),
+    /// The configured virtual arena is exhausted.
+    ArenaExhausted {
+        /// Pages requested by the failing operation.
+        requested_pages: usize,
+        /// Total pages the arena was configured with.
+        capacity_pages: usize,
+    },
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::ArenaCreation(e) => write!(f, "arena backing file creation failed: {e}"),
+            MeshError::Map(e) => write!(f, "virtual memory operation failed: {e}"),
+            MeshError::ArenaExhausted {
+                requested_pages,
+                capacity_pages,
+            } => write!(
+                f,
+                "arena exhausted: requested {requested_pages} pages, capacity {capacity_pages}"
+            ),
+            MeshError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeshError::ArenaCreation(e) | MeshError::Map(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MeshError::ArenaExhausted {
+            requested_pages: 10,
+            capacity_pages: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('4'));
+    }
+
+    #[test]
+    fn error_trait_source() {
+        use std::error::Error;
+        let e = MeshError::Map(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+        let e = MeshError::InvalidConfig("x".into());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MeshError>();
+    }
+}

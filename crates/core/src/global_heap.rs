@@ -1,0 +1,519 @@
+//! The global heap (§4.4): MiniHeap allocation, occupancy bins, non-local
+//! frees, large objects, and meshing coordination.
+//!
+//! All state here lives under one mutex (see DESIGN.md's locking
+//! discipline): thread-local heaps take the lock only to refill or detach
+//! shuffle vectors and for non-local frees; the meshing pass runs entirely
+//! under it, which keeps detached MiniHeap bitmaps stable while the
+//! SplitMesher probes them.
+
+use crate::arena::Arena;
+use crate::config::MeshConfig;
+use crate::error::MeshError;
+use crate::meshing::{self, MeshSummary};
+use crate::miniheap::{AttachState, MiniHeap, MiniHeapId, Slab, NOT_BINNED};
+use crate::shuffle_vector::ShuffleVector;
+use crate::rng::Rng;
+use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES, PAGE_SIZE};
+use crate::stats::Counters;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of partial-occupancy bins per size class (§3.1: the global heap
+/// groups spans by decreasing occupancy, e.g. 75–99% in one bin, 50–74% in
+/// the next).
+pub(crate) const PARTIAL_BINS: usize = 4;
+
+/// Bin index used for completely full MiniHeaps.
+pub(crate) const FULL_BIN: u8 = PARTIAL_BINS as u8;
+
+/// Occupancy bins for one size class.
+#[derive(Debug, Default)]
+pub(crate) struct ClassBins {
+    /// `partial[0]` holds the fullest spans ([75%, 100%)), `partial[3]`
+    /// the emptiest ((0%, 25%)).
+    pub partial: [Vec<MiniHeapId>; PARTIAL_BINS],
+    /// Completely full spans (not allocation candidates).
+    pub full: Vec<MiniHeapId>,
+}
+
+impl ClassBins {
+    fn list_mut(&mut self, bin: u8) -> &mut Vec<MiniHeapId> {
+        if bin == FULL_BIN {
+            &mut self.full
+        } else {
+            &mut self.partial[bin as usize]
+        }
+    }
+}
+
+/// Computes the occupancy bin for `in_use` live objects of `count` slots.
+///
+/// # Panics
+///
+/// Panics (debug) if `in_use` is zero — empty MiniHeaps are freed, never
+/// binned — or exceeds `count`.
+pub(crate) fn bin_for_occupancy(in_use: usize, count: usize) -> u8 {
+    debug_assert!(in_use > 0 && in_use <= count);
+    if in_use == count {
+        FULL_BIN
+    } else {
+        // quartile 3 ([75%,100%)) → bin 0, …, quartile 0 ((0,25%)) → bin 3.
+        (3 - (in_use * PARTIAL_BINS / count).min(3)) as u8
+    }
+}
+
+/// All mutable global-heap state, guarded by `Mesh`'s mutex.
+pub(crate) struct GlobalState {
+    pub arena: Arena,
+    pub slab: Slab,
+    pub bins: Vec<ClassBins>,
+    pub rng: Rng,
+    pub config: MeshConfig,
+    pub last_mesh: Instant,
+    /// Set after a low-yield pass: the timer is not restarted until a
+    /// subsequent free reaches the global heap (§4.5).
+    pub mesh_timer_paused: bool,
+    /// When the meshing path last purged dirty pages. Purge-on-mesh
+    /// (§4.4.1) is rate-limited to `mesh_period` so harnesses that force
+    /// passes faster than the wall-clock limiter (for time-compressed
+    /// replays) do not cycle pages through release/refault at an
+    /// unrealistic rate; the 64 MB threshold path is unaffected.
+    pub last_mesh_purge: Instant,
+    pub counters: Arc<Counters>,
+}
+
+impl std::fmt::Debug for GlobalState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalState")
+            .field("miniheaps", &self.slab.len())
+            .field("committed_pages", &self.arena.committed_pages())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GlobalState {
+    pub fn new(config: MeshConfig, counters: Arc<Counters>) -> Result<GlobalState, MeshError> {
+        config.validate()?;
+        let arena = Arena::new(&config, Arc::clone(&counters))?;
+        let seed = config.seed.unwrap_or_else(|| Rng::from_entropy().next_u64());
+        Ok(GlobalState {
+            arena,
+            slab: Slab::new(),
+            bins: (0..NUM_SIZE_CLASSES).map(|_| ClassBins::default()).collect(),
+            rng: Rng::with_seed(seed ^ 0x6d65_7368_2d67_6c6f), // "mesh-glo"
+            config,
+            last_mesh: Instant::now(),
+            mesh_timer_paused: false,
+            last_mesh_purge: Instant::now() - Duration::from_secs(3600),
+            counters,
+        })
+    }
+
+    // ----- occupancy-bin bookkeeping ------------------------------------
+
+    /// Inserts a detached, non-empty MiniHeap into its occupancy bin.
+    pub fn bin_insert(&mut self, id: MiniHeapId) {
+        let mh = self.slab.get(id).expect("binning a dead MiniHeap");
+        debug_assert!(!mh.is_attached() && !mh.is_large());
+        let class = mh.size_class().expect("large objects are not binned");
+        let bin = bin_for_occupancy(mh.in_use(), mh.object_count());
+        let list = self.bins[class.index()].list_mut(bin);
+        let slot = list.len() as u32;
+        list.push(id);
+        let mh = self.slab.get_mut(id).expect("just observed");
+        mh.bin = bin;
+        mh.bin_slot = slot;
+    }
+
+    /// Removes a MiniHeap from its current bin (no-op if unbinned).
+    pub fn bin_remove(&mut self, id: MiniHeapId) {
+        let mh = self.slab.get(id).expect("unbinning a dead MiniHeap");
+        let (bin, slot) = (mh.bin, mh.bin_slot);
+        if bin == NOT_BINNED {
+            return;
+        }
+        let class = mh.size_class().expect("large objects are not binned");
+        let list = self.bins[class.index()].list_mut(bin);
+        list.swap_remove(slot as usize);
+        if let Some(&moved) = list.get(slot as usize) {
+            self.slab
+                .get_mut(moved)
+                .expect("binned ids are live")
+                .bin_slot = slot;
+        }
+        let mh = self.slab.get_mut(id).expect("just observed");
+        mh.bin = NOT_BINNED;
+        mh.bin_slot = 0;
+    }
+
+    /// Moves a MiniHeap between bins after its occupancy changed.
+    pub fn rebin(&mut self, id: MiniHeapId) {
+        let mh = self.slab.get(id).expect("rebinning a dead MiniHeap");
+        let new_bin = bin_for_occupancy(mh.in_use(), mh.object_count());
+        if mh.bin != new_bin {
+            self.bin_remove(id);
+            self.bin_insert(id);
+        }
+    }
+
+    /// Selects a partially full MiniHeap for reuse: first non-empty bin by
+    /// decreasing occupancy, random span within it (§3.1). The MiniHeap is
+    /// removed from its bin.
+    pub fn select_partial(&mut self, class: SizeClass) -> Option<MiniHeapId> {
+        for bin in 0..PARTIAL_BINS {
+            let len = self.bins[class.index()].partial[bin].len();
+            if len > 0 {
+                let pick = self.rng.below(len as u32) as usize;
+                let id = self.bins[class.index()].partial[bin][pick];
+                self.bin_remove(id);
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    // ----- MiniHeap lifecycle -------------------------------------------
+
+    /// Allocates and registers a fresh MiniHeap for `class` (§4.4.2).
+    pub fn fresh_miniheap(&mut self, class: SizeClass) -> Result<MiniHeapId, MeshError> {
+        let (span, _) = self.arena.alloc_span(class.span_pages() as u32)?;
+        let id = self.slab.insert(MiniHeap::new_small(class, span));
+        self.arena.set_owner(span, id);
+        Ok(id)
+    }
+
+    /// Destroys an empty, detached MiniHeap: restores identity mappings for
+    /// meshed aliases, returns spans to the arena, clears page ownership.
+    pub fn free_miniheap(&mut self, id: MiniHeapId) {
+        self.bin_remove(id);
+        let mut mh = self.slab.remove(id);
+        debug_assert_eq!(mh.in_use(), 0, "freeing a MiniHeap with live objects");
+        for alias in mh.take_alias_spans() {
+            // Alias file ranges were released when the mesh happened; the
+            // virtual spans just need their identity mappings back.
+            self.arena
+                .restore_identity(alias)
+                .expect("identity restore failed");
+            self.arena.clear_owner(alias);
+            self.arena.free_span_clean(alias);
+        }
+        let primary = mh.span();
+        self.arena.clear_owner(primary);
+        self.arena.free_span_dirty(primary);
+    }
+
+    /// Refills `sv` with a MiniHeap for `class`: detaches the exhausted one
+    /// (returning it to the global heap), then attaches a partially-full or
+    /// fresh MiniHeap (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::ArenaExhausted`] when no span can be carved.
+    pub fn refill(
+        &mut self,
+        sv: &mut ShuffleVector,
+        class: SizeClass,
+        token: u64,
+        thread_rng: &mut Rng,
+    ) -> Result<(), MeshError> {
+        self.release_vector(sv);
+        let id = match self.select_partial(class) {
+            Some(id) => id,
+            None => self.fresh_miniheap(class)?,
+        };
+        let mh = self.slab.get_mut(id).expect("selected id is live");
+        mh.set_state(AttachState::Attached(token));
+        let arena_base = self.arena.base_addr();
+        let mh = self.slab.get(id).expect("selected id is live");
+        let span = mh.span();
+        sv.attach(
+            id,
+            arena_base + span.byte_offset(),
+            span.byte_len(),
+            mh.object_count(),
+            mh.object_size(),
+            mh.bitmap(),
+            thread_rng,
+        );
+        for alias in &mh.virtual_spans()[1..] {
+            sv.push_span_alias(arena_base + alias.byte_offset());
+        }
+        Ok(())
+    }
+
+    /// Detaches `sv`'s MiniHeap (if any) back to the global heap: leftover
+    /// offsets are returned to the bitmap, then the MiniHeap is binned or —
+    /// if empty — destroyed.
+    pub fn release_vector(&mut self, sv: &mut ShuffleVector) {
+        let Some(old) = sv.miniheap() else { return };
+        {
+            let mh = self.slab.get(old).expect("attached id is live");
+            sv.detach(mh.bitmap());
+        }
+        let mh = self.slab.get_mut(old).expect("attached id is live");
+        mh.set_state(AttachState::Detached);
+        if mh.in_use() == 0 {
+            self.free_miniheap(old);
+        } else {
+            self.bin_insert(old);
+        }
+    }
+
+    // ----- large objects (§4.4.3) ---------------------------------------
+
+    /// Allocates a large object: the request is rounded up to whole pages
+    /// and a singleton MiniHeap accounts for it.
+    pub fn malloc_large(&mut self, size: usize) -> Result<usize, MeshError> {
+        let requested = size.div_ceil(PAGE_SIZE).max(1);
+        // Absurd sizes (near usize::MAX) must fail as exhaustion, not
+        // truncate in the page-count narrowing below.
+        let Ok(pages) = u32::try_from(requested) else {
+            return Err(MeshError::ArenaExhausted {
+                requested_pages: requested,
+                capacity_pages: self.arena.capacity_pages() as usize,
+            });
+        };
+        let (span, _) = self.arena.alloc_span(pages)?;
+        let id = self.slab.insert(MiniHeap::new_large(span));
+        self.arena.set_owner(span, id);
+        self.counters.large_allocs.fetch_add(1, Ordering::Relaxed);
+        self.counters.mallocs.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .live_bytes
+            .fetch_add(span.byte_len(), Ordering::Relaxed);
+        Ok(self.arena.addr_of_page(span.offset))
+    }
+
+    // ----- non-local frees (§4.4.4) -------------------------------------
+
+    /// Frees `addr` through the global heap. Invalid pointers and double
+    /// frees are detected via the page table / bitmap and discarded.
+    /// Returns whether the free was accepted.
+    pub fn free_global(&mut self, addr: usize) -> bool {
+        let Some(id) = self.arena.owner_of_addr(addr) else {
+            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let mh = self.slab.get(id).expect("page table points at live MiniHeap");
+        let slot = mh
+            .slot_of_addr(self.arena.base_addr(), addr)
+            .expect("owner lookup implies containment");
+        if !mh.bitmap().unset(slot) {
+            self.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let object_size = mh.object_size();
+        let is_large = mh.is_large();
+        let attached = mh.is_attached();
+        let now_empty = mh.in_use() == 0;
+        self.counters.frees.fetch_add(1, Ordering::Relaxed);
+        self.counters.remote_frees.fetch_add(1, Ordering::Relaxed);
+        self.counters.live_bytes.fetch_sub(object_size, Ordering::Relaxed);
+
+        if is_large {
+            let mh = self.slab.remove(id);
+            let span = mh.span();
+            self.arena.clear_owner(span);
+            // Large-object pages go straight back to the OS (§4).
+            self.arena.release_span(span);
+        } else if !attached {
+            if now_empty {
+                self.free_miniheap(id);
+            } else {
+                self.rebin(id);
+            }
+        }
+        // A free reaching the global heap restarts a paused mesh timer
+        // (§4.5's "until a subsequent allocation is freed through the
+        // global heap").
+        if self.mesh_timer_paused {
+            self.mesh_timer_paused = false;
+            self.last_mesh = Instant::now();
+        }
+        self.maybe_mesh();
+        true
+    }
+
+    // ----- meshing entry points -----------------------------------------
+
+    /// Runs a meshing pass if meshing is enabled and the rate limiter
+    /// allows it (§4.5).
+    pub fn maybe_mesh(&mut self) {
+        if !self.config.meshing || self.mesh_timer_paused {
+            return;
+        }
+        if self.last_mesh.elapsed() < self.config.mesh_period {
+            return;
+        }
+        self.mesh_now();
+    }
+
+    /// Runs a meshing pass immediately (bypassing the rate limiter),
+    /// returning its summary. Still a no-op when meshing is disabled —
+    /// the "Mesh (no meshing)" configuration never meshes (§6.3).
+    pub fn mesh_now(&mut self) -> MeshSummary {
+        if !self.config.meshing {
+            return MeshSummary::default();
+        }
+        let summary = meshing::mesh_all_classes(self);
+        self.last_mesh = Instant::now();
+        self.mesh_timer_paused =
+            summary.bytes_released() < self.config.min_mesh_gain_bytes;
+        summary
+    }
+
+    /// Object size usable at `addr`, or `None` for foreign pointers.
+    pub fn usable_size(&self, addr: usize) -> Option<usize> {
+        let id = self.arena.owner_of_addr(addr)?;
+        let mh = self.slab.get(id)?;
+        mh.slot_of_addr(self.arena.base_addr(), addr)?;
+        Some(mh.object_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> GlobalState {
+        let counters = Arc::new(Counters::default());
+        GlobalState::new(
+            MeshConfig::default()
+                .arena_bytes(16 << 20)
+                .seed(7)
+                .write_barrier(false),
+            counters,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bin_for_occupancy_quartiles() {
+        assert_eq!(bin_for_occupancy(256, 256), FULL_BIN);
+        assert_eq!(bin_for_occupancy(255, 256), 0); // [75%, 100%)
+        assert_eq!(bin_for_occupancy(192, 256), 0);
+        assert_eq!(bin_for_occupancy(191, 256), 1);
+        assert_eq!(bin_for_occupancy(128, 256), 1);
+        assert_eq!(bin_for_occupancy(127, 256), 2);
+        assert_eq!(bin_for_occupancy(64, 256), 2);
+        assert_eq!(bin_for_occupancy(63, 256), 3);
+        assert_eq!(bin_for_occupancy(1, 256), 3);
+    }
+
+    #[test]
+    fn fresh_miniheap_registers_pages() {
+        let mut st = state();
+        let class = SizeClass::for_size(64).unwrap();
+        let id = st.fresh_miniheap(class).unwrap();
+        let mh = st.slab.get(id).unwrap();
+        let addr = st.arena.base_addr() + mh.span().byte_offset() + 64 * 3;
+        assert_eq!(st.arena.owner_of_addr(addr), Some(id));
+    }
+
+    #[test]
+    fn refill_attach_detach_cycle() {
+        let mut st = state();
+        let class = SizeClass::for_size(128).unwrap();
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(1);
+        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        assert_eq!(sv.available(), class.object_count());
+        // Allocate a couple of objects, then force a detach via refill.
+        let a = sv.malloc().unwrap();
+        let _b = sv.malloc().unwrap();
+        let first = sv.miniheap().unwrap();
+        // Exhaust and refill: old MiniHeap must land in a bin (2 live).
+        while sv.malloc().is_some() {}
+        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        let second = sv.miniheap().unwrap();
+        assert_ne!(first, second);
+        let old = st.slab.get(first).unwrap();
+        assert!(!old.is_attached());
+        assert_eq!(old.in_use(), class.object_count(), "all slots were allocated");
+        assert_eq!(old.bin, FULL_BIN);
+        // Free one object globally: it must drop out of the full bin.
+        assert!(st.free_global(a));
+        assert_eq!(st.slab.get(first).unwrap().bin, 0);
+    }
+
+    #[test]
+    fn select_partial_prefers_fullest_bin() {
+        let mut st = state();
+        let class = SizeClass::for_size(64).unwrap();
+        let count = class.object_count();
+        // Create two detached MiniHeaps with different occupancies.
+        let make = |st: &mut GlobalState, live: usize| {
+            let id = st.fresh_miniheap(class).unwrap();
+            let mh = st.slab.get(id).unwrap();
+            for slot in 0..live {
+                mh.bitmap().try_set(slot);
+            }
+            st.bin_insert(id);
+            id
+        };
+        let low = make(&mut st, 1);
+        let high = make(&mut st, count * 9 / 10);
+        let picked = st.select_partial(class).unwrap();
+        assert_eq!(picked, high, "fullest bin scanned first");
+        let picked2 = st.select_partial(class).unwrap();
+        assert_eq!(picked2, low);
+        assert!(st.select_partial(class).is_none());
+    }
+
+    #[test]
+    fn empty_detach_destroys_miniheap() {
+        let mut st = state();
+        let class = SizeClass::for_size(48).unwrap();
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(2);
+        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        let id = sv.miniheap().unwrap();
+        let committed_before = st.arena.committed_pages();
+        // Nothing allocated: releasing the vector should destroy it.
+        st.release_vector(&mut sv);
+        assert!(st.slab.get(id).is_none());
+        assert_eq!(st.slab.len(), 0);
+        // Span went to the dirty bin; committed unchanged until purge.
+        assert_eq!(st.arena.committed_pages(), committed_before);
+    }
+
+    #[test]
+    fn malloc_large_and_free_releases_pages() {
+        let mut st = state();
+        let addr = st.malloc_large(100_000).unwrap();
+        let pages = 100_000usize.div_ceil(PAGE_SIZE);
+        assert_eq!(st.arena.committed_pages(), pages);
+        assert_eq!(st.usable_size(addr), Some(pages * PAGE_SIZE));
+        assert!(st.free_global(addr));
+        assert_eq!(st.arena.committed_pages(), 0, "large pages released on free");
+        assert_eq!(st.slab.len(), 0);
+    }
+
+    #[test]
+    fn invalid_and_double_frees_discarded() {
+        let mut st = state();
+        assert!(!st.free_global(0xdead_beef));
+        let addr = st.malloc_large(4096).unwrap();
+        assert!(st.free_global(addr));
+        assert!(!st.free_global(addr), "double free rejected");
+        let s = st.counters.snapshot();
+        // After the large object died its page-table entry is cleared, so
+        // the second free reads as invalid (wild), not double.
+        assert_eq!(s.invalid_frees, 2);
+        assert_eq!(s.double_frees, 0);
+    }
+
+    #[test]
+    fn usable_size_for_small_classes() {
+        let mut st = state();
+        let class = SizeClass::for_size(100).unwrap();
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(3);
+        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        let addr = sv.malloc().unwrap();
+        assert_eq!(st.usable_size(addr), Some(112));
+        assert_eq!(st.usable_size(0x40), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! # mesh-core
+//!
+//! A from-scratch Rust implementation of **Mesh** — *Compacting Memory
+//! Management for C/C++ Applications* (Powers, Tench, Berger, McGregor;
+//! PLDI 2019).
+//!
+//! Mesh is a drop-in `malloc` replacement that performs **compaction
+//! without relocation**: it finds pairs of spans whose live objects occupy
+//! disjoint slot offsets and *meshes* them — copying one span's objects
+//! into the other's holes and remapping both virtual spans onto a single
+//! physical span, then returning the freed physical span to the OS. No
+//! application pointer ever changes, so the technique works for hostile,
+//! address-exposing workloads where garbage-collection-style compaction is
+//! impossible.
+//!
+//! The implementation mirrors the paper's architecture:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §4.1 MiniHeaps | [`miniheap`] |
+//! | §4.2 Shuffle vectors | [`shuffle_vector`] |
+//! | §4.3 Thread-local heaps | [`ThreadHeap`] |
+//! | §4.4 Global heap | [`Mesh`] |
+//! | §4.4.1 Meshable arena | [`arena`], [`sys`] |
+//! | §3.3/§4.5 SplitMesher & meshing | [`meshing`] |
+//! | §4.5.2 Write barrier | [`barrier`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mesh_core::{Mesh, MeshConfig};
+//!
+//! # fn main() -> Result<(), mesh_core::MeshError> {
+//! let mesh = Mesh::new(MeshConfig::default().seed(42).arena_bytes(64 << 20))?;
+//!
+//! // Allocate a few thousand small objects, then free most of them,
+//! // leaving fragmented spans behind…
+//! let ptrs: Vec<*mut u8> = (0..4096).map(|_| mesh.malloc(128)).collect();
+//! for (i, &p) in ptrs.iter().enumerate() {
+//!     if i % 8 != 0 {
+//!         unsafe { mesh.free(p) };
+//!     }
+//! }
+//!
+//! // …and compact: physically merge spans with disjoint live objects.
+//! let before = mesh.heap_bytes();
+//! let summary = mesh.mesh_now();
+//! assert!(mesh.heap_bytes() <= before);
+//! println!("released {} bytes", summary.bytes_released());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arena;
+pub mod barrier;
+pub mod bitmap;
+pub mod config;
+pub mod error;
+mod global_heap;
+mod local_heap;
+pub mod meshing;
+pub mod miniheap;
+pub mod rng;
+pub mod shuffle_vector;
+pub mod size_classes;
+pub mod span;
+pub mod stats;
+pub mod sys;
+
+mod alloc_api;
+
+pub use alloc_api::{Mesh, MeshGlobalAlloc, ThreadHeap};
+pub use config::MeshConfig;
+pub use error::MeshError;
+pub use meshing::MeshSummary;
+pub use size_classes::{SizeClass, MAX_SMALL_SIZE, NUM_SIZE_CLASSES, PAGE_SIZE};
+pub use stats::{HeapStats, SpanSnapshot};
+pub use sys::ReleaseStrategy;

@@ -1,0 +1,480 @@
+//! Meshing: finding and merging spans with disjoint allocations
+//! (§3.3 SplitMesher, §4.5 implementation).
+//!
+//! A pass runs one size class at a time. For each class it collects the
+//! detached, partially-occupied MiniHeaps, randomly splits them into two
+//! halves, and probes pairs between the halves at most `t` times per span
+//! (Figure 2). Candidate pairs found by SplitMesher are recorded and then
+//! meshed en masse (§4.5).
+//!
+//! Meshing a pair is the two-step §4.5 process. With the source span
+//! write-protected behind the §4.5.2 barrier, every live object of the
+//! source is copied *to the same slot offset* in the destination span —
+//! no application pointer changes because the virtual addresses of the
+//! source span survive: its mapping is atomically retargeted at the
+//! destination's physical span, and the source's physical pages return to
+//! the OS. The ordering of release vs. remap depends on the release
+//! primitive (see [`crate::sys::ReleaseStrategy`]): punch-hole variants
+//! release *after* the remap (by file offset, or through a scratch
+//! mapping) so concurrent readers never observe zeros; the `MADV_DONTNEED`
+//! fallback releases *before* the remap, which is safe because it
+//! preserves file contents.
+
+use crate::global_heap::{GlobalState, PARTIAL_BINS};
+use crate::miniheap::MiniHeapId;
+use crate::size_classes::SizeClass;
+use crate::span::Span;
+use crate::sys::ReleaseStrategy;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Outcome of one meshing pass.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::{Mesh, MeshConfig};
+///
+/// # fn main() -> Result<(), mesh_core::MeshError> {
+/// let mesh = Mesh::new(MeshConfig::default().arena_bytes(16 << 20))?;
+/// let summary = mesh.mesh_now();
+/// assert_eq!(summary.pairs_meshed, 0, "empty heap has nothing to mesh");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeshSummary {
+    /// Number of span pairs merged.
+    pub pairs_meshed: usize,
+    /// Physical pages released by those merges.
+    pub pages_released: usize,
+    /// Object bytes copied between spans.
+    pub bytes_copied: usize,
+    /// Pair candidates probed (the `t`-bounded search cost).
+    pub pairs_probed: usize,
+}
+
+impl MeshSummary {
+    /// Bytes of physical memory this pass returned to the OS.
+    pub fn bytes_released(&self) -> usize {
+        self.pages_released * crate::size_classes::PAGE_SIZE
+    }
+}
+
+/// Runs SplitMesher and meshes the found pairs for every meshable size
+/// class. Also purges dirty pages, as §4.4.1 prescribes whenever meshing
+/// is invoked.
+pub(crate) fn mesh_all_classes(state: &mut GlobalState) -> MeshSummary {
+    let t0 = Instant::now();
+    // §4.4.1 ties a dirty-page purge to every meshing invocation; the
+    // purge itself is wall-clock rate-limited (see `last_mesh_purge`).
+    if state.last_mesh_purge.elapsed() >= state.config.mesh_period {
+        state.arena.purge_dirty();
+        state.last_mesh_purge = t0;
+    }
+    let mut summary = MeshSummary::default();
+    for class in SizeClass::all().filter(|c| c.is_meshable()) {
+        let candidates = collect_candidates(state, class);
+        if candidates.len() < 2 {
+            continue;
+        }
+        let pairs = split_mesher(state, candidates, &mut summary.pairs_probed);
+        for (a, b) in pairs {
+            mesh_pair(state, a, b, &mut summary);
+        }
+    }
+    let nanos = t0.elapsed().as_nanos() as u64;
+    state.counters.record_mesh_pass(nanos);
+    state
+        .counters
+        .spans_meshed
+        .fetch_add(summary.pairs_meshed as u64, Ordering::Relaxed);
+    state
+        .counters
+        .mesh_pages_released
+        .fetch_add(summary.pages_released as u64, Ordering::Relaxed);
+    state
+        .counters
+        .mesh_bytes_copied
+        .fetch_add(summary.bytes_copied as u64, Ordering::Relaxed);
+    summary
+}
+
+/// Collects the detached MiniHeaps of `class` that are eligible for
+/// meshing: partially occupied, below the occupancy cutoff, and with room
+/// left in their virtual-span list.
+fn collect_candidates(state: &mut GlobalState, class: SizeClass) -> Vec<MiniHeapId> {
+    let cutoff = state.config.occupancy_cutoff;
+    let max_spans = state.config.max_span_count;
+    let mut out = Vec::new();
+    for bin in 0..PARTIAL_BINS {
+        for &id in &state.bins[class.index()].partial[bin] {
+            let mh = state.slab.get(id).expect("binned ids are live");
+            debug_assert!(!mh.is_attached());
+            if mh.occupancy() <= cutoff && mh.span_count() < max_spans {
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+/// The SplitMesher procedure of Figure 2: shuffle the candidate list,
+/// split it into halves, and probe `Sl[j]` against `Sr[(j+i) % len]` for
+/// `i < t`. Returns the pairs to mesh (each span in at most one pair).
+fn split_mesher(
+    state: &mut GlobalState,
+    mut candidates: Vec<MiniHeapId>,
+    probes: &mut usize,
+) -> Vec<(MiniHeapId, MiniHeapId)> {
+    state.rng.shuffle(&mut candidates);
+    let half = candidates.len() / 2;
+    let (left, right) = candidates.split_at(half);
+    // `left` has `half` entries; `right` has `half` or `half + 1`.
+    let len = half;
+    if len == 0 {
+        return Vec::new();
+    }
+    let t = state.config.probe_limit;
+    let max_spans = state.config.max_span_count;
+    let mut used_l = vec![false; left.len()];
+    let mut used_r = vec![false; right.len()];
+    let mut pairs = Vec::new();
+    for i in 0..t {
+        for j in 0..len {
+            if used_l[j] {
+                continue;
+            }
+            let k = (j + i) % right.len();
+            if used_r[k] {
+                continue;
+            }
+            *probes += 1;
+            let a = state.slab.get(left[j]).expect("candidate is live");
+            let b = state.slab.get(right[k]).expect("candidate is live");
+            // Combined alias count must stay within the page-table budget.
+            if a.span_count() + b.span_count() > max_spans {
+                continue;
+            }
+            if a.bitmap().meshes_with(b.bitmap()) {
+                used_l[j] = true;
+                used_r[k] = true;
+                pairs.push((left[j], right[k]));
+            }
+        }
+    }
+    pairs
+}
+
+/// Meshes one pair: consolidates objects onto the higher-occupancy span
+/// (fewer bytes to copy), retargets the source's virtual spans, and
+/// releases the source's physical span (§4.5).
+fn mesh_pair(
+    state: &mut GlobalState,
+    a: MiniHeapId,
+    b: MiniHeapId,
+    summary: &mut MeshSummary,
+) {
+    // Destination = more live objects → we copy the smaller side.
+    let (dst_id, src_id) = {
+        let ma = state.slab.get(a).expect("mesh candidate is live");
+        let mb = state.slab.get(b).expect("mesh candidate is live");
+        if ma.in_use() >= mb.in_use() {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    };
+
+    let arena_base = state.arena.base_addr();
+    let (src_spans, src_slots, object_size, src_primary) = {
+        let src = state.slab.get(src_id).expect("mesh source is live");
+        (
+            src.virtual_spans().to_vec(),
+            src.bitmap().iter_set().collect::<Vec<_>>(),
+            src.object_size(),
+            src.span(),
+        )
+    };
+    let dst_primary = state.slab.get(dst_id).expect("mesh dest is live").span();
+    debug_assert_eq!(src_primary.pages, dst_primary.pages);
+
+    // Raise the write barrier and protect every virtual span of the source
+    // so no thread can write to an object while it is being copied.
+    if let Some(guard) = state.arena.barrier() {
+        guard.begin_meshing();
+    }
+    for &vs in &src_spans {
+        state.arena.protect_span(vs);
+    }
+
+    // Copy each live source object to the same slot of the destination.
+    {
+        let dst = state.slab.get(dst_id).expect("mesh dest is live");
+        let src_base = arena_base + src_primary.byte_offset();
+        let dst_base = arena_base + dst_primary.byte_offset();
+        for &slot in &src_slots {
+            let claimed = dst.bitmap().try_set(slot);
+            debug_assert!(claimed, "mesh candidates were not disjoint");
+            // SAFETY: both addresses lie in the arena mapping; slots are
+            // in-bounds; the ranges cannot overlap (distinct spans); the
+            // write barrier prevents concurrent writes to the source.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    (src_base + slot * object_size) as *const u8,
+                    (dst_base + slot * object_size) as *mut u8,
+                    object_size,
+                );
+            }
+            summary.bytes_copied += object_size;
+        }
+    }
+
+    // Release the source's physical pages and retarget its virtual spans.
+    // Ordering depends on the release primitive; see module docs.
+    let release_before_remap =
+        state.arena.release_strategy() == ReleaseStrategy::MadviseDontNeed;
+    if release_before_remap {
+        state.arena.release_physical(src_primary);
+    }
+    for &vs in &src_spans {
+        state
+            .arena
+            .remap_alias(vs, dst_primary)
+            .expect("mesh remap failed");
+        state.arena.set_owner(vs, dst_id);
+    }
+    if !release_before_remap {
+        state.arena.release_after_remap(src_primary);
+    }
+    // The remap itself restored PROT_READ|WRITE on all source spans, so
+    // spinning writers proceed as soon as the barrier drops.
+    if let Some(guard) = state.arena.barrier() {
+        guard.end_meshing();
+    }
+
+    // Fold the source's spans into the destination MiniHeap and retire it.
+    state.bin_remove(src_id);
+    let src = state.slab.remove(src_id);
+    debug_assert_eq!(src.bitmap().in_use(), src_slots.len());
+    state
+        .slab
+        .get_mut(dst_id)
+        .expect("mesh dest is live")
+        .absorb_spans(&src_spans);
+    state.rebin(dst_id);
+
+    summary.pairs_meshed += 1;
+    summary.pages_released += src_primary.pages as usize;
+}
+
+/// Pure helper exposed for tests and the theory crate: would these two
+/// bitmap word-arrays mesh? (Definition 5.1 on raw words.)
+pub fn words_mesh(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    (a[0] & b[0]) | (a[1] & b[1]) | (a[2] & b[2]) | (a[3] & b[3]) == 0
+}
+
+#[allow(unused)]
+fn span_addr(arena_base: usize, span: Span) -> usize {
+    arena_base + span.byte_offset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MeshConfig;
+    use crate::rng::Rng;
+    use crate::shuffle_vector::ShuffleVector;
+    use crate::stats::Counters;
+    use std::sync::Arc;
+
+    fn state(seed: u64) -> GlobalState {
+        GlobalState::new(
+            MeshConfig::default()
+                .arena_bytes(64 << 20)
+                .seed(seed)
+                .write_barrier(false),
+            Arc::new(Counters::default()),
+        )
+        .unwrap()
+    }
+
+    /// Builds a detached MiniHeap of `class` with objects at `slots`, each
+    /// filled with `fill`.
+    fn detached_with_slots(
+        st: &mut GlobalState,
+        class: SizeClass,
+        slots: &[usize],
+        fill: u8,
+    ) -> MiniHeapId {
+        let id = st.fresh_miniheap(class).unwrap();
+        let base = st.arena.base_addr();
+        let mh = st.slab.get(id).unwrap();
+        let start = base + mh.span().byte_offset();
+        for &s in slots {
+            assert!(mh.bitmap().try_set(s));
+            unsafe {
+                std::ptr::write_bytes(
+                    (start + s * class.object_size()) as *mut u8,
+                    fill,
+                    class.object_size(),
+                );
+            }
+        }
+        st.bin_insert(id);
+        id
+    }
+
+    #[test]
+    fn words_mesh_predicate() {
+        assert!(words_mesh(&[0b0101, 0, 0, 0], &[0b1010, 0, 0, 0]));
+        assert!(!words_mesh(&[0b0101, 0, 0, 0], &[0b0100, 0, 0, 0]));
+        assert!(words_mesh(&[0; 4], &[u64::MAX; 4]));
+    }
+
+    #[test]
+    fn mesh_pair_preserves_object_contents_and_addresses() {
+        let mut st = state(1);
+        let class = SizeClass::for_size(256).unwrap();
+        let a = detached_with_slots(&mut st, class, &[0, 2, 4], 0xAA);
+        let b = detached_with_slots(&mut st, class, &[1, 3, 5], 0xBB);
+        let base = st.arena.base_addr();
+        let addr_a = base + st.slab.get(a).unwrap().span().byte_offset();
+        let addr_b = base + st.slab.get(b).unwrap().span().byte_offset();
+        let committed_before = st.arena.committed_pages();
+
+        let mut summary = MeshSummary::default();
+        mesh_pair(&mut st, a, b, &mut summary);
+        assert_eq!(summary.pairs_meshed, 1);
+        assert_eq!(summary.pages_released, class.span_pages());
+        assert_eq!(
+            st.arena.committed_pages(),
+            committed_before - class.span_pages()
+        );
+
+        // Exactly one MiniHeap survives, with both virtual spans.
+        assert_eq!(st.slab.len(), 1);
+        let (survivor_id, survivor) = st.slab.iter().next().unwrap();
+        assert_eq!(survivor.span_count(), 2);
+        assert_eq!(survivor.in_use(), 6);
+
+        // All six objects readable at their ORIGINAL virtual addresses.
+        for &(addr, slots, fill) in
+            &[(addr_a, [0usize, 2, 4], 0xAAu8), (addr_b, [1, 3, 5], 0xBB)]
+        {
+            for s in slots {
+                let p = (addr + s * 256) as *const u8;
+                unsafe {
+                    assert_eq!(*p, fill, "object at slot {s} corrupted");
+                    assert_eq!(*p.add(255), fill);
+                }
+            }
+        }
+
+        // Both spans' pages resolve to the survivor.
+        assert_eq!(st.arena.owner_of_addr(addr_a + 10), Some(survivor_id));
+        assert_eq!(st.arena.owner_of_addr(addr_b + 10), Some(survivor_id));
+    }
+
+    #[test]
+    fn meshed_survivor_frees_through_both_spans_then_dies() {
+        let mut st = state(2);
+        let class = SizeClass::for_size(512).unwrap();
+        let a = detached_with_slots(&mut st, class, &[0, 1], 1);
+        let b = detached_with_slots(&mut st, class, &[6, 7], 2);
+        let base = st.arena.base_addr();
+        let addr_a = base + st.slab.get(a).unwrap().span().byte_offset();
+        let addr_b = base + st.slab.get(b).unwrap().span().byte_offset();
+        let mut summary = MeshSummary::default();
+        mesh_pair(&mut st, a, b, &mut summary);
+
+        // Free objects through their original (virtual) addresses.
+        assert!(st.free_global(addr_a));
+        assert!(st.free_global(addr_a + 512));
+        assert!(st.free_global(addr_b + 6 * 512));
+        assert!(st.free_global(addr_b + 7 * 512));
+        assert_eq!(st.slab.len(), 0, "survivor destroyed when empty");
+        // Identity restored: allocating fresh spans works at both ranges.
+        assert_eq!(st.arena.owner_of_addr(addr_a), None);
+        assert_eq!(st.arena.owner_of_addr(addr_b), None);
+    }
+
+    #[test]
+    fn split_mesher_finds_disjoint_pairs() {
+        let mut st = state(3);
+        let class = SizeClass::for_size(1024).unwrap();
+        // Even-slot and odd-slot heaps: any (even, odd) pair meshes.
+        for i in 0..8 {
+            let slots: Vec<usize> = if i % 2 == 0 { vec![0, 2] } else { vec![1, 3] };
+            detached_with_slots(&mut st, class, &slots, i as u8);
+        }
+        let candidates = collect_candidates(&mut st, class);
+        assert_eq!(candidates.len(), 8);
+        let mut probes = 0;
+        let pairs = split_mesher(&mut st, candidates, &mut probes);
+        assert!(probes > 0);
+        // With t=64 and only two "shapes", SplitMesher should pair nearly
+        // everything; at minimum one pair must exist.
+        assert!(!pairs.is_empty());
+        for (x, y) in &pairs {
+            let a = st.slab.get(*x).unwrap();
+            let b = st.slab.get(*y).unwrap();
+            assert!(a.bitmap().meshes_with(b.bitmap()));
+        }
+    }
+
+    #[test]
+    fn full_pass_meshes_compatible_spans_and_respects_span_limit() {
+        let mut st = state(4);
+        let class = SizeClass::for_size(128).unwrap();
+        for i in 0..6 {
+            let slots = vec![i]; // all singletons at distinct offsets: all mesh
+            detached_with_slots(&mut st, class, &slots, i as u8);
+        }
+        let summary = mesh_all_classes(&mut st);
+        assert!(summary.pairs_meshed >= 2, "got {summary:?}");
+        // max_span_count = 3 by default: no MiniHeap may exceed 3 spans.
+        for (_, mh) in st.slab.iter() {
+            assert!(mh.span_count() <= 3);
+        }
+        let stats = st.counters.snapshot();
+        assert_eq!(stats.mesh_passes, 1);
+        assert!(stats.mesh_pages_released >= 2);
+    }
+
+    #[test]
+    fn occupancy_cutoff_excludes_full_spans() {
+        let mut st = state(5);
+        st.config = st.config.clone().occupancy_cutoff(0.5);
+        let class = SizeClass::for_size(2048).unwrap();
+        let count = class.object_count(); // 8
+        // 75% occupied: above cutoff → not a candidate.
+        let dense: Vec<usize> = (0..count * 3 / 4).collect();
+        detached_with_slots(&mut st, class, &dense, 1);
+        detached_with_slots(&mut st, class, &[0], 2);
+        let candidates = collect_candidates(&mut st, class);
+        assert_eq!(candidates.len(), 1);
+    }
+
+    #[test]
+    fn attached_miniheaps_are_never_candidates() {
+        let mut st = state(6);
+        let class = SizeClass::for_size(64).unwrap();
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(1);
+        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        sv.malloc().unwrap();
+        assert!(collect_candidates(&mut st, class).is_empty());
+    }
+
+    #[test]
+    fn non_meshable_classes_skipped() {
+        let mut st = state(7);
+        let class = SizeClass::for_size(8192).unwrap();
+        assert!(!class.is_meshable());
+        detached_with_slots(&mut st, class, &[0], 1);
+        detached_with_slots(&mut st, class, &[1], 2);
+        let summary = mesh_all_classes(&mut st);
+        assert_eq!(summary.pairs_meshed, 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! MiniHeaps: per-span metadata (§4.1).
+//!
+//! A MiniHeap tracks one *physical* span — its allocation bitmap, object
+//! size and count, and the start of every *virtual* span mapped onto it
+//! (one before meshing, several after). MiniHeaps are *attached* (owned by
+//! a thread-local heap, serving new allocations) or *detached* (owned by
+//! the global heap, binned by occupancy and eligible for meshing).
+//!
+//! MiniHeaps live in a [`Slab`] — the analog of the reference
+//! implementation's internal allocator — and are addressed by stable
+//! [`MiniHeapId`]s, which also serve as the payload of the arena's
+//! page→MiniHeap table (§4.4.2).
+
+use crate::bitmap::AtomicBitmap;
+use crate::size_classes::SizeClass;
+use crate::span::Span;
+use std::num::NonZeroU32;
+
+/// Stable identifier of a MiniHeap within its heap's [`Slab`].
+///
+/// Internally `index + 1`, so the zero bit-pattern stays free as the
+/// page-table's "no MiniHeap" sentinel (§4.4.4's invalid-free detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MiniHeapId(NonZeroU32);
+
+impl MiniHeapId {
+    /// Reconstructs an id from its raw non-zero representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        MiniHeapId(NonZeroU32::new(raw).expect("MiniHeapId raw value must be non-zero"))
+    }
+
+    /// The raw non-zero representation (used in the page table).
+    #[inline]
+    pub fn to_raw(self) -> u32 {
+        self.0.get()
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+}
+
+/// Ownership state of a MiniHeap (§4.1: attached vs detached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachState {
+    /// Owned by the global heap; binned and meshable.
+    Detached,
+    /// Owned by the thread-local heap with this token; new objects are
+    /// only allocated out of attached MiniHeaps.
+    Attached(u64),
+}
+
+/// Sentinel for "not currently in any occupancy bin".
+pub(crate) const NOT_BINNED: u8 = u8::MAX;
+
+/// Metadata for one physical span (§4.1).
+#[derive(Debug)]
+pub struct MiniHeap {
+    /// Object size in bytes (size-class size, or the rounded request for
+    /// large objects).
+    object_size: u32,
+    /// Number of object slots.
+    object_count: u16,
+    /// Size class, or `None` for large-object singletons (§4.4.3).
+    size_class: Option<SizeClass>,
+    /// Allocation bitmap: bit per slot (§4.1).
+    bitmap: AtomicBitmap,
+    /// Every virtual span mapped onto this physical span. The first entry
+    /// is the *primary* span, whose page range equals the physical file
+    /// range; the rest were acquired by meshing.
+    virtual_spans: Vec<Span>,
+    /// Attachment state.
+    state: AttachState,
+    /// Occupancy bin index while detached (`NOT_BINNED` otherwise).
+    pub(crate) bin: u8,
+    /// Position inside the bin's vector, for O(1) removal.
+    pub(crate) bin_slot: u32,
+}
+
+impl MiniHeap {
+    /// Creates a detached MiniHeap for a size-classed span.
+    pub fn new_small(class: SizeClass, span: Span) -> Self {
+        debug_assert_eq!(span.pages as usize, class.span_pages());
+        MiniHeap {
+            object_size: class.object_size() as u32,
+            object_count: class.object_count() as u16,
+            size_class: Some(class),
+            bitmap: AtomicBitmap::new(class.object_count()),
+            virtual_spans: vec![span],
+            state: AttachState::Detached,
+            bin: NOT_BINNED,
+            bin_slot: 0,
+        }
+    }
+
+    /// Creates the singleton MiniHeap accounting for one large object
+    /// (§4.4.3): one slot covering the whole page-rounded span.
+    pub fn new_large(span: Span) -> Self {
+        let bitmap = AtomicBitmap::new(1);
+        bitmap.try_set(0);
+        MiniHeap {
+            object_size: span.byte_len() as u32,
+            object_count: 1,
+            size_class: None,
+            bitmap,
+            virtual_spans: vec![span],
+            state: AttachState::Detached,
+            bin: NOT_BINNED,
+            bin_slot: 0,
+        }
+    }
+
+    /// Object size in bytes.
+    #[inline]
+    pub fn object_size(&self) -> usize {
+        self.object_size as usize
+    }
+
+    /// Number of object slots.
+    #[inline]
+    pub fn object_count(&self) -> usize {
+        self.object_count as usize
+    }
+
+    /// The size class, or `None` for large objects.
+    #[inline]
+    pub fn size_class(&self) -> Option<SizeClass> {
+        self.size_class
+    }
+
+    /// Whether this is a large-object singleton.
+    #[inline]
+    pub fn is_large(&self) -> bool {
+        self.size_class.is_none()
+    }
+
+    /// The allocation bitmap.
+    #[inline]
+    pub fn bitmap(&self) -> &AtomicBitmap {
+        &self.bitmap
+    }
+
+    /// Number of live objects (set bits).
+    #[inline]
+    pub fn in_use(&self) -> usize {
+        self.bitmap.in_use()
+    }
+
+    /// Occupancy in `[0, 1]`.
+    #[inline]
+    pub fn occupancy(&self) -> f64 {
+        self.in_use() as f64 / self.object_count as f64
+    }
+
+    /// The primary span: its page range equals the physical file range.
+    #[inline]
+    pub fn span(&self) -> Span {
+        self.virtual_spans[0]
+    }
+
+    /// Every virtual span aliasing this physical span (primary first).
+    #[inline]
+    pub fn virtual_spans(&self) -> &[Span] {
+        &self.virtual_spans
+    }
+
+    /// Number of virtual spans (1 = never meshed).
+    #[inline]
+    pub fn span_count(&self) -> usize {
+        self.virtual_spans.len()
+    }
+
+    /// Whether this MiniHeap has been meshed (aliases exist).
+    #[inline]
+    pub fn is_meshed(&self) -> bool {
+        self.virtual_spans.len() > 1
+    }
+
+    /// Appends the virtual spans of a meshed-away source MiniHeap.
+    pub(crate) fn absorb_spans(&mut self, spans: &[Span]) {
+        self.virtual_spans.extend_from_slice(spans);
+    }
+
+    /// Takes the non-primary spans out (used when the MiniHeap dies and
+    /// aliases are restored to identity mappings).
+    pub(crate) fn take_alias_spans(&mut self) -> Vec<Span> {
+        self.virtual_spans.split_off(1)
+    }
+
+    /// Current attachment state.
+    #[inline]
+    pub fn state(&self) -> AttachState {
+        self.state
+    }
+
+    /// Whether attached to any thread-local heap.
+    #[inline]
+    pub fn is_attached(&self) -> bool {
+        matches!(self.state, AttachState::Attached(_))
+    }
+
+    pub(crate) fn set_state(&mut self, state: AttachState) {
+        self.state = state;
+    }
+
+    /// Maps an arena *page* to the slot index of the object containing
+    /// `addr`, given the arena base address. Returns `None` if `addr` is
+    /// not inside any of this MiniHeap's virtual spans.
+    pub fn slot_of_addr(&self, arena_base: usize, addr: usize) -> Option<usize> {
+        for vs in &self.virtual_spans {
+            let start = arena_base + vs.byte_offset();
+            let end = start + vs.byte_len();
+            if addr >= start && addr < end {
+                return Some((addr - start) / self.object_size as usize);
+            }
+        }
+        None
+    }
+
+    /// Address of slot `slot` within the *primary* span.
+    pub fn primary_slot_addr(&self, arena_base: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.object_count as usize);
+        arena_base + self.span().byte_offset() + slot * self.object_size as usize
+    }
+}
+
+/// Slab of MiniHeaps with stable ids and O(1) insert/remove — the analog of
+/// the reference implementation's internal MiniHeap allocator (§4.4.2).
+#[derive(Debug, Default)]
+pub struct Slab {
+    slots: Vec<Option<MiniHeap>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Slab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab::default()
+    }
+
+    /// Number of live MiniHeaps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the slab holds no MiniHeaps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a MiniHeap, returning its stable id.
+    pub fn insert(&mut self, mh: MiniHeap) -> MiniHeapId {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx as usize].is_none());
+            self.slots[idx as usize] = Some(mh);
+            MiniHeapId::from_raw(idx + 1)
+        } else {
+            self.slots.push(Some(mh));
+            MiniHeapId::from_raw(self.slots.len() as u32)
+        }
+    }
+
+    /// Removes and returns the MiniHeap with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn remove(&mut self, id: MiniHeapId) -> MiniHeap {
+        let mh = self.slots[id.index()]
+            .take()
+            .expect("removing a dead MiniHeapId");
+        self.free.push(id.index() as u32);
+        self.live -= 1;
+        mh
+    }
+
+    /// Borrows the MiniHeap with id `id`, or `None` if it is dead.
+    #[inline]
+    pub fn get(&self, id: MiniHeapId) -> Option<&MiniHeap> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutably borrows the MiniHeap with id `id`, or `None` if it is dead.
+    #[inline]
+    pub fn get_mut(&mut self, id: MiniHeapId) -> Option<&mut MiniHeap> {
+        self.slots.get_mut(id.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Iterates over `(id, &MiniHeap)` for all live MiniHeaps.
+    pub fn iter(&self) -> impl Iterator<Item = (MiniHeapId, &MiniHeap)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref().map(|mh| (MiniHeapId::from_raw(i as u32 + 1), mh))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_classes::SizeClass;
+
+    fn small_mh() -> MiniHeap {
+        let class = SizeClass::for_size(256).unwrap();
+        MiniHeap::new_small(class, Span::new(0, class.span_pages() as u32))
+    }
+
+    #[test]
+    fn id_roundtrip_and_sentinel() {
+        let id = MiniHeapId::from_raw(7);
+        assert_eq!(id.to_raw(), 7);
+        assert_eq!(std::mem::size_of::<Option<MiniHeapId>>(), 4, "niche optimization");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_raw_id_panics() {
+        MiniHeapId::from_raw(0);
+    }
+
+    #[test]
+    fn small_miniheap_geometry() {
+        let mh = small_mh();
+        assert_eq!(mh.object_size(), 256);
+        assert_eq!(mh.object_count(), 16);
+        assert!(!mh.is_large());
+        assert!(!mh.is_meshed());
+        assert_eq!(mh.in_use(), 0);
+        assert_eq!(mh.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn large_miniheap_is_born_occupied() {
+        let mh = MiniHeap::new_large(Span::new(5, 10));
+        assert!(mh.is_large());
+        assert_eq!(mh.object_count(), 1);
+        assert_eq!(mh.object_size(), 10 * 4096);
+        assert_eq!(mh.in_use(), 1);
+        assert_eq!(mh.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn slot_of_addr_primary_and_alias() {
+        let mut mh = small_mh();
+        let base = 0x7000_0000;
+        assert_eq!(mh.slot_of_addr(base, base + 0), Some(0));
+        assert_eq!(mh.slot_of_addr(base, base + 256 * 3 + 10), Some(3));
+        assert_eq!(mh.slot_of_addr(base, base + 4096), None);
+        mh.absorb_spans(&[Span::new(9, 1)]);
+        assert!(mh.is_meshed());
+        let alias_addr = base + 9 * 4096 + 256 * 5;
+        assert_eq!(mh.slot_of_addr(base, alias_addr), Some(5));
+        assert_eq!(mh.primary_slot_addr(base, 5), base + 256 * 5);
+    }
+
+    #[test]
+    fn take_alias_spans_leaves_primary() {
+        let mut mh = small_mh();
+        mh.absorb_spans(&[Span::new(3, 1), Span::new(4, 1)]);
+        let aliases = mh.take_alias_spans();
+        assert_eq!(aliases, vec![Span::new(3, 1), Span::new(4, 1)]);
+        assert_eq!(mh.virtual_spans(), &[Span::new(0, 1)]);
+        assert!(!mh.is_meshed());
+    }
+
+    #[test]
+    fn attach_state_transitions() {
+        let mut mh = small_mh();
+        assert_eq!(mh.state(), AttachState::Detached);
+        mh.set_state(AttachState::Attached(42));
+        assert!(mh.is_attached());
+        mh.set_state(AttachState::Detached);
+        assert!(!mh.is_attached());
+    }
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut slab = Slab::new();
+        assert!(slab.is_empty());
+        let a = slab.insert(small_mh());
+        let b = slab.insert(small_mh());
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert!(slab.get(a).is_some());
+        slab.remove(a);
+        assert!(slab.get(a).is_none());
+        assert_eq!(slab.len(), 1);
+        // Freed slot is recycled but b's id stays valid.
+        let c = slab.insert(small_mh());
+        assert_eq!(c, a, "slab recycles slots");
+        assert!(slab.get(b).is_some());
+        assert_eq!(slab.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead MiniHeapId")]
+    fn slab_double_remove_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(small_mh());
+        slab.remove(a);
+        slab.remove(a);
+    }
+}

@@ -1,0 +1,142 @@
+//! Spans: runs of contiguous 4 KiB pages inside the arena (§2.1).
+//!
+//! A span is identified by its page offset from the arena start plus its
+//! length in pages. Because the arena is a single file mapping, a span's
+//! page offset doubles as its *file* offset — the identity that meshing
+//! perturbs (a virtual span can be remapped to another span's file range)
+//! and that dying meshed spans are restored to.
+
+use crate::size_classes::PAGE_SIZE;
+
+/// A contiguous page range inside the arena.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::span::Span;
+///
+/// let s = Span::new(4, 2);
+/// assert_eq!(s.byte_offset(), 4 * 4096);
+/// assert_eq!(s.byte_len(), 2 * 4096);
+/// assert!(s.contains_page(5));
+/// assert!(!s.contains_page(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// First page of the span (index from the arena start).
+    pub offset: u32,
+    /// Length in pages.
+    pub pages: u32,
+}
+
+impl Span {
+    /// Creates a span at page `offset` covering `pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    #[inline]
+    pub fn new(offset: u32, pages: u32) -> Self {
+        assert!(pages > 0, "span must cover at least one page");
+        Span { offset, pages }
+    }
+
+    /// Byte offset of the span start from the arena base (also its file
+    /// offset in the arena's backing memory file).
+    #[inline]
+    pub fn byte_offset(self) -> usize {
+        self.offset as usize * PAGE_SIZE
+    }
+
+    /// Span length in bytes.
+    #[inline]
+    pub fn byte_len(self) -> usize {
+        self.pages as usize * PAGE_SIZE
+    }
+
+    /// One-past-the-end page index.
+    #[inline]
+    pub fn end(self) -> u32 {
+        self.offset + self.pages
+    }
+
+    /// Whether `page` lies inside this span.
+    #[inline]
+    pub fn contains_page(self, page: u32) -> bool {
+        page >= self.offset && page < self.end()
+    }
+
+    /// Iterator over the page indices covered by this span.
+    pub fn iter_pages(self) -> impl Iterator<Item = u32> {
+        self.offset..self.end()
+    }
+
+    /// Splits off the first `pages` pages, returning `(head, tail)`;
+    /// `tail` is `None` when the span is consumed exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero or exceeds the span length.
+    pub fn split(self, pages: u32) -> (Span, Option<Span>) {
+        assert!(pages > 0 && pages <= self.pages, "bad split of {self:?} at {pages}");
+        let head = Span::new(self.offset, pages);
+        let tail = if pages == self.pages {
+            None
+        } else {
+            Some(Span::new(self.offset + pages, self.pages - pages))
+        };
+        (head, tail)
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "span[{}..{})", self.offset, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let s = Span::new(10, 4);
+        assert_eq!(s.end(), 14);
+        assert_eq!(s.byte_offset(), 40960);
+        assert_eq!(s.byte_len(), 16384);
+        assert_eq!(s.iter_pages().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let s = Span::new(2, 2);
+        assert!(!s.contains_page(1));
+        assert!(s.contains_page(2));
+        assert!(s.contains_page(3));
+        assert!(!s.contains_page(4));
+    }
+
+    #[test]
+    fn split_exact_and_partial() {
+        let s = Span::new(0, 8);
+        let (head, tail) = s.split(3);
+        assert_eq!(head, Span::new(0, 3));
+        assert_eq!(tail, Some(Span::new(3, 5)));
+        let (head, tail) = s.split(8);
+        assert_eq!(head, s);
+        assert!(tail.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad split")]
+    fn oversplit_panics() {
+        Span::new(0, 2).split(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_span_panics() {
+        Span::new(0, 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Heap statistics: the quantities the paper's `mstat` tool measures (§6.1)
+//! plus meshing-specific counters used throughout the evaluation.
+//!
+//! Counters are plain atomics so the hot paths can bump them without the
+//! global lock; [`HeapStats`] is a coherent snapshot taken on demand.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Live atomic counters owned by a heap. Exposed for the substrate layers
+/// ([`crate::arena::Arena`] shares them); user code should read the
+/// [`HeapStats`] snapshot via [`crate::Mesh::stats`] instead.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub mallocs: AtomicU64,
+    pub frees: AtomicU64,
+    pub remote_frees: AtomicU64,
+    pub invalid_frees: AtomicU64,
+    pub double_frees: AtomicU64,
+    pub large_allocs: AtomicU64,
+    pub mesh_passes: AtomicU64,
+    pub spans_meshed: AtomicU64,
+    pub mesh_pages_released: AtomicU64,
+    pub mesh_bytes_copied: AtomicU64,
+    pub mesh_nanos: AtomicU64,
+    pub mesh_longest_pause_nanos: AtomicU64,
+    pub dirty_purges: AtomicU64,
+    pub pages_purged: AtomicU64,
+    /// Pages currently committed (handed out and not yet released to the
+    /// OS): the physical footprint of the heap. Mirrors the arena's
+    /// internal accounting for lock-free reads.
+    pub committed_pages: AtomicUsize,
+    pub committed_pages_peak: AtomicUsize,
+    /// Bytes of live application objects (allocated minus freed).
+    pub live_bytes: AtomicUsize,
+}
+
+impl Counters {
+    /// Updates committed-page accounting, maintaining the peak.
+    pub fn set_committed(&self, pages: usize) {
+        self.committed_pages.store(pages, Ordering::Relaxed);
+        self.committed_pages_peak.fetch_max(pages, Ordering::Relaxed);
+    }
+
+    /// Records the duration of one meshing pass.
+    pub fn record_mesh_pass(&self, nanos: u64) {
+        self.mesh_passes.fetch_add(1, Ordering::Relaxed);
+        self.mesh_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.mesh_longest_pause_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Takes a coherent-enough snapshot (individual counters are relaxed;
+    /// exact cross-counter consistency is not required for reporting).
+    pub fn snapshot(&self) -> HeapStats {
+        HeapStats {
+            mallocs: self.mallocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            remote_frees: self.remote_frees.load(Ordering::Relaxed),
+            invalid_frees: self.invalid_frees.load(Ordering::Relaxed),
+            double_frees: self.double_frees.load(Ordering::Relaxed),
+            large_allocs: self.large_allocs.load(Ordering::Relaxed),
+            mesh_passes: self.mesh_passes.load(Ordering::Relaxed),
+            spans_meshed: self.spans_meshed.load(Ordering::Relaxed),
+            mesh_pages_released: self.mesh_pages_released.load(Ordering::Relaxed),
+            mesh_bytes_copied: self.mesh_bytes_copied.load(Ordering::Relaxed),
+            mesh_nanos: self.mesh_nanos.load(Ordering::Relaxed),
+            mesh_longest_pause_nanos: self.mesh_longest_pause_nanos.load(Ordering::Relaxed),
+            dirty_purges: self.dirty_purges.load(Ordering::Relaxed),
+            pages_purged: self.pages_purged.load(Ordering::Relaxed),
+            committed_pages: self.committed_pages.load(Ordering::Relaxed),
+            committed_pages_peak: self.committed_pages_peak.load(Ordering::Relaxed),
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of heap statistics.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::{Mesh, MeshConfig};
+///
+/// # fn main() -> Result<(), mesh_core::MeshError> {
+/// let mesh = Mesh::new(MeshConfig::default().arena_bytes(16 << 20))?;
+/// let p = mesh.malloc(100);
+/// let stats = mesh.stats();
+/// assert_eq!(stats.mallocs, 1);
+/// assert!(stats.heap_bytes() > 0);
+/// # unsafe { mesh.free(p) };
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Total successful allocations.
+    pub mallocs: u64,
+    /// Total frees (all paths).
+    pub frees: u64,
+    /// Frees routed through the global heap (§3.2 "remote"/global frees).
+    pub remote_frees: u64,
+    /// Frees of pointers not owned by the heap (discarded, §4.4.4).
+    pub invalid_frees: u64,
+    /// Frees of already-free objects (discarded, §4.4.4).
+    pub double_frees: u64,
+    /// Allocations above the largest size class (§4.4.3).
+    pub large_allocs: u64,
+    /// Completed meshing passes.
+    pub mesh_passes: u64,
+    /// Span pairs merged by meshing.
+    pub spans_meshed: u64,
+    /// Physical pages released by meshing.
+    pub mesh_pages_released: u64,
+    /// Object bytes copied while meshing.
+    pub mesh_bytes_copied: u64,
+    /// Total nanoseconds spent inside meshing passes.
+    pub mesh_nanos: u64,
+    /// Longest single meshing pass in nanoseconds (the paper reports the
+    /// longest pause, §6.2.2).
+    pub mesh_longest_pause_nanos: u64,
+    /// Dirty-page purge events (§4.4.1).
+    pub dirty_purges: u64,
+    /// Total pages released by dirty purges (each refaults on next use).
+    pub pages_purged: u64,
+    /// Pages currently committed — the heap's physical footprint.
+    pub committed_pages: usize,
+    /// Peak committed pages over the heap's lifetime.
+    pub committed_pages_peak: usize,
+    /// Live application bytes (allocated − freed), before size-class
+    /// rounding.
+    pub live_bytes: usize,
+}
+
+impl HeapStats {
+    /// Physical heap footprint in bytes (committed pages × page size):
+    /// the analog of the paper's cgroup RSS measurement.
+    pub fn heap_bytes(&self) -> usize {
+        self.committed_pages * crate::size_classes::PAGE_SIZE
+    }
+
+    /// Peak physical heap footprint in bytes.
+    pub fn peak_heap_bytes(&self) -> usize {
+        self.committed_pages_peak * crate::size_classes::PAGE_SIZE
+    }
+
+    /// Fragmentation ratio: physical footprint over live bytes (Redis
+    /// computes exactly this to decide when to defragment, §6.2.2).
+    /// Returns `None` when no bytes are live.
+    pub fn fragmentation_ratio(&self) -> Option<f64> {
+        if self.live_bytes == 0 {
+            None
+        } else {
+            Some(self.heap_bytes() as f64 / self.live_bytes as f64)
+        }
+    }
+}
+
+/// A point-in-time snapshot of one MiniHeap's allocation state, exposed
+/// for experiments and diagnostics (e.g. cross-validating the §5 theory
+/// against live heap bitmaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Object size in bytes.
+    pub object_size: usize,
+    /// Number of object slots in the span.
+    pub object_count: usize,
+    /// Live objects (set bitmap bits).
+    pub in_use: usize,
+    /// Raw bitmap words (bit `i` = slot `i` unavailable).
+    pub bitmap_words: [u64; 4],
+    /// Virtual spans aliasing this physical span (> 1 once meshed).
+    pub virtual_span_count: usize,
+    /// Whether the MiniHeap is attached to a thread-local heap.
+    pub attached: bool,
+    /// Whether this is a large-object singleton.
+    pub large: bool,
+}
+
+impl SpanSnapshot {
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.in_use as f64 / self.object_count.max(1) as f64
+    }
+
+    /// Definition 5.1 on snapshots: disjoint live slots.
+    pub fn meshes_with(&self, other: &SpanSnapshot) -> bool {
+        self.bitmap_words
+            .iter()
+            .zip(&other.bitmap_words)
+            .all(|(a, b)| a & b == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_snapshot_helpers() {
+        let a = SpanSnapshot {
+            object_size: 256,
+            object_count: 16,
+            in_use: 4,
+            bitmap_words: [0b0101, 0, 0, 0],
+            virtual_span_count: 1,
+            attached: false,
+            large: false,
+        };
+        let mut b = a;
+        b.bitmap_words = [0b1010, 0, 0, 0];
+        assert!(a.meshes_with(&b));
+        b.bitmap_words = [0b0100, 0, 0, 0];
+        assert!(!a.meshes_with(&b));
+        assert!((a.occupancy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = Counters::default();
+        c.mallocs.fetch_add(3, Ordering::Relaxed);
+        c.set_committed(10);
+        c.set_committed(7);
+        let s = c.snapshot();
+        assert_eq!(s.mallocs, 3);
+        assert_eq!(s.committed_pages, 7);
+        assert_eq!(s.committed_pages_peak, 10);
+        assert_eq!(s.heap_bytes(), 7 * 4096);
+        assert_eq!(s.peak_heap_bytes(), 10 * 4096);
+    }
+
+    #[test]
+    fn fragmentation_ratio_handles_zero_live() {
+        let s = HeapStats::default();
+        assert_eq!(s.fragmentation_ratio(), None);
+        let mut s2 = s;
+        s2.live_bytes = 4096;
+        s2.committed_pages = 2;
+        assert_eq!(s2.fragmentation_ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn record_mesh_pass_tracks_longest() {
+        let c = Counters::default();
+        c.record_mesh_pass(5);
+        c.record_mesh_pass(50);
+        c.record_mesh_pass(10);
+        let s = c.snapshot();
+        assert_eq!(s.mesh_passes, 3);
+        assert_eq!(s.mesh_nanos, 65);
+        assert_eq!(s.mesh_longest_pause_nanos, 50);
+    }
+}

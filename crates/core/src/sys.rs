@@ -1,0 +1,411 @@
+//! Thin unsafe wrappers over the virtual-memory syscalls Mesh relies on
+//! (§4.5.1): `memfd_create`, `mmap`, `mprotect`, `fallocate`, `madvise`.
+//!
+//! All policy lives above this layer; everything here is a direct, checked
+//! syscall wrapper. The arena's backing store is a memory file — obtained
+//! via `memfd_create`, falling back to an unlinked temporary file — so the
+//! same file offset can be mapped at several virtual addresses, which is
+//! the mechanism that makes meshing possible.
+//!
+//! ## Page release strategies
+//!
+//! The paper returns physical spans to the OS with
+//! `fallocate(FALLOC_FL_PUNCH_HOLE)`. Not every kernel (notably the
+//! sandboxed one used for CI here) supports punching holes in memfds, so
+//! [`ReleaseStrategy::detect`] probes at arena construction and picks the
+//! strongest supported primitive:
+//!
+//! 1. `fallocate(PUNCH_HOLE)` — frees the file pages; reads see zeros.
+//! 2. `madvise(MADV_REMOVE)` — equivalent for tmpfs-backed mappings.
+//! 3. `madvise(MADV_DONTNEED)` — releases the pages from the process RSS;
+//!    on a `MAP_SHARED` mapping this preserves file contents (verified in
+//!    the DESIGN.md experiments) so it is always safe, though the file
+//!    pages themselves survive until reuse. RSS-equivalent to punch-hole.
+
+use std::io;
+use std::os::raw::{c_int, c_uint};
+
+/// Hardware page size required by this allocator.
+pub const PAGE_SIZE: usize = crate::size_classes::PAGE_SIZE;
+
+fn last_err() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// An in-memory file backing a meshable arena (§4.5.1).
+///
+/// Created with `memfd_create` where available, else an unlinked temporary
+/// file; either way it "only exists in memory or on swap".
+#[derive(Debug)]
+pub struct MemFile {
+    fd: c_int,
+    len: usize,
+}
+
+impl MemFile {
+    /// Creates a memory file of `len` bytes (sparse).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if both `memfd_create` and the temp-file fallback
+    /// fail, or if the file cannot be sized.
+    pub fn create(len: usize) -> io::Result<MemFile> {
+        let fd = unsafe {
+            libc::syscall(
+                libc::SYS_memfd_create,
+                b"mesh-arena\0".as_ptr(),
+                libc::MFD_CLOEXEC as c_uint,
+            ) as c_int
+        };
+        let fd = if fd >= 0 { fd } else { Self::tmpfile_fd()? };
+        if unsafe { libc::ftruncate(fd, len as libc::off_t) } != 0 {
+            let e = last_err();
+            unsafe { libc::close(fd) };
+            return Err(e);
+        }
+        Ok(MemFile { fd, len })
+    }
+
+    /// Fallback: an unlinked file in `$TMPDIR`/`/tmp`.
+    fn tmpfile_fd() -> io::Result<c_int> {
+        let dir = std::env::var_os("TMPDIR")
+            .unwrap_or_else(|| std::ffi::OsString::from("/tmp"));
+        let template = format!(
+            "{}/mesh-arena-XXXXXX\0",
+            dir.to_string_lossy().trim_end_matches('/')
+        );
+        let mut buf: Vec<u8> = template.into_bytes();
+        let fd = unsafe { libc::mkstemp(buf.as_mut_ptr() as *mut libc::c_char) };
+        if fd < 0 {
+            return Err(last_err());
+        }
+        // Unlink immediately: the file lives only as long as the fd.
+        unsafe { libc::unlink(buf.as_ptr() as *const libc::c_char) };
+        Ok(fd)
+    }
+
+    /// The raw file descriptor.
+    #[inline]
+    pub fn fd(&self) -> c_int {
+        self.fd
+    }
+
+    /// The file length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file is zero-sized (never true for a live arena).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for MemFile {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+/// Maps the whole of `file` as one shared read-write region.
+///
+/// # Errors
+///
+/// Returns the `mmap` error on failure.
+pub fn map_file_shared(file: &MemFile) -> io::Result<*mut u8> {
+    let p = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            file.len(),
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_SHARED,
+            file.fd(),
+            0,
+        )
+    };
+    if p == libc::MAP_FAILED {
+        Err(last_err())
+    } else {
+        Ok(p as *mut u8)
+    }
+}
+
+/// Maps `len` bytes of `file` starting at `offset` at a kernel-chosen
+/// address (scratch mappings for post-remap page release).
+///
+/// # Errors
+///
+/// Returns the `mmap` error on failure.
+pub fn map_range_shared(file: &MemFile, offset: usize, len: usize) -> io::Result<*mut u8> {
+    let p = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            len,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_SHARED,
+            file.fd(),
+            offset as libc::off_t,
+        )
+    };
+    if p == libc::MAP_FAILED {
+        Err(last_err())
+    } else {
+        Ok(p as *mut u8)
+    }
+}
+
+/// Unmaps a region previously mapped by this module.
+///
+/// # Safety
+///
+/// `addr`/`len` must denote a live mapping owned by the caller; nothing may
+/// reference it afterwards.
+pub unsafe fn unmap(addr: *mut u8, len: usize) {
+    let rc = libc::munmap(addr as *mut libc::c_void, len);
+    debug_assert_eq!(rc, 0, "munmap failed: {}", last_err());
+}
+
+/// Atomically replaces the mapping at `addr` so it aliases `file` at
+/// `file_offset` — the core meshing primitive (§4.5.1). Exploits `mmap`'s
+/// documented behaviour that `MAP_FIXED` replaces any existing mapping in
+/// the range atomically with respect to concurrent faults.
+///
+/// # Safety
+///
+/// `addr` must lie within the arena mapping of `file`, be page-aligned, and
+/// `[file_offset, file_offset + len)` must be within the file.
+///
+/// # Errors
+///
+/// Returns the `mmap` error on failure (the prior mapping is untouched in
+/// that case).
+pub unsafe fn remap_fixed(
+    addr: *mut u8,
+    len: usize,
+    file: &MemFile,
+    file_offset: usize,
+) -> io::Result<()> {
+    let p = libc::mmap(
+        addr as *mut libc::c_void,
+        len,
+        libc::PROT_READ | libc::PROT_WRITE,
+        libc::MAP_SHARED | libc::MAP_FIXED,
+        file.fd(),
+        file_offset as libc::off_t,
+    );
+    if p == libc::MAP_FAILED {
+        Err(last_err())
+    } else {
+        debug_assert_eq!(p as *mut u8, addr);
+        Ok(())
+    }
+}
+
+/// Marks `[addr, addr+len)` read-only (the meshing write barrier, §4.5.2).
+///
+/// # Safety
+///
+/// `addr`/`len` must denote pages inside a live mapping owned by the caller.
+pub unsafe fn protect_read(addr: *mut u8, len: usize) -> io::Result<()> {
+    if libc::mprotect(addr as *mut libc::c_void, len, libc::PROT_READ) != 0 {
+        Err(last_err())
+    } else {
+        Ok(())
+    }
+}
+
+/// Restores read-write access to `[addr, addr+len)`.
+///
+/// # Safety
+///
+/// `addr`/`len` must denote pages inside a live mapping owned by the caller.
+pub unsafe fn protect_read_write(addr: *mut u8, len: usize) -> io::Result<()> {
+    let prot = libc::PROT_READ | libc::PROT_WRITE;
+    if libc::mprotect(addr as *mut libc::c_void, len, prot) != 0 {
+        Err(last_err())
+    } else {
+        Ok(())
+    }
+}
+
+/// How physical pages are returned to the OS (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseStrategy {
+    /// `fallocate(FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE)` — the
+    /// paper's mechanism.
+    PunchHole,
+    /// `madvise(MADV_REMOVE)` on the identity mapping.
+    MadviseRemove,
+    /// `madvise(MADV_DONTNEED)` on the identity mapping (RSS-equivalent
+    /// fallback; file pages persist until reuse).
+    MadviseDontNeed,
+    /// No supported release primitive; accounting only.
+    Nop,
+}
+
+impl ReleaseStrategy {
+    /// Probes the strongest supported strategy using the first page of a
+    /// freshly created arena (`base` must map `file` at offset 0 and the
+    /// file must not yet contain data the caller cares about).
+    pub fn detect(file: &MemFile, base: *mut u8) -> ReleaseStrategy {
+        unsafe {
+            let rc = libc::fallocate(
+                file.fd(),
+                libc::FALLOC_FL_PUNCH_HOLE | libc::FALLOC_FL_KEEP_SIZE,
+                0,
+                PAGE_SIZE as libc::off_t,
+            );
+            if rc == 0 {
+                return ReleaseStrategy::PunchHole;
+            }
+            if libc::madvise(base as *mut libc::c_void, PAGE_SIZE, libc::MADV_REMOVE) == 0 {
+                return ReleaseStrategy::MadviseRemove;
+            }
+            if libc::madvise(base as *mut libc::c_void, PAGE_SIZE, libc::MADV_DONTNEED) == 0 {
+                return ReleaseStrategy::MadviseDontNeed;
+            }
+        }
+        ReleaseStrategy::Nop
+    }
+
+    /// Releases `[file_offset, file_offset+len)`; `addr` must be a current
+    /// identity mapping of that file range (required by the `madvise`
+    /// strategies, ignored by punch-hole).
+    ///
+    /// Returns whether pages were actually released.
+    ///
+    /// # Safety
+    ///
+    /// The released range must contain no live objects, and `addr` must map
+    /// `file` at exactly `file_offset` for `len` bytes.
+    pub unsafe fn release(
+        self,
+        file: &MemFile,
+        addr: *mut u8,
+        len: usize,
+        file_offset: usize,
+    ) -> bool {
+        match self {
+            ReleaseStrategy::PunchHole => {
+                libc::fallocate(
+                    file.fd(),
+                    libc::FALLOC_FL_PUNCH_HOLE | libc::FALLOC_FL_KEEP_SIZE,
+                    file_offset as libc::off_t,
+                    len as libc::off_t,
+                ) == 0
+            }
+            ReleaseStrategy::MadviseRemove => {
+                libc::madvise(addr as *mut libc::c_void, len, libc::MADV_REMOVE) == 0
+            }
+            ReleaseStrategy::MadviseDontNeed => {
+                libc::madvise(addr as *mut libc::c_void, len, libc::MADV_DONTNEED) == 0
+            }
+            ReleaseStrategy::Nop => false,
+        }
+    }
+}
+
+/// Reads the process resident-set size in kilobytes from
+/// `/proc/self/statm` (the secondary metric; see DESIGN.md).
+///
+/// Returns `None` if procfs is unavailable.
+pub fn process_rss_kb() -> Option<u64> {
+    let s = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = s.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * (PAGE_SIZE as u64 / 1024))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfile_create_and_size() {
+        let f = MemFile::create(16 * PAGE_SIZE).unwrap();
+        assert!(f.fd() >= 0);
+        assert_eq!(f.len(), 16 * PAGE_SIZE);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn map_write_read_roundtrip() {
+        let f = MemFile::create(4 * PAGE_SIZE).unwrap();
+        let base = map_file_shared(&f).unwrap();
+        unsafe {
+            *base = 0xAB;
+            *base.add(3 * PAGE_SIZE) = 0xCD;
+            assert_eq!(*base, 0xAB);
+            assert_eq!(*base.add(3 * PAGE_SIZE), 0xCD);
+            unmap(base, 4 * PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn remap_fixed_aliases_pages() {
+        let f = MemFile::create(4 * PAGE_SIZE).unwrap();
+        let base = map_file_shared(&f).unwrap();
+        unsafe {
+            *base = 0x11;
+            *base.add(PAGE_SIZE) = 0x22;
+            // Alias virtual page 1 onto file page 0.
+            remap_fixed(base.add(PAGE_SIZE), PAGE_SIZE, &f, 0).unwrap();
+            assert_eq!(*base.add(PAGE_SIZE), 0x11, "alias must read file page 0");
+            *base.add(PAGE_SIZE) = 0x33;
+            assert_eq!(*base, 0x33, "writes through alias visible at original");
+            // Restore the identity mapping.
+            remap_fixed(base.add(PAGE_SIZE), PAGE_SIZE, &f, PAGE_SIZE).unwrap();
+            assert_eq!(*base.add(PAGE_SIZE), 0x22, "file page 1 data preserved");
+            unmap(base, 4 * PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn detect_returns_some_strategy() {
+        let f = MemFile::create(4 * PAGE_SIZE).unwrap();
+        let base = map_file_shared(&f).unwrap();
+        let s = ReleaseStrategy::detect(&f, base);
+        assert_ne!(s, ReleaseStrategy::Nop, "no release primitive available");
+        unsafe { unmap(base, 4 * PAGE_SIZE) };
+    }
+
+    #[test]
+    fn release_is_safe_on_dead_range() {
+        let f = MemFile::create(4 * PAGE_SIZE).unwrap();
+        let base = map_file_shared(&f).unwrap();
+        let s = ReleaseStrategy::detect(&f, base);
+        unsafe {
+            *base.add(2 * PAGE_SIZE) = 0x7F;
+            let ok = s.release(&f, base.add(2 * PAGE_SIZE), PAGE_SIZE, 2 * PAGE_SIZE);
+            assert!(ok);
+            // The page may read as zero (punch) or stale (DONTNEED); either
+            // way access must not fault.
+            let v = *base.add(2 * PAGE_SIZE);
+            assert!(v == 0 || v == 0x7F);
+            unmap(base, 4 * PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn protect_toggles() {
+        let f = MemFile::create(PAGE_SIZE).unwrap();
+        let base = map_file_shared(&f).unwrap();
+        unsafe {
+            *base = 1;
+            protect_read(base, PAGE_SIZE).unwrap();
+            assert_eq!(*base, 1, "reads still allowed");
+            protect_read_write(base, PAGE_SIZE).unwrap();
+            *base = 2;
+            assert_eq!(*base, 2);
+            unmap(base, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn rss_readable() {
+        // Only checks the plumbing; exact values are environment-dependent.
+        let r = process_rss_kb();
+        assert!(r.is_none() || r.unwrap() > 0);
+    }
+}

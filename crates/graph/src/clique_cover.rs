@@ -1,0 +1,235 @@
+//! MinCliqueCover on meshing graphs (§5.1, Theorem 5.2).
+//!
+//! Decomposing the meshing graph into `k` disjoint cliques frees `n − k`
+//! strings. General `MinCliqueCover` is NP-hard and inapproximable, but
+//! the paper's Theorem 5.2 shows meshing with constant-length strings is
+//! polynomial (via an impractical coloring enumeration). This module
+//! provides a greedy cover plus an exact exponential solver for the small
+//! instances used to quantify how close `Matching` (§5.2) comes to the
+//! optimum.
+
+use crate::graph::MeshGraph;
+use std::collections::HashMap;
+
+/// A clique cover: disjoint cliques whose union is all nodes. Meshing the
+/// spans of each clique frees `clique.len() − 1` spans.
+pub type CliqueCover = Vec<Vec<usize>>;
+
+/// Number of spans released by a cover: `n − #cliques`.
+pub fn spans_released(n: usize, cover: &CliqueCover) -> usize {
+    n - cover.len()
+}
+
+/// Verifies that `cover` is a partition of `g`'s nodes into cliques.
+pub fn is_valid_cover(g: &MeshGraph, cover: &CliqueCover) -> bool {
+    let mut seen = vec![false; g.node_count()];
+    for clique in cover {
+        if !g.is_clique(clique) {
+            return false;
+        }
+        for &v in clique {
+            if seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// Greedy first-fit cover: place each node into the first clique it fully
+/// connects to, else start a new clique.
+pub fn greedy_cover(g: &MeshGraph) -> CliqueCover {
+    let mut cover: CliqueCover = Vec::new();
+    for v in 0..g.node_count() {
+        let slot = cover
+            .iter()
+            .position(|c| c.iter().all(|&u| g.has_edge(u, v)));
+        match slot {
+            Some(i) => cover[i].push(v),
+            None => cover.push(vec![v]),
+        }
+    }
+    cover
+}
+
+/// Exact minimum clique cover size by branch-and-memoize over subsets:
+/// the lowest vertex of the remaining set is covered by some clique
+/// containing it; enumerate those cliques recursively.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 nodes.
+pub fn min_clique_cover_size(g: &MeshGraph) -> usize {
+    let n = g.node_count();
+    assert!(n <= 24, "exact cover is exponential; use ≤ 24 nodes");
+    if n == 0 {
+        return 0;
+    }
+    let adj: Vec<u32> = (0..n)
+        .map(|i| g.neighbors(i).fold(0u32, |m, j| m | (1 << j)))
+        .collect();
+
+    /// Enumerates maximal cliques within `allowed ∪ {seed}` that contain
+    /// all of `clique`, invoking `f` on each (represented as a bitmask).
+    fn extend(
+        clique: u32,
+        candidates: u32,
+        adj: &[u32],
+        f: &mut impl FnMut(u32),
+    ) {
+        if candidates == 0 {
+            f(clique);
+            return;
+        }
+        let v = candidates.trailing_zeros() as usize;
+        // Branch 1: include v.
+        extend(
+            clique | (1 << v),
+            candidates & !(1 << v) & adj[v],
+            adj,
+            f,
+        );
+        // Branch 2: exclude v (still explore remaining candidates, but
+        // also emit the clique as-is when nothing else fits).
+        let rest = candidates & !(1 << v);
+        if rest == 0 {
+            f(clique);
+        } else {
+            extend(clique, rest, adj, f);
+        }
+    }
+
+    fn solve(mask: u32, adj: &[u32], memo: &mut HashMap<u32, u8>, best_known: u8) -> u8 {
+        if mask == 0 {
+            return 0;
+        }
+        if let Some(&v) = memo.get(&mask) {
+            return v;
+        }
+        if best_known == 0 {
+            return u8::MAX / 2;
+        }
+        let i = mask.trailing_zeros() as usize;
+        let mut best = u8::MAX / 2;
+        let mut cliques = Vec::new();
+        extend(1 << i, adj[i] & mask & !(1 << i), adj, &mut |c| {
+            cliques.push(c)
+        });
+        cliques.sort_unstable_by_key(|c| std::cmp::Reverse(c.count_ones()));
+        cliques.dedup();
+        for c in cliques {
+            let v = 1 + solve(mask & !c, adj, memo, best.saturating_sub(1));
+            best = best.min(v);
+        }
+        memo.insert(mask, best);
+        best
+    }
+
+    let full = (1u32 << n) - 1;
+    let mut memo = HashMap::new();
+    let upper = greedy_cover(g).len() as u8;
+    solve(full, &adj, &mut memo, upper) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::maximum_matching_size;
+    use crate::string::SpanString;
+    use mesh_core::rng::Rng;
+
+    #[test]
+    fn complete_graph_covers_with_one_clique() {
+        let g = MeshGraph::from_strings(vec![SpanString::zeros(8); 6]);
+        assert_eq!(min_clique_cover_size(&g), 1);
+        let cover = greedy_cover(&g);
+        assert!(is_valid_cover(&g, &cover));
+        assert_eq!(cover.len(), 1);
+        assert_eq!(spans_released(6, &cover), 5);
+    }
+
+    #[test]
+    fn edgeless_graph_needs_n_cliques() {
+        let full = SpanString::from_bits(4, &[0, 1, 2, 3]);
+        let g = MeshGraph::from_strings(vec![full; 5]);
+        assert_eq!(min_clique_cover_size(&g), 5);
+        let cover = greedy_cover(&g);
+        assert!(is_valid_cover(&g, &cover));
+        assert_eq!(spans_released(5, &cover), 0);
+    }
+
+    #[test]
+    fn figure_5_cover() {
+        let g = MeshGraph::from_strings(vec![
+            SpanString::parse("01101000"),
+            SpanString::parse("01010000"),
+            SpanString::parse("00100110"),
+            SpanString::parse("00010000"),
+        ]);
+        // Optimal: {0,3} and {1,2} — two cliques, two spans released.
+        assert_eq!(min_clique_cover_size(&g), 2);
+    }
+
+    #[test]
+    fn greedy_cover_is_always_valid() {
+        let mut rng = Rng::with_seed(12);
+        for _ in 0..50 {
+            let g = MeshGraph::random(30, 16, 4, &mut rng);
+            let cover = greedy_cover(&g);
+            assert!(is_valid_cover(&g, &cover));
+        }
+    }
+
+    #[test]
+    fn exact_cover_at_most_greedy() {
+        let mut rng = Rng::with_seed(13);
+        for _ in 0..20 {
+            let g = MeshGraph::random(14, 16, 5, &mut rng);
+            let exact = min_clique_cover_size(&g);
+            let greedy = greedy_cover(&g).len();
+            assert!(exact <= greedy, "exact {exact} > greedy {greedy}");
+        }
+    }
+
+    #[test]
+    fn matching_vs_cover_release_relation() {
+        // Releases via matching = |M|; via optimal cover = n − k. A
+        // matching is itself a cover with (n − |M|) cliques, so
+        // n − k ≥ |M| always; §5.2 argues they are *close* on meshing
+        // graphs because big cliques are rare.
+        let mut rng = Rng::with_seed(14);
+        let mut ratios = vec![];
+        for _ in 0..20 {
+            let g = MeshGraph::random(16, 32, 10, &mut rng);
+            let m = maximum_matching_size(&g);
+            let k = min_clique_cover_size(&g);
+            let released_cover = 16 - k;
+            assert!(released_cover >= m);
+            if released_cover > 0 {
+                ratios.push(m as f64 / released_cover as f64);
+            }
+        }
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(
+            avg > 0.8,
+            "matching should capture most of the cover's savings, avg ratio {avg}"
+        );
+    }
+
+    #[test]
+    fn cover_validity_rejects_overlap_and_nonclique() {
+        let g = MeshGraph::from_strings(vec![
+            SpanString::from_bits(4, &[0]),
+            SpanString::from_bits(4, &[1]),
+            SpanString::from_bits(4, &[0]),
+        ]);
+        assert!(!is_valid_cover(&g, &vec![vec![0, 2], vec![1]]), "0,2 collide");
+        assert!(!is_valid_cover(&g, &vec![vec![0, 1]]), "missing node 2");
+        assert!(!is_valid_cover(
+            &g,
+            &vec![vec![0, 1], vec![1, 2]]
+        ));
+        assert!(is_valid_cover(&g, &vec![vec![0, 1], vec![2]]));
+    }
+}

@@ -1,0 +1,183 @@
+//! Erdős–Renyi `G(n, p)` graphs, for contrast with meshing graphs.
+//!
+//! §5.2 of the paper observes that meshing-graph edges are **not**
+//! independent (Observation 1): conditioned on occupancies, knowing that
+//! `s₁` meshes `s₂` and `s₂` meshes `s₃` lowers the probability that
+//! `s₁` meshes `s₃`. The paper's concrete cost of getting this wrong is
+//! §7's critique of dynamically replicated memory (DRM), whose analysis
+//! "erroneously claims that the resulting graph is a simple random
+//! graph".
+//!
+//! This module samples honest-to-goodness `G(n, p)` graphs at the *same
+//! edge density* as a meshing graph so that the difference shows up in
+//! the statistics rather than in an argument: at equal density the
+//! independent model has dramatically more triangles (the §5.2 numbers:
+//! 167 expected triangles under independence vs < 2 in truth for
+//! `b = 32, r = 10, n = 1000`).
+//!
+//! Sampled graphs are materialized as [`MeshGraph`]s (via witness
+//! strings), so every census, cover, and matching routine applies
+//! unchanged.
+
+use crate::graph::MeshGraph;
+use mesh_core::rng::Rng;
+
+/// Samples an Erdős–Renyi graph `G(n, p)`: every unordered pair is an
+/// edge independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::rng::Rng;
+/// use mesh_graph::erdos_renyi::sample_gnp;
+///
+/// let mut rng = Rng::with_seed(1);
+/// let g = sample_gnp(50, 0.1, &mut rng);
+/// assert_eq!(g.node_count(), 50);
+/// ```
+pub fn sample_gnp(n: usize, p: f64, rng: &mut Rng) -> MeshGraph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    let threshold = (p * (1u64 << 53) as f64) as u64;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (rng.next_u64() >> 11) < threshold {
+                edges.push((i, j));
+            }
+        }
+    }
+    MeshGraph::from_edge_list(n, &edges)
+}
+
+/// Expected number of triangles in `G(n, p)`: `C(n, 3)·p³` — the number
+/// §5.2 contrasts with the true (dependent) meshing-graph expectation.
+pub fn expected_triangles_gnp(n: usize, p: f64) -> f64 {
+    if n < 3 {
+        return 0.0;
+    }
+    let c3 = (n as f64) * (n as f64 - 1.0) * (n as f64 - 2.0) / 6.0;
+    c3 * p * p * p
+}
+
+/// Expected number of edges in `G(n, p)`: `C(n, 2)·p`.
+pub fn expected_edges_gnp(n: usize, p: f64) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0 * p
+}
+
+/// A side-by-side census of a meshing graph and an equal-density
+/// Erdős–Renyi graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelComparison {
+    /// Nodes in both graphs.
+    pub n: usize,
+    /// Edge density of the meshing graph (used as the `G(n, p)` `p`).
+    pub density: f64,
+    /// Triangles observed in the meshing graph.
+    pub mesh_triangles: usize,
+    /// Triangles observed in the `G(n, p)` sample.
+    pub gnp_triangles: usize,
+    /// Closed-form `G(n, p)` expectation at this density.
+    pub gnp_expected_triangles: f64,
+}
+
+/// Samples a `G(n, p)` graph at the meshing graph's empirical edge
+/// density and compares triangle counts — the §5.2 dependence test as a
+/// single call.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::rng::Rng;
+/// use mesh_graph::{erdos_renyi::compare_models, graph::MeshGraph};
+///
+/// let mut rng = Rng::with_seed(2);
+/// let mesh = MeshGraph::random(100, 32, 10, &mut rng);
+/// let cmp = compare_models(&mesh, &mut rng);
+/// // Independent edges produce many more triangles at equal density.
+/// assert!(cmp.gnp_expected_triangles > cmp.mesh_triangles as f64);
+/// ```
+pub fn compare_models(mesh: &MeshGraph, rng: &mut Rng) -> ModelComparison {
+    let n = mesh.node_count();
+    let density = mesh.edge_density();
+    let gnp = sample_gnp(n, density, rng);
+    ModelComparison {
+        n,
+        density,
+        mesh_triangles: mesh.triangle_count(),
+        gnp_triangles: gnp.triangle_count(),
+        gnp_expected_triangles: expected_triangles_gnp(n, density),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut rng = Rng::with_seed(3);
+        let empty = sample_gnp(20, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let complete = sample_gnp(20, 1.0, &mut rng);
+        assert_eq!(complete.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_probability() {
+        let mut rng = Rng::with_seed(4);
+        sample_gnp(10, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn edge_count_concentrates_around_expectation() {
+        let mut rng = Rng::with_seed(5);
+        let (n, p) = (80, 0.25);
+        let expect = expected_edges_gnp(n, p);
+        let mut total = 0usize;
+        let trials = 20;
+        for _ in 0..trials {
+            total += sample_gnp(n, p, &mut rng).edge_count();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean {mean} vs expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn triangle_expectation_formula() {
+        assert_eq!(expected_triangles_gnp(2, 0.5), 0.0);
+        // K_4 at p=1: C(4,3) = 4 triangles.
+        assert!((expected_triangles_gnp(4, 1.0) - 4.0).abs() < 1e-12);
+        // The paper's §5.2 parameters: n=1000, q(32,10) ⇒ ~167 triangles.
+        let q = crate::probability::mesh_probability(32, 10, 10);
+        let t = expected_triangles_gnp(1000, q);
+        assert!((160.0..175.0).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn meshing_graphs_have_far_fewer_triangles_than_gnp() {
+        let mut rng = Rng::with_seed(6);
+        let mesh = MeshGraph::random(300, 32, 10, &mut rng);
+        let cmp = compare_models(&mesh, &mut rng);
+        // At n=300 the independent model expects ~4.5 triangles while the
+        // true model expects ~0.05; require a decisive separation.
+        assert!(
+            cmp.gnp_expected_triangles > 10.0 * (cmp.mesh_triangles as f64 + 0.1),
+            "no separation: {cmp:?}"
+        );
+    }
+
+    #[test]
+    fn gnp_sample_density_tracks_p() {
+        let mut rng = Rng::with_seed(7);
+        let g = sample_gnp(120, 0.3, &mut rng);
+        assert!((g.edge_density() - 0.3).abs() < 0.05, "{}", g.edge_density());
+    }
+}

@@ -1,0 +1,296 @@
+//! The meshing graph `G(S)` (§5.1, Figure 5): one node per span string,
+//! an edge between two nodes iff their strings mesh.
+//!
+//! Meshing a set of spans corresponds to a clique in `G(S)`; releasing the
+//! maximum number of spans is `MinCliqueCover`; restricting to pairs is
+//! `Matching` (§5.2). The graph also exposes the triangle census used to
+//! show that meshing-graph edges are *not* independent (Observation 1).
+
+use crate::string::SpanString;
+use mesh_core::rng::Rng;
+
+/// An explicit meshing graph over a multiset of span strings.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_graph::{graph::MeshGraph, string::SpanString};
+///
+/// let g = MeshGraph::from_strings(vec![
+///     SpanString::parse("0110"),
+///     SpanString::parse("1001"),
+///     SpanString::parse("0000"),
+/// ]);
+/// assert!(g.has_edge(0, 1));
+/// assert_eq!(g.edge_count(), 3); // the empty span meshes with both
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshGraph {
+    strings: Vec<SpanString>,
+    /// Adjacency rows as bitsets (`adj[i]` word-packed over node indices).
+    adj: Vec<Vec<u64>>,
+}
+
+impl MeshGraph {
+    /// Builds the meshing graph of `strings` (O(n²) mesh tests).
+    pub fn from_strings(strings: Vec<SpanString>) -> Self {
+        let n = strings.len();
+        let words = n.div_ceil(64).max(1);
+        let mut adj = vec![vec![0u64; words]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if strings[i].meshes_with(&strings[j]) {
+                    adj[i][j / 64] |= 1 << (j % 64);
+                    adj[j][i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        MeshGraph { strings, adj }
+    }
+
+    /// A random meshing graph: `n` spans of `b` slots, each at occupancy
+    /// `r` — the model analyzed throughout §5.
+    pub fn random(n: usize, b: usize, r: usize, rng: &mut Rng) -> Self {
+        MeshGraph::from_strings(
+            (0..n)
+                .map(|_| SpanString::random_with_occupancy(b, r, rng))
+                .collect(),
+        )
+    }
+
+    /// Builds the meshing graph with exactly the given edge set, by
+    /// constructing *witness strings*: every non-adjacent pair is given a
+    /// shared conflict slot, so two spans mesh iff they were listed as an
+    /// edge. This realizes any simple graph as a meshing graph (with
+    /// `b ≤ n(n−1)/2` slots), which is what makes reductions from graph
+    /// problems to meshing meaningful — and lets non-string models like
+    /// [`crate::erdos_renyi`] reuse every census and matching routine.
+    ///
+    /// Self-loops and duplicate pairs are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `≥ n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mesh_graph::graph::MeshGraph;
+    ///
+    /// let g = MeshGraph::from_edge_list(3, &[(0, 1), (1, 2)]);
+    /// assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(0, 2));
+    /// ```
+    pub fn from_edge_list(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut wanted = vec![false; n * n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for n={n}");
+            if a != b {
+                wanted[a * n + b] = true;
+                wanted[b * n + a] = true;
+            }
+        }
+        // One conflict slot per non-edge pair.
+        let mut non_edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !wanted[i * n + j] {
+                    non_edges.push((i, j));
+                }
+            }
+        }
+        let b = non_edges.len().max(1);
+        let strings = (0..n)
+            .map(|v| {
+                let slots: Vec<usize> = non_edges
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(x, y))| x == v || y == v)
+                    .map(|(slot, _)| slot)
+                    .collect();
+                SpanString::from_bits(b, &slots)
+            })
+            .collect();
+        MeshGraph::from_strings(strings)
+    }
+
+    /// Number of nodes (spans).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// The underlying strings.
+    #[inline]
+    pub fn strings(&self) -> &[SpanString] {
+        &self.strings
+    }
+
+    /// Whether spans `i` and `j` mesh.
+    #[inline]
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.adj[i][j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        (0..self.node_count()).map(|i| self.degree(i)).sum::<usize>() / 2
+    }
+
+    /// Edge density: fraction of the `n·(n−1)/2` possible edges present
+    /// (the empirical mesh probability `q`).
+    pub fn edge_density(&self) -> f64 {
+        let n = self.node_count();
+        if n < 2 {
+            return 0.0;
+        }
+        self.edge_count() as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// Number of triangles — §5.2's statistic showing edges are dependent:
+    /// actual triangle counts fall far below the independent-edge model.
+    pub fn triangle_count(&self) -> usize {
+        let n = self.node_count();
+        let mut count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !self.has_edge(i, j) {
+                    continue;
+                }
+                // Common neighbors of i and j above j.
+                for (w, (a, b)) in self.adj[i].iter().zip(&self.adj[j]).enumerate() {
+                    let mut common = a & b;
+                    // Mask off indices ≤ j.
+                    if w * 64 < j + 1 {
+                        let cut = (j + 1 - w * 64).min(64);
+                        if cut == 64 {
+                            common = 0;
+                        } else {
+                            common &= !((1u64 << cut) - 1);
+                        }
+                    }
+                    count += common.count_ones() as usize;
+                }
+            }
+        }
+        count
+    }
+
+    /// Neighbors of node `i`, ascending.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let row = &self.adj[i];
+        (0..self.node_count()).filter(move |&j| row[j / 64] & (1 << (j % 64)) != 0)
+    }
+
+    /// Whether `set` (node indices) forms a clique, i.e. the spans can all
+    /// be meshed together onto one physical span.
+    pub fn is_clique(&self, set: &[usize]) -> bool {
+        for (a, &i) in set.iter().enumerate() {
+            for &j in &set[a + 1..] {
+                if !self.has_edge(i, j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure5() -> MeshGraph {
+        MeshGraph::from_strings(vec![
+            SpanString::parse("01101000"),
+            SpanString::parse("01010000"),
+            SpanString::parse("00100110"),
+            SpanString::parse("00010000"),
+        ])
+    }
+
+    #[test]
+    fn figure_5_graph_structure() {
+        let g = figure5();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 3) && g.has_edge(1, 2) && g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 1) && !g.has_edge(0, 2) && !g.has_edge(1, 3));
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(g.triangle_count(), 0);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = MeshGraph::from_strings(vec![
+            SpanString::from_bits(8, &[0]),
+            SpanString::from_bits(8, &[1]),
+            SpanString::from_bits(8, &[2]),
+            SpanString::from_bits(8, &[0, 1]),
+        ]);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        assert!(g.is_clique(&[2, 3]));
+        assert!(g.is_clique(&[0]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn triangle_count_matches_bruteforce() {
+        let mut rng = Rng::with_seed(8);
+        for _ in 0..10 {
+            let g = MeshGraph::random(24, 16, 4, &mut rng);
+            let mut brute = 0;
+            for i in 0..24 {
+                for j in (i + 1)..24 {
+                    for k in (j + 1)..24 {
+                        if g.has_edge(i, j) && g.has_edge(j, k) && g.has_edge(i, k) {
+                            brute += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(g.triangle_count(), brute);
+        }
+    }
+
+    #[test]
+    fn empty_strings_form_complete_graph() {
+        let g = MeshGraph::from_strings(vec![SpanString::zeros(8); 5]);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.triangle_count(), 10);
+        assert_eq!(g.edge_density(), 1.0);
+    }
+
+    #[test]
+    fn full_strings_form_empty_graph() {
+        let full = SpanString::from_bits(4, &[0, 1, 2, 3]);
+        let g = MeshGraph::from_strings(vec![full; 6]);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edge_density(), 0.0);
+    }
+
+    #[test]
+    fn density_tracks_occupancy() {
+        // Higher occupancy ⇒ fewer meshes (§2.1's key observation,
+        // inverted: more free objects ⇒ more meshes).
+        let mut rng = Rng::with_seed(77);
+        let sparse = MeshGraph::random(64, 32, 2, &mut rng).edge_density();
+        let dense = MeshGraph::random(64, 32, 12, &mut rng).edge_density();
+        assert!(
+            sparse > dense,
+            "sparse spans should mesh more often ({sparse} vs {dense})"
+        );
+    }
+
+    #[test]
+    fn neighbors_iterator() {
+        let g = figure5();
+        assert_eq!(g.neighbors(3).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![3]);
+    }
+}

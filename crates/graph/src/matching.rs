@@ -1,0 +1,170 @@
+//! Matching on meshing graphs (§5.2–§5.3).
+//!
+//! The paper shows that restricting meshing to *pairs* — solving
+//! `Matching` instead of `MinCliqueCover` — sacrifices little quality,
+//! because triangles (and larger cliques) are rare in meshing graphs.
+//! This module provides a greedy 1/2-approximate matcher and an exact
+//! maximum matcher (subset DP) for validating SplitMesher's quality on
+//! small instances.
+
+use crate::graph::MeshGraph;
+use std::collections::HashMap;
+
+/// A matching: vertex-disjoint mesh pairs. Each pair releases one span.
+pub type Matching = Vec<(usize, usize)>;
+
+/// Verifies that `m` is a valid matching of `g` (disjoint real edges).
+pub fn is_valid_matching(g: &MeshGraph, m: &Matching) -> bool {
+    let mut used = vec![false; g.node_count()];
+    for &(a, b) in m {
+        if a == b || !g.has_edge(a, b) || used[a] || used[b] {
+            return false;
+        }
+        used[a] = true;
+        used[b] = true;
+    }
+    true
+}
+
+/// Greedy maximal matching: scan vertices in order, match each unmatched
+/// vertex with its first unmatched neighbor. Maximal matchings are at
+/// least half the maximum — the same 1/2 factor Lemma 5.3 targets.
+pub fn greedy_matching(g: &MeshGraph) -> Matching {
+    let n = g.node_count();
+    let mut used = vec![false; n];
+    let mut out = Vec::new();
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        if let Some(j) = g.neighbors(i).find(|&j| !used[j] && j != i) {
+            used[i] = true;
+            used[j] = true;
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Exact maximum matching by subset dynamic programming.
+///
+/// Runs in `O(2ⁿ·n)`; intended for the small instances used to validate
+/// SplitMesher and the greedy matcher in the §5 experiments.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 26 nodes.
+pub fn maximum_matching_size(g: &MeshGraph) -> usize {
+    let n = g.node_count();
+    assert!(n <= 26, "exact matching is exponential; use ≤ 26 nodes");
+    // Adjacency as node-index bitmasks.
+    let adj: Vec<u32> = (0..n)
+        .map(|i| g.neighbors(i).fold(0u32, |m, j| m | (1 << j)))
+        .collect();
+    fn solve(mask: u32, adj: &[u32], memo: &mut HashMap<u32, u8>) -> u8 {
+        if mask == 0 {
+            return 0;
+        }
+        if let Some(&v) = memo.get(&mask) {
+            return v;
+        }
+        let i = mask.trailing_zeros() as usize;
+        // Option 1: leave i unmatched.
+        let mut best = solve(mask & !(1 << i), adj, memo);
+        // Option 2: match i with any available neighbor.
+        let mut cands = adj[i] & mask & !(1 << i);
+        while cands != 0 {
+            let j = cands.trailing_zeros();
+            cands &= cands - 1;
+            let v = 1 + solve(mask & !(1 << i) & !(1 << j), adj, memo);
+            best = best.max(v);
+        }
+        memo.insert(mask, best);
+        best
+    }
+    let mut memo = HashMap::new();
+    let full = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    solve(full, &adj, &mut memo) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string::SpanString;
+    use mesh_core::rng::Rng;
+
+    fn path_graph() -> MeshGraph {
+        // 0–1–2–3 path: strings engineered so only consecutive ones mesh.
+        MeshGraph::from_strings(vec![
+            SpanString::from_bits(8, &[0, 2]),
+            SpanString::from_bits(8, &[1, 3]),
+            SpanString::from_bits(8, &[0, 2]),
+            SpanString::from_bits(8, &[1, 3]),
+        ])
+    }
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph();
+        // 0 meshes 1 and 3; 2 meshes 1 and 3: a 4-cycle actually.
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3) && g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 2) && !g.has_edge(1, 3));
+        assert_eq!(maximum_matching_size(&g), 2);
+    }
+
+    #[test]
+    fn greedy_is_valid_and_maximal() {
+        let mut rng = Rng::with_seed(3);
+        for _ in 0..50 {
+            let g = MeshGraph::random(20, 16, 4, &mut rng);
+            let m = greedy_matching(&g);
+            assert!(is_valid_matching(&g, &m));
+            // Maximality: no remaining edge between unmatched vertices.
+            let mut used = vec![false; g.node_count()];
+            for &(a, b) in &m {
+                used[a] = true;
+                used[b] = true;
+            }
+            for i in 0..g.node_count() {
+                for j in (i + 1)..g.node_count() {
+                    assert!(
+                        !(g.has_edge(i, j) && !used[i] && !used[j]),
+                        "greedy missed edge ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_within_half_of_optimum() {
+        let mut rng = Rng::with_seed(4);
+        for _ in 0..30 {
+            let g = MeshGraph::random(18, 16, 5, &mut rng);
+            let greedy = greedy_matching(&g).len();
+            let opt = maximum_matching_size(&g);
+            assert!(greedy * 2 >= opt, "greedy {greedy} < half of optimum {opt}");
+            assert!(greedy <= opt);
+        }
+    }
+
+    #[test]
+    fn exact_matching_on_known_graphs() {
+        // Complete graph on empty strings: perfect matching.
+        let g = MeshGraph::from_strings(vec![SpanString::zeros(4); 6]);
+        assert_eq!(maximum_matching_size(&g), 3);
+        // Edgeless graph (all-full strings): zero.
+        let full = SpanString::from_bits(4, &[0, 1, 2, 3]);
+        let g = MeshGraph::from_strings(vec![full; 6]);
+        assert_eq!(maximum_matching_size(&g), 0);
+    }
+
+    #[test]
+    fn invalid_matchings_rejected() {
+        let g = path_graph();
+        assert!(!is_valid_matching(&g, &vec![(0, 2)]), "non-edge");
+        assert!(!is_valid_matching(&g, &vec![(0, 1), (1, 2)]), "shared vertex");
+        assert!(!is_valid_matching(&g, &vec![(0, 0)]), "self loop");
+        assert!(is_valid_matching(&g, &vec![]));
+    }
+}

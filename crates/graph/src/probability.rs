@@ -1,0 +1,211 @@
+//! The probability engine behind Mesh's analytical claims: pairwise and
+//! triple mesh probabilities (§5.2), the randomized-allocation bound of
+//! §2.2, Lemma 5.3's matching bound, and the Robson fragmentation factor
+//! the paper's introduction cites.
+//!
+//! Everything is computed in log space so quantities like the paper's
+//! 10⁻¹⁵² "probability of being unable to mesh" are exact enough to
+//! reproduce digit-for-digit.
+
+/// Natural log of `n!` (iterative; exact summation in f64).
+pub fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`; `-inf` when the
+/// coefficient is zero.
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability that two uniformly random strings of length `b` with
+/// occupancies `r1` and `r2` mesh:
+/// `q = C(b − r1, r2) / C(b, r2)` (§5.2).
+pub fn mesh_probability(b: usize, r1: usize, r2: usize) -> f64 {
+    if r1 + r2 > b {
+        return 0.0;
+    }
+    (ln_choose(b - r1, r2) - ln_choose(b, r2)).exp()
+}
+
+/// Probability that three random strings with occupancies `r1, r2, r3`
+/// all mesh mutually (§5.2's displayed formula):
+/// `C(b−r1, r2)/C(b, r2) × C(b−r1−r2, r3)/C(b, r3)`.
+pub fn triple_mesh_probability(b: usize, r1: usize, r2: usize, r3: usize) -> f64 {
+    if r1 + r2 + r3 > b {
+        return 0.0;
+    }
+    (ln_choose(b - r1, r2) - ln_choose(b, r2) + ln_choose(b - r1 - r2, r3) - ln_choose(b, r3))
+        .exp()
+}
+
+/// Expected triangles among `n` random spans at occupancy `r` under the
+/// *true* (dependent-edge) model: `C(n,3) · P[triple mesh]` (§5.2).
+pub fn expected_triangles_actual(n: usize, b: usize, r: usize) -> f64 {
+    choose_f64(n, 3) * triple_mesh_probability(b, r, r, r)
+}
+
+/// Expected triangles if edges *were* independent (the Erdős–Renyi
+/// assumption §5.2 refutes): `C(n,3) · q³`.
+pub fn expected_triangles_independent(n: usize, b: usize, r: usize) -> f64 {
+    let q = mesh_probability(b, r, r);
+    choose_f64(n, 3) * q * q * q
+}
+
+/// `C(n, k)` as f64 (log-space; may overflow to `inf` for huge inputs).
+pub fn choose_f64(n: usize, k: usize) -> f64 {
+    ln_choose(n, k).exp()
+}
+
+/// §2.2: with one object per span placed uniformly at random among `b`
+/// offsets, the probability that *all* `n` spans collide at one offset —
+/// making them pairwise unmeshable — is `(1/b)^{n−1}`. Returned as
+/// `log₁₀` (e.g. ≈ −152 for `b = 256`, `n = 64`).
+pub fn log10_all_same_offset(b: usize, n: usize) -> f64 {
+    assert!(b > 0 && n > 0);
+    -((n as f64 - 1.0) * (b as f64).log10())
+}
+
+/// Lemma 5.3's guaranteed matching size: with `t = k/q`, SplitMesher
+/// finds at least `n(1 − e^{−2k})/4` pairs w.h.p.
+pub fn lemma53_bound(n: usize, k: f64) -> f64 {
+    n as f64 * (1.0 - (-2.0 * k).exp()) / 4.0
+}
+
+/// Lemma 5.3's per-vertex good-match probability lower bound:
+/// `r > (1 − e^{−2k})/2`.
+pub fn lemma53_match_probability(k: f64) -> f64 {
+    (1.0 - (-2.0 * k).exp()) / 2.0
+}
+
+/// The Robson worst-case fragmentation factor for classical allocators:
+/// memory consumption can reach ~`log₂(max/min)` times the required
+/// amount (§1: 16-byte and 128 KB objects ⇒ 13×).
+pub fn robson_factor(min_size: usize, max_size: usize) -> f64 {
+    assert!(min_size > 0 && max_size >= min_size);
+    (max_size as f64 / min_size as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string::SpanString;
+    use mesh_core::rng::Rng;
+
+    #[test]
+    fn factorial_and_choose_basics() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert!((choose_f64(52, 5) - 2_598_960.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mesh_probability_closed_form_small_case() {
+        // b=4, r1=r2=1: P[mesh] = C(3,1)/C(4,1) = 3/4.
+        assert!((mesh_probability(4, 1, 1) - 0.75).abs() < 1e-12);
+        // Overfull spans can never mesh.
+        assert_eq!(mesh_probability(8, 5, 5), 0.0);
+        // Empty spans always mesh.
+        assert!((mesh_probability(8, 0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_probability_matches_monte_carlo() {
+        let mut rng = Rng::with_seed(21);
+        let (b, r) = (32, 10);
+        let q = mesh_probability(b, r, r);
+        let trials = 200_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let a = SpanString::random_with_occupancy(b, r, &mut rng);
+            let c = SpanString::random_with_occupancy(b, r, &mut rng);
+            if a.meshes_with(&c) {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        assert!(
+            (emp - q).abs() < 0.002,
+            "closed form {q} vs Monte Carlo {emp}"
+        );
+    }
+
+    #[test]
+    fn paper_triangle_numbers_b32_r10_n1000() {
+        // §5.2: "if b = 32, r1 = r2 = r3 = 10 … even if there were 1000
+        // strings, the expected number of triangles would be less than 2.
+        // In contrast, had all meshes been independent … 167 triangles."
+        let actual = expected_triangles_actual(1000, 32, 10);
+        let indep = expected_triangles_independent(1000, 32, 10);
+        assert!(actual < 2.0, "actual expectation {actual} (paper: < 2)");
+        assert!(
+            (165.0..170.0).contains(&indep),
+            "independent-model expectation {indep} (paper: 167)"
+        );
+    }
+
+    #[test]
+    fn triple_probability_below_independent_cube() {
+        // Dependence only ever hurts: P[triple] < q³ for occupied strings.
+        for r in [4usize, 8, 10, 12] {
+            let q = mesh_probability(32, r, r);
+            let p3 = triple_mesh_probability(32, r, r, r);
+            assert!(p3 < q * q * q, "r={r}: {p3} !< {}", q * q * q);
+        }
+    }
+
+    #[test]
+    fn paper_unmeshable_probability_2_2() {
+        // §2.2: 64 spans, one 16-byte object each, b = 256 slots ⇒
+        // probability of being unable to mesh any of them is 10^-152.
+        let log10 = log10_all_same_offset(256, 64);
+        assert!(
+            (-152.5..=-151.0).contains(&log10),
+            "log10 = {log10}, paper says ≈ −152"
+        );
+    }
+
+    #[test]
+    fn lemma53_bound_shape() {
+        // k → ∞ ⇒ bound → n/4; k = 1 already gives > 0.86 · n/4.
+        assert!((lemma53_bound(1000, 50.0) - 250.0).abs() < 1e-6);
+        assert!(lemma53_bound(1000, 1.0) > 216.0);
+        assert!(lemma53_match_probability(1.0) > 0.43);
+        assert!(lemma53_match_probability(3.0) < 0.5);
+    }
+
+    #[test]
+    fn robson_factor_paper_example() {
+        // §1: 16-byte and 128 KB objects ⇒ 13× blowup.
+        assert!((robson_factor(16, 128 * 1024) - 13.0).abs() < 1e-12);
+        assert_eq!(robson_factor(64, 64), 0.0);
+    }
+
+    #[test]
+    fn triple_formula_matches_monte_carlo() {
+        let mut rng = Rng::with_seed(22);
+        let (b, r) = (16, 4);
+        let p3 = triple_mesh_probability(b, r, r, r);
+        let trials = 300_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let a = SpanString::random_with_occupancy(b, r, &mut rng);
+            let c = SpanString::random_with_occupancy(b, r, &mut rng);
+            let d = SpanString::random_with_occupancy(b, r, &mut rng);
+            if SpanString::all_mesh(&[&a, &c, &d]) {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        assert!(
+            (emp - p3).abs() < 0.0015,
+            "closed form {p3} vs Monte Carlo {emp}"
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Span strings: the paper's §5.1 abstraction of spans as binary strings.
+//!
+//! A span of capacity `b` is a string `s ∈ {0,1}^b` with `s(i) = 1` iff an
+//! object is allocated at offset `i`. Two strings *mesh* iff no position is
+//! set in both (Definition 5.1); meshing `k` strings releases `k − 1` of
+//! them.
+
+use mesh_core::rng::Rng;
+use std::fmt;
+
+/// A binary string representing one span's allocation state (§5.1).
+///
+/// # Examples
+///
+/// ```
+/// use mesh_graph::string::SpanString;
+///
+/// let a = SpanString::from_bits(8, &[0, 2, 4]);
+/// let b = SpanString::from_bits(8, &[1, 3, 5]);
+/// assert!(a.meshes_with(&b));
+/// assert_eq!(a.occupancy(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpanString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SpanString {
+    /// The all-zero string of length `len` (an empty span).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn zeros(len: usize) -> Self {
+        assert!(len > 0, "span strings must have positive length");
+        SpanString {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A string of length `len` with ones exactly at `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_bits(len: usize, bits: &[usize]) -> Self {
+        let mut s = SpanString::zeros(len);
+        for &b in bits {
+            s.set(b);
+        }
+        s
+    }
+
+    /// Parses a `0`/`1` string, e.g. `"01101000"` (Figure 5's node labels).
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `0`/`1` or an empty string.
+    pub fn parse(text: &str) -> Self {
+        let mut s = SpanString::zeros(text.len());
+        for (i, c) in text.chars().enumerate() {
+            match c {
+                '0' => {}
+                '1' => s.set(i),
+                other => panic!("invalid span-string character {other:?}"),
+            }
+        }
+        s
+    }
+
+    /// A uniformly random string with exactly `ones` set bits, the model
+    /// of a randomized span at occupancy `ones` (§5.2's analysis setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ones > len`.
+    pub fn random_with_occupancy(len: usize, ones: usize, rng: &mut Rng) -> Self {
+        assert!(ones <= len);
+        // Floyd's algorithm for a uniform k-subset.
+        let mut s = SpanString::zeros(len);
+        for j in (len - ones)..len {
+            let t = rng.below(j as u32 + 1) as usize;
+            if s.get(t) {
+                s.set(j);
+            } else {
+                s.set(t);
+            }
+        }
+        s
+    }
+
+    /// A random string where each bit is one independently with
+    /// probability `p`.
+    pub fn random_bernoulli(len: usize, p: f64, rng: &mut Rng) -> Self {
+        let mut s = SpanString::zeros(len);
+        for i in 0..len {
+            if (rng.next_u64() as f64 / u64::MAX as f64) < p {
+                s.set(i);
+            }
+        }
+        s
+    }
+
+    /// String length `b` (slots per span).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the string has zero length (never true; strings are
+    /// non-empty by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits (objects in the span).
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Definition 5.1: `Σᵢ s₁(i)·s₂(i) = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ (different size classes never mesh and
+    /// comparing them is a bug).
+    #[inline]
+    pub fn meshes_with(&self, other: &SpanString) -> bool {
+        assert_eq!(self.len, other.len, "meshing strings of unequal length");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether a whole set of strings meshes pairwise (Definition 5.1's
+    /// generalization; equivalently, their union fits in one span).
+    pub fn all_mesh(strings: &[&SpanString]) -> bool {
+        if strings.is_empty() {
+            return true;
+        }
+        let len = strings[0].len;
+        let words = strings[0].words.len();
+        let mut acc = vec![0u64; words];
+        for s in strings {
+            assert_eq!(s.len, len);
+            for (a, w) in acc.iter_mut().zip(&s.words) {
+                if *a & w != 0 {
+                    return false;
+                }
+                *a |= w;
+            }
+        }
+        true
+    }
+
+    /// The union (bitwise OR) of two meshed strings: the merged span.
+    pub fn union(&self, other: &SpanString) -> SpanString {
+        assert_eq!(self.len, other.len);
+        SpanString {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+impl fmt::Display for SpanString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for text in ["01101000", "01010000", "00100110", "00010000"] {
+            assert_eq!(SpanString::parse(text).to_string(), text);
+        }
+    }
+
+    #[test]
+    fn figure_5_example_meshes() {
+        // The four nodes of Figure 5.
+        let s1 = SpanString::parse("01101000");
+        let s2 = SpanString::parse("01010000");
+        let s3 = SpanString::parse("00100110");
+        let s4 = SpanString::parse("00010000");
+        // Edges drawn in the figure: s1–s4, s2–s3, s3–s4 mesh.
+        assert!(s1.meshes_with(&s4));
+        assert!(s2.meshes_with(&s3));
+        assert!(s3.meshes_with(&s4));
+        // Non-edges: s1–s2 (bit 1), s1–s3 (bit 2), s2–s4 (bit 3).
+        assert!(!s1.meshes_with(&s2));
+        assert!(!s1.meshes_with(&s3));
+        assert!(!s2.meshes_with(&s4));
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        assert_eq!(SpanString::zeros(100).occupancy(), 0);
+        assert_eq!(SpanString::from_bits(100, &[0, 50, 99]).occupancy(), 3);
+    }
+
+    #[test]
+    fn random_with_occupancy_exact() {
+        let mut rng = Rng::with_seed(9);
+        for ones in [0usize, 1, 10, 64, 100, 256] {
+            let s = SpanString::random_with_occupancy(256, ones, &mut rng);
+            assert_eq!(s.occupancy(), ones);
+        }
+    }
+
+    #[test]
+    fn random_with_occupancy_uniform_positions() {
+        // Each slot should be occupied ~ones/len of the time.
+        let mut rng = Rng::with_seed(10);
+        let (len, ones, trials) = (32, 8, 20_000);
+        let mut counts = vec![0usize; len];
+        for _ in 0..trials {
+            let s = SpanString::random_with_occupancy(len, ones, &mut rng);
+            for i in s.iter_ones() {
+                counts[i] += 1;
+            }
+        }
+        let expected = trials * ones / len;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.15,
+                "position bias: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_mesh_and_union() {
+        let a = SpanString::from_bits(16, &[0, 1]);
+        let b = SpanString::from_bits(16, &[2, 3]);
+        let c = SpanString::from_bits(16, &[4]);
+        assert!(SpanString::all_mesh(&[&a, &b, &c]));
+        let u = a.union(&b).union(&c);
+        assert_eq!(u.occupancy(), 5);
+        let d = SpanString::from_bits(16, &[1]);
+        assert!(!SpanString::all_mesh(&[&a, &b, &d]));
+        assert!(SpanString::all_mesh(&[]));
+    }
+
+    #[test]
+    fn mesh_is_symmetric_and_reflexive_only_for_empty() {
+        let mut rng = Rng::with_seed(4);
+        for _ in 0..100 {
+            let a = SpanString::random_with_occupancy(64, 5, &mut rng);
+            let b = SpanString::random_with_occupancy(64, 9, &mut rng);
+            assert_eq!(a.meshes_with(&b), b.meshes_with(&a));
+            assert!(!a.meshes_with(&a), "non-empty string can't mesh itself");
+        }
+        let z = SpanString::zeros(64);
+        assert!(z.meshes_with(&z));
+    }
+
+    #[test]
+    fn bernoulli_density() {
+        let mut rng = Rng::with_seed(5);
+        let s = SpanString::random_bernoulli(10_000, 0.3, &mut rng);
+        let frac = s.occupancy() as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_set_panics() {
+        SpanString::zeros(8).set(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal length")]
+    fn unequal_mesh_panics() {
+        SpanString::zeros(8).meshes_with(&SpanString::zeros(9));
+    }
+}

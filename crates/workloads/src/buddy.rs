@@ -1,0 +1,272 @@
+//! A binary buddy allocator *simulator* (address-space accounting only).
+//!
+//! The buddy system [Knowlton 1965] is the third classical allocator
+//! family the fragmentation experiments compare against (alongside the
+//! first-fit and best-fit freelists of [`crate::firstfit`]). It rounds
+//! every request up to a power of two, splits larger blocks recursively,
+//! and merges freed blocks with their "buddy" (the sibling block at
+//! `offset ^ size`). Its internal fragmentation can approach 2× on its
+//! own, before any Robson-style adversary — which is why size-segregated
+//! allocators like Mesh use fine-grained size classes instead (§4).
+//!
+//! Like [`crate::firstfit::FreeListSim`], only address arithmetic is
+//! simulated; no real memory is consumed.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Smallest block the simulator hands out.
+pub const MIN_BLOCK: usize = 16;
+
+/// A simulated binary buddy heap.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::buddy::BuddySim;
+///
+/// let mut sim = BuddySim::new();
+/// let a = sim.alloc(24); // rounds to 32
+/// assert_eq!(sim.live_bytes(), 32);
+/// sim.free(a);
+/// assert_eq!(sim.live_bytes(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct BuddySim {
+    /// Free blocks per order: `free[k]` holds offsets of free 2^k blocks.
+    free: Vec<BTreeSet<usize>>,
+    /// Live allocations: offset → order.
+    live: HashMap<usize, u32>,
+    /// One past the highest byte in any block ever carved.
+    brk: usize,
+    /// Sum of rounded (block) sizes currently live.
+    live_bytes: usize,
+    /// Sum of requested sizes currently live (internal-fragmentation
+    /// accounting).
+    requested_bytes: usize,
+}
+
+fn order_for(size: usize) -> u32 {
+    size.max(MIN_BLOCK).next_power_of_two().trailing_zeros()
+}
+
+impl BuddySim {
+    /// Creates an empty simulated buddy heap.
+    pub fn new() -> BuddySim {
+        BuddySim::default()
+    }
+
+    fn free_set(&mut self, order: u32) -> &mut BTreeSet<usize> {
+        let idx = order as usize;
+        if self.free.len() <= idx {
+            self.free.resize_with(idx + 1, BTreeSet::new);
+        }
+        &mut self.free[idx]
+    }
+
+    /// Allocates `size` bytes (rounded up to a power of two ≥
+    /// [`MIN_BLOCK`]), returning the block's offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn alloc(&mut self, size: usize) -> usize {
+        assert!(size > 0, "zero-byte simulated allocation");
+        let order = order_for(size);
+        // Find the smallest free block of order ≥ `order`; split down.
+        let mut from = None;
+        for k in order..self.free.len().max(1) as u32 {
+            if let Some(&off) = self.free.get(k as usize).and_then(|s| s.iter().next()) {
+                from = Some((k, off));
+                break;
+            }
+        }
+        let offset = match from {
+            Some((mut k, off)) => {
+                self.free_set(k).remove(&off);
+                while k > order {
+                    k -= 1;
+                    // Keep the low half, free the high half (the buddy).
+                    self.free_set(k).insert(off + (1 << k));
+                }
+                off
+            }
+            None => {
+                // Grow the heap: new block at the break, aligned to its size.
+                let block = 1usize << order;
+                let off = (self.brk + block - 1) & !(block - 1);
+                // Alignment gaps become free blocks (carved greedily).
+                let mut gap_start = self.brk;
+                while gap_start < off {
+                    let gap_order = (gap_start.trailing_zeros())
+                        .min(((off - gap_start).ilog2()).min(order));
+                    self.free_set(gap_order).insert(gap_start);
+                    gap_start += 1 << gap_order;
+                }
+                self.brk = off + block;
+                off
+            }
+        };
+        self.live.insert(offset, order);
+        self.live_bytes += 1 << order;
+        self.requested_bytes += size;
+        offset
+    }
+
+    /// Frees the block at `offset`, merging buddies as far as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double or invalid frees.
+    pub fn free(&mut self, offset: usize) {
+        let order = self.live.remove(&offset).expect("free of unknown block");
+        self.live_bytes -= 1usize << order;
+        // `requested_bytes` can only be adjusted approximately without
+        // storing the request; store block size on the conservative side.
+        self.requested_bytes = self.requested_bytes.saturating_sub(1 << order);
+        let (mut off, mut k) = (offset, order);
+        loop {
+            let buddy = off ^ (1usize << k);
+            // Merge only if the buddy is a free block of the same order
+            // and lies within the heap.
+            if buddy + (1 << k) <= self.brk
+                && self.free.get(k as usize).is_some_and(|s| s.contains(&buddy))
+            {
+                self.free_set(k).remove(&buddy);
+                off = off.min(buddy);
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        self.free_set(k).insert(off);
+    }
+
+    /// Heap footprint (the break).
+    pub fn footprint(&self) -> usize {
+        self.brk
+    }
+
+    /// Bytes in live blocks (power-of-two rounded).
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// External + internal fragmentation factor: footprint over live
+    /// block bytes.
+    pub fn fragmentation(&self) -> f64 {
+        if self.live_bytes == 0 {
+            if self.brk == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.brk as f64 / self.live_bytes as f64
+        }
+    }
+
+    /// Number of free blocks across all orders (diagnostic).
+    pub fn free_block_count(&self) -> usize {
+        self.free.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_power_of_two() {
+        let mut s = BuddySim::new();
+        s.alloc(24);
+        assert_eq!(s.live_bytes(), 32);
+        s.alloc(100);
+        assert_eq!(s.live_bytes(), 32 + 128);
+        s.alloc(1);
+        assert_eq!(s.live_bytes(), 32 + 128 + MIN_BLOCK);
+    }
+
+    #[test]
+    fn split_and_remerge_round_trip() {
+        let mut s = BuddySim::new();
+        let a = s.alloc(256);
+        assert_eq!(a, 0);
+        s.free(a);
+        // A 16-byte request splits the 256 block down to order 4.
+        let b = s.alloc(16);
+        assert_eq!(b, 0);
+        // Buddies at orders 4..8 are free: 16@16, 32@32, 64@64, 128@128.
+        assert_eq!(s.free_block_count(), 4);
+        s.free(b);
+        // Full cascade merge back to one 256 block.
+        assert_eq!(s.free_block_count(), 1);
+        let c = s.alloc(256);
+        assert_eq!(c, 0, "merged block reused");
+    }
+
+    #[test]
+    fn buddy_mask_addressing() {
+        let mut s = BuddySim::new();
+        let a = s.alloc(16); // [0,16)
+        let b = s.alloc(16); // [16,32) — a's buddy
+        let c = s.alloc(16); // [32,48)
+        let _d = s.alloc(16); // [48,64)
+        s.free(a);
+        s.free(c);
+        // Freeing b merges [0,32); c alone cannot merge (its buddy d live).
+        s.free(b);
+        let count = s.free_block_count();
+        assert_eq!(count, 2, "one 32-block and one 16-block");
+    }
+
+    #[test]
+    fn footprint_grows_only_when_needed() {
+        let mut s = BuddySim::new();
+        let a = s.alloc(64);
+        s.free(a);
+        let _b = s.alloc(32); // reuses the freed 64's low half
+        assert_eq!(s.footprint(), 64);
+    }
+
+    #[test]
+    fn fragmentation_metrics() {
+        let mut s = BuddySim::new();
+        assert_eq!(s.fragmentation(), 1.0);
+        let a = s.alloc(16);
+        let _b = s.alloc(16);
+        s.free(a);
+        assert_eq!(s.fragmentation(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn double_free_panics() {
+        let mut s = BuddySim::new();
+        let a = s.alloc(16);
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    fn interleaved_sizes_stay_consistent() {
+        let mut s = BuddySim::new();
+        let mut blocks = Vec::new();
+        for i in 1..200usize {
+            blocks.push(s.alloc((i * 37) % 1000 + 1));
+            if i % 3 == 0 {
+                let b = blocks.swap_remove(i % blocks.len());
+                s.free(b);
+            }
+        }
+        for b in blocks {
+            s.free(b);
+        }
+        assert_eq!(s.live_bytes(), 0);
+        // Everything freed: blocks must have merged into large runs, and
+        // the whole footprint must be free.
+        let free_total: usize = (0..s.free.len())
+            .map(|k| s.free[k].len() * (1usize << k))
+            .sum();
+        assert_eq!(free_total, s.footprint());
+    }
+}

@@ -1,0 +1,274 @@
+//! The allocator-under-test abstraction used by every §6 workload.
+//!
+//! The paper evaluates Mesh against jemalloc and glibc. Those cannot be
+//! vendored here, so (per DESIGN.md):
+//!
+//! * the **non-compacting baseline** is Mesh with meshing disabled —
+//!   a segregated-fit allocator the paper itself equates with jemalloc for
+//!   these purposes (§6.3: "With meshing disabled, Mesh exhibits similar
+//!   runtime and heap size to jemalloc");
+//! * the **no-randomization ablation** is Mesh with sequential allocation;
+//! * the process's real libc allocator ([`std::alloc::System`]) is
+//!   available for *latency* comparisons (it cannot report a heap
+//!   footprint, so it is excluded from memory figures).
+
+use mesh_core::{Mesh, MeshConfig, MeshSummary};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which allocator a workload runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// Full Mesh: meshing + randomized allocation (the paper's default).
+    MeshFull,
+    /// Meshing disabled — the jemalloc/glibc stand-in (§6.3).
+    MeshNoMesh,
+    /// Meshing enabled but randomization disabled (§6.3 "Mesh (no rand)").
+    MeshNoRand,
+    /// The process's system allocator (latency baseline only).
+    System,
+}
+
+impl AllocatorKind {
+    /// The paper's label for this configuration.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocatorKind::MeshFull => "Mesh",
+            AllocatorKind::MeshNoMesh => "Mesh (no meshing)",
+            AllocatorKind::MeshNoRand => "Mesh (no rand)",
+            AllocatorKind::System => "system malloc",
+        }
+    }
+
+    /// All Mesh-backed kinds (the ones that can report heap footprints).
+    pub fn mesh_kinds() -> [AllocatorKind; 3] {
+        [
+            AllocatorKind::MeshFull,
+            AllocatorKind::MeshNoMesh,
+            AllocatorKind::MeshNoRand,
+        ]
+    }
+
+    /// Builds the driver with an arena of `arena_bytes` and a fixed seed.
+    pub fn build(self, arena_bytes: usize, seed: u64) -> TestAllocator {
+        match self {
+            AllocatorKind::System => TestAllocator::system(),
+            kind => {
+                let config = MeshConfig::default()
+                    .arena_bytes(arena_bytes)
+                    .seed(seed)
+                    .meshing(kind != AllocatorKind::MeshNoMesh)
+                    .randomize(kind != AllocatorKind::MeshNoRand);
+                TestAllocator::mesh(kind, config)
+            }
+        }
+    }
+}
+
+impl fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single-threaded allocator driver for workloads.
+///
+/// For multi-threaded workloads use [`TestAllocator::mesh_handle`] to get
+/// the underlying [`Mesh`] and create per-thread heaps.
+pub struct TestAllocator {
+    kind: AllocatorKind,
+    mesh: Option<(Mesh, mesh_core::ThreadHeap)>,
+    /// Layout bookkeeping for the System backend (its `dealloc` needs the
+    /// original layout).
+    system_layouts: HashMap<usize, Layout>,
+    system_live: usize,
+}
+
+impl fmt::Debug for TestAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TestAllocator").field("kind", &self.kind).finish()
+    }
+}
+
+impl TestAllocator {
+    fn mesh(kind: AllocatorKind, config: MeshConfig) -> TestAllocator {
+        let mesh = Mesh::new(config).expect("failed to build Mesh under test");
+        let heap = mesh.thread_heap();
+        TestAllocator {
+            kind,
+            mesh: Some((mesh, heap)),
+            system_layouts: HashMap::new(),
+            system_live: 0,
+        }
+    }
+
+    /// Builds a Mesh-backed driver from an explicit configuration
+    /// (used by ablation harnesses that sweep individual tunables).
+    pub fn from_config(config: MeshConfig) -> TestAllocator {
+        let kind = if !config.is_meshing_enabled() {
+            AllocatorKind::MeshNoMesh
+        } else if !config.is_randomized() {
+            AllocatorKind::MeshNoRand
+        } else {
+            AllocatorKind::MeshFull
+        };
+        TestAllocator::mesh(kind, config)
+    }
+
+    fn system() -> TestAllocator {
+        TestAllocator {
+            kind: AllocatorKind::System,
+            mesh: None,
+            system_layouts: HashMap::new(),
+            system_live: 0,
+        }
+    }
+
+    /// Which configuration this driver runs.
+    pub fn kind(&self) -> AllocatorKind {
+        self.kind
+    }
+
+    /// The underlying Mesh heap (None for the System backend).
+    pub fn mesh_handle(&self) -> Option<Mesh> {
+        self.mesh.as_ref().map(|(m, _)| m.clone())
+    }
+
+    /// Allocates `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on exhaustion — workloads are sized to fit their arenas, so
+    /// exhaustion is a harness bug worth failing loudly on.
+    pub fn malloc(&mut self, size: usize) -> *mut u8 {
+        match &mut self.mesh {
+            Some((_, heap)) => {
+                let p = heap.malloc(size);
+                assert!(!p.is_null(), "arena exhausted at {size}-byte allocation");
+                p
+            }
+            None => {
+                let layout =
+                    Layout::from_size_align(size.max(1), 16).expect("bad layout");
+                let p = unsafe { System.alloc(layout) };
+                assert!(!p.is_null(), "system allocator returned null");
+                self.system_layouts.insert(p as usize, layout);
+                self.system_live += size;
+                p
+            }
+        }
+    }
+
+    /// Frees `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from this driver's `malloc` and not be freed twice.
+    pub unsafe fn free(&mut self, ptr: *mut u8) {
+        match &mut self.mesh {
+            Some((_, heap)) => heap.free(ptr),
+            None => {
+                let layout = self
+                    .system_layouts
+                    .remove(&(ptr as usize))
+                    .expect("freeing unknown system pointer");
+                self.system_live -= layout.size();
+                System.dealloc(ptr, layout);
+            }
+        }
+    }
+
+    /// Physical heap footprint in bytes, `None` for the System backend
+    /// (which cannot report one).
+    pub fn heap_bytes(&self) -> Option<usize> {
+        self.mesh.as_ref().map(|(m, _)| m.heap_bytes())
+    }
+
+    /// Live (allocated, not yet freed) bytes as tracked by the allocator.
+    pub fn live_bytes(&self) -> usize {
+        match &self.mesh {
+            Some((m, _)) => m.stats().live_bytes,
+            None => self.system_live,
+        }
+    }
+
+    /// Forces a meshing pass (no-op for non-meshing configurations —
+    /// `mesh_now` runs but finds nothing to do — and for System).
+    pub fn mesh_now(&mut self) -> MeshSummary {
+        match &self.mesh {
+            Some((m, _)) => m.mesh_now(),
+            None => MeshSummary::default(),
+        }
+    }
+
+    /// Releases dirty pages (for end-of-phase footprint measurements).
+    pub fn purge(&mut self) {
+        if let Some((m, _)) = &self.mesh {
+            m.purge_dirty();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(AllocatorKind::MeshFull.label(), "Mesh");
+        assert_eq!(AllocatorKind::MeshNoMesh.label(), "Mesh (no meshing)");
+        assert_eq!(AllocatorKind::MeshNoRand.label(), "Mesh (no rand)");
+    }
+
+    #[test]
+    fn mesh_kinds_roundtrip() {
+        for kind in AllocatorKind::mesh_kinds() {
+            let mut a = kind.build(32 << 20, 5);
+            let p = a.malloc(100);
+            assert!(a.heap_bytes().unwrap() > 0);
+            assert_eq!(a.live_bytes(), 112, "class-rounded live bytes");
+            unsafe { a.free(p) };
+            assert_eq!(a.live_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn system_backend_tracks_live() {
+        let mut a = AllocatorKind::System.build(0, 0);
+        let p = a.malloc(1000);
+        assert_eq!(a.live_bytes(), 1000);
+        assert_eq!(a.heap_bytes(), None);
+        unsafe { a.free(p) };
+        assert_eq!(a.live_bytes(), 0);
+        assert_eq!(a.mesh_now(), MeshSummary::default());
+    }
+
+    #[test]
+    fn no_mesh_config_never_meshes() {
+        let mut a = AllocatorKind::MeshNoMesh.build(64 << 20, 1);
+        let ptrs: Vec<_> = (0..2048).map(|_| a.malloc(256)).collect();
+        for (i, &p) in ptrs.iter().enumerate() {
+            if i % 4 != 0 {
+                unsafe { a.free(p) };
+            }
+        }
+        let summary = a.mesh_now();
+        assert_eq!(summary.pairs_meshed, 0);
+    }
+
+    #[test]
+    fn full_mesh_config_compacts() {
+        let mut a = AllocatorKind::MeshFull.build(64 << 20, 1);
+        let ptrs: Vec<_> = (0..8192).map(|_| a.malloc(256)).collect();
+        for (i, &p) in ptrs.iter().enumerate() {
+            if i % 8 != 0 {
+                unsafe { a.free(p) };
+            }
+        }
+        let before = a.heap_bytes().unwrap();
+        let summary = a.mesh_now();
+        assert!(summary.pairs_meshed > 0);
+        assert!(a.heap_bytes().unwrap() < before);
+    }
+}

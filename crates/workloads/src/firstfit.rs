@@ -1,0 +1,300 @@
+//! A classical freelist allocator *simulator* (address-space accounting
+//! only) — the §1/§7 baseline family Robson's worst-case bounds apply to.
+//!
+//! Mesh's claim is that it breaks the Robson bounds *with high
+//! probability* while first-fit/best-fit allocators provably cannot. To
+//! demonstrate the gap we simulate a classic boundary-tag heap: a sorted
+//! free list with address-ordered first-fit (or best-fit) placement,
+//! coalescing on free, growing the heap only when no block fits. Only the
+//! address arithmetic is simulated — no real memory is consumed — which
+//! lets the adversary run at paper scale instantly.
+
+use std::collections::HashMap;
+
+/// Placement policy for the simulated allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitPolicy {
+    /// Lowest-address block that fits (glibc-style first fit).
+    FirstFit,
+    /// Smallest block that fits, ties to lower address.
+    BestFit,
+    /// First fit starting from where the previous search stopped
+    /// (Knuth's roving-pointer variant).
+    NextFit,
+}
+
+/// A simulated freelist heap.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::firstfit::{FitPolicy, FreeListSim};
+///
+/// let mut sim = FreeListSim::new(FitPolicy::FirstFit);
+/// let a = sim.alloc(64);
+/// let b = sim.alloc(64);
+/// sim.free(a);
+/// // The freed hole is reused for an equal-size request.
+/// assert_eq!(sim.alloc(64), a);
+/// assert!(sim.footprint() >= 128);
+/// # let _ = b;
+/// ```
+#[derive(Debug)]
+pub struct FreeListSim {
+    policy: FitPolicy,
+    /// Free blocks as (offset, len), address-sorted, coalesced.
+    free: Vec<(usize, usize)>,
+    /// Live allocations: offset → len.
+    live: HashMap<usize, usize>,
+    /// One past the highest byte ever allocated (the heap break).
+    brk: usize,
+    live_bytes: usize,
+    /// Next-fit roving offset: searches resume at the first free block at
+    /// or above this address.
+    rover: usize,
+    /// Upper bound on the largest free-block length. Lets `alloc` skip
+    /// the list scan when nothing can possibly fit (the common case in
+    /// Robson-adversary phases, where the scan would otherwise make the
+    /// simulation quadratic). Raised on every free, tightened to
+    /// `size − 1` whenever a scan for `size` comes up empty; placement
+    /// decisions are unaffected.
+    max_free_len: usize,
+}
+
+impl FreeListSim {
+    /// Creates an empty simulated heap.
+    pub fn new(policy: FitPolicy) -> Self {
+        FreeListSim {
+            policy,
+            free: Vec::new(),
+            live: HashMap::new(),
+            brk: 0,
+            live_bytes: 0,
+            rover: 0,
+            max_free_len: 0,
+        }
+    }
+
+    /// Allocates `size` bytes, returning the block's offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn alloc(&mut self, size: usize) -> usize {
+        assert!(size > 0, "zero-byte simulated allocation");
+        let pick = if size > self.max_free_len {
+            None // no free block can fit; skip the scan
+        } else {
+            let pick = match self.policy {
+                FitPolicy::FirstFit => self.free.iter().position(|&(_, len)| len >= size),
+                FitPolicy::BestFit => self
+                    .free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, len))| len >= size)
+                    .min_by_key(|(_, &(_, len))| len)
+                    .map(|(i, _)| i),
+                FitPolicy::NextFit => {
+                    // Resume at the rover, wrapping once.
+                    let start = self
+                        .free
+                        .partition_point(|&(off, _)| off < self.rover);
+                    (start..self.free.len())
+                        .chain(0..start)
+                        .find(|&i| self.free[i].1 >= size)
+                }
+            };
+            if pick.is_none() {
+                self.max_free_len = size - 1;
+            }
+            pick
+        };
+        let offset = match pick {
+            Some(i) => {
+                let (off, len) = self.free[i];
+                if len == size {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + size, len - size);
+                }
+                off
+            }
+            None => {
+                let off = self.brk;
+                self.brk += size;
+                off
+            }
+        };
+        self.rover = offset + size;
+        self.live.insert(offset, size);
+        self.live_bytes += size;
+        offset
+    }
+
+    /// Frees the block at `offset`, coalescing with neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double/invalid frees — the simulator is a measuring
+    /// device, so corruption is a harness bug.
+    pub fn free(&mut self, offset: usize) {
+        let len = self.live.remove(&offset).expect("free of unknown block");
+        self.live_bytes -= len;
+        let idx = self
+            .free
+            .binary_search_by_key(&offset, |&(off, _)| off)
+            .expect_err("block already free");
+        self.free.insert(idx, (offset, len));
+        // Coalesce with successor, then predecessor.
+        let mut merged = idx;
+        if idx + 1 < self.free.len() {
+            let (off, len) = self.free[idx];
+            let (noff, nlen) = self.free[idx + 1];
+            if off + len == noff {
+                self.free[idx] = (off, len + nlen);
+                self.free.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let (poff, plen) = self.free[idx - 1];
+            let (off, len) = self.free[idx];
+            if poff + plen == off {
+                self.free[idx - 1] = (poff, plen + len);
+                self.free.remove(idx);
+                merged = idx - 1;
+            }
+        }
+        self.max_free_len = self.max_free_len.max(self.free[merged].1);
+    }
+
+    /// Heap footprint: the break (classical allocators cannot return
+    /// interior holes to the OS).
+    pub fn footprint(&self) -> usize {
+        self.brk
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Fragmentation factor: footprint over live bytes.
+    pub fn fragmentation(&self) -> f64 {
+        if self.live_bytes == 0 {
+            if self.brk == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.brk as f64 / self.live_bytes as f64
+        }
+    }
+
+    /// Number of free blocks (diagnostic).
+    pub fn free_block_count(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_when_empty() {
+        let mut s = FreeListSim::new(FitPolicy::FirstFit);
+        assert_eq!(s.alloc(10), 0);
+        assert_eq!(s.alloc(20), 10);
+        assert_eq!(s.footprint(), 30);
+        assert_eq!(s.live_bytes(), 30);
+    }
+
+    #[test]
+    fn first_fit_reuses_lowest_hole() {
+        let mut s = FreeListSim::new(FitPolicy::FirstFit);
+        let a = s.alloc(100);
+        let b = s.alloc(100);
+        let _c = s.alloc(100);
+        s.free(a);
+        s.free(b);
+        // Coalesced hole [0,200): a 50-byte request takes its head.
+        assert_eq!(s.alloc(50), 0);
+        assert_eq!(s.free_block_count(), 1);
+        assert_eq!(s.footprint(), 300);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_hole() {
+        let mut s = FreeListSim::new(FitPolicy::BestFit);
+        let a = s.alloc(100); // [0,100)
+        let _b = s.alloc(10); // [100,110) separator
+        let c = s.alloc(30); // [110,140)
+        let _d = s.alloc(10); // separator
+        s.free(a);
+        s.free(c);
+        // Best fit for 25 is the 30-byte hole at 110, not the 100-byte one.
+        assert_eq!(s.alloc(25), 110);
+    }
+
+    #[test]
+    fn coalescing_merges_all_three_ways() {
+        let mut s = FreeListSim::new(FitPolicy::FirstFit);
+        let a = s.alloc(10);
+        let b = s.alloc(10);
+        let c = s.alloc(10);
+        s.free(a);
+        s.free(c);
+        assert_eq!(s.free_block_count(), 2);
+        s.free(b); // merges with both neighbors
+        assert_eq!(s.free_block_count(), 1);
+        assert_eq!(s.alloc(30), 0, "fully coalesced");
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let mut s = FreeListSim::new(FitPolicy::FirstFit);
+        assert_eq!(s.fragmentation(), 1.0);
+        let a = s.alloc(64);
+        let _b = s.alloc(64);
+        s.free(a);
+        assert_eq!(s.fragmentation(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn double_free_panics() {
+        let mut s = FreeListSim::new(FitPolicy::FirstFit);
+        let a = s.alloc(8);
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    fn next_fit_roves_past_recent_allocation() {
+        let mut s = FreeListSim::new(FitPolicy::NextFit);
+        // Lay out four blocks, free the 1st and 3rd.
+        let a = s.alloc(10); // [0,10)
+        let _b = s.alloc(10); // [10,20)
+        let c = s.alloc(10); // [20,30)
+        let _d = s.alloc(10); // [30,40)
+        s.free(a);
+        s.free(c);
+        // First next-fit search starts at the rover (40): wraps to hole a.
+        assert_eq!(s.alloc(10), 0);
+        // Rover now at 10: the next search finds hole c first, NOT a hole
+        // before the rover — the defining next-fit behaviour.
+        let e = s.alloc(5);
+        assert_eq!(e, 20);
+    }
+
+    #[test]
+    fn next_fit_wraps_and_extends_brk_when_full() {
+        let mut s = FreeListSim::new(FitPolicy::NextFit);
+        let a = s.alloc(10);
+        s.free(a);
+        // Request too large for the only hole: heap must grow.
+        assert_eq!(s.alloc(20), 10);
+        assert_eq!(s.footprint(), 30);
+    }
+}

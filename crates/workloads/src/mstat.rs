@@ -1,0 +1,215 @@
+//! `mstat` analog (§6.1): memory-usage time series for a program under a
+//! given allocator.
+//!
+//! The paper's `mstat` runs the program in a memory cgroup and polls
+//! physical memory at a constant frequency. Here the workload *is*
+//! in-process, so the timeline records the allocator's committed-page
+//! footprint (the same physical quantity the cgroup reports; see
+//! DESIGN.md) plus live bytes and — when procfs is available — process
+//! RSS as a secondary series.
+
+use mesh_core::sys::process_rss_kb;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One sampled point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Time since the timeline started.
+    pub elapsed: Duration,
+    /// Allocator physical footprint in bytes (committed pages).
+    pub heap_bytes: usize,
+    /// Live application bytes at the sample.
+    pub live_bytes: usize,
+    /// Process RSS in KiB (secondary; None without procfs).
+    pub rss_kb: Option<u64>,
+}
+
+/// A recorded memory timeline, the data behind Figures 6–8.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::mstat::MemoryTimeline;
+///
+/// let mut tl = MemoryTimeline::start("demo");
+/// tl.record(4096 * 10, 4096 * 6);
+/// tl.record(4096 * 4, 4096 * 3);
+/// assert_eq!(tl.peak_heap_bytes(), 4096 * 10);
+/// assert!(tl.mean_heap_bytes() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryTimeline {
+    label: String,
+    start: Instant,
+    samples: Vec<Sample>,
+}
+
+impl MemoryTimeline {
+    /// Starts an empty timeline labelled `label` (e.g. the allocator name).
+    pub fn start(label: impl Into<String>) -> Self {
+        MemoryTimeline {
+            label: label.into(),
+            start: Instant::now(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The timeline's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Records a sample of `heap_bytes` committed and `live_bytes` live.
+    pub fn record(&mut self, heap_bytes: usize, live_bytes: usize) {
+        self.samples.push(Sample {
+            elapsed: self.start.elapsed(),
+            heap_bytes,
+            live_bytes,
+            rss_kb: process_rss_kb(),
+        });
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Peak heap footprint over the run (the SPEC table's metric).
+    pub fn peak_heap_bytes(&self) -> usize {
+        self.samples.iter().map(|s| s.heap_bytes).max().unwrap_or(0)
+    }
+
+    /// Mean heap footprint over the run (Figures 6–8's headline metric).
+    pub fn mean_heap_bytes(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.heap_bytes as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Final heap footprint.
+    pub fn final_heap_bytes(&self) -> usize {
+        self.samples.last().map(|s| s.heap_bytes).unwrap_or(0)
+    }
+
+    /// Renders the series as CSV (`elapsed_ms,heap_kb,live_kb,rss_kb`),
+    /// suitable for re-plotting the paper's figures.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("elapsed_ms,heap_kb,live_kb,rss_kb\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                s.elapsed.as_millis(),
+                s.heap_bytes / 1024,
+                s.live_bytes / 1024,
+                s.rss_kb.map(|r| r.to_string()).unwrap_or_default()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for MemoryTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} samples, mean {:.1} MiB, peak {:.1} MiB",
+            self.label,
+            self.samples.len(),
+            self.mean_heap_bytes() / (1024.0 * 1024.0),
+            self.peak_heap_bytes() as f64 / (1024.0 * 1024.0),
+        )
+    }
+}
+
+/// Formats a byte count as mebibytes with one decimal (report helper).
+pub fn mib(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Percentage change from `baseline` to `value` (negative = reduction),
+/// as reported throughout §6 ("reduces memory consumption by 16%").
+pub fn percent_change(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (value - baseline) / baseline * 100.0
+}
+
+/// Geometric mean of a slice of positive ratios (the SPEC table metric).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_statistics() {
+        let mut tl = MemoryTimeline::start("t");
+        for kb in [10usize, 20, 30, 20] {
+            tl.record(kb * 1024, kb * 512);
+        }
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl.peak_heap_bytes(), 30 * 1024);
+        assert_eq!(tl.final_heap_bytes(), 20 * 1024);
+        assert!((tl.mean_heap_bytes() - 20.0 * 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline_is_safe() {
+        let tl = MemoryTimeline::start("empty");
+        assert!(tl.is_empty());
+        assert_eq!(tl.peak_heap_bytes(), 0);
+        assert_eq!(tl.mean_heap_bytes(), 0.0);
+        assert_eq!(tl.final_heap_bytes(), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tl = MemoryTimeline::start("csv");
+        tl.record(2048, 1024);
+        let csv = tl.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("elapsed_ms,heap_kb"));
+        assert!(lines[1].contains(",2,1,"));
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert!((percent_change(100.0, 84.0) - -16.0).abs() < 1e-9);
+        assert!((percent_change(100.0, 139.0) - 39.0).abs() < 1e-9);
+        assert_eq!(percent_change(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn geomean_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut tl = MemoryTimeline::start("Mesh");
+        tl.record(5 << 20, 1 << 20);
+        let s = tl.to_string();
+        assert!(s.contains("Mesh") && s.contains("1 samples"));
+    }
+}

@@ -1,0 +1,553 @@
+//! The Redis workload (§6.2.2, Figure 7).
+//!
+//! Reproduces the paper's adaptation of the official Redis test: the
+//! server acts as an LRU cache capped at 100 MB of object data; the test
+//! inserts 700,000 keys with 240-byte values, then 170,000 keys with
+//! 492-byte values (sizes chosen so all allocators use comparable size
+//! classes), then goes idle. During the idle period either
+//!
+//! * **activedefrag** (Redis 4.0's application-level defragmentation):
+//!   every value is copied into a fresh allocation and the old one freed,
+//!   in rate-limited batches — exactly the copy-and-hope-for-contiguity
+//!   strategy the paper describes; or
+//! * **meshing**: Mesh compacts the heap with no application cooperation.
+//!
+//! Two aspects of real Redis matter for the memory profile and are
+//! modelled here:
+//!
+//! * **Sampled LRU eviction.** Redis does not maintain a strict LRU list;
+//!   when `maxmemory` is hit it samples `maxmemory-samples` (default 5)
+//!   random keys and evicts the least recently used of the sample. For a
+//!   write-only cache workload this means *approximately* the oldest keys
+//!   are evicted, but scattered rather than in strict insertion order —
+//!   which is what shreds spans and creates the fragmentation Figure 7
+//!   shows. A strict-FIFO queue would retire whole spans in allocation
+//!   order and leave almost nothing for compaction to recover.
+//! * **Per-entry metadata.** Each `SET` allocates more than the value:
+//!   a `dictEntry`, an `robj` value wrapper, and an sds key string. These
+//!   small allocations churn the small size classes alongside the values,
+//!   for every allocator equally.
+//!
+//! The report captures the memory timeline plus insertion and compaction
+//! times, reproducing Figure 7 and the §6.2.2 pause-time comparison.
+
+use crate::driver::TestAllocator;
+use crate::mstat::MemoryTimeline;
+use mesh_core::rng::Rng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Modelled `dictEntry` size (three 64-bit words, as in Redis's dict.h).
+const DICT_ENTRY_BYTES: usize = 24;
+/// Modelled `robj` value-wrapper size (robj is 16 bytes on 64-bit).
+const ROBJ_BYTES: usize = 16;
+/// Modelled sds key-string size (sds header + "key:NNNNNNN").
+const KEY_SDS_BYTES: usize = 28;
+
+/// How the cache chooses an eviction victim when `max_memory` is hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Redis's `allkeys-lru`: sample `samples` random keys, evict the
+    /// least-recently-used of the sample (default `maxmemory-samples 5`).
+    SampledLru {
+        /// Keys sampled per eviction.
+        samples: usize,
+    },
+    /// Strict insertion-order eviction (an idealized queue; provided for
+    /// ablations — real Redis does not do this).
+    Fifo,
+}
+
+/// Parameters of the Redis cache benchmark.
+#[derive(Debug, Clone)]
+pub struct RedisConfig {
+    /// LRU cap on summed value bytes (paper: 100 MB).
+    pub max_memory: usize,
+    /// Phase-1 insert count (paper: 700,000).
+    pub phase1_keys: usize,
+    /// Phase-1 value size (paper: 240).
+    pub phase1_value_len: usize,
+    /// Phase-2 insert count (paper: 170,000).
+    pub phase2_keys: usize,
+    /// Phase-2 value size (paper: 492).
+    pub phase2_value_len: usize,
+    /// Victim selection (default: Redis's sampled LRU with 5 samples).
+    pub eviction: EvictionPolicy,
+    /// Run application-level defragmentation during the idle phase.
+    pub activedefrag: bool,
+    /// Defrag batch size (keys copied per rate-limited step).
+    pub defrag_batch: usize,
+    /// Idle-phase meshing ticks (each tick = one rate-limiter period).
+    pub idle_ticks: usize,
+    /// Record a sample every this many operations.
+    pub sample_every: usize,
+    /// PRNG seed for key ordering.
+    pub seed: u64,
+}
+
+impl Default for RedisConfig {
+    fn default() -> Self {
+        RedisConfig::paper().scaled(0.1)
+    }
+}
+
+impl RedisConfig {
+    /// The paper's exact parameters (§6.2.2).
+    pub fn paper() -> Self {
+        RedisConfig {
+            max_memory: 100 << 20,
+            phase1_keys: 700_000,
+            phase1_value_len: 240,
+            phase2_keys: 170_000,
+            phase2_value_len: 492,
+            eviction: EvictionPolicy::SampledLru { samples: 5 },
+            activedefrag: false,
+            defrag_batch: 10_000,
+            idle_ticks: 10,
+            sample_every: 5_000,
+            seed: 0x7ed15,
+        }
+    }
+
+    /// Scales key counts and the memory cap by `factor` (value sizes stay
+    /// fixed so size-class behaviour is unchanged).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.max_memory = (self.max_memory as f64 * factor) as usize;
+        self.phase1_keys = (self.phase1_keys as f64 * factor) as usize;
+        self.phase2_keys = (self.phase2_keys as f64 * factor) as usize;
+        self.defrag_batch = ((self.defrag_batch as f64 * factor) as usize).max(100);
+        self.sample_every = ((self.sample_every as f64 * factor) as usize).max(100);
+        self
+    }
+
+    /// Enables the activedefrag idle phase.
+    pub fn with_activedefrag(mut self, on: bool) -> Self {
+        self.activedefrag = on;
+        self
+    }
+
+    /// Overrides the eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+}
+
+/// Results of one Redis run.
+#[derive(Debug, Clone)]
+pub struct RedisReport {
+    /// Allocator label plus defrag marker.
+    pub label: String,
+    /// The Figure 7 memory timeline.
+    pub timeline: MemoryTimeline,
+    /// Wall time of the phase-1 inserts.
+    pub phase1_time: Duration,
+    /// Wall time of the phase-2 inserts.
+    pub phase2_time: Duration,
+    /// Total compaction time: defrag copying or meshing passes (§6.2.2
+    /// compares 1.49 s of defrag against 0.23 s of meshing).
+    pub compaction_time: Duration,
+    /// Longest single compaction pause (paper: 22 ms for meshing).
+    pub longest_pause: Duration,
+    /// Heap footprint after the idle phase.
+    pub final_heap_bytes: usize,
+    /// Live value bytes at the end.
+    pub final_live_bytes: usize,
+}
+
+/// One cache entry's allocations: the value plus Redis-style metadata.
+struct Entry {
+    value_ptr: usize,
+    value_len: usize,
+    key_ptr: usize,
+    robj_ptr: usize,
+    dict_ptr: usize,
+    /// Insertion sequence number — the "LRU clock" for a write-only cache.
+    seq: u64,
+    /// Index of this key in `Store::keys` (for O(1) sampling/removal).
+    idx: usize,
+}
+
+struct Store {
+    entries: HashMap<u64, Entry>,
+    /// Dense key list for O(1) random sampling; `Entry::idx` points here.
+    keys: Vec<u64>,
+    value_bytes: usize,
+    seq: u64,
+}
+
+impl Store {
+    fn new() -> Store {
+        Store {
+            entries: HashMap::new(),
+            keys: Vec::new(),
+            value_bytes: 0,
+            seq: 0,
+        }
+    }
+
+    /// Frees every allocation of `key` and unlinks it. Returns whether the
+    /// key existed.
+    fn remove(&mut self, alloc: &mut TestAllocator, key: u64) -> bool {
+        let Some(entry) = self.entries.remove(&key) else {
+            return false;
+        };
+        // Integrity check: the first value bytes still hold the key. This
+        // catches any corruption introduced by meshing's object copies.
+        let stored = unsafe { std::ptr::read_unaligned(entry.value_ptr as *const u64) };
+        assert_eq!(stored, key, "value corrupted for key {key}");
+        unsafe {
+            alloc.free(entry.value_ptr as *mut u8);
+            alloc.free(entry.key_ptr as *mut u8);
+            alloc.free(entry.robj_ptr as *mut u8);
+            alloc.free(entry.dict_ptr as *mut u8);
+        }
+        self.value_bytes -= entry.value_len;
+        // Swap-remove from the dense key list, fixing the moved key's idx.
+        let last = self.keys.pop().expect("keys and entries in sync");
+        if last != key {
+            self.keys[entry.idx] = last;
+            self.entries
+                .get_mut(&last)
+                .expect("moved key is live")
+                .idx = entry.idx;
+        }
+        true
+    }
+
+    /// Picks an eviction victim per `policy`.
+    fn victim(&self, policy: EvictionPolicy, rng: &mut Rng) -> u64 {
+        match policy {
+            EvictionPolicy::Fifo => {
+                // Oldest live key: minimum sequence number. Kept O(n)-free
+                // by scanning a sample of 64 — still effectively FIFO for
+                // ablation purposes — except for tiny stores, which scan
+                // everything.
+                let sample = 64.min(self.keys.len());
+                (0..sample)
+                    .map(|_| self.keys[rng.below(self.keys.len() as u32) as usize])
+                    .min_by_key(|k| self.entries[k].seq)
+                    .expect("store is non-empty")
+            }
+            EvictionPolicy::SampledLru { samples } => (0..samples.max(1))
+                .map(|_| self.keys[rng.below(self.keys.len() as u32) as usize])
+                .min_by_key(|k| self.entries[k].seq)
+                .expect("store is non-empty"),
+        }
+    }
+
+    /// Inserts `key` with a `len`-byte value, evicting per `policy` until
+    /// the value fits under `max_memory`.
+    fn insert(
+        &mut self,
+        alloc: &mut TestAllocator,
+        key: u64,
+        len: usize,
+        max_memory: usize,
+        policy: EvictionPolicy,
+        rng: &mut Rng,
+    ) {
+        self.remove(alloc, key);
+        while self.value_bytes + len > max_memory {
+            let victim = self.victim(policy, rng);
+            let existed = self.remove(alloc, victim);
+            debug_assert!(existed, "victim {victim} vanished");
+        }
+        // The value, touched end to end so its pages are really dirtied.
+        let value_ptr = alloc.malloc(len);
+        unsafe {
+            std::ptr::write_unaligned(value_ptr as *mut u64, key);
+            std::ptr::write_bytes(value_ptr.add(8), (key % 251) as u8, len - 8);
+        }
+        // Redis-style per-entry metadata: key sds, robj wrapper, dictEntry.
+        let key_ptr = alloc.malloc(KEY_SDS_BYTES);
+        let robj_ptr = alloc.malloc(ROBJ_BYTES);
+        let dict_ptr = alloc.malloc(DICT_ENTRY_BYTES);
+        unsafe {
+            std::ptr::write_unaligned(key_ptr as *mut u64, key);
+            std::ptr::write_unaligned(robj_ptr as *mut u64, value_ptr as u64);
+            std::ptr::write_unaligned(dict_ptr as *mut u64, robj_ptr as u64);
+        }
+        self.seq += 1;
+        let idx = self.keys.len();
+        self.keys.push(key);
+        self.entries.insert(
+            key,
+            Entry {
+                value_ptr: value_ptr as usize,
+                value_len: len,
+                key_ptr: key_ptr as usize,
+                robj_ptr: robj_ptr as usize,
+                dict_ptr: dict_ptr as usize,
+                seq: self.seq,
+                idx,
+            },
+        );
+        self.value_bytes += len;
+    }
+}
+
+/// Runs the Redis cache benchmark against `alloc`.
+pub fn run_redis(alloc: &mut TestAllocator, cfg: &RedisConfig) -> RedisReport {
+    let defrag_label = if cfg.activedefrag { " + activedefrag" } else { "" };
+    let label = format!("{}{}", alloc.kind().label(), defrag_label);
+    let mut timeline = MemoryTimeline::start(label.clone());
+    let mut rng = Rng::with_seed(cfg.seed);
+    let mut store = Store::new();
+    let mut ops = 0usize;
+    let sample = |alloc: &TestAllocator, timeline: &mut MemoryTimeline| {
+        timeline.record(
+            alloc.heap_bytes().unwrap_or(0),
+            alloc.live_bytes(),
+        );
+    };
+
+    // Phase 1: 700k random keys, 240-byte values.
+    let t0 = Instant::now();
+    let mut next_key = 0u64;
+    for _ in 0..cfg.phase1_keys {
+        // Mostly-fresh keys with occasional overwrites, like the suite's
+        // random key pattern.
+        let key = if rng.chance(1, 16) && next_key > 0 {
+            rng.next_u64() % next_key
+        } else {
+            next_key += 1;
+            next_key
+        };
+        store.insert(alloc, key, cfg.phase1_value_len, cfg.max_memory, cfg.eviction, &mut rng);
+        ops += 1;
+        if ops % cfg.sample_every == 0 {
+            sample(alloc, &mut timeline);
+        }
+    }
+    let phase1_time = t0.elapsed();
+    sample(alloc, &mut timeline);
+
+    // Phase 2: 170k new keys, 492-byte values (each evicts ~2 of the
+    // 240-byte values at scattered offsets, shredding that size class).
+    let t1 = Instant::now();
+    for _ in 0..cfg.phase2_keys {
+        next_key += 1;
+        store.insert(alloc, next_key, cfg.phase2_value_len, cfg.max_memory, cfg.eviction, &mut rng);
+        ops += 1;
+        if ops % cfg.sample_every == 0 {
+            sample(alloc, &mut timeline);
+        }
+    }
+    let phase2_time = t1.elapsed();
+    sample(alloc, &mut timeline);
+
+    // Idle phase: defragment (application-level) or mesh (allocator-level).
+    let mut compaction_time = Duration::ZERO;
+    let mut longest_pause = Duration::ZERO;
+    if cfg.activedefrag {
+        // Redis-style defrag: copy every live entry (value and metadata)
+        // to fresh allocations in rate-limited batches, hoping the
+        // allocator packs them densely.
+        let keys: Vec<u64> = store.keys.clone();
+        for batch in keys.chunks(cfg.defrag_batch.max(1)) {
+            let t = Instant::now();
+            for &key in batch {
+                let Some(entry) = store.entries.get(&key) else {
+                    continue;
+                };
+                let (old_value, len) = (entry.value_ptr, entry.value_len);
+                let (old_key_sds, old_robj, old_dict) =
+                    (entry.key_ptr, entry.robj_ptr, entry.dict_ptr);
+                let value = alloc.malloc(len);
+                let key_sds = alloc.malloc(KEY_SDS_BYTES);
+                let robj = alloc.malloc(ROBJ_BYTES);
+                let dict = alloc.malloc(DICT_ENTRY_BYTES);
+                unsafe {
+                    std::ptr::copy_nonoverlapping(old_value as *const u8, value, len);
+                    std::ptr::copy_nonoverlapping(
+                        old_key_sds as *const u8,
+                        key_sds,
+                        KEY_SDS_BYTES,
+                    );
+                    std::ptr::copy_nonoverlapping(old_robj as *const u8, robj, ROBJ_BYTES);
+                    std::ptr::copy_nonoverlapping(
+                        old_dict as *const u8,
+                        dict,
+                        DICT_ENTRY_BYTES,
+                    );
+                    alloc.free(old_value as *mut u8);
+                    alloc.free(old_key_sds as *mut u8);
+                    alloc.free(old_robj as *mut u8);
+                    alloc.free(old_dict as *mut u8);
+                }
+                let entry = store.entries.get_mut(&key).expect("entry is live");
+                entry.value_ptr = value as usize;
+                entry.key_ptr = key_sds as usize;
+                entry.robj_ptr = robj as usize;
+                entry.dict_ptr = dict as usize;
+            }
+            let pause = t.elapsed();
+            compaction_time += pause;
+            longest_pause = longest_pause.max(pause);
+            sample(alloc, &mut timeline);
+        }
+        // Let the allocator give freed spans back.
+        alloc.purge();
+        sample(alloc, &mut timeline);
+    } else {
+        for _ in 0..cfg.idle_ticks {
+            let t = Instant::now();
+            alloc.mesh_now();
+            let pause = t.elapsed();
+            compaction_time += pause;
+            longest_pause = longest_pause.max(pause);
+            sample(alloc, &mut timeline);
+        }
+    }
+
+    let report = RedisReport {
+        label,
+        phase1_time,
+        phase2_time,
+        compaction_time,
+        longest_pause,
+        final_heap_bytes: alloc.heap_bytes().unwrap_or(0),
+        final_live_bytes: alloc.live_bytes(),
+        timeline,
+    };
+
+    // Tear down the store so the driver ends balanced.
+    let keys: Vec<u64> = store.keys.clone();
+    for key in keys {
+        store.remove(alloc, key);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::AllocatorKind;
+
+    fn tiny() -> RedisConfig {
+        RedisConfig::paper().scaled(0.01) // 7k + 1.7k keys, 1 MB cap
+    }
+
+    #[test]
+    fn lru_cap_is_respected() {
+        let mut alloc = AllocatorKind::MeshNoMesh.build(256 << 20, 1);
+        let cfg = tiny();
+        let report = run_redis(&mut alloc, &cfg);
+        // live_bytes counts size-class-rounded allocations (240 → 256,
+        // 492 → 512) plus per-entry metadata (~80 B), so allow that
+        // overhead factor over the raw-value cap.
+        assert!(report.final_live_bytes <= cfg.max_memory * 8 / 5);
+        assert!(report.timeline.len() > 2);
+        assert_eq!(alloc.live_bytes(), 0, "teardown freed everything");
+    }
+
+    #[test]
+    fn sampled_lru_evicts_approximately_oldest() {
+        let mut alloc = AllocatorKind::MeshNoMesh.build(64 << 20, 7);
+        let mut store = Store::new();
+        let mut rng = Rng::with_seed(9);
+        let policy = EvictionPolicy::SampledLru { samples: 5 };
+        // Fill to exactly the cap, then one more insert forces evictions.
+        for key in 0..1000u64 {
+            store.insert(&mut alloc, key, 1000, 1_000_000, policy, &mut rng);
+        }
+        store.insert(&mut alloc, 5000, 1000, 1_000_000, policy, &mut rng);
+        // The victim should be an old key: with 5 samples the expected
+        // victim age is in the oldest ~1/6 of the population; even a very
+        // unlucky draw stays in the older half.
+        assert!(store.entries.contains_key(&5000));
+        let survivors_over_500 = (500..1000).filter(|k| store.entries.contains_key(k)).count();
+        assert!(
+            survivors_over_500 >= 499,
+            "sampled LRU evicted a recent key ({survivors_over_500}/500 recent survivors)"
+        );
+        let keys: Vec<u64> = store.keys.clone();
+        for key in keys {
+            store.remove(&mut alloc, key);
+        }
+        assert_eq!(alloc.live_bytes(), 0);
+    }
+
+    #[test]
+    fn store_swap_remove_keeps_indices_consistent() {
+        let mut alloc = AllocatorKind::MeshNoMesh.build(64 << 20, 8);
+        let mut store = Store::new();
+        let mut rng = Rng::with_seed(10);
+        let policy = EvictionPolicy::SampledLru { samples: 5 };
+        for key in 0..100u64 {
+            store.insert(&mut alloc, key, 100, usize::MAX, policy, &mut rng);
+        }
+        // Remove from the middle and verify every idx still round-trips.
+        for key in (0..100u64).step_by(3) {
+            assert!(store.remove(&mut alloc, key));
+        }
+        for (&key, entry) in &store.entries {
+            assert_eq!(store.keys[entry.idx], key, "idx out of sync for {key}");
+        }
+        let keys: Vec<u64> = store.keys.clone();
+        for key in keys {
+            store.remove(&mut alloc, key);
+        }
+        assert_eq!(store.value_bytes, 0);
+    }
+
+    #[test]
+    fn lru_cap_is_respected_under_meshing() {
+        let mut alloc = AllocatorKind::MeshFull.build(256 << 20, 2);
+        let cfg = tiny();
+        let report = run_redis(&mut alloc, &cfg);
+        assert!(report.final_live_bytes <= cfg.max_memory * 8 / 5);
+        assert_eq!(alloc.live_bytes(), 0, "teardown freed everything");
+    }
+
+    #[test]
+    fn meshing_reduces_final_heap_vs_no_meshing() {
+        let cfg = tiny();
+        let mut base = AllocatorKind::MeshNoMesh.build(256 << 20, 2);
+        let r_base = run_redis(&mut base, &cfg);
+        let mut full = AllocatorKind::MeshFull.build(256 << 20, 2);
+        let r_full = run_redis(&mut full, &cfg);
+        assert!(
+            r_full.final_heap_bytes < r_base.final_heap_bytes,
+            "mesh {} !< baseline {}",
+            r_full.final_heap_bytes,
+            r_base.final_heap_bytes
+        );
+    }
+
+    #[test]
+    fn activedefrag_also_reduces_heap_but_copies_more() {
+        let cfg = tiny().with_activedefrag(true);
+        let mut alloc = AllocatorKind::MeshNoMesh.build(256 << 20, 3);
+        let with_defrag = run_redis(&mut alloc, &cfg);
+        let mut alloc2 = AllocatorKind::MeshNoMesh.build(256 << 20, 3);
+        let without = run_redis(&mut alloc2, &cfg.clone().with_activedefrag(false));
+        assert!(
+            with_defrag.final_heap_bytes <= without.final_heap_bytes,
+            "defrag should not increase the final footprint"
+        );
+        assert!(with_defrag.compaction_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn value_integrity_maintained_under_meshing() {
+        // The Store asserts key == first 8 value bytes on every removal;
+        // running with aggressive meshing exercises object copies.
+        let mut alloc = AllocatorKind::MeshFull.build(256 << 20, 4);
+        if let Some(m) = alloc.mesh_handle() {
+            m.set_mesh_period(Duration::ZERO); // mesh at every opportunity
+        }
+        let report = run_redis(&mut alloc, &tiny());
+        assert!(report.timeline.peak_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn fifo_eviction_is_available_for_ablation() {
+        let cfg = tiny().with_eviction(EvictionPolicy::Fifo);
+        let mut alloc = AllocatorKind::MeshNoMesh.build(256 << 20, 5);
+        let report = run_redis(&mut alloc, &cfg);
+        assert!(report.final_heap_bytes > 0);
+        assert_eq!(alloc.live_bytes(), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Robson fragmentation adversary (§1).
+//!
+//! Robson (1977) showed every classical allocator can be driven to a
+//! footprint of ~`log₂(max/min)` times its live data — 13× for the
+//! paper's 16-byte-to-128-KB example. This module implements the
+//! classic adversary against the [`crate::firstfit`] simulator, and the
+//! within-size-class analog against real Mesh heaps, demonstrating that
+//! meshing keeps the footprint bounded where first fit blows up.
+//!
+//! The adversary proceeds in doubling phases: fill the budget with
+//! objects of size `s`, then free all but every second one — leaving
+//! `s`-byte holes that can never serve the next phase's `2s`-byte
+//! requests. Each phase forces fresh break growth while live bytes stay
+//! below the budget.
+
+use crate::driver::TestAllocator;
+use crate::firstfit::{FitPolicy, FreeListSim};
+use mesh_core::rng::Rng;
+
+/// Per-phase measurement of the adversary run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobsonPhase {
+    /// Object size of this phase.
+    pub size: usize,
+    /// Live bytes after the phase's frees.
+    pub live_bytes: usize,
+    /// Heap footprint after the phase.
+    pub footprint: usize,
+}
+
+/// Result of the adversary against a simulated classical allocator.
+#[derive(Debug, Clone)]
+pub struct RobsonReport {
+    /// Per-phase stats.
+    pub phases: Vec<RobsonPhase>,
+    /// Final footprint / final live bytes.
+    pub final_factor: f64,
+    /// The theoretical `log₂(max/min)` bound for these sizes.
+    pub robson_bound: f64,
+}
+
+/// Runs the doubling adversary against a freelist simulator with a live
+/// budget of `budget` bytes and sizes from `min_size` to `max_size`
+/// (powers of two).
+///
+/// # Panics
+///
+/// Panics unless sizes are powers of two with `min_size < max_size`.
+pub fn robson_adversary(
+    policy: FitPolicy,
+    min_size: usize,
+    max_size: usize,
+    budget: usize,
+) -> RobsonReport {
+    assert!(min_size.is_power_of_two() && max_size.is_power_of_two());
+    assert!(min_size < max_size && budget >= 4 * max_size);
+    let mut sim = FreeListSim::new(policy);
+    let mut phases = Vec::new();
+    let mut survivors: Vec<usize> = Vec::new();
+
+    let mut size = min_size;
+    while size <= max_size {
+        // Fill: allocate up to the live budget with `size`-byte objects.
+        let mut batch = Vec::new();
+        while sim.live_bytes() + size <= budget {
+            batch.push(sim.alloc(size));
+        }
+        // Free the previous phase's survivors (their pattern has done its
+        // damage: the holes they pinned are too small for this phase).
+        for off in survivors.drain(..) {
+            sim.free(off);
+        }
+        // Keep every second object: the gaps between survivors are
+        // exactly `size` bytes — useless for the next (doubled) size.
+        for (i, off) in batch.into_iter().enumerate() {
+            if i % 2 == 0 {
+                sim.free(off);
+            } else {
+                survivors.push(off);
+            }
+        }
+        phases.push(RobsonPhase {
+            size,
+            live_bytes: sim.live_bytes(),
+            footprint: sim.footprint(),
+        });
+        size *= 2;
+    }
+    let final_factor = sim.footprint() as f64 / sim.live_bytes().max(1) as f64;
+    RobsonReport {
+        phases,
+        final_factor,
+        robson_bound: mesh_graph_bound(min_size, max_size),
+    }
+}
+
+fn mesh_graph_bound(min_size: usize, max_size: usize) -> f64 {
+    (max_size as f64 / min_size as f64).log2()
+}
+
+/// The adversary adapted to a binary buddy heap.
+///
+/// Buddy systems dodge the classic *external* doubling trick — a freed
+/// `s`-block merges with its buddy into exactly the `2s`-block the next
+/// phase wants — so the adversary instead requests `2^k + 1`-byte objects
+/// (worst-case internal fragmentation, each wasting nearly half its
+/// block) while still applying the keep-every-second-block pattern to pin
+/// merges.
+pub fn robson_adversary_buddy(
+    min_size: usize,
+    max_size: usize,
+    budget: usize,
+) -> RobsonReport {
+    assert!(min_size.is_power_of_two() && max_size.is_power_of_two());
+    assert!(min_size < max_size && budget >= 4 * max_size);
+    let mut sim = crate::buddy::BuddySim::new();
+    let mut phases = Vec::new();
+    let mut survivors: Vec<usize> = Vec::new();
+    let mut size = min_size;
+    while size <= max_size {
+        // Just over half a block: a 2^k+1 request occupies a 2^{k+1} block.
+        let request = size + 1;
+        let mut batch = Vec::new();
+        let mut live_requested = 0usize;
+        while live_requested + request <= budget {
+            batch.push(sim.alloc(request));
+            live_requested += request;
+        }
+        for off in survivors.drain(..) {
+            sim.free(off);
+        }
+        for (i, off) in batch.into_iter().enumerate() {
+            if i % 2 == 0 {
+                sim.free(off);
+            } else {
+                survivors.push(off);
+            }
+        }
+        phases.push(RobsonPhase {
+            size: request,
+            live_bytes: sim.live_bytes(),
+            footprint: sim.footprint(),
+        });
+        size *= 2;
+    }
+    // Requested bytes ≈ live_bytes/2 + 1 per object: report the factor
+    // against what the application actually asked for.
+    let requested = phases
+        .last()
+        .map(|p| p.live_bytes / 2)
+        .unwrap_or(1)
+        .max(1);
+    let final_factor = sim.footprint() as f64 / requested as f64;
+    RobsonReport {
+        phases,
+        final_factor,
+        robson_bound: mesh_graph_bound(min_size, max_size),
+    }
+}
+
+/// Result of the within-class adversary against a real allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct WithinClassReport {
+    /// Heap footprint right after the frees (fragmented state).
+    pub fragmented_bytes: usize,
+    /// Heap footprint after compaction (meshing) had its chance.
+    pub compacted_bytes: usize,
+    /// Live bytes throughout.
+    pub live_bytes: usize,
+}
+
+impl WithinClassReport {
+    /// Fragmentation factor before compaction.
+    pub fn fragmented_factor(&self) -> f64 {
+        self.fragmented_bytes as f64 / self.live_bytes.max(1) as f64
+    }
+
+    /// Fragmentation factor after compaction.
+    pub fn compacted_factor(&self) -> f64 {
+        self.compacted_bytes as f64 / self.live_bytes.max(1) as f64
+    }
+}
+
+/// The within-size-class fragmentation adversary against a real heap:
+/// fill `spans` spans of `object_size` objects, then free everything
+/// except one random object per span — the worst case a segregated-fit
+/// allocator can suffer (occupancy `1/objects_per_span` with no
+/// reclaimable span). Meshing is then allowed to compact.
+pub fn within_class_adversary(
+    alloc: &mut TestAllocator,
+    object_size: usize,
+    spans: usize,
+    seed: u64,
+) -> WithinClassReport {
+    let class = mesh_core::SizeClass::for_size(object_size).expect("small class");
+    let per_span = class.object_count();
+    let total = spans * per_span;
+    let mut rng = Rng::with_seed(seed);
+    let mut ptrs = Vec::with_capacity(total);
+    for _ in 0..total {
+        let p = alloc.malloc(object_size);
+        unsafe { std::ptr::write_bytes(p, 0xAB, object_size) };
+        ptrs.push(p as usize);
+    }
+    // Free all but one object per span's worth of allocations.
+    let keep_gap = per_span;
+    let offset_within_group = (rng.below(keep_gap as u32)) as usize;
+    for (i, ptr) in ptrs.iter().enumerate() {
+        if i % keep_gap != offset_within_group {
+            unsafe { alloc.free(*ptr as *mut u8) };
+        }
+    }
+    alloc.purge();
+    let fragmented_bytes = alloc.heap_bytes().unwrap_or(0);
+    let live_bytes = alloc.live_bytes();
+    // Give compaction several passes (alias-count limits cap each pass).
+    for _ in 0..6 {
+        alloc.mesh_now();
+    }
+    let compacted_bytes = alloc.heap_bytes().unwrap_or(0);
+    // Teardown.
+    for (i, ptr) in ptrs.iter().enumerate() {
+        if i % keep_gap == offset_within_group {
+            unsafe { alloc.free(*ptr as *mut u8) };
+        }
+    }
+    WithinClassReport {
+        fragmented_bytes,
+        compacted_bytes,
+        live_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::AllocatorKind;
+
+    #[test]
+    fn adversary_inflates_first_fit_toward_log_bound() {
+        // Paper example scale-down: 16 B .. 16 KB (10 doublings).
+        let report = robson_adversary(FitPolicy::FirstFit, 16, 16 * 1024, 1 << 20);
+        assert_eq!(report.phases.len(), 11);
+        assert!((report.robson_bound - 10.0).abs() < 1e-9);
+        assert!(
+            report.final_factor > report.robson_bound / 4.0,
+            "factor {:.2} nowhere near the log bound {:.1}",
+            report.final_factor,
+            report.robson_bound
+        );
+        // Footprint grows monotonically across phases.
+        for w in report.phases.windows(2) {
+            assert!(w[1].footprint >= w[0].footprint);
+        }
+    }
+
+    #[test]
+    fn best_fit_suffers_too() {
+        let report = robson_adversary(FitPolicy::BestFit, 16, 4 * 1024, 1 << 20);
+        assert!(report.final_factor > 2.0);
+    }
+
+    #[test]
+    fn next_fit_suffers_too() {
+        let report = robson_adversary(FitPolicy::NextFit, 16, 4 * 1024, 1 << 20);
+        assert!(report.final_factor > 2.0);
+    }
+
+    #[test]
+    fn buddy_adversary_exposes_internal_fragmentation() {
+        let report = robson_adversary_buddy(16, 4 * 1024, 1 << 20);
+        assert_eq!(report.phases.len(), 9);
+        // Each 2^k+1 request burns a 2^{k+1} block: factor ≥ ~2 from
+        // internal waste alone, plus pinned-survivor external waste.
+        assert!(report.final_factor > 2.0, "got {}", report.final_factor);
+    }
+
+    #[test]
+    fn meshing_compacts_the_within_class_worst_case() {
+        let mut full = AllocatorKind::MeshFull.build(256 << 20, 1);
+        let r = within_class_adversary(&mut full, 256, 128, 42);
+        assert!(
+            r.compacted_factor() < r.fragmented_factor() / 1.8,
+            "meshing should at least halve the worst case: {:.1}× → {:.1}×",
+            r.fragmented_factor(),
+            r.compacted_factor()
+        );
+    }
+
+    #[test]
+    fn no_meshing_cannot_compact_it() {
+        let mut base = AllocatorKind::MeshNoMesh.build(256 << 20, 1);
+        let r = within_class_adversary(&mut base, 256, 128, 42);
+        assert_eq!(
+            r.fragmented_bytes, r.compacted_bytes,
+            "without meshing the fragmented footprint is permanent"
+        );
+        assert!(r.fragmented_factor() > 8.0, "got {}", r.fragmented_factor());
+    }
+}

@@ -1,0 +1,222 @@
+//! The Ruby string microbenchmark (§6.3, Figure 8).
+//!
+//! The paper's microbenchmark exercises a *regular* allocation pattern —
+//! the adversarial case for meshing without randomization: repeatedly
+//! allocate a batch of fixed-size strings, retain references to 25% of
+//! them, drop the rest, and double the string length each iteration
+//! (simulating accumulating results from an API and periodically
+//! filtering).
+//!
+//! The retained quarter is chosen *deterministically* (every fourth
+//! allocation), so a sequential (no-rand) allocator leaves survivors at
+//! identical offsets in every span — unmeshable — while randomized
+//! allocation scatters them, letting meshing reclaim the other spans.
+//! This reproduces Figure 8's separation between "Mesh", "Mesh (no
+//! rand)", and "Mesh (no meshing)".
+
+use crate::driver::TestAllocator;
+use crate::mstat::MemoryTimeline;
+use std::time::{Duration, Instant};
+
+/// Parameters of the Ruby-style string benchmark.
+#[derive(Debug, Clone)]
+pub struct RubyConfig {
+    /// Bytes of string content allocated per round (paper: 128 MB total
+    /// working set).
+    pub round_budget: usize,
+    /// String length of the first round; doubles each round.
+    pub start_len: usize,
+    /// Number of doubling rounds.
+    pub rounds: usize,
+    /// Retain one allocation in `retain_every` (paper: 25% ⇒ 4).
+    pub retain_every: usize,
+    /// Survivors die after this many further rounds (keeps the live set
+    /// bounded, as the paper's fixed 128 MB requirement implies).
+    pub survivor_lifetime: usize,
+    /// Timeline samples per round.
+    pub samples_per_round: usize,
+}
+
+impl Default for RubyConfig {
+    fn default() -> Self {
+        RubyConfig {
+            round_budget: 8 << 20,
+            start_len: 64,
+            rounds: 8,
+            retain_every: 4,
+            survivor_lifetime: 2,
+            samples_per_round: 8,
+        }
+    }
+}
+
+impl RubyConfig {
+    /// A paper-scale configuration (128 MB working set).
+    pub fn paper() -> Self {
+        RubyConfig {
+            round_budget: 128 << 20,
+            ..RubyConfig::default()
+        }
+    }
+
+    /// Scales the per-round budget.
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.round_budget = bytes;
+        self
+    }
+}
+
+/// Results of one Ruby-benchmark run.
+#[derive(Debug, Clone)]
+pub struct RubyReport {
+    /// Allocator label.
+    pub label: String,
+    /// The Figure 8 memory timeline.
+    pub timeline: MemoryTimeline,
+    /// Total wall time (the figure's x-axis; overhead metric).
+    pub runtime: Duration,
+    /// Mean heap footprint across samples (the headline −18% metric).
+    pub mean_heap_bytes: f64,
+    /// Peak heap footprint.
+    pub peak_heap_bytes: usize,
+}
+
+/// Runs the string-accumulation benchmark against `alloc`.
+///
+/// After each round's drop phase the allocator is given one meshing
+/// opportunity (`mesh_now`), standing in for the rate-limited background
+/// meshing that fires during the paper's multi-second rounds; for
+/// non-meshing configurations it is a no-op.
+pub fn run_ruby(alloc: &mut TestAllocator, cfg: &RubyConfig) -> RubyReport {
+    let label = alloc.kind().label().to_string();
+    let mut timeline = MemoryTimeline::start(label.clone());
+    let start = Instant::now();
+    // Survivor generations: survivors[r % lifetime] die at round r.
+    let mut generations: Vec<Vec<(usize, usize)>> =
+        vec![Vec::new(); cfg.survivor_lifetime.max(1)];
+
+    for round in 0..cfg.rounds {
+        let len = cfg.start_len << round;
+        let count = (cfg.round_budget / len).max(cfg.retain_every);
+        let sample_gap = (count / cfg.samples_per_round.max(1)).max(1);
+
+        // Free the generation whose lifetime expires this round.
+        let slot = round % generations.len();
+        for (ptr, plen) in generations[slot].drain(..) {
+            unsafe {
+                // Integrity: survivors must still carry their fill byte.
+                assert_eq!(*(ptr as *const u8), (plen % 251) as u8);
+                alloc.free(ptr as *mut u8);
+            }
+        }
+
+        // Allocation phase: `count` strings of `len` bytes.
+        let mut batch: Vec<usize> = Vec::with_capacity(count);
+        for i in 0..count {
+            let p = alloc.malloc(len);
+            unsafe { std::ptr::write_bytes(p, (len % 251) as u8, len) };
+            batch.push(p as usize);
+            if i % sample_gap == 0 {
+                timeline.record(alloc.heap_bytes().unwrap_or(0), alloc.live_bytes());
+            }
+        }
+
+        // Drop phase: free 75% (deterministic pattern — see module docs),
+        // retain every `retain_every`-th string.
+        let mut survivors = Vec::with_capacity(count / cfg.retain_every + 1);
+        for (i, ptr) in batch.into_iter().enumerate() {
+            if i % cfg.retain_every == 0 {
+                survivors.push((ptr, len));
+            } else {
+                unsafe { alloc.free(ptr as *mut u8) };
+            }
+        }
+        generations[slot] = survivors;
+        timeline.record(alloc.heap_bytes().unwrap_or(0), alloc.live_bytes());
+
+        // One background-meshing opportunity per round.
+        alloc.mesh_now();
+        timeline.record(alloc.heap_bytes().unwrap_or(0), alloc.live_bytes());
+    }
+
+    // Drain remaining survivors.
+    for gen in &mut generations {
+        for (ptr, _) in gen.drain(..) {
+            unsafe { alloc.free(ptr as *mut u8) };
+        }
+    }
+    let runtime = start.elapsed();
+    RubyReport {
+        label,
+        runtime,
+        mean_heap_bytes: timeline.mean_heap_bytes(),
+        peak_heap_bytes: timeline.peak_heap_bytes(),
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::AllocatorKind;
+
+    fn tiny() -> RubyConfig {
+        RubyConfig {
+            round_budget: 1 << 20,
+            rounds: 6,
+            ..RubyConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_and_balances(){
+        let mut alloc = AllocatorKind::MeshFull.build(128 << 20, 1);
+        let r = run_ruby(&mut alloc, &tiny());
+        assert!(r.peak_heap_bytes > 0);
+        assert!(r.timeline.len() > 10);
+        assert_eq!(alloc.live_bytes(), 0);
+    }
+
+    #[test]
+    fn figure8_ordering_mesh_beats_no_rand_beats_nothing() {
+        // The paper's key qualitative result: randomized meshing yields a
+        // significantly smaller mean heap than no-rand meshing, which in
+        // turn is close to no meshing at all.
+        let cfg = tiny();
+        let mean = |kind: AllocatorKind| {
+            let mut a = kind.build(128 << 20, 7);
+            run_ruby(&mut a, &cfg).mean_heap_bytes
+        };
+        let full = mean(AllocatorKind::MeshFull);
+        let norand = mean(AllocatorKind::MeshNoRand);
+        let nomesh = mean(AllocatorKind::MeshNoMesh);
+        assert!(
+            full < norand * 0.95,
+            "randomized meshing ({full:.0}) should beat no-rand ({norand:.0})"
+        );
+        assert!(
+            norand < nomesh * 1.15,
+            "no-rand ({norand:.0}) should be within ~15% of no-mesh ({nomesh:.0})"
+        );
+    }
+
+    #[test]
+    fn regular_pattern_defeats_unrandomized_meshing() {
+        // With sequential allocation and every-4th retention, survivors sit
+        // at identical offsets: almost nothing should mesh.
+        let mut a = AllocatorKind::MeshNoRand.build(128 << 20, 3);
+        let _ = run_ruby(&mut a, &tiny());
+        let stats = a.mesh_handle().unwrap().stats();
+        let full_stats = {
+            let mut b = AllocatorKind::MeshFull.build(128 << 20, 3);
+            let _ = run_ruby(&mut b, &tiny());
+            b.mesh_handle().unwrap().stats()
+        };
+        assert!(
+            stats.mesh_pages_released < full_stats.mesh_pages_released / 4,
+            "no-rand released {} pages, full released {}",
+            stats.mesh_pages_released,
+            full_stats.mesh_pages_released
+        );
+    }
+}

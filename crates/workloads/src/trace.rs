@@ -1,0 +1,642 @@
+//! Allocation-trace recording and replay.
+//!
+//! The paper's methodology is trace-shaped: every §6 workload is, from
+//! the allocator's point of view, a stream of `malloc(size)` / `free(ptr)`
+//! events. This module makes that stream a first-class artifact:
+//!
+//! * [`Trace`] — an ordered list of malloc/free events over abstract
+//!   object ids, with a line-oriented text format for storage and
+//!   exchange;
+//! * [`Trace::validate`] / [`Trace::stats`] — well-formedness checking
+//!   and the summary statistics that characterize a workload (peak live
+//!   bytes, size-class histogram, lifetime distribution);
+//! * [`replay`] — runs a trace against any [`TestAllocator`], measuring
+//!   the footprint the allocator needs for it;
+//! * [`generate`] — parameterized synthetic generators (steady churn and
+//!   phased sawtooth) matching the §6 workload shapes.
+//!
+//! Replaying one fixed trace against Mesh, Mesh-without-meshing, and the
+//! simulated classical allocators is the cleanest apples-to-apples
+//! fragmentation comparison this repository offers: identical input
+//! stream, different placement policies.
+
+use crate::driver::TestAllocator;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One allocation-trace event over abstract object ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Allocate `size` bytes and bind them to `id`.
+    Malloc {
+        /// Object id; must not be live at this point.
+        id: u64,
+        /// Requested size in bytes.
+        size: usize,
+    },
+    /// Free the object bound to `id`.
+    Free {
+        /// Object id; must be live at this point.
+        id: u64,
+    },
+}
+
+/// A recorded allocation trace.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::trace::{Trace, TraceEvent};
+///
+/// let trace = Trace::from_events(vec![
+///     TraceEvent::Malloc { id: 1, size: 64 },
+///     TraceEvent::Malloc { id: 2, size: 128 },
+///     TraceEvent::Free { id: 1 },
+/// ]);
+/// assert!(trace.validate().is_ok());
+/// assert_eq!(trace.stats().peak_live_bytes, 192);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+/// A trace well-formedness violation, with the offending event index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// `Malloc` for an id that is already live.
+    DuplicateId {
+        /// Event index.
+        at: usize,
+        /// The offending id.
+        id: u64,
+    },
+    /// `Free` for an id that is not live.
+    FreeUnknown {
+        /// Event index.
+        at: usize,
+        /// The offending id.
+        id: u64,
+    },
+    /// `Malloc` with `size == 0`.
+    ZeroSize {
+        /// Event index.
+        at: usize,
+    },
+    /// Text parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::DuplicateId { at, id } => {
+                write!(f, "event {at}: malloc of already-live id {id}")
+            }
+            TraceError::FreeUnknown { at, id } => {
+                write!(f, "event {at}: free of non-live id {id}")
+            }
+            TraceError::ZeroSize { at } => write!(f, "event {at}: zero-size malloc"),
+            TraceError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Summary statistics of a trace (its workload signature).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// Malloc events.
+    pub mallocs: usize,
+    /// Free events.
+    pub frees: usize,
+    /// Peak of summed live sizes.
+    pub peak_live_bytes: usize,
+    /// Live bytes after the last event.
+    pub final_live_bytes: usize,
+    /// Mean object size over all mallocs.
+    pub mean_size: f64,
+    /// Mean lifetime (in events) of freed objects.
+    pub mean_lifetime_events: f64,
+}
+
+impl Trace {
+    /// Wraps an event list.
+    pub fn from_events(events: Vec<TraceEvent>) -> Trace {
+        Trace { events }
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends a malloc event.
+    pub fn push_malloc(&mut self, id: u64, size: usize) {
+        self.events.push(TraceEvent::Malloc { id, size });
+    }
+
+    /// Appends a free event.
+    pub fn push_free(&mut self, id: u64) {
+        self.events.push(TraceEvent::Free { id });
+    }
+
+    /// Checks well-formedness: ids are unique while live, frees refer to
+    /// live ids, sizes are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] encountered, with its event index.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut live: HashMap<u64, usize> = HashMap::new();
+        for (at, ev) in self.events.iter().enumerate() {
+            match *ev {
+                TraceEvent::Malloc { id, size } => {
+                    if size == 0 {
+                        return Err(TraceError::ZeroSize { at });
+                    }
+                    if live.insert(id, size).is_some() {
+                        return Err(TraceError::DuplicateId { at, id });
+                    }
+                }
+                TraceEvent::Free { id } => {
+                    if live.remove(&id).is_none() {
+                        return Err(TraceError::FreeUnknown { at, id });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the trace's summary statistics in one pass.
+    pub fn stats(&self) -> TraceStats {
+        let mut live: HashMap<u64, (usize, usize)> = HashMap::new(); // id → (size, birth)
+        let mut live_bytes = 0usize;
+        let mut peak = 0usize;
+        let mut mallocs = 0usize;
+        let mut frees = 0usize;
+        let mut size_sum = 0usize;
+        let mut lifetime_sum = 0usize;
+        for (at, ev) in self.events.iter().enumerate() {
+            match *ev {
+                TraceEvent::Malloc { id, size } => {
+                    mallocs += 1;
+                    size_sum += size;
+                    live.insert(id, (size, at));
+                    live_bytes += size;
+                    peak = peak.max(live_bytes);
+                }
+                TraceEvent::Free { id } => {
+                    if let Some((size, birth)) = live.remove(&id) {
+                        frees += 1;
+                        live_bytes -= size;
+                        lifetime_sum += at - birth;
+                    }
+                }
+            }
+        }
+        TraceStats {
+            events: self.events.len(),
+            mallocs,
+            frees,
+            peak_live_bytes: peak,
+            final_live_bytes: live_bytes,
+            mean_size: if mallocs > 0 {
+                size_sum as f64 / mallocs as f64
+            } else {
+                0.0
+            },
+            mean_lifetime_events: if frees > 0 {
+                lifetime_sum as f64 / frees as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Serializes to the line format: `m <id> <size>` / `f <id>`, one
+    /// event per line, `#`-prefixed comment lines allowed.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 12);
+        out.push_str("# mesh allocation trace v1\n");
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Malloc { id, size } => {
+                    out.push_str(&format!("m {id} {size}\n"));
+                }
+                TraceEvent::Free { id } => out.push_str(&format!("f {id}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parses the [`Trace::to_text`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] with the offending line number.
+    pub fn from_text(text: &str) -> Result<Trace, TraceError> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_ascii_whitespace();
+            let parse = |tok: Option<&str>, what: &str| {
+                tok.ok_or_else(|| TraceError::Parse {
+                    line: i + 1,
+                    reason: format!("missing {what}"),
+                })
+                .and_then(|t| {
+                    t.parse::<u64>().map_err(|_| TraceError::Parse {
+                        line: i + 1,
+                        reason: format!("bad {what} `{t}`"),
+                    })
+                })
+            };
+            match parts.next() {
+                Some("m") => {
+                    let id = parse(parts.next(), "id")?;
+                    let size = parse(parts.next(), "size")? as usize;
+                    events.push(TraceEvent::Malloc { id, size });
+                }
+                Some("f") => {
+                    let id = parse(parts.next(), "id")?;
+                    events.push(TraceEvent::Free { id });
+                }
+                Some(tok) => {
+                    return Err(TraceError::Parse {
+                        line: i + 1,
+                        reason: format!("unknown op `{tok}`"),
+                    })
+                }
+                None => unreachable!("blank lines were skipped"),
+            }
+        }
+        Ok(Trace { events })
+    }
+}
+
+/// Report from replaying a trace against an allocator.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Allocator label.
+    pub allocator: String,
+    /// Peak heap footprint observed at sample points.
+    pub peak_heap_bytes: usize,
+    /// Heap footprint after the last event.
+    pub final_heap_bytes: usize,
+    /// Peak live (requested, class-rounded) bytes.
+    pub peak_live_bytes: usize,
+    /// Wall time of the replay.
+    pub elapsed: Duration,
+}
+
+impl ReplayReport {
+    /// Fragmentation factor at peak: heap the allocator needed per live
+    /// byte (1.0 = perfect).
+    pub fn peak_fragmentation(&self) -> f64 {
+        self.peak_heap_bytes as f64 / self.peak_live_bytes.max(1) as f64
+    }
+}
+
+/// Replays `trace` against `alloc`, sampling the footprint every
+/// `sample_every` events (and at the end).
+///
+/// # Panics
+///
+/// Panics if the trace is not well-formed (run [`Trace::validate`]
+/// first for a `Result`) or if the allocator's arena is exhausted.
+pub fn replay(trace: &Trace, alloc: &mut TestAllocator, sample_every: usize) -> ReplayReport {
+    let start = Instant::now();
+    let mut ptrs: HashMap<u64, usize> = HashMap::new();
+    let mut peak_heap = 0usize;
+    let mut peak_live = 0usize;
+    let gap = sample_every.max(1);
+    for (at, ev) in trace.events().iter().enumerate() {
+        match *ev {
+            TraceEvent::Malloc { id, size } => {
+                let p = alloc.malloc(size);
+                unsafe { std::ptr::write_bytes(p, 0x7A, size.min(16)) };
+                let prev = ptrs.insert(id, p as usize);
+                assert!(prev.is_none(), "trace event {at}: duplicate live id {id}");
+            }
+            TraceEvent::Free { id } => {
+                let p = ptrs.remove(&id).unwrap_or_else(|| {
+                    panic!("trace event {at}: free of non-live id {id}")
+                });
+                unsafe { alloc.free(p as *mut u8) };
+            }
+        }
+        if at % gap == gap - 1 {
+            peak_heap = peak_heap.max(alloc.heap_bytes().unwrap_or(0));
+            peak_live = peak_live.max(alloc.live_bytes());
+        }
+    }
+    peak_heap = peak_heap.max(alloc.heap_bytes().unwrap_or(0));
+    peak_live = peak_live.max(alloc.live_bytes());
+    let final_heap = alloc.heap_bytes().unwrap_or(0);
+    // Leave the allocator balanced for reuse.
+    for (_, p) in ptrs.drain() {
+        unsafe { alloc.free(p as *mut u8) };
+    }
+    ReplayReport {
+        allocator: alloc.kind().label().to_string(),
+        peak_heap_bytes: peak_heap,
+        final_heap_bytes: final_heap,
+        peak_live_bytes: peak_live,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Parameterized synthetic trace generators matching the §6 shapes.
+pub mod generate {
+    use super::{Trace, TraceEvent};
+    use mesh_core::rng::Rng;
+
+    /// Steady churn: ramp `live_count` objects of sizes in
+    /// `[min_size, max_size]`, then `churn_ops` replace-one operations.
+    pub fn steady_churn(
+        live_count: usize,
+        min_size: usize,
+        max_size: usize,
+        churn_ops: usize,
+        seed: u64,
+    ) -> Trace {
+        let mut rng = Rng::with_seed(seed);
+        let size = move |rng: &mut Rng| {
+            min_size + rng.below((max_size - min_size + 1) as u32) as usize
+        };
+        let mut events = Vec::new();
+        let mut next_id = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..live_count {
+            next_id += 1;
+            events.push(TraceEvent::Malloc { id: next_id, size: size(&mut rng) });
+            live.push(next_id);
+        }
+        for _ in 0..churn_ops {
+            let at = rng.below(live.len() as u32) as usize;
+            let victim = live.swap_remove(at);
+            events.push(TraceEvent::Free { id: victim });
+            next_id += 1;
+            events.push(TraceEvent::Malloc { id: next_id, size: size(&mut rng) });
+            live.push(next_id);
+        }
+        for id in live {
+            events.push(TraceEvent::Free { id });
+        }
+        Trace::from_events(events)
+    }
+
+    /// Phased sawtooth: `phases` rounds of allocating `per_phase` objects
+    /// then freeing all but `survivor_permille`‰ of them at random —
+    /// the fragmentation-producing shape of §6's Ruby and perlbench
+    /// workloads. Survivors are freed at the very end, so the trace is
+    /// balanced.
+    pub fn sawtooth(
+        phases: usize,
+        per_phase: usize,
+        min_size: usize,
+        max_size: usize,
+        survivor_permille: u32,
+        seed: u64,
+    ) -> Trace {
+        let mut trace = sawtooth_pinned(
+            phases,
+            per_phase,
+            min_size,
+            max_size,
+            survivor_permille,
+            seed,
+        );
+        let mut live: Vec<u64> = Vec::new();
+        {
+            let mut set = std::collections::HashSet::new();
+            for ev in trace.events() {
+                match *ev {
+                    TraceEvent::Malloc { id, .. } => {
+                        set.insert(id);
+                    }
+                    TraceEvent::Free { id } => {
+                        set.remove(&id);
+                    }
+                }
+            }
+            live.extend(set);
+            live.sort_unstable();
+        }
+        for id in live {
+            trace.push_free(id);
+        }
+        trace
+    }
+
+    /// The sawtooth shape with survivors left **live** at the end of the
+    /// trace. Replaying this and comparing the final footprint against
+    /// the final live bytes measures exactly the pinned-span waste that
+    /// compaction exists to reclaim (the survivors hold scattered slots
+    /// across every phase's spans).
+    pub fn sawtooth_pinned(
+        phases: usize,
+        per_phase: usize,
+        min_size: usize,
+        max_size: usize,
+        survivor_permille: u32,
+        seed: u64,
+    ) -> Trace {
+        let mut rng = Rng::with_seed(seed);
+        let mut events = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..phases {
+            let mut phase_ids = Vec::with_capacity(per_phase);
+            for _ in 0..per_phase {
+                next_id += 1;
+                let size =
+                    min_size + rng.below((max_size - min_size + 1) as u32) as usize;
+                events.push(TraceEvent::Malloc { id: next_id, size });
+                phase_ids.push(next_id);
+            }
+            for id in phase_ids {
+                if !rng.chance(survivor_permille, 1000) {
+                    events.push(TraceEvent::Free { id });
+                }
+            }
+        }
+        Trace::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::AllocatorKind;
+
+    fn small_trace() -> Trace {
+        Trace::from_events(vec![
+            TraceEvent::Malloc { id: 1, size: 100 },
+            TraceEvent::Malloc { id: 2, size: 200 },
+            TraceEvent::Free { id: 1 },
+            TraceEvent::Malloc { id: 3, size: 50 },
+            TraceEvent::Free { id: 2 },
+            TraceEvent::Free { id: 3 },
+        ])
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(small_trace().validate().is_ok());
+        assert!(Trace::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_double_malloc() {
+        let t = Trace::from_events(vec![
+            TraceEvent::Malloc { id: 1, size: 8 },
+            TraceEvent::Malloc { id: 1, size: 8 },
+        ]);
+        assert_eq!(t.validate(), Err(TraceError::DuplicateId { at: 1, id: 1 }));
+    }
+
+    #[test]
+    fn validate_rejects_stray_free_and_zero_size() {
+        let t = Trace::from_events(vec![TraceEvent::Free { id: 9 }]);
+        assert_eq!(t.validate(), Err(TraceError::FreeUnknown { at: 0, id: 9 }));
+        let t = Trace::from_events(vec![TraceEvent::Malloc { id: 1, size: 0 }]);
+        assert_eq!(t.validate(), Err(TraceError::ZeroSize { at: 0 }));
+    }
+
+    #[test]
+    fn id_reuse_after_free_is_legal() {
+        let t = Trace::from_events(vec![
+            TraceEvent::Malloc { id: 1, size: 8 },
+            TraceEvent::Free { id: 1 },
+            TraceEvent::Malloc { id: 1, size: 16 },
+            TraceEvent::Free { id: 1 },
+        ]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn stats_track_peak_and_lifetimes() {
+        let s = small_trace().stats();
+        assert_eq!(s.mallocs, 3);
+        assert_eq!(s.frees, 3);
+        assert_eq!(s.peak_live_bytes, 300);
+        assert_eq!(s.final_live_bytes, 0);
+        assert!((s.mean_size - 350.0 / 3.0).abs() < 1e-9);
+        // Lifetimes: id1 lives 0→2 (2), id2 1→4 (3), id3 3→5 (2).
+        assert!((s.mean_lifetime_events - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = small_trace();
+        let text = t.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Trace::from_text("m 1 8\nx 2\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::Parse { line: 2, reason: "unknown op `x`".into() }
+        );
+        let err = Trace::from_text("m 1\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+        let err = Trace::from_text("f abc\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = Trace::from_text("# hi\n\nm 5 32\n  \nf 5\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replay_runs_against_mesh() {
+        let trace = generate::steady_churn(500, 16, 512, 2_000, 11);
+        trace.validate().unwrap();
+        let mut alloc = AllocatorKind::MeshFull.build(64 << 20, 11);
+        let report = replay(&trace, &mut alloc, 100);
+        assert!(report.peak_heap_bytes > 0);
+        assert!(report.peak_fragmentation() >= 1.0);
+        assert_eq!(alloc.live_bytes(), 0, "replay left the heap balanced");
+    }
+
+    #[test]
+    fn sawtooth_fragmentation_is_visible_to_replay() {
+        // The same trace replayed with and without meshing: the sawtooth
+        // shape leaves scattered survivors, which meshing compacts.
+        let trace = generate::sawtooth(6, 4_000, 64, 64, 50, 12);
+        trace.validate().unwrap();
+        let mut base = AllocatorKind::MeshNoMesh.build(256 << 20, 12);
+        let rb = replay(&trace, &mut base, 500);
+        let mut mesh = AllocatorKind::MeshFull.build(256 << 20, 12);
+        let rm = replay(&trace, &mut mesh, 500);
+        assert!(
+            rm.peak_heap_bytes <= rb.peak_heap_bytes,
+            "meshing should not need more memory: {} vs {}",
+            rm.peak_heap_bytes,
+            rb.peak_heap_bytes
+        );
+    }
+
+    #[test]
+    fn generators_produce_valid_traces() {
+        for seed in 0..5 {
+            generate::steady_churn(100, 16, 128, 500, seed).validate().unwrap();
+            generate::sawtooth(4, 200, 32, 256, 250, seed).validate().unwrap();
+            generate::sawtooth_pinned(4, 200, 32, 256, 250, seed)
+                .validate()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn sawtooth_balanced_but_pinned_leaves_survivors() {
+        let balanced = generate::sawtooth(3, 500, 64, 64, 100, 9);
+        assert_eq!(balanced.stats().final_live_bytes, 0);
+        let pinned = generate::sawtooth_pinned(3, 500, 64, 64, 100, 9);
+        let stats = pinned.stats();
+        assert!(stats.final_live_bytes > 0, "survivors must stay live");
+        // ~10% of 1500 objects of 64 B.
+        assert!(stats.final_live_bytes < 3 * 1500 * 64 / 10);
+    }
+
+    #[test]
+    fn replay_report_fragmentation_math() {
+        let r = ReplayReport {
+            allocator: "x".into(),
+            peak_heap_bytes: 150,
+            final_heap_bytes: 10,
+            peak_live_bytes: 100,
+            elapsed: Duration::ZERO,
+        };
+        assert!((r.peak_fragmentation() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! The Robson worst case (§1): drive a classical first-fit allocator to
+//! catastrophic fragmentation, then show Mesh shrugging off the
+//! within-size-class equivalent.
+//!
+//! Run with: `cargo run --release --example fragmentation`
+
+use mesh::graph::probability::robson_factor;
+use mesh::workloads::driver::AllocatorKind;
+use mesh::workloads::firstfit::FitPolicy;
+use mesh::workloads::robson::{robson_adversary, within_class_adversary};
+
+fn main() {
+    // Paper example: 16-byte to 128 KB objects ⇒ up to 13× blowup.
+    println!(
+        "Robson bound for 16 B … 128 KB objects: {:.0}× (paper §1: 13×)\n",
+        robson_factor(16, 128 * 1024)
+    );
+
+    let report = robson_adversary(FitPolicy::FirstFit, 16, 128 * 1024, 8 << 20);
+    println!("doubling adversary vs simulated first fit (8 MiB live budget):");
+    println!("{:>10} {:>12} {:>12} {:>8}", "size", "live MiB", "heap MiB", "factor");
+    for p in report.phases.iter().step_by(3) {
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>7.1}×",
+            p.size,
+            p.live_bytes as f64 / (1 << 20) as f64,
+            p.footprint as f64 / (1 << 20) as f64,
+            p.footprint as f64 / p.live_bytes.max(1) as f64
+        );
+    }
+    println!("final factor: {:.1}× of live data\n", report.final_factor);
+
+    // The within-class worst case against real heaps: one live object per
+    // span. Without meshing the spans are pinned forever; with meshing
+    // they compact (alias-limit-bounded) each pass.
+    println!("within-size-class worst case (1 live 256 B object per 4 KiB span):");
+    for kind in [AllocatorKind::MeshNoMesh, AllocatorKind::MeshFull] {
+        let mut alloc = kind.build(1 << 30, 7);
+        let r = within_class_adversary(&mut alloc, 256, 512, 7);
+        println!(
+            "  {:<20} fragmented {:>6.1} MiB ({:>5.1}×)  → after meshing {:>6.1} MiB ({:>5.1}×)",
+            kind.label(),
+            r.fragmented_bytes as f64 / (1 << 20) as f64,
+            r.fragmented_factor(),
+            r.compacted_bytes as f64 / (1 << 20) as f64,
+            r.compacted_factor(),
+        );
+    }
+    println!("\nMesh breaks the Robson bound with high probability (§5.4).");
+}

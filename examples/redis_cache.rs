@@ -1,0 +1,45 @@
+//! The paper's Redis experiment (§6.2.2) as a runnable example: an LRU
+//! cache whose evictions shred the heap, compacted either by Redis-style
+//! application-level "activedefrag" or transparently by Mesh.
+//!
+//! Run with: `cargo run --release --example redis_cache`
+
+use mesh::workloads::driver::AllocatorKind;
+use mesh::workloads::redis::{run_redis, RedisConfig};
+
+fn main() {
+    // 1/10 of the paper's scale: 70k + 17k inserts, 10 MB LRU cap.
+    let cfg = RedisConfig::paper().scaled(0.1);
+    println!("Redis-style LRU cache: {} + {} inserts, {} MiB cap\n",
+        cfg.phase1_keys, cfg.phase2_keys, cfg.max_memory >> 20);
+
+    let mut rows = Vec::new();
+    for (kind, defrag) in [
+        (AllocatorKind::MeshNoMesh, false),
+        (AllocatorKind::MeshNoMesh, true),
+        (AllocatorKind::MeshFull, false),
+    ] {
+        let mut alloc = kind.build(1 << 30, 42);
+        let report = run_redis(&mut alloc, &cfg.clone().with_activedefrag(defrag));
+        println!(
+            "{:<26} final heap {:>6.1} MiB | inserts {:>6.2?} | compaction {:>7.2?} (longest pause {:?})",
+            report.label,
+            report.final_heap_bytes as f64 / (1 << 20) as f64,
+            report.phase1_time + report.phase2_time,
+            report.compaction_time,
+            report.longest_pause,
+        );
+        rows.push(report);
+    }
+
+    let baseline = rows[0].final_heap_bytes as f64;
+    println!(
+        "\nMesh saves {:.0}% of the heap with zero application changes (paper: 39%),",
+        (1.0 - rows[2].final_heap_bytes as f64 / baseline) * 100.0
+    );
+    println!(
+        "matching activedefrag's savings ({:.0}%) while compacting {:.1}x faster.",
+        (1.0 - rows[1].final_heap_bytes as f64 / baseline) * 100.0,
+        rows[1].compaction_time.as_secs_f64() / rows[2].compaction_time.as_secs_f64().max(1e-9)
+    );
+}

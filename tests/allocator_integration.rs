@@ -1,0 +1,230 @@
+//! Cross-crate integration tests: the Mesh allocator exercised through
+//! its public API with shadow-model verification.
+
+use mesh::core::{Mesh, MeshConfig, NUM_SIZE_CLASSES, PAGE_SIZE};
+use std::collections::HashMap;
+
+fn heap(seed: u64) -> Mesh {
+    // Auto-meshing off (huge period): these tests trigger passes
+    // explicitly so their before/after measurements stay deterministic.
+    Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(256 << 20)
+            .seed(seed)
+            .mesh_period(std::time::Duration::from_secs(3600)),
+    )
+    .expect("heap")
+}
+
+#[test]
+fn every_size_class_roundtrips_with_data() {
+    let mesh = heap(1);
+    let mut live: Vec<(*mut u8, usize, u8)> = Vec::new();
+    // Cover all classes plus large objects, several of each.
+    let sizes: Vec<usize> = (0..NUM_SIZE_CLASSES)
+        .map(|i| mesh::core::SizeClass::from_index(i).object_size())
+        .chain([17_000, 65_536, 1 << 20])
+        .collect();
+    for (i, &size) in sizes.iter().enumerate() {
+        for rep in 0..4 {
+            let p = mesh.malloc(size);
+            assert!(!p.is_null(), "size {size}");
+            let fill = (i * 7 + rep + 1) as u8;
+            unsafe { std::ptr::write_bytes(p, fill, size) };
+            live.push((p, size, fill));
+        }
+    }
+    // Everything intact, correct usable sizes, then free.
+    for &(p, size, fill) in &live {
+        let usable = mesh.usable_size(p).expect("our pointer");
+        assert!(usable >= size);
+        unsafe {
+            assert_eq!(*p, fill);
+            assert_eq!(*p.add(size - 1), fill);
+        }
+    }
+    for (p, _, _) in live {
+        unsafe { mesh.free(p) };
+    }
+    assert_eq!(mesh.stats().live_bytes, 0);
+}
+
+#[test]
+fn interleaved_malloc_free_against_shadow_model() {
+    let mesh = heap(2);
+    let mut rng = mesh::core::rng::Rng::with_seed(99);
+    let mut model: HashMap<usize, (usize, u8)> = HashMap::new();
+    for step in 0..50_000u64 {
+        if model.is_empty() || rng.chance(3, 5) {
+            let size = 1 + rng.below(2048) as usize;
+            let p = mesh.malloc(size) as usize;
+            assert!(p != 0);
+            let fill = (step % 255) as u8 + 1;
+            unsafe { std::ptr::write_bytes(p as *mut u8, fill, size) };
+            assert!(
+                model.insert(p, (size, fill)).is_none(),
+                "allocator returned a live address twice"
+            );
+        } else {
+            let &addr = model.keys().next().unwrap();
+            let (size, fill) = model.remove(&addr).unwrap();
+            unsafe {
+                assert_eq!(*(addr as *const u8), fill, "corruption before free");
+                assert_eq!(*((addr + size - 1) as *const u8), fill);
+                mesh.free(addr as *mut u8);
+            }
+        }
+        // Sprinkle meshing through the run.
+        if step % 10_000 == 9_999 {
+            mesh.mesh_now();
+        }
+    }
+    // Verify all remaining, then free.
+    for (addr, (size, fill)) in model.drain() {
+        unsafe {
+            assert_eq!(*(addr as *const u8), fill);
+            assert_eq!(*((addr + size - 1) as *const u8), fill);
+            mesh.free(addr as *mut u8);
+        }
+    }
+    let stats = mesh.stats();
+    assert_eq!(stats.live_bytes, 0);
+    assert_eq!(stats.invalid_frees, 0);
+    assert_eq!(stats.double_frees, 0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        let mesh = heap(77);
+        let addrs: Vec<usize> = (0..1000)
+            .map(|i| mesh.malloc(16 + (i % 32) * 16) as usize - 0)
+            .collect();
+        let base = addrs[0];
+        // Return offsets relative to the first allocation (arena base
+        // varies run to run; offsets must not).
+        addrs.into_iter().map(|a| a.wrapping_sub(base)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "same seed must give identical layouts");
+}
+
+#[test]
+fn different_seeds_give_different_layouts() {
+    let offsets = |seed| {
+        let mesh = heap(seed);
+        let first = mesh.malloc(64) as usize;
+        (0..64)
+            .map(|_| (mesh.malloc(64) as usize).wrapping_sub(first))
+            .collect::<Vec<_>>()
+    };
+    assert_ne!(offsets(1), offsets(2));
+}
+
+#[test]
+fn arena_exhaustion_returns_null_and_recovers() {
+    let mesh = Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(64 * PAGE_SIZE)
+            .seed(3),
+    )
+    .unwrap();
+    let mut ptrs = Vec::new();
+    loop {
+        let p = mesh.malloc(4096);
+        if p.is_null() {
+            break;
+        }
+        ptrs.push(p);
+    }
+    assert!(!ptrs.is_empty());
+    // Free everything: allocation must work again.
+    for p in ptrs {
+        unsafe { mesh.free(p) };
+    }
+    let p = mesh.malloc(4096);
+    assert!(!p.is_null(), "heap did not recover after exhaustion");
+    unsafe { mesh.free(p) };
+}
+
+#[test]
+fn foreign_and_double_frees_are_discarded_not_fatal() {
+    let mesh = heap(4);
+    // Allocate from a short-lived thread heap so the span detaches and
+    // frees take the *global* path — the one that detects bad frees
+    // (§4.4.4). (Local fast-path double frees are undetected by design,
+    // exactly as in C.)
+    let p = {
+        let mut th = mesh.thread_heap();
+        th.malloc(100)
+    };
+    unsafe {
+        mesh.free(p);
+        mesh.free(p); // double free: detected and discarded
+        let mut foreign = Box::new(42u64);
+        mesh.free(&mut *foreign as *mut u64 as *mut u8); // wild: discarded
+    }
+    let stats = mesh.stats();
+    assert_eq!(stats.invalid_frees + stats.double_frees, 2);
+    assert_eq!(stats.frees, 1, "only the first free was accepted");
+}
+
+#[test]
+fn many_heaps_coexist() {
+    let heaps: Vec<Mesh> = (0..8)
+        .map(|i| Mesh::new(MeshConfig::default().arena_bytes(16 << 20).seed(i)).unwrap())
+        .collect();
+    let ptrs: Vec<*mut u8> = heaps.iter().map(|h| h.malloc(128)).collect();
+    for (i, (h, &p)) in heaps.iter().zip(&ptrs).enumerate() {
+        assert!(h.contains(p));
+        // Arenas are disjoint mappings: each pointer belongs to its heap
+        // alone.
+        for (j, other) in heaps.iter().enumerate() {
+            if i != j {
+                assert!(!other.contains(p), "heap {j} claims heap {i}'s pointer");
+            }
+        }
+        unsafe { h.free(p) };
+    }
+}
+
+#[test]
+fn fragmentation_ratio_tracks_compaction() {
+    let mesh = heap(5);
+    let ptrs: Vec<*mut u8> = (0..16384).map(|_| mesh.malloc(512)).collect();
+    for (i, &p) in ptrs.iter().enumerate() {
+        if i % 8 != 0 {
+            unsafe { mesh.free(p) };
+        }
+    }
+    let before = mesh.stats().fragmentation_ratio().unwrap();
+    mesh.mesh_now();
+    let after = mesh.stats().fragmentation_ratio().unwrap();
+    assert!(
+        after < before * 0.7,
+        "compaction should cut fragmentation: {before:.2} → {after:.2}"
+    );
+    for (i, &p) in ptrs.iter().enumerate() {
+        if i % 8 == 0 {
+            unsafe { mesh.free(p) };
+        }
+    }
+}
+
+#[test]
+fn realloc_chain_preserves_prefix() {
+    let mesh = heap(6);
+    unsafe {
+        let mut p = mesh.malloc(16);
+        for i in 0..16 {
+            *p.add(i) = i as u8;
+        }
+        for new_size in [64usize, 256, 1024, 16 * 1024, 100_000] {
+            p = mesh.realloc(p, new_size);
+            assert!(!p.is_null());
+            for i in 0..16 {
+                assert_eq!(*p.add(i), i as u8, "prefix lost at {new_size}");
+            }
+        }
+        mesh.free(p);
+    }
+}

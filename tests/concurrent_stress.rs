@@ -1,0 +1,247 @@
+//! Concurrency stress tests: §4.3's lock-free fast path, §4.4.4's remote
+//! frees, and §4.5.2's concurrent meshing under adversarial schedules.
+
+use mesh::core::{Mesh, MeshConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn heap(seed: u64) -> Mesh {
+    Mesh::new(MeshConfig::default().arena_bytes(1 << 30).seed(seed)).unwrap()
+}
+
+#[test]
+fn producer_consumer_remote_frees() {
+    // Producers allocate, consumers free other threads' pointers: every
+    // consumer free takes the §4.4.4 global path.
+    let mesh = heap(21);
+    let (tx, rx) = std::sync::mpsc::channel::<usize>();
+    let producers: Vec<_> = (0..3)
+        .map(|t| {
+            let mesh = mesh.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut heap = mesh.thread_heap();
+                for i in 0..20_000usize {
+                    let size = 16 + ((i * 37 + t * 13) % 1000);
+                    let p = heap.malloc(size);
+                    assert!(!p.is_null());
+                    unsafe { std::ptr::write_bytes(p, 0x33, size.min(64)) };
+                    tx.send(p as usize).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let consumer = {
+        let mesh = mesh.clone();
+        std::thread::spawn(move || {
+            let mut heap = mesh.thread_heap();
+            let mut count = 0u64;
+            while let Ok(addr) = rx.recv() {
+                unsafe { heap.free(addr as *mut u8) };
+                count += 1;
+            }
+            count
+        })
+    };
+    for p in producers {
+        p.join().unwrap();
+    }
+    let freed = consumer.join().unwrap();
+    assert_eq!(freed, 60_000);
+    let stats = mesh.stats();
+    assert_eq!(stats.mallocs, 60_000);
+    assert_eq!(stats.frees, 60_000);
+    assert_eq!(stats.live_bytes, 0);
+    assert!(stats.remote_frees > 50_000, "consumer frees must be remote");
+    assert_eq!(stats.double_frees, 0);
+    assert_eq!(stats.invalid_frees, 0);
+}
+
+#[test]
+fn concurrent_meshing_with_racing_writers_loses_nothing() {
+    // The §4.5.2 write-barrier guarantee, asserted via counters: writers
+    // increment disjoint u64 counters inside mesh candidates while the
+    // main thread meshes continuously. Any lost write breaks the sum.
+    //
+    // Auto-meshing is disabled (huge period): on a slow machine the setup
+    // frees can outlast the default 100ms rate limit, letting an automatic
+    // pass consume the meshable pairs before the explicit mesh_now() calls
+    // below get to race with the writers.
+    let mesh = Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(1 << 30)
+            .seed(22)
+            .mesh_period(Duration::from_secs(3600)),
+    )
+    .unwrap();
+    let mut th = mesh.thread_heap();
+    let all: Vec<usize> = (0..65_536)
+        .map(|_| {
+            let p = th.malloc(64);
+            unsafe { std::ptr::write_bytes(p, 0, 64) };
+            p as usize
+        })
+        .collect();
+    let mut survivors = Vec::new();
+    for (i, &p) in all.iter().enumerate() {
+        if i % 8 == 0 {
+            survivors.push(p);
+        } else {
+            unsafe { th.free(p as *mut u8) };
+        }
+    }
+    let survivors = Arc::new(survivors);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writes = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..4usize)
+        .map(|t| {
+            let survivors = Arc::clone(&survivors);
+            let stop = Arc::clone(&stop);
+            let writes = Arc::clone(&writes);
+            std::thread::spawn(move || {
+                let mine: Vec<usize> =
+                    survivors.iter().copied().skip(t).step_by(4).collect();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let addr = mine[i % mine.len()] as *mut u64;
+                    unsafe { addr.write(addr.read() + 1) };
+                    writes.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut meshed_total = 0usize;
+    for _ in 0..8 {
+        meshed_total += mesh.mesh_now().pairs_meshed;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(meshed_total > 100, "stress needs real meshing traffic");
+    let sum: u64 = survivors
+        .iter()
+        .map(|&a| unsafe { (a as *const u64).read() })
+        .sum();
+    assert_eq!(
+        sum,
+        writes.load(Ordering::Relaxed),
+        "writes lost during concurrent meshing"
+    );
+    for &p in survivors.iter() {
+        unsafe { mesh.free(p as *mut u8) };
+    }
+}
+
+#[test]
+fn allocation_proceeds_while_meshing_hammers() {
+    // §4.5.3: threads needing fresh spans wait on the global lock, but
+    // allocation from attached spans proceeds; nothing deadlocks.
+    let mesh = heap(23);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mesher = {
+        let mesh = mesh.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                mesh.mesh_now();
+            }
+        })
+    };
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let mesh = mesh.clone();
+            std::thread::spawn(move || {
+                let mut heap = mesh.thread_heap();
+                let mut live: Vec<(usize, usize)> = Vec::new();
+                let mut rng = mesh::core::rng::Rng::with_seed(t);
+                for _ in 0..30_000 {
+                    if live.len() < 500 || rng.chance(1, 2) {
+                        let size = 16 + rng.below(500) as usize;
+                        let p = heap.malloc(size);
+                        assert!(!p.is_null());
+                        unsafe { std::ptr::write_bytes(p, 0x44, size.min(32)) };
+                        live.push((p as usize, size));
+                    } else {
+                        let i = rng.below(live.len() as u32) as usize;
+                        let (addr, _) = live.swap_remove(i);
+                        unsafe { heap.free(addr as *mut u8) };
+                    }
+                }
+                for (addr, _) in live {
+                    unsafe { heap.free(addr as *mut u8) };
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    mesher.join().unwrap();
+    let stats = mesh.stats();
+    assert_eq!(stats.live_bytes, 0);
+    assert_eq!(stats.double_frees, 0);
+}
+
+#[test]
+fn thread_heap_drop_returns_spans_for_meshing() {
+    let mesh = heap(24);
+    let mut keepers: Vec<usize> = Vec::new();
+    for t in 0..8 {
+        let mesh = mesh.clone();
+        let kept = std::thread::spawn(move || {
+            let mut heap = mesh.thread_heap();
+            let ptrs: Vec<usize> = (0..4096).map(|_| heap.malloc(256) as usize).collect();
+            let mut kept = Vec::new();
+            for (i, &p) in ptrs.iter().enumerate() {
+                if i % 8 == t % 8 {
+                    kept.push(p);
+                } else {
+                    unsafe { heap.free(p as *mut u8) };
+                }
+            }
+            kept
+            // heap drops here: all spans return to the global heap.
+        })
+        .join()
+        .unwrap();
+        keepers.extend(kept);
+    }
+    // All spans are detached now; meshing should compact across the
+    // remains of all eight threads.
+    let before = mesh.heap_bytes();
+    let summary = mesh.mesh_now();
+    assert!(summary.pairs_meshed > 0, "no cross-thread meshing happened");
+    assert!(mesh.heap_bytes() < before);
+    for p in keepers {
+        unsafe { mesh.free(p as *mut u8) };
+    }
+    assert_eq!(mesh.stats().live_bytes, 0);
+}
+
+#[test]
+fn mesh_handle_is_usable_from_many_threads_at_once() {
+    let mesh = heap(25);
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let mesh = mesh.clone();
+            std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    let p = mesh.malloc(300);
+                    assert!(!p.is_null());
+                    unsafe { mesh.free(p) };
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(mesh.stats().live_bytes, 0);
+}

@@ -1,0 +1,145 @@
+//! Property tests for the §5 theory kit: blossom matching, graph
+//! realization, Erdős–Renyi sampling, and trace round-trips.
+
+use mesh::graph::blossom::blossom_matching;
+use mesh::graph::clique_cover::min_clique_cover_size;
+use mesh::graph::erdos_renyi::sample_gnp;
+use mesh::graph::matching::{greedy_matching, is_valid_matching, maximum_matching_size};
+use mesh::graph::MeshGraph;
+use mesh::workloads::trace::{Trace, TraceEvent};
+use mesh::core::rng::Rng;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary edge set over `n ≤ 12` nodes.
+fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=12).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `from_edge_list` realizes exactly the requested edge relation
+    /// (minus self-loops), for arbitrary edge sets.
+    #[test]
+    fn edge_list_realization_is_exact((n, edges) in small_graph()) {
+        let g = MeshGraph::from_edge_list(n, &edges);
+        prop_assert_eq!(g.node_count(), n);
+        for i in 0..n {
+            prop_assert!(!g.has_edge(i, i));
+            for j in 0..n {
+                if i != j {
+                    let wanted = edges
+                        .iter()
+                        .any(|&(a, b)| (a, b) == (i, j) || (b, a) == (i, j));
+                    prop_assert_eq!(g.has_edge(i, j), wanted, "edge ({}, {})", i, j);
+                }
+            }
+        }
+    }
+
+    /// Blossom output is always a valid matching, is optimal (vs the
+    /// subset DP), and dominates the greedy matcher.
+    #[test]
+    fn blossom_is_optimal_on_arbitrary_graphs((n, edges) in small_graph()) {
+        let g = MeshGraph::from_edge_list(n, &edges);
+        let m = blossom_matching(&g);
+        prop_assert!(is_valid_matching(&g, &m));
+        prop_assert!(m.len() <= n / 2);
+        let opt = maximum_matching_size(&g);
+        prop_assert_eq!(m.len(), opt);
+        let greedy = greedy_matching(&g);
+        prop_assert!(greedy.len() <= m.len());
+        prop_assert!(2 * greedy.len() >= m.len(), "greedy below 1/2-approx");
+    }
+
+    /// An optimal cover of `k` cliques releases `n − k` spans; a maximum
+    /// matching of `m` pairs releases `m`. The optimal cover dominates
+    /// the matching but never releases more than 2× as much: a clique of
+    /// size `s` releases `s − 1` spans yet contains `⌊s/2⌋ ≥ (s−1)/2`
+    /// disjoint pairs — the quantitative backbone of §5.2's claim.
+    #[test]
+    fn cover_dominates_matching_but_not_by_much((n, edges) in small_graph()) {
+        let g = MeshGraph::from_edge_list(n, &edges);
+        let match_released = blossom_matching(&g).len();
+        let cover_released = n - min_clique_cover_size(&g);
+        prop_assert!(cover_released >= match_released);
+        prop_assert!(cover_released <= 2 * match_released);
+    }
+
+    /// Erdős–Renyi degenerate cases and density monotonicity.
+    #[test]
+    fn gnp_edge_counts_bounded(n in 2usize..40, p in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mut rng = Rng::with_seed(seed);
+        let g = sample_gnp(n, p, &mut rng);
+        let max = n * (n - 1) / 2;
+        prop_assert!(g.edge_count() <= max);
+        if p == 0.0 {
+            prop_assert_eq!(g.edge_count(), 0);
+        }
+        if p == 1.0 {
+            prop_assert_eq!(g.edge_count(), max);
+        }
+    }
+
+    /// Any well-formed trace round-trips through the text format.
+    #[test]
+    fn trace_text_round_trip(ops in proptest::collection::vec((0u8..2, 0u64..8, 1usize..4096), 0..200)) {
+        // Build a well-formed trace from the op stream: malloc if the id
+        // is free, free if it is live.
+        let mut live = std::collections::HashSet::new();
+        let mut events = Vec::new();
+        for (op, id, size) in ops {
+            if op == 0 && !live.contains(&id) {
+                live.insert(id);
+                events.push(TraceEvent::Malloc { id, size });
+            } else if op == 1 && live.contains(&id) {
+                live.remove(&id);
+                events.push(TraceEvent::Free { id });
+            }
+        }
+        let trace = Trace::from_events(events);
+        prop_assert!(trace.validate().is_ok());
+        let back = Trace::from_text(&trace.to_text()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Trace statistics are internally consistent.
+    #[test]
+    fn trace_stats_consistent(sizes in proptest::collection::vec(1usize..10_000, 1..100)) {
+        let mut trace = Trace::default();
+        for (i, &s) in sizes.iter().enumerate() {
+            trace.push_malloc(i as u64, s);
+        }
+        for i in 0..sizes.len() / 2 {
+            trace.push_free(i as u64);
+        }
+        let stats = trace.stats();
+        prop_assert_eq!(stats.mallocs, sizes.len());
+        prop_assert_eq!(stats.frees, sizes.len() / 2);
+        let total: usize = sizes.iter().sum();
+        prop_assert_eq!(stats.peak_live_bytes, total);
+        let freed: usize = sizes[..sizes.len() / 2].iter().sum();
+        prop_assert_eq!(stats.final_live_bytes, total - freed);
+    }
+}
+
+/// The blossom matcher on larger random meshing graphs: validity plus
+/// the Lemma 5.3 sanity relation (optimum ≥ greedy ≥ optimum/2).
+#[test]
+fn blossom_on_large_random_meshing_graphs() {
+    let mut rng = Rng::with_seed(0xb0b);
+    for &(n, b, r) in &[(100usize, 32usize, 6usize), (200, 64, 10), (300, 64, 16)] {
+        let g = MeshGraph::random(n, b, r, &mut rng);
+        let m = blossom_matching(&g);
+        assert!(is_valid_matching(&g, &m));
+        let greedy = greedy_matching(&g);
+        assert!(greedy.len() <= m.len());
+        assert!(2 * greedy.len() >= m.len());
+    }
+}

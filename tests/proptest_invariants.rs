@@ -1,0 +1,181 @@
+//! Property-based tests on the core data structures and the allocator's
+//! end-to-end invariants (proptest).
+
+use mesh::core::bitmap::AtomicBitmap;
+use mesh::core::miniheap::MiniHeapId;
+use mesh::core::rng::Rng;
+use mesh::core::shuffle_vector::ShuffleVector;
+use mesh::core::{Mesh, MeshConfig, SizeClass};
+use mesh::graph::clique_cover::{greedy_cover, is_valid_cover};
+use mesh::graph::matching::{greedy_matching, is_valid_matching, maximum_matching_size};
+use mesh::graph::split_mesher::split_mesher;
+use mesh::graph::{MeshGraph, SpanString};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A shuffle vector over any span shape hands out every offset exactly
+    /// once, in some permutation.
+    #[test]
+    fn shuffle_vector_is_a_permutation(
+        count in 1usize..=256,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::with_seed(seed);
+        let bitmap = AtomicBitmap::new(count);
+        let mut sv = ShuffleVector::new(true);
+        sv.attach(MiniHeapId::from_raw(1), 0x10000, 4096, count, 4096 / count.max(1), &bitmap, &mut rng);
+        let mut seen = HashSet::new();
+        while let Some(a) = sv.malloc() {
+            prop_assert!(seen.insert(a), "duplicate address");
+        }
+        prop_assert_eq!(seen.len(), count);
+    }
+
+    /// Interleaved frees keep the offset set consistent: what goes back
+    /// in comes back out exactly once.
+    #[test]
+    fn shuffle_vector_free_reuse(
+        count in 2usize..=256,
+        seed in any::<u64>(),
+        ops in prop::collection::vec(any::<u16>(), 1..200),
+    ) {
+        let mut rng = Rng::with_seed(seed);
+        let bitmap = AtomicBitmap::new(count);
+        let mut sv = ShuffleVector::new(true);
+        sv.attach(MiniHeapId::from_raw(1), 0x10000, 4096, count, 4096 / count, &bitmap, &mut rng);
+        let mut live: Vec<usize> = Vec::new();
+        for op in ops {
+            if op % 3 != 0 || live.is_empty() {
+                if let Some(a) = sv.malloc() {
+                    prop_assert!(!live.contains(&a), "live address re-issued");
+                    live.push(a);
+                }
+            } else {
+                let a = live.swap_remove(op as usize % live.len());
+                unsafe { sv.free(a, &mut rng) };
+            }
+        }
+        // Drain: total live + drained == count.
+        let mut drained = 0usize;
+        while sv.malloc().is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(live.len() + drained, count);
+    }
+
+    /// The meshability predicate agrees between strings and raw popcount.
+    #[test]
+    fn mesh_predicate_equals_dot_product(
+        len in 1usize..=256,
+        bits_a in prop::collection::vec(any::<u16>(), 0..64),
+        bits_b in prop::collection::vec(any::<u16>(), 0..64),
+    ) {
+        let a = SpanString::from_bits(len, &bits_a.iter().map(|&b| b as usize % len).collect::<Vec<_>>());
+        let b = SpanString::from_bits(len, &bits_b.iter().map(|&b| b as usize % len).collect::<Vec<_>>());
+        let dot: usize = (0..len).filter(|&i| a.get(i) && b.get(i)).count();
+        prop_assert_eq!(a.meshes_with(&b), dot == 0);
+        prop_assert_eq!(a.meshes_with(&b), b.meshes_with(&a));
+    }
+
+    /// SplitMesher always emits a valid matching, never exceeding the
+    /// exact maximum.
+    #[test]
+    fn split_mesher_is_valid_and_bounded(
+        n in 2usize..=20,
+        occupancy in 1usize..=8,
+        t in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::with_seed(seed);
+        let strings: Vec<SpanString> = (0..n)
+            .map(|_| SpanString::random_with_occupancy(16, occupancy, &mut rng))
+            .collect();
+        let out = split_mesher(&strings, t, &mut rng);
+        let g = MeshGraph::from_strings(strings);
+        prop_assert!(is_valid_matching(&g, &out.pairs));
+        prop_assert!(out.released() <= maximum_matching_size(&g));
+    }
+
+    /// Greedy matching is valid and at least half the maximum; greedy
+    /// cover is a valid partition whose release count is at least the
+    /// matching's.
+    #[test]
+    fn matching_and_cover_relations(
+        n in 2usize..=18,
+        occupancy in 1usize..=10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::with_seed(seed);
+        let g = MeshGraph::random(n, 24, occupancy, &mut rng);
+        let m = greedy_matching(&g);
+        prop_assert!(is_valid_matching(&g, &m));
+        let opt = maximum_matching_size(&g);
+        prop_assert!(m.len() * 2 >= opt);
+        let cover = greedy_cover(&g);
+        prop_assert!(is_valid_cover(&g, &cover));
+        prop_assert!(n - cover.len() >= m.len(),
+            "a matching is a cover: cover must release at least as much");
+    }
+
+    /// End-to-end allocator property: any interleaving of mallocs, frees
+    /// and mesh passes preserves object contents and never double-issues
+    /// an address.
+    #[test]
+    fn allocator_respects_contents_under_meshing(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u8>(), 1u16..2000), 50..300),
+    ) {
+        let mesh = Mesh::new(
+            MeshConfig::default().arena_bytes(64 << 20).seed(seed),
+        ).unwrap();
+        let mut live: Vec<(usize, usize, u8)> = Vec::new();
+        for (i, (op, size)) in ops.iter().enumerate() {
+            match op % 4 {
+                0 | 1 => {
+                    let size = *size as usize;
+                    let p = mesh.malloc(size) as usize;
+                    prop_assert!(p != 0);
+                    let fill = (i % 251) as u8 + 1;
+                    unsafe { std::ptr::write_bytes(p as *mut u8, fill, size) };
+                    prop_assert!(!live.iter().any(|&(a, _, _)| a == p));
+                    live.push((p, size, fill));
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let idx = *size as usize % live.len();
+                        let (a, s, f) = live.swap_remove(idx);
+                        unsafe {
+                            prop_assert_eq!(*(a as *const u8), f);
+                            prop_assert_eq!(*((a + s - 1) as *const u8), f);
+                            mesh.free(a as *mut u8);
+                        }
+                    }
+                }
+                _ => {
+                    mesh.mesh_now();
+                }
+            }
+        }
+        for (a, s, f) in live {
+            unsafe {
+                prop_assert_eq!(*(a as *const u8), f);
+                prop_assert_eq!(*((a + s - 1) as *const u8), f);
+                mesh.free(a as *mut u8);
+            }
+        }
+        prop_assert_eq!(mesh.stats().live_bytes, 0);
+    }
+
+    /// Size-class lookup is monotone and tight for arbitrary sizes.
+    #[test]
+    fn size_class_lookup_sound(size in 0usize..=16384) {
+        let c = SizeClass::for_size(size).unwrap();
+        prop_assert!(c.object_size() >= size);
+        if c.index() > 0 {
+            prop_assert!(SizeClass::from_index(c.index() - 1).object_size() < size);
+        }
+    }
+}
