@@ -1,0 +1,170 @@
+//! **Contention** — the sharded-global-heap scalability benchmark.
+//!
+//! The seed serialized every refill, non-local free, and meshing pass
+//! behind one global mutex; the sharded heap gives each size class its
+//! own lock plus a lock-free remote-free queue. This harness measures
+//! multi-thread malloc/free churn throughput in the configurations that
+//! stress exactly those paths:
+//!
+//! * `distinct_classes` — N threads, each hammering its *own* size class:
+//!   refills touch disjoint locks, so throughput should scale with
+//!   threads (the seed's single mutex made this its worst case).
+//! * `same_class` — N threads in one class: the upper bound on what
+//!   sharding alone cannot fix (one shard lock, contended refills).
+//! * `cross_thread_free` — producer/consumer pairs: every consumer free
+//!   is a remote free, exercising the lock-free enqueue path.
+//! * `churn_with_background_mesher` — distinct-class churn while the
+//!   background meshing thread runs at an aggressive period.
+//!
+//! Output: one human table plus one `BENCH_CONTENTION.json` line on
+//! stdout for trajectory tracking. Per-class lock-contention counters are
+//! reported so regressions in the locking discipline are visible even
+//! when wall-clock noise hides them.
+
+use mesh_bench::banner;
+use mesh_core::{Mesh, MeshConfig};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const OPS_PER_THREAD: usize = 200_000;
+/// Distinct size-class request sizes, one per worker thread.
+const CLASS_SIZES: [usize; 8] = [16, 48, 96, 160, 256, 448, 768, 2048];
+
+fn heap(background: bool) -> Mesh {
+    let mut config = MeshConfig::default().arena_bytes(1 << 30).seed(42);
+    config = if background {
+        config
+            .mesh_period(Duration::from_millis(10))
+            .background_meshing(true)
+    } else {
+        config.mesh_period(Duration::from_secs(3600))
+    };
+    Mesh::new(config).expect("bench heap")
+}
+
+/// Runs `threads` workers; each does `OPS_PER_THREAD` malloc/free churn
+/// ops of `size_of(thread_idx)` bytes with a 64-object live window.
+/// Returns aggregate ops/sec.
+fn churn(mesh: &Mesh, threads: usize, size_of: impl Fn(usize) -> usize + Sync) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total_ops = threads * OPS_PER_THREAD;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mesh = mesh.clone();
+            let barrier = Arc::clone(&barrier);
+            let size = size_of(t);
+            s.spawn(move || {
+                let mut th = mesh.thread_heap();
+                let mut live: Vec<usize> = Vec::with_capacity(64);
+                barrier.wait();
+                for i in 0..OPS_PER_THREAD {
+                    if live.len() < 64 {
+                        let p = th.malloc(size);
+                        assert!(!p.is_null());
+                        live.push(p as usize);
+                    } else {
+                        let victim = live.swap_remove(i % live.len());
+                        unsafe { th.free(victim as *mut u8) };
+                    }
+                }
+                for p in live {
+                    unsafe { th.free(p as *mut u8) };
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let t0 = Instant::now();
+        barrier.wait();
+        total_ops as f64 / t0.elapsed().as_secs_f64()
+    })
+}
+
+/// Producer/consumer: producers allocate and hand pointers over a
+/// channel; consumers free them (every free is non-local). Returns
+/// aggregate freed-objects/sec.
+fn cross_thread_free(mesh: &Mesh, pairs: usize) -> f64 {
+    let total = pairs * OPS_PER_THREAD / 4;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..pairs {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(1024);
+            let produce = mesh.clone();
+            let consume = mesh.clone();
+            let size = CLASS_SIZES[t % CLASS_SIZES.len()];
+            s.spawn(move || {
+                let mut th = produce.thread_heap();
+                for _ in 0..OPS_PER_THREAD / 4 {
+                    let p = th.malloc(size);
+                    assert!(!p.is_null());
+                    if tx.send(p as usize).is_err() {
+                        break;
+                    }
+                }
+            });
+            s.spawn(move || {
+                let mut th = consume.thread_heap();
+                while let Ok(addr) = rx.recv() {
+                    unsafe { th.free(addr as *mut u8) };
+                }
+            });
+        }
+    });
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let threads = CLASS_SIZES.len();
+    banner("global-heap contention: sharded locks + lock-free remote frees");
+
+    let m1 = heap(false);
+    let distinct = churn(&m1, threads, |t| CLASS_SIZES[t % CLASS_SIZES.len()]);
+    let s1 = m1.stats();
+
+    let m2 = heap(false);
+    let same = churn(&m2, threads, |_| 256);
+    let s2 = m2.stats();
+
+    let m3 = heap(false);
+    let remote = cross_thread_free(&m3, threads / 2);
+    let s3 = m3.stats();
+
+    let m4 = heap(true);
+    let with_mesher = churn(&m4, threads, |t| CLASS_SIZES[t % CLASS_SIZES.len()]);
+    let s4 = m4.stats();
+
+    let single = churn(&heap(false), 1, |_| 256);
+
+    println!();
+    println!(
+        "{:<36} {:>14} {:>12} {:>12}",
+        "configuration", "ops/sec", "contended", "arena-cont"
+    );
+    for (name, ops, stats) in [
+        ("single_thread_baseline", single, None),
+        ("distinct_classes/8t", distinct, Some(&s1)),
+        ("same_class/8t", same, Some(&s2)),
+        ("cross_thread_free/4pairs", remote, Some(&s3)),
+        ("churn_with_background_mesher/8t", with_mesher, Some(&s4)),
+    ] {
+        let (cls, arena) = stats
+            .map(|s| (s.total_class_contention(), s.arena_lock_contention))
+            .unwrap_or((0, 0));
+        println!("{name:<36} {ops:>14.0} {cls:>12} {arena:>12}");
+    }
+    println!(
+        "\nremote frees queued/drained: {}/{} (cross-thread config)",
+        s3.remote_free_queued, s3.remote_free_drained
+    );
+
+    // Machine-readable trajectory line.
+    println!(
+        "BENCH_CONTENTION.json {{\"threads\":{threads},\"ops_per_thread\":{OPS_PER_THREAD},\
+         \"single_thread_ops_sec\":{single:.0},\"distinct_classes_ops_sec\":{distinct:.0},\
+         \"same_class_ops_sec\":{same:.0},\"cross_thread_free_ops_sec\":{remote:.0},\
+         \"background_mesher_ops_sec\":{with_mesher:.0},\
+         \"distinct_classes_contended_locks\":{},\"same_class_contended_locks\":{}}}",
+        s1.total_class_contention(),
+        s2.total_class_contention(),
+    );
+}

@@ -3,16 +3,17 @@
 //! The paper claims malloc/free are worst-case O(1) via shuffle vectors,
 //! with no locks or atomics on the thread-local fast path, and that Mesh
 //! "generally matches the runtime performance of state-of-the-art
-//! allocators". These Criterion benches measure:
+//! allocators". These benches measure:
 //!
 //! * thread-local malloc/free pairs across size classes, vs the system
 //!   allocator;
-//! * the global (remote-free) slow path;
+//! * the global (remote-free) slow path — now a lock-free queue push plus
+//!   an amortized drain under the class lock;
 //! * large-object allocation;
 //! * a full meshing pass on a fragmented heap (the §6.2.2 compaction
 //!   cost).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mesh_bench::{banner, time_batched, time_op};
 use mesh_core::{Mesh, MeshConfig};
 use std::hint::black_box;
 
@@ -27,74 +28,69 @@ fn heap() -> Mesh {
     .expect("bench heap")
 }
 
-fn bench_local_malloc_free(c: &mut Criterion) {
-    let mut group = c.benchmark_group("malloc_free_pair");
+fn bench_local_malloc_free() {
+    banner("malloc/free pair: Mesh thread-local fast path vs system");
     for size in [16usize, 64, 256, 1024, 4096] {
-        group.throughput(Throughput::Elements(1));
         let mesh = heap();
         let mut th = mesh.thread_heap();
-        group.bench_function(format!("mesh_local/{size}"), |b| {
-            b.iter(|| {
-                let p = th.malloc(black_box(size));
-                unsafe { th.free(p) };
-            })
+        time_op(&format!("mesh_local/{size}"), || {
+            let p = th.malloc(black_box(size));
+            unsafe { th.free(p) };
         });
-        group.bench_function(format!("system/{size}"), |b| {
-            b.iter(|| unsafe {
-                let layout = std::alloc::Layout::from_size_align(size, 16).unwrap();
-                let p = std::alloc::alloc(black_box(layout));
-                std::alloc::dealloc(p, layout);
-            })
+        time_op(&format!("system/{size}"), || unsafe {
+            let layout = std::alloc::Layout::from_size_align(size, 16).unwrap();
+            let p = std::alloc::alloc(black_box(layout));
+            std::alloc::dealloc(p, layout);
         });
     }
-    group.finish();
 }
 
-fn bench_remote_free(c: &mut Criterion) {
+fn bench_remote_free() {
+    banner("non-local free: lock-free enqueue (drained on refill)");
     let mesh = heap();
     let mut producer = mesh.thread_heap();
-    c.bench_function("free/global_path", |b| {
-        b.iter_batched(
-            || producer.malloc(256),
-            |p| unsafe { mesh.free(black_box(p)) },
-            BatchSize::SmallInput,
-        )
-    });
+    time_batched(
+        "free/global_path",
+        200_000,
+        || producer.malloc(256),
+        |p| unsafe { mesh.free(black_box(p)) },
+    );
 }
 
-fn bench_large_objects(c: &mut Criterion) {
+fn bench_large_objects() {
+    banner("large objects (§4.4.3)");
     let mesh = heap();
-    c.bench_function("malloc_free_pair/large_64k", |b| {
-        b.iter(|| {
-            let p = mesh.malloc(black_box(64 * 1024));
-            unsafe { mesh.free(p) };
-        })
+    time_op("malloc_free_pair/large_64k", || {
+        let p = mesh.malloc(black_box(64 * 1024));
+        unsafe { mesh.free(p) };
     });
 }
 
-fn bench_mesh_pass(c: &mut Criterion) {
+fn bench_mesh_pass() {
+    banner("one full meshing pass (§6.2.2 compaction cost)");
     // A fragmented heap: 4096 spans of 256 B objects at 12.5% occupancy.
-    c.bench_function("meshing/full_pass_8MiB_fragmented", |b| {
-        b.iter_batched(
-            || {
-                let mesh = heap();
-                let ptrs: Vec<*mut u8> = (0..32768).map(|_| mesh.malloc(256)).collect();
-                for (i, &p) in ptrs.iter().enumerate() {
-                    if i % 8 != 0 {
-                        unsafe { mesh.free(p) };
-                    }
+    time_batched(
+        "meshing/full_pass_8MiB_fragmented",
+        30,
+        || {
+            let mesh = heap();
+            let ptrs: Vec<*mut u8> = (0..32768).map(|_| mesh.malloc(256)).collect();
+            for (i, &p) in ptrs.iter().enumerate() {
+                if i % 8 != 0 {
+                    unsafe { mesh.free(p) };
                 }
-                mesh
-            },
-            |mesh| black_box(mesh.mesh_now()),
-            BatchSize::PerIteration,
-        )
-    });
+            }
+            mesh
+        },
+        |mesh| {
+            black_box(mesh.mesh_now());
+        },
+    );
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_local_malloc_free, bench_remote_free, bench_large_objects, bench_mesh_pass
-);
-criterion_main!(benches);
+fn main() {
+    bench_local_malloc_free();
+    bench_remote_free();
+    bench_large_objects();
+    bench_mesh_pass();
+}

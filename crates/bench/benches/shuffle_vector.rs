@@ -7,7 +7,7 @@
 //! both on identical span shapes, including the degenerate high-occupancy
 //! case where probing degrades.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mesh_bench::{banner, time_op};
 use mesh_core::bitmap::AtomicBitmap;
 use mesh_core::miniheap::MiniHeapId;
 use mesh_core::rng::Rng;
@@ -24,24 +24,23 @@ fn attached_vector(rng: &mut Rng) -> (ShuffleVector, AtomicBitmap) {
     (sv, bitmap)
 }
 
-fn bench_shuffle_vector(c: &mut Criterion) {
-    let mut group = c.benchmark_group("random_allocation");
-    group.throughput(Throughput::Elements(1));
+fn main() {
+    banner("random allocation: shuffle vector vs bitmap probing");
     let mut rng = Rng::with_seed(1);
 
     // Steady-state malloc+free at 50% occupancy.
     let (mut sv, _bm) = attached_vector(&mut rng);
     let mut live: Vec<usize> = (0..COUNT / 2).map(|_| sv.malloc().unwrap()).collect();
-    group.bench_function("shuffle_vector/50pct", |b| {
+    {
         let mut i = 0usize;
-        b.iter(|| {
+        time_op("shuffle_vector/50pct", || {
             let p = sv.malloc().unwrap();
             live.push(p);
             let victim = live.swap_remove(i % live.len());
             unsafe { sv.free(black_box(victim), &mut rng) };
             i += 1;
-        })
-    });
+        });
+    }
 
     // Random-probing bitmap allocator (DieHard-style), same occupancy.
     for occupancy_pct in [50usize, 90] {
@@ -55,47 +54,35 @@ fn bench_shuffle_vector(c: &mut Criterion) {
                 live.push(slot);
             }
         }
-        group.bench_function(format!("bitmap_probing/{occupancy_pct}pct"), |b| {
-            let mut i = 0usize;
-            b.iter(|| {
-                // Probe for a free slot (expected O(1/(1-occ)) probes).
-                let slot = loop {
-                    let s = prng.below(COUNT as u32) as usize;
-                    if bitmap.try_set(s) {
-                        break s;
-                    }
-                };
-                live.push(slot);
-                let victim = live.swap_remove(i % live.len());
-                bitmap.unset(black_box(victim));
-                i += 1;
-            })
+        let mut i = 0usize;
+        time_op(&format!("bitmap_probing/{occupancy_pct}pct"), || {
+            // Probe for a free slot (expected O(1/(1-occ)) probes).
+            let slot = loop {
+                let s = prng.below(COUNT as u32) as usize;
+                if bitmap.try_set(s) {
+                    break s;
+                }
+            };
+            live.push(slot);
+            let victim = live.swap_remove(i % live.len());
+            bitmap.unset(black_box(victim));
+            i += 1;
         });
     }
 
     // Attach cost: claiming + shuffling a whole span's offsets.
-    group.bench_function("shuffle_vector/attach_256", |b| {
-        b.iter(|| {
-            let bitmap = AtomicBitmap::new(COUNT);
-            let mut sv = ShuffleVector::new(true);
-            sv.attach(
-                MiniHeapId::from_raw(1),
-                SPAN,
-                4096,
-                COUNT,
-                16,
-                &bitmap,
-                &mut rng,
-            );
-            black_box(sv.available())
-        })
+    time_op("shuffle_vector/attach_256", || {
+        let bitmap = AtomicBitmap::new(COUNT);
+        let mut sv = ShuffleVector::new(true);
+        sv.attach(
+            MiniHeapId::from_raw(1),
+            SPAN,
+            4096,
+            COUNT,
+            16,
+            &bitmap,
+            &mut rng,
+        );
+        black_box(sv.available());
     });
-    group.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_shuffle_vector
-);
-criterion_main!(benches);

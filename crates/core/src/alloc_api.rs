@@ -5,20 +5,23 @@
 
 use crate::config::MeshConfig;
 use crate::error::MeshError;
-use crate::global_heap::GlobalState;
+use crate::global_heap::GlobalHeap;
 use crate::local_heap::ThreadHeapCore;
+use crate::mesher::BackgroundMesher;
 use crate::meshing::MeshSummary;
 use crate::rng::Rng;
 use crate::size_classes::{SizeClass, MAX_SMALL_SIZE, PAGE_SIZE};
 use crate::stats::{Counters, HeapStats};
+use crate::sync::Mutex;
 use crate::sys::ReleaseStrategy;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 pub(crate) struct MeshInner {
-    pub state: Mutex<GlobalState>,
+    /// The sharded global heap: all entry points are `&self` and take
+    /// only the shard locks they need.
+    pub state: GlobalHeap,
     pub counters: Arc<Counters>,
     base: usize,
     bytes: usize,
@@ -26,6 +29,9 @@ pub(crate) struct MeshInner {
     randomize: bool,
     token_gen: AtomicU64,
     main: Mutex<ThreadHeapCore>,
+    /// Background meshing thread handle; dropping it (with the heap)
+    /// signals the thread to exit.
+    _mesher: Option<BackgroundMesher>,
 }
 
 impl std::fmt::Debug for MeshInner {
@@ -45,7 +51,8 @@ impl std::fmt::Debug for MeshInner {
 /// default thread heap — convenient for examples and single-threaded use;
 /// multi-threaded applications should give each thread its own
 /// [`ThreadHeap`] via [`Mesh::thread_heap`] to get the lock-free fast path
-/// of §4.3.
+/// of §4.3. The global heap behind the handles is sharded per size class,
+/// so even refills from different classes never contend on a common lock.
 ///
 /// # Examples
 ///
@@ -71,7 +78,9 @@ pub struct Mesh {
 }
 
 impl Mesh {
-    /// Creates a heap with the given configuration.
+    /// Creates a heap with the given configuration. With
+    /// [`MeshConfig::background_meshing`] set, also spawns the dedicated
+    /// meshing thread (stopped again when the last handle drops).
     ///
     /// # Errors
     ///
@@ -81,26 +90,27 @@ impl Mesh {
     pub fn new(config: MeshConfig) -> Result<Mesh, MeshError> {
         config.validate()?;
         let counters = Arc::new(Counters::default());
-        let state = GlobalState::new(config.clone(), Arc::clone(&counters))?;
-        let base = state.arena.base_addr();
-        let bytes = state.arena.capacity_pages() as usize * PAGE_SIZE;
+        let state = GlobalHeap::new(config.clone(), Arc::clone(&counters))?;
+        let base = state.base_addr();
+        let bytes = state.capacity_pages() as usize * PAGE_SIZE;
         let seed_base = config
             .seed
             .unwrap_or_else(|| Rng::from_entropy().next_u64());
         let randomize = config.randomize;
+        let background = state.rt.background_meshing;
         let main = ThreadHeapCore::new(seed_base ^ 0x6d61_696e, randomize, 0);
-        Ok(Mesh {
-            inner: Arc::new(MeshInner {
-                state: Mutex::new(state),
-                counters,
-                base,
-                bytes,
-                seed_base,
-                randomize,
-                token_gen: AtomicU64::new(1),
-                main: Mutex::new(main),
-            }),
-        })
+        let inner = Arc::new_cyclic(|weak| MeshInner {
+            state,
+            counters,
+            base,
+            bytes,
+            seed_base,
+            randomize,
+            token_gen: AtomicU64::new(1),
+            main: Mutex::new(main),
+            _mesher: background.then(|| BackgroundMesher::spawn(weak.clone())),
+        });
+        Ok(Mesh { inner })
     }
 
     /// Allocates `size` bytes, 16-byte aligned (page-aligned above 16 KiB).
@@ -182,9 +192,9 @@ impl Mesh {
     }
 
     /// Usable size of the allocation at `ptr` (`malloc_usable_size`), or
-    /// `None` for foreign pointers.
+    /// `None` for foreign pointers. Lock-free for small objects.
     pub fn usable_size(&self, ptr: *mut u8) -> Option<usize> {
-        self.inner.state.lock().usable_size(ptr as usize)
+        self.inner.state.usable_size(ptr as usize)
     }
 
     /// Whether `ptr` points into this heap's arena.
@@ -211,19 +221,21 @@ impl Mesh {
     /// Runs a meshing pass immediately, bypassing the rate limiter.
     pub fn mesh_now(&self) -> MeshSummary {
         // Internal-allocation guard: meshing allocates candidate lists
-        // while the global lock is held. When this heap also serves as
-        // the process allocator (`MeshGlobalAlloc`), those allocations
-        // must not recurse into Mesh or they would retake the lock.
-        with_internal_alloc(|| self.inner.state.lock().mesh_now())
+        // while shard locks are held. When this heap also serves as the
+        // process allocator (`MeshGlobalAlloc`), those allocations must
+        // not recurse into Mesh or they would retake the locks.
+        with_internal_alloc(|| self.inner.state.mesh_now())
     }
 
     /// Releases all dirty pages to the OS immediately.
     pub fn purge_dirty(&self) {
-        with_internal_alloc(|| self.inner.state.lock().arena.purge_dirty());
+        with_internal_alloc(|| self.inner.state.lock_arena().purge_dirty());
     }
 
-    /// A snapshot of heap statistics.
+    /// A snapshot of heap statistics. Flushes every class's remote-free
+    /// queue first so `frees`/`live_bytes` reflect all queued frees.
     pub fn stats(&self) -> HeapStats {
+        with_internal_alloc(|| self.inner.state.drain_all());
         self.inner.counters.snapshot()
     }
 
@@ -234,52 +246,38 @@ impl Mesh {
     }
 
     /// Runtime control analog of `mallctl` (§4.5): changes the meshing
-    /// rate limit.
+    /// rate limit. Lock-free.
     pub fn set_mesh_period(&self, period: Duration) {
-        self.inner.state.lock().config.mesh_period = period;
+        self.inner.state.rt.set_mesh_period(period);
     }
 
     /// Runtime control analog of `mallctl` (§4.5): enables or disables
-    /// meshing.
+    /// meshing. Lock-free.
     pub fn set_meshing_enabled(&self, enabled: bool) {
-        self.inner.state.lock().config.meshing = enabled;
+        self.inner.state.rt.set_meshing(enabled);
     }
 
     /// Runtime control: adjusts the SplitMesher probe limit `t` (§3.3).
+    /// Lock-free; zero is ignored.
     pub fn set_probe_limit(&self, t: usize) {
-        if t > 0 {
-            self.inner.state.lock().config.probe_limit = t;
-        }
+        self.inner.state.rt.set_probe_limit(t);
     }
 
     /// The page-release primitive the arena detected at startup.
     pub fn release_strategy(&self) -> ReleaseStrategy {
-        self.inner.state.lock().arena.release_strategy()
+        self.inner.state.lock_arena().release_strategy()
     }
 
     /// Snapshots of every live MiniHeap's allocation state — the heap's
     /// span strings, for experiments cross-validating §5's theory against
     /// real allocator state.
     pub fn span_snapshots(&self) -> Vec<crate::stats::SpanSnapshot> {
-        // Allocates the snapshot vector while holding the global lock;
-        // see `mesh_now` for why the guard is required.
-        with_internal_alloc(|| self.span_snapshots_locked())
-    }
-
-    fn span_snapshots_locked(&self) -> Vec<crate::stats::SpanSnapshot> {
-        let st = self.inner.state.lock();
-        st.slab
-            .iter()
-            .map(|(_, mh)| crate::stats::SpanSnapshot {
-                object_size: mh.object_size(),
-                object_count: mh.object_count(),
-                in_use: mh.in_use(),
-                bitmap_words: mh.bitmap().load_words(),
-                virtual_span_count: mh.span_count(),
-                attached: mh.is_attached(),
-                large: mh.is_large(),
-            })
-            .collect()
+        // Allocates the snapshot vector while holding shard locks; see
+        // `mesh_now` for why the guard is required.
+        with_internal_alloc(|| {
+            self.inner.state.drain_all();
+            self.inner.state.span_snapshots()
+        })
     }
 }
 
@@ -295,7 +293,7 @@ fn aligned_request(size: usize, align: usize) -> usize {
         // `span_start + slot × class_size` with page-aligned span starts).
         for idx in class.index()..crate::size_classes::NUM_SIZE_CLASSES {
             let c = SizeClass::from_index(idx);
-            if c.object_size() >= size && c.object_size() % align == 0 {
+            if c.object_size() >= size && c.object_size().is_multiple_of(align) {
                 return c.object_size();
             }
         }
@@ -336,7 +334,8 @@ impl ThreadHeap {
         })
     }
 
-    /// Frees `ptr` (lock-free when local). Null is ignored.
+    /// Frees `ptr` (lock-free when local; a lock-free queue push when
+    /// not). Null is ignored.
     ///
     /// # Safety
     ///
@@ -370,7 +369,7 @@ impl ThreadHeap {
 
 impl Drop for ThreadHeap {
     fn drop(&mut self) {
-        self.core.detach_all(&self.inner.state);
+        with_internal_alloc(|| self.core.detach_all(&self.inner.state));
     }
 }
 
@@ -394,12 +393,13 @@ thread_local! {
 
 /// Marks the current thread as executing inside Mesh for the duration of
 /// `f`: any allocation Mesh's own data structures make (candidate lists
-/// during meshing, slab growth during refill) is served by the system
-/// allocator instead of re-entering Mesh. Without this, installing
-/// [`MeshGlobalAlloc`] as `#[global_allocator]` would self-deadlock the
-/// global lock on the first pass that allocates while holding it; with a
-/// conventional global allocator the guard costs two thread-local writes.
-fn with_internal_alloc<T>(f: impl FnOnce() -> T) -> T {
+/// during meshing, slab growth during refill, remote-free queue nodes) is
+/// served by the system allocator instead of re-entering Mesh. Without
+/// this, installing [`MeshGlobalAlloc`] as `#[global_allocator]` would
+/// self-deadlock a shard lock on the first pass that allocates while
+/// holding it; with a conventional global allocator the guard costs two
+/// thread-local writes.
+pub(crate) fn with_internal_alloc<T>(f: impl FnOnce() -> T) -> T {
     struct Reset(bool);
     impl Drop for Reset {
         fn drop(&mut self) {
@@ -506,7 +506,7 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
             // A Mesh-owned pointer freed while servicing Mesh metadata —
             // cannot happen by construction (metadata never holds arena
             // pointers), but route globally for safety.
-            mesh.inner.state.lock().free_global(ptr as usize);
+            mesh.inner.state.free_global(ptr as usize);
             return;
         }
         TLS_HEAP.with(|slot| {
@@ -514,7 +514,7 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
             if let Some(core) = slot.as_mut() {
                 core.free(&mesh.inner.state, &mesh.inner.counters, ptr);
             } else {
-                mesh.inner.state.lock().free_global(ptr as usize);
+                mesh.inner.state.free_global(ptr as usize);
             }
         });
         IN_MESH.with(|f| f.set(false));
@@ -673,7 +673,12 @@ mod tests {
         m.set_meshing_enabled(false);
         m.set_probe_limit(16);
         m.set_probe_limit(0); // ignored
-        assert_eq!(m.inner.state.lock().config.probe_limit, 16);
+        assert_eq!(m.inner.state.rt.probe_limit(), 16);
+        assert!(!m.inner.state.rt.meshing());
+        assert_eq!(
+            m.inner.state.rt.mesh_period(),
+            Duration::from_millis(1)
+        );
     }
 
     #[test]

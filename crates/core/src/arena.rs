@@ -18,14 +18,15 @@
 //! Dirty pages are released en masse once they exceed the configured
 //! threshold (64 MB in the paper) or whenever meshing runs.
 //!
-//! The arena also owns the page→MiniHeap table used for constant-time
-//! pointer lookup on free (§4.4.4), and the committed-page accounting that
-//! serves as the physical-footprint metric (see DESIGN.md).
+//! The page→MiniHeap table used for constant-time pointer lookup on free
+//! (§4.4.4) lives in [`crate::page_map`] — it is lock-free and shared by
+//! every shard, while the arena itself sits behind the sharded heap's
+//! leaf lock (see DESIGN.md). The arena keeps the committed-page
+//! accounting that serves as the physical-footprint metric.
 
 use crate::barrier::BarrierGuard;
 use crate::config::MeshConfig;
 use crate::error::MeshError;
-use crate::miniheap::MiniHeapId;
 use crate::span::Span;
 use crate::stats::Counters;
 use crate::sys::{self, MemFile, ReleaseStrategy, PAGE_SIZE};
@@ -44,7 +45,7 @@ pub enum SpanSource {
 }
 
 /// The meshable arena. All methods require external synchronization (the
-/// global heap lock); the arena itself performs no locking.
+/// sharded heap's arena leaf lock); the arena itself performs no locking.
 #[derive(Debug)]
 pub struct Arena {
     file: MemFile,
@@ -59,15 +60,12 @@ pub struct Arena {
     dirty_pages: usize,
     committed_pages: usize,
     max_dirty_pages: usize,
-    /// Page index → raw MiniHeap id (0 = unowned). Grows lazily with the
-    /// high-water mark.
-    page_map: Vec<u32>,
     barrier: Option<BarrierGuard>,
     counters: Arc<Counters>,
 }
 
 // SAFETY: the raw base pointer refers to a mapping owned by the arena; the
-// arena is only ever used under the global heap mutex.
+// arena is only ever used under the sharded heap's arena lock.
 unsafe impl Send for Arena {}
 
 impl Arena {
@@ -99,7 +97,6 @@ impl Arena {
             dirty_pages: 0,
             committed_pages: 0,
             max_dirty_pages: config.max_dirty_bytes / PAGE_SIZE,
-            page_map: Vec::new(),
             barrier,
             counters,
         })
@@ -211,9 +208,6 @@ impl Arena {
         }
         let span = Span::new(self.high_water, pages);
         self.high_water += pages;
-        if self.page_map.len() < self.high_water as usize {
-            self.page_map.resize(self.high_water as usize, 0);
-        }
         self.set_committed(self.committed_pages + pages as usize);
         Ok((span, SpanSource::Fresh))
     }
@@ -388,35 +382,6 @@ impl Arena {
         }
     }
 
-    // ----- page → MiniHeap table (§4.4.4) -------------------------------
-
-    /// Records `owner` for every page of `span`.
-    pub fn set_owner(&mut self, span: Span, owner: MiniHeapId) {
-        for page in span.iter_pages() {
-            self.page_map[page as usize] = owner.to_raw();
-        }
-    }
-
-    /// Clears ownership for every page of `span`.
-    pub fn clear_owner(&mut self, span: Span) {
-        for page in span.iter_pages() {
-            self.page_map[page as usize] = 0;
-        }
-    }
-
-    /// Constant-time owning-MiniHeap lookup for `addr` (§4.4.4). `None`
-    /// means the pointer is invalid (not heap memory) — double frees and
-    /// wild frees are discovered here.
-    #[inline]
-    pub fn owner_of_addr(&self, addr: usize) -> Option<MiniHeapId> {
-        let page = self.page_of_addr(addr)?;
-        let raw = *self.page_map.get(page as usize)?;
-        if raw == 0 {
-            None
-        } else {
-            Some(MiniHeapId::from_raw(raw))
-        }
-    }
 }
 
 impl Drop for Arena {
@@ -543,19 +508,6 @@ mod tests {
         let (s, src) = a.alloc_span(2).unwrap();
         assert_eq!(src, SpanSource::Clean);
         assert!(s.offset < 6);
-    }
-
-    #[test]
-    fn page_owner_roundtrip_and_invalid_lookup() {
-        let mut a = arena(64);
-        let (s, _) = a.alloc_span(2).unwrap();
-        let id = MiniHeapId::from_raw(9);
-        a.set_owner(s, id);
-        let addr = a.addr_of_page(s.offset) + 4097;
-        assert_eq!(a.owner_of_addr(addr), Some(id));
-        a.clear_owner(s);
-        assert_eq!(a.owner_of_addr(addr), None);
-        assert_eq!(a.owner_of_addr(0x1234), None, "foreign pointer");
     }
 
     #[test]

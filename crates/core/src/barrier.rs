@@ -16,6 +16,7 @@
 //! the previously installed handler (preserving, e.g., Rust's stack-overflow
 //! detection).
 
+use crate::ffi as libc;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Once;

@@ -50,6 +50,10 @@ pub struct MeshConfig {
     pub(crate) max_dirty_bytes: usize,
     /// Install the mprotect/SIGSEGV write barrier during meshing (§4.5.2).
     pub(crate) write_barrier: bool,
+    /// Run meshing on a dedicated background thread instead of the
+    /// allocation/free path. The thread honours the same §4.5 rate limiter
+    /// and pause rule; it only moves *where* passes run.
+    pub(crate) background_meshing: bool,
 }
 
 impl Default for MeshConfig {
@@ -66,6 +70,7 @@ impl Default for MeshConfig {
             max_span_count: 3,
             max_dirty_bytes: 64 << 20,
             write_barrier: true,
+            background_meshing: false,
         }
     }
 }
@@ -139,6 +144,21 @@ impl MeshConfig {
     pub fn write_barrier(mut self, enabled: bool) -> Self {
         self.write_barrier = enabled;
         self
+    }
+
+    /// Enables or disables the dedicated background meshing thread.
+    ///
+    /// Off by default so seeded experiments stay deterministic: with the
+    /// thread running, passes fire on the §4.5 timer from a separate
+    /// schedule rather than synchronously with frees.
+    pub fn background_meshing(mut self, enabled: bool) -> Self {
+        self.background_meshing = enabled;
+        self
+    }
+
+    /// Whether the background meshing thread is enabled.
+    pub fn is_background_meshing(&self) -> bool {
+        self.background_meshing
     }
 
     /// Whether meshing is enabled.

@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn error_trait_source() {
         use std::error::Error;
-        let e = MeshError::Map(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = MeshError::Map(io::Error::other("boom"));
         assert!(e.source().is_some());
         let e = MeshError::InvalidConfig("x".into());
         assert!(e.source().is_none());

@@ -1,0 +1,156 @@
+//! Minimal Linux libc bindings for the syscalls Mesh needs.
+//!
+//! The build environment is offline, so the `libc` crate cannot be a
+//! dependency; this module declares exactly the symbols, types, and
+//! constants the allocator uses (`mmap`, `mprotect`, `madvise`,
+//! `fallocate`, `memfd_create`, `sigaction`, …) against the C library the
+//! Rust standard library already links. Layouts and constants are the
+//! glibc definitions for `x86_64`/`aarch64` Linux — the only platforms the
+//! arena's `memfd`/`MAP_FIXED` machinery targets in the first place.
+
+#![allow(non_camel_case_types, non_upper_case_globals, clippy::upper_case_acronyms)]
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_char = core::ffi::c_char;
+pub type c_void = core::ffi::c_void;
+pub type off_t = i64;
+pub type size_t = usize;
+/// Signal handler address as stored in `sigaction.sa_sigaction`.
+pub type sighandler_t = size_t;
+
+// ---- mmap / mprotect / madvise ---------------------------------------
+
+pub const PROT_READ: c_int = 0x1;
+pub const PROT_WRITE: c_int = 0x2;
+pub const MAP_SHARED: c_int = 0x01;
+pub const MAP_FIXED: c_int = 0x10;
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+pub const MADV_DONTNEED: c_int = 4;
+pub const MADV_REMOVE: c_int = 9;
+
+// ---- fallocate / memfd -----------------------------------------------
+
+pub const FALLOC_FL_KEEP_SIZE: c_int = 0x01;
+pub const FALLOC_FL_PUNCH_HOLE: c_int = 0x02;
+pub const MFD_CLOEXEC: c_uint = 0x0001;
+
+#[cfg(target_arch = "x86_64")]
+pub const SYS_memfd_create: c_long = 319;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_memfd_create: c_long = 279;
+// Fallback for other Linux targets: the generic asm-generic number.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_memfd_create: c_long = 279;
+
+// ---- signals ----------------------------------------------------------
+
+pub const SIGSEGV: c_int = 11;
+pub const SA_SIGINFO: c_int = 0x0000_0004;
+pub const SA_ONSTACK: c_int = 0x0800_0000;
+pub const SA_NODEFER: c_int = 0x4000_0000;
+pub const SIG_DFL: sighandler_t = 0;
+pub const SIG_IGN: sighandler_t = 1;
+
+/// glibc `sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [u64; 16],
+}
+
+/// glibc `struct sigaction` (handler, mask, flags, restorer — in that
+/// order on both x86_64 and aarch64).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    pub sa_sigaction: sighandler_t,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<unsafe extern "C" fn()>,
+}
+
+/// glibc `siginfo_t`: three `int`s, alignment padding, then the payload
+/// union whose first pointer-sized field is `si_addr` for SIGSEGV.
+#[repr(C)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    _pad: c_int,
+    _data: [usize; 14],
+}
+
+impl siginfo_t {
+    /// Faulting address of a SIGSEGV/SIGBUS (`si_addr`).
+    ///
+    /// # Safety
+    ///
+    /// Only meaningful inside a handler for a fault signal delivered with
+    /// `SA_SIGINFO`.
+    pub unsafe fn si_addr(&self) -> *mut c_void {
+        self._data[0] as *mut c_void
+    }
+}
+
+extern "C" {
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn mkstemp(template: *mut c_char) -> c_int;
+    pub fn unlink(path: *const c_char) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+    pub fn fallocate(fd: c_int, mode: c_int, offset: off_t, len: off_t) -> c_int;
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn sched_yield() -> c_int;
+    pub fn raise(sig: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_match_glibc() {
+        assert_eq!(std::mem::size_of::<sigset_t>(), 128);
+        assert_eq!(std::mem::size_of::<siginfo_t>(), 128);
+        // handler + 128-byte mask + flags (+pad) + restorer.
+        assert_eq!(std::mem::size_of::<sigaction>(), 8 + 128 + 8 + 8);
+    }
+
+    #[test]
+    fn memfd_and_mmap_roundtrip() {
+        unsafe {
+            let fd = memfd_create(c"ffi-test".as_ptr(), MFD_CLOEXEC);
+            assert!(fd >= 0, "memfd_create failed");
+            assert_eq!(ftruncate(fd, 4096), 0);
+            let p = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 0x5A;
+            assert_eq!(*(p as *const u8), 0x5A);
+            assert_eq!(munmap(p, 4096), 0);
+            assert_eq!(close(fd), 0);
+        }
+    }
+}

@@ -1,22 +1,43 @@
-//! The global heap (§4.4): MiniHeap allocation, occupancy bins, non-local
-//! frees, large objects, and meshing coordination.
+//! The sharded global heap (§4.4): MiniHeap allocation, occupancy bins,
+//! non-local frees, large objects, and meshing coordination.
 //!
-//! All state here lives under one mutex (see DESIGN.md's locking
-//! discipline): thread-local heaps take the lock only to refill or detach
-//! shuffle vectors and for non-local frees; the meshing pass runs entirely
-//! under it, which keeps detached MiniHeap bitmaps stable while the
-//! SplitMesher probes them.
+//! The seed kept all of this under one mutex; this version shards it so
+//! threads working in different size classes never contend (see DESIGN.md
+//! "Sharded locking discipline"):
+//!
+//! * **Class shards** — each size class owns a mutex guarding its slab of
+//!   MiniHeaps, its occupancy bins, and its PRNG, plus a lock-free MPSC
+//!   [`RemoteFreeQueue`]. Refills, detaches, and meshing of a class touch
+//!   only that class's lock.
+//! * **Arena leaf lock** — span hand-out/return, dirty purging, remaps,
+//!   and page-map writes. Acquired *after* at most one class (or the
+//!   large) lock, never the other way around.
+//! * **Large shard** — large-object singletons (§4.4.3) behind their own
+//!   mutex, ordered like a class lock.
+//! * **Lock-free structures** — the [`PageMap`] routes frees without any
+//!   lock; remote frees enqueue lock-free and are applied by whichever
+//!   thread next holds the class lock (refill, meshing pass, or stats
+//!   flush).
+//!
+//! Meshing runs one class at a time, holding that class's lock (which
+//! keeps detached MiniHeap bitmaps stable while the SplitMesher probes
+//! them) and the arena lock for the remap itself. With
+//! [`MeshConfig::background_meshing`] set, passes run on a dedicated
+//! thread (see [`crate::mesher`]) instead of the free path.
 
 use crate::arena::Arena;
 use crate::config::MeshConfig;
 use crate::error::MeshError;
 use crate::meshing::{self, MeshSummary};
 use crate::miniheap::{AttachState, MiniHeap, MiniHeapId, Slab, NOT_BINNED};
-use crate::shuffle_vector::ShuffleVector;
+use crate::page_map::{PageMap, LARGE_CLASS};
+use crate::remote_free::RemoteFreeQueue;
 use crate::rng::Rng;
+use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES, PAGE_SIZE};
 use crate::stats::Counters;
-use std::sync::atomic::Ordering;
+use crate::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,62 +85,27 @@ pub(crate) fn bin_for_occupancy(in_use: usize, count: usize) -> u8 {
     }
 }
 
-/// All mutable global-heap state, guarded by `Mesh`'s mutex.
-pub(crate) struct GlobalState {
-    pub arena: Arena,
+/// Mutable state of one size class, guarded by its shard's mutex.
+#[derive(Debug)]
+pub(crate) struct ClassState {
+    /// MiniHeaps of this class. Ids are unique *within* the class; the
+    /// page map disambiguates with the class code.
     pub slab: Slab,
-    pub bins: Vec<ClassBins>,
+    pub bins: ClassBins,
+    /// Class-private PRNG (random span selection within a bin, §3.1, and
+    /// the SplitMesher shuffle, §3.3).
     pub rng: Rng,
-    pub config: MeshConfig,
-    pub last_mesh: Instant,
-    /// Set after a low-yield pass: the timer is not restarted until a
-    /// subsequent free reaches the global heap (§4.5).
-    pub mesh_timer_paused: bool,
-    /// When the meshing path last purged dirty pages. Purge-on-mesh
-    /// (§4.4.1) is rate-limited to `mesh_period` so harnesses that force
-    /// passes faster than the wall-clock limiter (for time-compressed
-    /// replays) do not cycle pages through release/refault at an
-    /// unrealistic rate; the 64 MB threshold path is unaffected.
-    pub last_mesh_purge: Instant,
-    pub counters: Arc<Counters>,
 }
 
-impl std::fmt::Debug for GlobalState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GlobalState")
-            .field("miniheaps", &self.slab.len())
-            .field("committed_pages", &self.arena.committed_pages())
-            .finish_non_exhaustive()
-    }
-}
-
-impl GlobalState {
-    pub fn new(config: MeshConfig, counters: Arc<Counters>) -> Result<GlobalState, MeshError> {
-        config.validate()?;
-        let arena = Arena::new(&config, Arc::clone(&counters))?;
-        let seed = config.seed.unwrap_or_else(|| Rng::from_entropy().next_u64());
-        Ok(GlobalState {
-            arena,
-            slab: Slab::new(),
-            bins: (0..NUM_SIZE_CLASSES).map(|_| ClassBins::default()).collect(),
-            rng: Rng::with_seed(seed ^ 0x6d65_7368_2d67_6c6f), // "mesh-glo"
-            config,
-            last_mesh: Instant::now(),
-            mesh_timer_paused: false,
-            last_mesh_purge: Instant::now() - Duration::from_secs(3600),
-            counters,
-        })
-    }
-
+impl ClassState {
     // ----- occupancy-bin bookkeeping ------------------------------------
 
     /// Inserts a detached, non-empty MiniHeap into its occupancy bin.
     pub fn bin_insert(&mut self, id: MiniHeapId) {
         let mh = self.slab.get(id).expect("binning a dead MiniHeap");
         debug_assert!(!mh.is_attached() && !mh.is_large());
-        let class = mh.size_class().expect("large objects are not binned");
         let bin = bin_for_occupancy(mh.in_use(), mh.object_count());
-        let list = self.bins[class.index()].list_mut(bin);
+        let list = self.bins.list_mut(bin);
         let slot = list.len() as u32;
         list.push(id);
         let mh = self.slab.get_mut(id).expect("just observed");
@@ -134,8 +120,7 @@ impl GlobalState {
         if bin == NOT_BINNED {
             return;
         }
-        let class = mh.size_class().expect("large objects are not binned");
-        let list = self.bins[class.index()].list_mut(bin);
+        let list = self.bins.list_mut(bin);
         list.swap_remove(slot as usize);
         if let Some(&moved) = list.get(slot as usize) {
             self.slab
@@ -161,76 +146,443 @@ impl GlobalState {
     /// Selects a partially full MiniHeap for reuse: first non-empty bin by
     /// decreasing occupancy, random span within it (§3.1). The MiniHeap is
     /// removed from its bin.
-    pub fn select_partial(&mut self, class: SizeClass) -> Option<MiniHeapId> {
+    pub fn select_partial(&mut self) -> Option<MiniHeapId> {
         for bin in 0..PARTIAL_BINS {
-            let len = self.bins[class.index()].partial[bin].len();
+            let len = self.bins.partial[bin].len();
             if len > 0 {
                 let pick = self.rng.below(len as u32) as usize;
-                let id = self.bins[class.index()].partial[bin][pick];
+                let id = self.bins.partial[bin][pick];
                 self.bin_remove(id);
                 return Some(id);
             }
         }
         None
     }
+}
 
-    // ----- MiniHeap lifecycle -------------------------------------------
+/// One size class's shard: its lock plus its lock-free remote-free queue.
+#[derive(Debug)]
+struct ClassShard {
+    state: Mutex<ClassState>,
+    queue: RemoteFreeQueue,
+}
+
+/// Runtime-tunable configuration (the `mallctl` analogs, §4.5) as
+/// atomics, so controls never take a heap lock.
+#[derive(Debug)]
+pub(crate) struct RuntimeConfig {
+    meshing: AtomicBool,
+    mesh_period_nanos: AtomicU64,
+    min_mesh_gain_bytes: AtomicUsize,
+    probe_limit: AtomicUsize,
+    occupancy_cutoff_bits: AtomicU64,
+    max_span_count: AtomicUsize,
+    /// Whether a background mesher thread owns the meshing schedule.
+    pub background_meshing: bool,
+}
+
+impl RuntimeConfig {
+    fn new(config: &MeshConfig) -> RuntimeConfig {
+        RuntimeConfig {
+            meshing: AtomicBool::new(config.meshing),
+            mesh_period_nanos: AtomicU64::new(
+                config.mesh_period.as_nanos().min(u64::MAX as u128) as u64,
+            ),
+            min_mesh_gain_bytes: AtomicUsize::new(config.min_mesh_gain_bytes),
+            probe_limit: AtomicUsize::new(config.probe_limit),
+            occupancy_cutoff_bits: AtomicU64::new(config.occupancy_cutoff.to_bits()),
+            max_span_count: AtomicUsize::new(config.max_span_count),
+            background_meshing: config.background_meshing && config.meshing,
+        }
+    }
+
+    pub fn meshing(&self) -> bool {
+        self.meshing.load(Ordering::Relaxed)
+    }
+
+    pub fn set_meshing(&self, enabled: bool) {
+        self.meshing.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn mesh_period(&self) -> Duration {
+        Duration::from_nanos(self.mesh_period_nanos.load(Ordering::Relaxed))
+    }
+
+    pub fn set_mesh_period(&self, period: Duration) {
+        self.mesh_period_nanos
+            .store(period.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    pub fn min_mesh_gain_bytes(&self) -> usize {
+        self.min_mesh_gain_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn probe_limit(&self) -> usize {
+        self.probe_limit.load(Ordering::Relaxed)
+    }
+
+    pub fn set_probe_limit(&self, t: usize) {
+        if t > 0 {
+            self.probe_limit.store(t, Ordering::Relaxed);
+        }
+    }
+
+    pub fn occupancy_cutoff(&self) -> f64 {
+        f64::from_bits(self.occupancy_cutoff_bits.load(Ordering::Relaxed))
+    }
+
+    #[cfg(test)]
+    pub fn set_occupancy_cutoff(&self, cutoff: f64) {
+        self.occupancy_cutoff_bits
+            .store(cutoff.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn max_span_count(&self) -> usize {
+        self.max_span_count.load(Ordering::Relaxed)
+    }
+}
+
+/// The §4.5 meshing rate limiter, shared by the inline and background
+/// meshing paths. Leaf locks only — never held while meshing runs.
+#[derive(Debug)]
+pub(crate) struct MeshScheduler {
+    last_mesh: Mutex<Instant>,
+    last_purge: Mutex<Instant>,
+    last_drain: Mutex<Instant>,
+    /// Set after a low-yield pass: the timer is not restarted until a
+    /// subsequent free reaches the global heap (§4.5).
+    paused: AtomicBool,
+}
+
+impl MeshScheduler {
+    fn new() -> MeshScheduler {
+        MeshScheduler {
+            last_mesh: Mutex::new(Instant::now()),
+            // Allow the first purge-on-mesh immediately.
+            last_purge: Mutex::new(Instant::now() - Duration::from_secs(3600)),
+            last_drain: Mutex::new(Instant::now()),
+            paused: AtomicBool::new(false),
+        }
+    }
+
+    /// A free reached the global heap: restart a paused timer (§4.5's
+    /// "until a subsequent allocation is freed through the global heap").
+    pub fn on_global_free(&self) {
+        if self.paused.swap(false, Ordering::Relaxed) {
+            *self.last_mesh.lock() = Instant::now();
+        }
+    }
+
+    /// Whether the timer is currently paused after a low-yield pass.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Relaxed)
+    }
+
+    /// Claims a rate-limited meshing slot: true at most once per `period`,
+    /// and never while paused. Claiming resets the timer so concurrent
+    /// callers cannot both start a pass for the same slot.
+    fn due(&self, period: Duration) -> bool {
+        if self.is_paused() {
+            return false;
+        }
+        let mut last = self.last_mesh.lock();
+        if last.elapsed() >= period {
+            *last = Instant::now();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records the end of a pass and whether it paused the timer.
+    fn finish_pass(&self, low_yield: bool) {
+        *self.last_mesh.lock() = Instant::now();
+        self.paused.store(low_yield, Ordering::Relaxed);
+    }
+
+    /// Rate limiter for purge-on-mesh (§4.4.1): true at most once per
+    /// `period`, so harnesses that force passes faster than wall clock do
+    /// not cycle pages through release/refault at an unrealistic rate.
+    pub(crate) fn should_purge(&self, period: Duration) -> bool {
+        let mut last = self.last_purge.lock();
+        if last.elapsed() >= period {
+            *last = Instant::now();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rate limiter for queue settlement when no meshing pass will run
+    /// (meshing disabled and no background thread): true at most once per
+    /// `period`, claiming the slot.
+    fn should_drain(&self, period: Duration) -> bool {
+        let mut last = self.last_drain.lock();
+        if last.elapsed() >= period {
+            *last = Instant::now();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The sharded global heap. All public entry points are `&self`; each
+/// method takes only the shard locks it needs (see module docs).
+pub(crate) struct GlobalHeap {
+    classes: Vec<ClassShard>,
+    /// Large-object singletons (§4.4.3), ordered like a class lock.
+    large: Mutex<Slab>,
+    /// The meshable arena — the leaf lock of the discipline.
+    pub arena: Mutex<Arena>,
+    /// Lock-free page → MiniHeap routing table.
+    pub page_map: PageMap,
+    pub rt: RuntimeConfig,
+    pub scheduler: MeshScheduler,
+    pub counters: Arc<Counters>,
+    base: usize,
+    pages: u32,
+}
+
+impl std::fmt::Debug for GlobalHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalHeap")
+            .field("base", &(self.base as *const u8))
+            .field("pages", &self.pages)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GlobalHeap {
+    pub fn new(config: MeshConfig, counters: Arc<Counters>) -> Result<GlobalHeap, MeshError> {
+        config.validate()?;
+        let arena = Arena::new(&config, Arc::clone(&counters))?;
+        let base = arena.base_addr();
+        let pages = arena.capacity_pages();
+        let seed = config.seed.unwrap_or_else(|| Rng::from_entropy().next_u64());
+        let classes = (0..NUM_SIZE_CLASSES)
+            .map(|i| ClassShard {
+                state: Mutex::new(ClassState {
+                    slab: Slab::new(),
+                    bins: ClassBins::default(),
+                    rng: Rng::with_seed(
+                        seed ^ 0x6d65_7368_2d67_6c6f ^ ((i as u64) << 56), // "mesh-glo"
+                    ),
+                }),
+                queue: RemoteFreeQueue::new(),
+            })
+            .collect();
+        Ok(GlobalHeap {
+            classes,
+            large: Mutex::new(Slab::new()),
+            arena: Mutex::new(arena),
+            page_map: PageMap::new(pages as usize),
+            rt: RuntimeConfig::new(&config),
+            scheduler: MeshScheduler::new(),
+            counters,
+            base,
+            pages,
+        })
+    }
+
+    /// Base address of the arena mapping (lock-free).
+    #[inline]
+    pub fn base_addr(&self) -> usize {
+        self.base
+    }
+
+    /// Total arena capacity in pages (lock-free).
+    #[inline]
+    pub fn capacity_pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Arena page containing `addr`, or `None` outside the arena
+    /// (lock-free).
+    #[inline]
+    pub fn page_of_addr(&self, addr: usize) -> Option<u32> {
+        if addr < self.base {
+            return None;
+        }
+        let page = (addr - self.base) / PAGE_SIZE;
+        if page < self.pages as usize {
+            Some(page as u32)
+        } else {
+            None
+        }
+    }
+
+    // ----- lock acquisition (with contention accounting) ----------------
+
+    /// Acquires one size class's lock, counting contended acquisitions.
+    pub fn lock_class(&self, class: SizeClass) -> MutexGuard<'_, ClassState> {
+        let shard = &self.classes[class.index()];
+        match shard.state.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.counters.class_lock_contention[class.index()]
+                    .fetch_add(1, Ordering::Relaxed);
+                shard.state.lock()
+            }
+        }
+    }
+
+    /// Acquires the arena leaf lock, counting contended acquisitions.
+    /// Lock order: at most one class (or large) lock may be held.
+    pub fn lock_arena(&self) -> MutexGuard<'_, Arena> {
+        match self.arena.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.counters
+                    .arena_lock_contention
+                    .fetch_add(1, Ordering::Relaxed);
+                self.arena.lock()
+            }
+        }
+    }
+
+    // ----- remote-free queues -------------------------------------------
+
+    /// Applies every queued remote free of `class` under its (held) lock:
+    /// the single-drainer side of the MPSC queue protocol.
+    pub(crate) fn drain_class_locked(&self, class: SizeClass, st: &mut ClassState) {
+        let shard = &self.classes[class.index()];
+        if shard.queue.is_empty() {
+            return;
+        }
+        for addr in shard.queue.drain() {
+            self.counters
+                .remote_free_drained
+                .fetch_add(1, Ordering::Relaxed);
+            self.apply_remote_free(class, st, addr);
+        }
+    }
+
+    /// Validates and applies one queued free. Invalid pointers and double
+    /// frees are detected here — the queue push was optimistic.
+    fn apply_remote_free(&self, class: SizeClass, st: &mut ClassState, addr: usize) {
+        let invalid = |c: &Counters| {
+            c.invalid_frees.fetch_add(1, Ordering::Relaxed);
+        };
+        let Some(page) = self.page_of_addr(addr) else {
+            return invalid(&self.counters);
+        };
+        // Re-resolve through the page map: meshing may have retargeted the
+        // span to a surviving MiniHeap since the enqueue (same class, same
+        // slot offsets — §4.5.1 keeps virtual addresses stable).
+        let Some(info) = self.page_map.get(page) else {
+            return invalid(&self.counters);
+        };
+        if info.class_code as usize != class.index() {
+            return invalid(&self.counters);
+        }
+        let (object_size, attached, now_empty) = {
+            let Some(mh) = st.slab.get(info.id) else {
+                return invalid(&self.counters);
+            };
+            let span_start = self.base + (page as usize - info.page_idx as usize) * PAGE_SIZE;
+            let slot = (addr - span_start) / mh.object_size();
+            if slot >= mh.object_count() {
+                return invalid(&self.counters);
+            }
+            if !mh.bitmap().unset(slot) {
+                self.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            (mh.object_size(), mh.is_attached(), mh.in_use() == 0)
+        };
+        self.counters.frees.fetch_add(1, Ordering::Relaxed);
+        self.counters.remote_frees.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .live_bytes
+            .fetch_sub(object_size, Ordering::Relaxed);
+        if !attached {
+            if now_empty {
+                self.free_miniheap_locked(st, info.id);
+            } else {
+                st.rebin(info.id);
+            }
+        }
+    }
+
+    /// Flushes every class's remote-free queue (taking each class lock in
+    /// turn, never two at once). Called before stats snapshots and by the
+    /// background mesher so occupancy accounting stays settled.
+    pub fn drain_all(&self) {
+        for class in SizeClass::all() {
+            if !self.classes[class.index()].queue.is_empty() {
+                let mut st = self.lock_class(class);
+                self.drain_class_locked(class, &mut st);
+            }
+        }
+    }
+
+    // ----- MiniHeap lifecycle (class lock held) -------------------------
 
     /// Allocates and registers a fresh MiniHeap for `class` (§4.4.2).
-    pub fn fresh_miniheap(&mut self, class: SizeClass) -> Result<MiniHeapId, MeshError> {
-        let (span, _) = self.arena.alloc_span(class.span_pages() as u32)?;
-        let id = self.slab.insert(MiniHeap::new_small(class, span));
-        self.arena.set_owner(span, id);
+    pub(crate) fn fresh_miniheap_locked(
+        &self,
+        st: &mut ClassState,
+        class: SizeClass,
+    ) -> Result<MiniHeapId, MeshError> {
+        let mut arena = self.lock_arena();
+        let (span, _) = arena.alloc_span(class.span_pages() as u32)?;
+        let id = st.slab.insert(MiniHeap::new_small(class, span));
+        self.page_map.set_span(span, id, class.index() as u8);
         Ok(id)
     }
 
-    /// Destroys an empty, detached MiniHeap: restores identity mappings for
-    /// meshed aliases, returns spans to the arena, clears page ownership.
-    pub fn free_miniheap(&mut self, id: MiniHeapId) {
-        self.bin_remove(id);
-        let mut mh = self.slab.remove(id);
+    /// Destroys an empty, detached MiniHeap: restores identity mappings
+    /// for meshed aliases, returns spans to the arena, clears ownership.
+    pub(crate) fn free_miniheap_locked(&self, st: &mut ClassState, id: MiniHeapId) {
+        st.bin_remove(id);
+        let mut mh = st.slab.remove(id);
         debug_assert_eq!(mh.in_use(), 0, "freeing a MiniHeap with live objects");
+        let mut arena = self.lock_arena();
         for alias in mh.take_alias_spans() {
             // Alias file ranges were released when the mesh happened; the
             // virtual spans just need their identity mappings back.
-            self.arena
+            arena
                 .restore_identity(alias)
                 .expect("identity restore failed");
-            self.arena.clear_owner(alias);
-            self.arena.free_span_clean(alias);
+            self.page_map.clear_span(alias);
+            arena.free_span_clean(alias);
         }
         let primary = mh.span();
-        self.arena.clear_owner(primary);
-        self.arena.free_span_dirty(primary);
+        self.page_map.clear_span(primary);
+        arena.free_span_dirty(primary);
     }
 
-    /// Refills `sv` with a MiniHeap for `class`: detaches the exhausted one
-    /// (returning it to the global heap), then attaches a partially-full or
-    /// fresh MiniHeap (§3.1).
+    /// Refills `sv` with a MiniHeap for `class`: drains the class's remote
+    /// frees, detaches the exhausted vector, then attaches a partially
+    /// full or fresh MiniHeap (§3.1). Takes only this class's lock (plus
+    /// the arena leaf lock if a fresh span is needed).
     ///
     /// # Errors
     ///
     /// Returns [`MeshError::ArenaExhausted`] when no span can be carved.
     pub fn refill(
-        &mut self,
+        &self,
         sv: &mut ShuffleVector,
         class: SizeClass,
         token: u64,
         thread_rng: &mut Rng,
     ) -> Result<(), MeshError> {
-        self.release_vector(sv);
-        let id = match self.select_partial(class) {
+        let mut st = self.lock_class(class);
+        self.counters.refills.fetch_add(1, Ordering::Relaxed);
+        self.drain_class_locked(class, &mut st);
+        self.release_vector_locked(&mut st, sv);
+        let id = match st.select_partial() {
             Some(id) => id,
-            None => self.fresh_miniheap(class)?,
+            None => self.fresh_miniheap_locked(&mut st, class)?,
         };
-        let mh = self.slab.get_mut(id).expect("selected id is live");
+        let mh = st.slab.get_mut(id).expect("selected id is live");
         mh.set_state(AttachState::Attached(token));
-        let arena_base = self.arena.base_addr();
-        let mh = self.slab.get(id).expect("selected id is live");
+        let mh = st.slab.get(id).expect("selected id is live");
         let span = mh.span();
         sv.attach(
             id,
-            arena_base + span.byte_offset(),
+            self.base + span.byte_offset(),
             span.byte_len(),
             mh.object_count(),
             mh.object_size(),
@@ -238,148 +590,230 @@ impl GlobalState {
             thread_rng,
         );
         for alias in &mh.virtual_spans()[1..] {
-            sv.push_span_alias(arena_base + alias.byte_offset());
+            sv.push_span_alias(self.base + alias.byte_offset());
         }
         Ok(())
     }
 
-    /// Detaches `sv`'s MiniHeap (if any) back to the global heap: leftover
-    /// offsets are returned to the bitmap, then the MiniHeap is binned or —
-    /// if empty — destroyed.
-    pub fn release_vector(&mut self, sv: &mut ShuffleVector) {
+    /// Detaches `sv`'s MiniHeap (if any) back to this class's shard.
+    pub fn release_vector(&self, class: SizeClass, sv: &mut ShuffleVector) {
+        if sv.miniheap().is_none() {
+            return;
+        }
+        let mut st = self.lock_class(class);
+        self.drain_class_locked(class, &mut st);
+        self.release_vector_locked(&mut st, sv);
+    }
+
+    fn release_vector_locked(&self, st: &mut ClassState, sv: &mut ShuffleVector) {
         let Some(old) = sv.miniheap() else { return };
         {
-            let mh = self.slab.get(old).expect("attached id is live");
+            let mh = st.slab.get(old).expect("attached id is live");
             sv.detach(mh.bitmap());
         }
-        let mh = self.slab.get_mut(old).expect("attached id is live");
+        let mh = st.slab.get_mut(old).expect("attached id is live");
         mh.set_state(AttachState::Detached);
         if mh.in_use() == 0 {
-            self.free_miniheap(old);
+            self.free_miniheap_locked(st, old);
         } else {
-            self.bin_insert(old);
+            st.bin_insert(old);
         }
     }
 
     // ----- large objects (§4.4.3) ---------------------------------------
 
     /// Allocates a large object: the request is rounded up to whole pages
-    /// and a singleton MiniHeap accounts for it.
-    pub fn malloc_large(&mut self, size: usize) -> Result<usize, MeshError> {
+    /// and a singleton MiniHeap accounts for it. Takes the large-shard
+    /// lock, then the arena lock.
+    pub fn malloc_large(&self, size: usize) -> Result<usize, MeshError> {
         let requested = size.div_ceil(PAGE_SIZE).max(1);
         // Absurd sizes (near usize::MAX) must fail as exhaustion, not
         // truncate in the page-count narrowing below.
         let Ok(pages) = u32::try_from(requested) else {
             return Err(MeshError::ArenaExhausted {
                 requested_pages: requested,
-                capacity_pages: self.arena.capacity_pages() as usize,
+                capacity_pages: self.pages as usize,
             });
         };
-        let (span, _) = self.arena.alloc_span(pages)?;
-        let id = self.slab.insert(MiniHeap::new_large(span));
-        self.arena.set_owner(span, id);
+        let span = {
+            let mut large = self.large.lock();
+            let mut arena = self.lock_arena();
+            let (span, _) = arena.alloc_span(pages)?;
+            let id = large.insert(MiniHeap::new_large(span));
+            self.page_map.set_span(span, id, LARGE_CLASS);
+            span
+        };
         self.counters.large_allocs.fetch_add(1, Ordering::Relaxed);
         self.counters.mallocs.fetch_add(1, Ordering::Relaxed);
         self.counters
             .live_bytes
             .fetch_add(span.byte_len(), Ordering::Relaxed);
-        Ok(self.arena.addr_of_page(span.offset))
+        Ok(self.base + span.offset as usize * PAGE_SIZE)
+    }
+
+    fn free_large(&self, page: u32) -> bool {
+        let mut large = self.large.lock();
+        // Re-check under the lock: a racing free may already have retired
+        // this object (its page-map entries are then cleared or reused).
+        let Some(info) = self.page_map.get(page) else {
+            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        if !info.is_large() {
+            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let Some(mh) = large.get(info.id) else {
+            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        if !mh.bitmap().unset(0) {
+            self.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mh = large.remove(info.id);
+        let span = mh.span();
+        {
+            let mut arena = self.lock_arena();
+            self.page_map.clear_span(span);
+            // Large-object pages go straight back to the OS (§4).
+            arena.release_span(span);
+        }
+        self.counters.frees.fetch_add(1, Ordering::Relaxed);
+        self.counters.remote_frees.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .live_bytes
+            .fetch_sub(mh.object_size(), Ordering::Relaxed);
+        true
     }
 
     // ----- non-local frees (§4.4.4) -------------------------------------
 
-    /// Frees `addr` through the global heap. Invalid pointers and double
-    /// frees are detected via the page table / bitmap and discarded.
-    /// Returns whether the free was accepted.
-    pub fn free_global(&mut self, addr: usize) -> bool {
-        let Some(id) = self.arena.owner_of_addr(addr) else {
+    /// Frees `addr` through the global heap. Small objects are *enqueued*
+    /// lock-free on their class's remote-free queue (validation happens at
+    /// drain time); large objects are freed immediately under the large
+    /// lock. Returns whether the free was accepted (optimistically, for
+    /// the queued path).
+    pub fn free_global(&self, addr: usize) -> bool {
+        let accepted = self.free_global_inner(addr);
+        if accepted {
+            self.scheduler.on_global_free();
+            if !self.rt.background_meshing {
+                if self.rt.meshing() {
+                    // Inline meshing (seed semantics): rate-limited by
+                    // the scheduler; no locks are held here. Passes
+                    // drain every class's queue.
+                    self.maybe_mesh();
+                } else if self.scheduler.should_drain(self.rt.mesh_period()) {
+                    // "Mesh (no meshing)" configuration: no pass will
+                    // ever drain the queues, so settle them on the mesh
+                    // period instead — reclamation must not be deferred
+                    // unboundedly.
+                    self.drain_all();
+                }
+            }
+        }
+        accepted
+    }
+
+    fn free_global_inner(&self, addr: usize) -> bool {
+        let Some(page) = self.page_of_addr(addr) else {
             self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
             return false;
         };
-        let mh = self.slab.get(id).expect("page table points at live MiniHeap");
-        let slot = mh
-            .slot_of_addr(self.arena.base_addr(), addr)
-            .expect("owner lookup implies containment");
-        if !mh.bitmap().unset(slot) {
-            self.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+        let Some(info) = self.page_map.get(page) else {
+            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
             return false;
+        };
+        if info.is_large() {
+            return self.free_large(page);
         }
-        let object_size = mh.object_size();
-        let is_large = mh.is_large();
-        let attached = mh.is_attached();
-        let now_empty = mh.in_use() == 0;
-        self.counters.frees.fetch_add(1, Ordering::Relaxed);
-        self.counters.remote_frees.fetch_add(1, Ordering::Relaxed);
-        self.counters.live_bytes.fetch_sub(object_size, Ordering::Relaxed);
-
-        if is_large {
-            let mh = self.slab.remove(id);
-            let span = mh.span();
-            self.arena.clear_owner(span);
-            // Large-object pages go straight back to the OS (§4).
-            self.arena.release_span(span);
-        } else if !attached {
-            if now_empty {
-                self.free_miniheap(id);
-            } else {
-                self.rebin(id);
-            }
-        }
-        // A free reaching the global heap restarts a paused mesh timer
-        // (§4.5's "until a subsequent allocation is freed through the
-        // global heap").
-        if self.mesh_timer_paused {
-            self.mesh_timer_paused = false;
-            self.last_mesh = Instant::now();
-        }
-        self.maybe_mesh();
+        self.counters
+            .remote_free_queued
+            .fetch_add(1, Ordering::Relaxed);
+        self.classes[info.class_code as usize].queue.push(addr);
         true
     }
 
     // ----- meshing entry points -----------------------------------------
 
     /// Runs a meshing pass if meshing is enabled and the rate limiter
-    /// allows it (§4.5).
-    pub fn maybe_mesh(&mut self) {
-        if !self.config.meshing || self.mesh_timer_paused {
+    /// allows it (§4.5). Must be called with no shard locks held.
+    pub fn maybe_mesh(&self) {
+        if !self.rt.meshing() {
             return;
         }
-        if self.last_mesh.elapsed() < self.config.mesh_period {
-            return;
+        if self.scheduler.due(self.rt.mesh_period()) {
+            self.mesh_now();
         }
-        self.mesh_now();
     }
 
     /// Runs a meshing pass immediately (bypassing the rate limiter),
     /// returning its summary. Still a no-op when meshing is disabled —
-    /// the "Mesh (no meshing)" configuration never meshes (§6.3).
-    pub fn mesh_now(&mut self) -> MeshSummary {
-        if !self.config.meshing {
+    /// the "Mesh (no meshing)" configuration never meshes (§6.3). Must be
+    /// called with no shard locks held.
+    pub fn mesh_now(&self) -> MeshSummary {
+        if !self.rt.meshing() {
             return MeshSummary::default();
         }
         let summary = meshing::mesh_all_classes(self);
-        self.last_mesh = Instant::now();
-        self.mesh_timer_paused =
-            summary.bytes_released() < self.config.min_mesh_gain_bytes;
+        self.scheduler
+            .finish_pass(summary.bytes_released() < self.rt.min_mesh_gain_bytes());
         summary
     }
 
-    /// Object size usable at `addr`, or `None` for foreign pointers.
+    // ----- queries ------------------------------------------------------
+
+    /// Object size usable at `addr`, or `None` for foreign pointers —
+    /// including addresses in a span's tail waste past the last object
+    /// slot. Lock-free for small classes.
     pub fn usable_size(&self, addr: usize) -> Option<usize> {
-        let id = self.arena.owner_of_addr(addr)?;
-        let mh = self.slab.get(id)?;
-        mh.slot_of_addr(self.arena.base_addr(), addr)?;
-        Some(mh.object_size())
+        let page = self.page_of_addr(addr)?;
+        let info = self.page_map.get(page)?;
+        if info.is_large() {
+            let large = self.large.lock();
+            Some(large.get(info.id)?.object_size())
+        } else {
+            let class = SizeClass::from_index(info.class_code as usize);
+            let span_start = self.base + (page as usize - info.page_idx as usize) * PAGE_SIZE;
+            let slot = (addr - span_start) / class.object_size();
+            if slot >= class.object_count() {
+                return None;
+            }
+            Some(class.object_size())
+        }
     }
+
+    /// Snapshots of every live MiniHeap (shard locks taken one at a time).
+    pub fn span_snapshots(&self) -> Vec<crate::stats::SpanSnapshot> {
+        let mut out = Vec::new();
+        let snap = |mh: &MiniHeap| crate::stats::SpanSnapshot {
+            object_size: mh.object_size(),
+            object_count: mh.object_count(),
+            in_use: mh.in_use(),
+            bitmap_words: mh.bitmap().load_words(),
+            virtual_span_count: mh.span_count(),
+            attached: mh.is_attached(),
+            large: mh.is_large(),
+        };
+        for class in SizeClass::all() {
+            let st = self.lock_class(class);
+            out.extend(st.slab.iter().map(|(_, mh)| snap(mh)));
+        }
+        let large = self.large.lock();
+        out.extend(large.iter().map(|(_, mh)| snap(mh)));
+        out
+    }
+
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn state() -> GlobalState {
+    fn heap() -> GlobalHeap {
         let counters = Arc::new(Counters::default());
-        GlobalState::new(
+        GlobalHeap::new(
             MeshConfig::default()
                 .arena_bytes(16 << 20)
                 .seed(7)
@@ -404,48 +838,64 @@ mod tests {
 
     #[test]
     fn fresh_miniheap_registers_pages() {
-        let mut st = state();
+        let h = heap();
         let class = SizeClass::for_size(64).unwrap();
-        let id = st.fresh_miniheap(class).unwrap();
-        let mh = st.slab.get(id).unwrap();
-        let addr = st.arena.base_addr() + mh.span().byte_offset() + 64 * 3;
-        assert_eq!(st.arena.owner_of_addr(addr), Some(id));
+        let (id, addr) = {
+            let mut st = h.lock_class(class);
+            let id = h.fresh_miniheap_locked(&mut st, class).unwrap();
+            let mh = st.slab.get(id).unwrap();
+            (id, h.base_addr() + mh.span().byte_offset() + 64 * 3)
+        };
+        let info = h.page_map.get(h.page_of_addr(addr).unwrap()).unwrap();
+        assert_eq!(info.id, id);
+        assert_eq!(info.class_code as usize, class.index());
     }
 
     #[test]
     fn refill_attach_detach_cycle() {
-        let mut st = state();
+        let h = heap();
         let class = SizeClass::for_size(128).unwrap();
         let mut sv = ShuffleVector::new(true);
         let mut rng = Rng::with_seed(1);
-        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
         assert_eq!(sv.available(), class.object_count());
         // Allocate a couple of objects, then force a detach via refill.
         let a = sv.malloc().unwrap();
         let _b = sv.malloc().unwrap();
         let first = sv.miniheap().unwrap();
-        // Exhaust and refill: old MiniHeap must land in a bin (2 live).
+        // Exhaust and refill: old MiniHeap must land in a bin (full).
         while sv.malloc().is_some() {}
-        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
         let second = sv.miniheap().unwrap();
         assert_ne!(first, second);
-        let old = st.slab.get(first).unwrap();
-        assert!(!old.is_attached());
-        assert_eq!(old.in_use(), class.object_count(), "all slots were allocated");
-        assert_eq!(old.bin, FULL_BIN);
-        // Free one object globally: it must drop out of the full bin.
-        assert!(st.free_global(a));
+        {
+            let st = h.lock_class(class);
+            let old = st.slab.get(first).unwrap();
+            assert!(!old.is_attached());
+            assert_eq!(old.in_use(), class.object_count(), "all slots allocated");
+            assert_eq!(old.bin, FULL_BIN);
+        }
+        // Free one object globally: queued lock-free, applied at drain,
+        // after which it must drop out of the full bin.
+        assert!(h.free_global(a));
+        {
+            let st = h.lock_class(class);
+            assert_eq!(st.slab.get(first).unwrap().bin, FULL_BIN, "not yet drained");
+        }
+        h.drain_all();
+        let st = h.lock_class(class);
         assert_eq!(st.slab.get(first).unwrap().bin, 0);
     }
 
     #[test]
     fn select_partial_prefers_fullest_bin() {
-        let mut st = state();
+        let h = heap();
         let class = SizeClass::for_size(64).unwrap();
         let count = class.object_count();
         // Create two detached MiniHeaps with different occupancies.
-        let make = |st: &mut GlobalState, live: usize| {
-            let id = st.fresh_miniheap(class).unwrap();
+        let mut st = h.lock_class(class);
+        let make = |st: &mut ClassState, live: usize| {
+            let id = h.fresh_miniheap_locked(st, class).unwrap();
             let mh = st.slab.get(id).unwrap();
             for slot in 0..live {
                 mh.bitmap().try_set(slot);
@@ -455,50 +905,55 @@ mod tests {
         };
         let low = make(&mut st, 1);
         let high = make(&mut st, count * 9 / 10);
-        let picked = st.select_partial(class).unwrap();
+        let picked = st.select_partial().unwrap();
         assert_eq!(picked, high, "fullest bin scanned first");
-        let picked2 = st.select_partial(class).unwrap();
+        let picked2 = st.select_partial().unwrap();
         assert_eq!(picked2, low);
-        assert!(st.select_partial(class).is_none());
+        assert!(st.select_partial().is_none());
     }
 
     #[test]
     fn empty_detach_destroys_miniheap() {
-        let mut st = state();
+        let h = heap();
         let class = SizeClass::for_size(48).unwrap();
         let mut sv = ShuffleVector::new(true);
         let mut rng = Rng::with_seed(2);
-        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
         let id = sv.miniheap().unwrap();
-        let committed_before = st.arena.committed_pages();
+        let committed_before = h.lock_arena().committed_pages();
         // Nothing allocated: releasing the vector should destroy it.
-        st.release_vector(&mut sv);
+        h.release_vector(class, &mut sv);
+        let st = h.lock_class(class);
         assert!(st.slab.get(id).is_none());
         assert_eq!(st.slab.len(), 0);
         // Span went to the dirty bin; committed unchanged until purge.
-        assert_eq!(st.arena.committed_pages(), committed_before);
+        assert_eq!(h.lock_arena().committed_pages(), committed_before);
     }
 
     #[test]
     fn malloc_large_and_free_releases_pages() {
-        let mut st = state();
-        let addr = st.malloc_large(100_000).unwrap();
+        let h = heap();
+        let addr = h.malloc_large(100_000).unwrap();
         let pages = 100_000usize.div_ceil(PAGE_SIZE);
-        assert_eq!(st.arena.committed_pages(), pages);
-        assert_eq!(st.usable_size(addr), Some(pages * PAGE_SIZE));
-        assert!(st.free_global(addr));
-        assert_eq!(st.arena.committed_pages(), 0, "large pages released on free");
-        assert_eq!(st.slab.len(), 0);
+        assert_eq!(h.lock_arena().committed_pages(), pages);
+        assert_eq!(h.usable_size(addr), Some(pages * PAGE_SIZE));
+        assert!(h.free_global(addr));
+        assert_eq!(
+            h.lock_arena().committed_pages(),
+            0,
+            "large pages released on free"
+        );
+        assert_eq!(h.large.lock().len(), 0);
     }
 
     #[test]
     fn invalid_and_double_frees_discarded() {
-        let mut st = state();
-        assert!(!st.free_global(0xdead_beef));
-        let addr = st.malloc_large(4096).unwrap();
-        assert!(st.free_global(addr));
-        assert!(!st.free_global(addr), "double free rejected");
-        let s = st.counters.snapshot();
+        let h = heap();
+        assert!(!h.free_global(0xdead_beef));
+        let addr = h.malloc_large(4096).unwrap();
+        assert!(h.free_global(addr));
+        assert!(!h.free_global(addr), "double free rejected");
+        let s = h.counters.snapshot();
         // After the large object died its page-table entry is cleared, so
         // the second free reads as invalid (wild), not double.
         assert_eq!(s.invalid_frees, 2);
@@ -506,14 +961,148 @@ mod tests {
     }
 
     #[test]
+    fn queued_double_free_detected_at_drain() {
+        let h = heap();
+        let class = SizeClass::for_size(256).unwrap();
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(9);
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
+        let a = sv.malloc().unwrap();
+        // Keep a second object live so the MiniHeap survives the first
+        // drained free (a dead MiniHeap would make the duplicate read as
+        // *invalid* instead, exactly like the seed's large-object case).
+        let _b = sv.malloc().unwrap();
+        // Detach so the frees take the global path.
+        h.release_vector(class, &mut sv);
+        assert!(h.free_global(a));
+        assert!(h.free_global(a), "second push is optimistically accepted");
+        h.drain_all();
+        let s = h.counters.snapshot();
+        assert_eq!(s.frees, 1, "only one free applied");
+        assert_eq!(s.double_frees, 1, "duplicate rejected at drain");
+        assert_eq!(s.remote_free_queued, 2);
+        assert_eq!(s.remote_free_drained, 2);
+    }
+
+    #[test]
     fn usable_size_for_small_classes() {
-        let mut st = state();
+        let h = heap();
         let class = SizeClass::for_size(100).unwrap();
         let mut sv = ShuffleVector::new(true);
         let mut rng = Rng::with_seed(3);
-        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
         let addr = sv.malloc().unwrap();
-        assert_eq!(st.usable_size(addr), Some(112));
-        assert_eq!(st.usable_size(0x40), None);
+        assert_eq!(h.usable_size(addr), Some(112));
+        assert_eq!(h.usable_size(0x40), None);
+    }
+
+    #[test]
+    fn usable_size_rejects_span_tail_waste() {
+        // 4096 % 48 != 0: the span has tail waste past the last slot, and
+        // addresses there are foreign even though the page is owned.
+        let h = heap();
+        let class = SizeClass::for_size(48).unwrap();
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(4);
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
+        let first = {
+            let st = h.lock_class(class);
+            let mh = st.slab.get(sv.miniheap().unwrap()).unwrap();
+            h.base_addr() + mh.span().byte_offset()
+        };
+        assert_eq!(h.usable_size(first), Some(48));
+        assert_eq!(
+            h.usable_size(first + class.object_count() * 48 - 1),
+            Some(48),
+            "last slot is valid"
+        );
+        assert_eq!(
+            h.usable_size(first + class.object_count() * 48),
+            None,
+            "tail waste is foreign"
+        );
+    }
+
+    #[test]
+    fn no_meshing_config_still_drains_queues_on_free_path() {
+        // The "Mesh (no meshing)" ablation never runs a pass, so the free
+        // path itself must settle queues on the mesh-period rate limit.
+        let h = GlobalHeap::new(
+            MeshConfig::default()
+                .arena_bytes(16 << 20)
+                .seed(8)
+                .meshing(false)
+                .mesh_period(Duration::ZERO)
+                .write_barrier(false),
+            Arc::new(Counters::default()),
+        )
+        .unwrap();
+        let class = SizeClass::for_size(8192).unwrap(); // non-meshable class
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(5);
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
+        let a = sv.malloc().unwrap();
+        h.release_vector(class, &mut sv);
+        assert!(h.free_global(a));
+        // No drain_all(), no stats(): the free path's own settlement must
+        // have applied the queued free and destroyed the empty MiniHeap.
+        let s = h.counters.snapshot();
+        assert_eq!(s.frees, 1, "queued free was never applied");
+        assert_eq!(h.lock_class(class).slab.len(), 0);
+    }
+
+    #[test]
+    fn different_classes_use_disjoint_locks() {
+        // Holding one class's lock must not block another class's refill —
+        // the acceptance criterion of the sharding refactor.
+        let h = Arc::new(heap());
+        let c16 = SizeClass::for_size(16).unwrap();
+        let c1024 = SizeClass::for_size(1024).unwrap();
+        let guard = h.lock_class(c16);
+        let h2 = Arc::clone(&h);
+        let t = std::thread::spawn(move || {
+            let mut sv = ShuffleVector::new(true);
+            let mut rng = Rng::with_seed(4);
+            h2.refill(&mut sv, c1024, 1, &mut rng).unwrap();
+            let p = sv.malloc().unwrap();
+            h2.release_vector(c1024, &mut sv);
+            p
+        });
+        let p = t.join().expect("1 KiB refill proceeded under held 16 B lock");
+        assert!(p >= h.base_addr());
+        drop(guard);
+    }
+
+    #[test]
+    fn remote_free_enqueue_takes_no_class_lock() {
+        // A free routed to a class whose lock is held must complete
+        // without blocking (it only pushes onto the lock-free queue).
+        // Inline meshing is pushed out of the way: a due pass inside
+        // free_global would itself want the held class lock.
+        let h = Arc::new(
+            GlobalHeap::new(
+                MeshConfig::default()
+                    .arena_bytes(16 << 20)
+                    .seed(7)
+                    .mesh_period(Duration::from_secs(3600))
+                    .write_barrier(false),
+                Arc::new(Counters::default()),
+            )
+            .unwrap(),
+        );
+        let class = SizeClass::for_size(512).unwrap();
+        let mut sv = ShuffleVector::new(true);
+        let mut rng = Rng::with_seed(5);
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
+        let addr = sv.malloc().unwrap();
+        h.release_vector(class, &mut sv);
+
+        let guard = h.lock_class(class);
+        let h2 = Arc::clone(&h);
+        let t = std::thread::spawn(move || h2.free_global(addr));
+        assert!(t.join().expect("free must not block on the class lock"));
+        drop(guard);
+        h.drain_all();
+        assert_eq!(h.counters.snapshot().frees, 1);
     }
 }

@@ -20,10 +20,17 @@
 //! | §4.1 MiniHeaps | [`miniheap`] |
 //! | §4.2 Shuffle vectors | [`shuffle_vector`] |
 //! | §4.3 Thread-local heaps | [`ThreadHeap`] |
-//! | §4.4 Global heap | [`Mesh`] |
+//! | §4.4 Global heap (sharded per size class) | [`Mesh`] |
 //! | §4.4.1 Meshable arena | [`arena`], [`sys`] |
+//! | §4.4.4 Lock-free free routing | `page_map`, `remote_free` (internal) |
 //! | §3.3/§4.5 SplitMesher & meshing | [`meshing`] |
+//! | §4.5 Background meshing thread | `mesher` (internal), [`MeshConfig::background_meshing`] |
 //! | §4.5.2 Write barrier | [`barrier`] |
+//!
+//! Unlike the seed implementation's single global mutex, the global heap
+//! is sharded: each size class has its own lock and a lock-free MPSC
+//! remote-free queue, and meshing can run on a background thread — see
+//! DESIGN.md for the locking discipline.
 //!
 //! ## Quickstart
 //!
@@ -56,15 +63,20 @@ pub mod barrier;
 pub mod bitmap;
 pub mod config;
 pub mod error;
+pub mod ffi;
 mod global_heap;
 mod local_heap;
+mod mesher;
 pub mod meshing;
 pub mod miniheap;
+mod page_map;
+mod remote_free;
 pub mod rng;
 pub mod shuffle_vector;
 pub mod size_classes;
 pub mod span;
 pub mod stats;
+mod sync;
 pub mod sys;
 
 mod alloc_api;

@@ -2,15 +2,16 @@
 //!
 //! Every thread owns one shuffle vector per size class plus a private PRNG.
 //! Small allocations pop from the class's vector with no locks or atomics;
-//! only refills (exhausted vector), large objects, and non-local frees take
-//! the global heap's lock.
+//! refills take only the *owning class's* shard lock, large objects take
+//! the large + arena locks, and non-local frees push onto a lock-free
+//! remote-free queue without taking any lock at all (see DESIGN.md's
+//! sharded locking discipline).
 
-use crate::global_heap::GlobalState;
+use crate::global_heap::GlobalHeap;
 use crate::rng::Rng;
 use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES};
 use crate::stats::Counters;
-use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 
 /// Per-thread allocation state: one shuffle vector per size class and a
@@ -40,18 +41,13 @@ impl ThreadHeapCore {
     }
 
     /// Allocates `size` bytes (Fig 4, `MeshLocal::malloc`): the size
-    /// class's shuffle vector in the common case, the global heap for
-    /// large requests and refills. Returns null on arena exhaustion.
-    pub fn malloc(
-        &mut self,
-        state: &Mutex<GlobalState>,
-        counters: &Counters,
-        size: usize,
-    ) -> *mut u8 {
+    /// class's shuffle vector in the common case, the class shard for
+    /// refills, the global large path otherwise. Returns null on arena
+    /// exhaustion.
+    pub fn malloc(&mut self, state: &GlobalHeap, counters: &Counters, size: usize) -> *mut u8 {
         let Some(class) = SizeClass::for_size(size) else {
             // Large object: forwarded to the global heap (§4.4.3).
-            let mut st = state.lock();
-            return match st.malloc_large(size) {
+            return match state.malloc_large(size) {
                 Ok(addr) => addr as *mut u8,
                 Err(_) => std::ptr::null_mut(),
             };
@@ -65,8 +61,7 @@ impl ThreadHeapCore {
                     .fetch_add(class.object_size(), Ordering::Relaxed);
                 return addr as *mut u8;
             }
-            let mut st = state.lock();
-            if st
+            if state
                 .refill(&mut self.vectors[idx], class, self.token, &mut self.rng)
                 .is_err()
             {
@@ -76,8 +71,8 @@ impl ThreadHeapCore {
     }
 
     /// Frees `ptr` (Fig 4, `MeshLocal::free`): handled by the owning
-    /// shuffle vector when the object is local, else forwarded to the
-    /// global heap.
+    /// shuffle vector when the object is local, else enqueued on the
+    /// owning class's remote-free queue (lock-free, §4.4.4).
     ///
     /// # Safety
     ///
@@ -85,12 +80,7 @@ impl ThreadHeapCore {
     /// malloc and not already freed (foreign/duplicate pointers on the
     /// *global* path are detected and discarded; on the local fast path
     /// they are undefined behaviour exactly as in C).
-    pub unsafe fn free(
-        &mut self,
-        state: &Mutex<GlobalState>,
-        counters: &Counters,
-        ptr: *mut u8,
-    ) {
+    pub unsafe fn free(&mut self, state: &GlobalHeap, counters: &Counters, ptr: *mut u8) {
         let addr = ptr as usize;
         for sv in &mut self.vectors {
             if sv.miniheap().is_some() && sv.contains(addr) {
@@ -101,14 +91,15 @@ impl ThreadHeapCore {
                 return;
             }
         }
-        state.lock().free_global(addr);
+        state.free_global(addr);
     }
 
-    /// Returns every attached MiniHeap to the global heap (thread exit).
-    pub fn detach_all(&mut self, state: &Mutex<GlobalState>) {
-        let mut st = state.lock();
-        for sv in &mut self.vectors {
-            st.release_vector(sv);
+    /// Returns every attached MiniHeap to its class shard (thread exit).
+    pub fn detach_all(&mut self, state: &GlobalHeap) {
+        for (idx, sv) in self.vectors.iter_mut().enumerate() {
+            if sv.miniheap().is_some() {
+                state.release_vector(SizeClass::from_index(idx), sv);
+            }
         }
     }
 
@@ -124,9 +115,9 @@ mod tests {
     use crate::config::MeshConfig;
     use std::sync::Arc;
 
-    fn setup() -> (Mutex<GlobalState>, Arc<Counters>) {
+    fn setup() -> (GlobalHeap, Arc<Counters>) {
         let counters = Arc::new(Counters::default());
-        let st = GlobalState::new(
+        let st = GlobalHeap::new(
             MeshConfig::default()
                 .arena_bytes(32 << 20)
                 .seed(11)
@@ -134,7 +125,7 @@ mod tests {
             Arc::clone(&counters),
         )
         .unwrap();
-        (Mutex::new(st), counters)
+        (st, counters)
     }
 
     #[test]
@@ -154,12 +145,15 @@ mod tests {
     }
 
     #[test]
-    fn local_free_does_not_touch_global_lock_path() {
+    fn local_free_does_not_touch_global_path() {
         let (state, counters) = setup();
         let mut heap = ThreadHeapCore::new(2, true, 1);
         let p = heap.malloc(&state, &counters, 64);
         unsafe { heap.free(&state, &counters, p) };
-        assert_eq!(counters.snapshot().remote_frees, 0, "free stayed local");
+        state.drain_all();
+        let s = counters.snapshot();
+        assert_eq!(s.remote_frees, 0, "free stayed local");
+        assert_eq!(s.remote_free_queued, 0, "free never touched a queue");
     }
 
     #[test]
@@ -189,22 +183,26 @@ mod tests {
         // Three spans' worth allocated; all addresses distinct.
         let set: std::collections::HashSet<_> = ptrs.iter().collect();
         assert_eq!(set.len(), ptrs.len());
+        assert!(counters.snapshot().refills >= 3);
         for p in ptrs {
             unsafe { heap.free(&state, &counters, p) };
         }
     }
 
     #[test]
-    fn cross_thread_free_goes_global() {
+    fn cross_thread_free_goes_through_queue() {
         let (state, counters) = setup();
         let mut a = ThreadHeapCore::new(5, true, 1);
         let mut b = ThreadHeapCore::new(6, true, 2);
         let p = a.malloc(&state, &counters, 256);
-        // Thread B frees A's pointer: must take the global path.
+        // Thread B frees A's pointer: must take the queued global path.
         unsafe { b.free(&state, &counters, p) };
+        assert_eq!(counters.snapshot().remote_free_queued, 1);
+        state.drain_all();
         let s = counters.snapshot();
         assert_eq!(s.remote_frees, 1);
         assert_eq!(s.frees, 1);
+        assert_eq!(s.remote_free_drained, 1);
     }
 
     #[test]
@@ -221,6 +219,7 @@ mod tests {
             heap.free(&state, &counters, p1);
             heap.free(&state, &counters, p2);
         }
+        state.drain_all();
         assert_eq!(counters.snapshot().remote_frees, 2);
         assert_eq!(counters.snapshot().live_bytes, 0);
     }
@@ -228,7 +227,7 @@ mod tests {
     #[test]
     fn null_on_arena_exhaustion() {
         let counters = Arc::new(Counters::default());
-        let st = GlobalState::new(
+        let st = GlobalHeap::new(
             MeshConfig::default()
                 .arena_bytes(32 * 4096)
                 .seed(1)
@@ -236,11 +235,10 @@ mod tests {
             Arc::clone(&counters),
         )
         .unwrap();
-        let state = Mutex::new(st);
         let mut heap = ThreadHeapCore::new(8, true, 1);
         let mut got_null = false;
         for _ in 0..100_000 {
-            if heap.malloc(&state, &counters, 16384).is_null() {
+            if heap.malloc(&st, &counters, 16384).is_null() {
                 got_null = true;
                 break;
             }

@@ -1,0 +1,147 @@
+//! The background meshing thread (§4.5, moved off the allocation path).
+//!
+//! With [`crate::MeshConfig::background_meshing`] enabled, meshing no
+//! longer runs inline on the free path: a dedicated thread wakes a few
+//! times per mesh period, flushes every class's remote-free queue, and
+//! runs a pass when the shared [`MeshScheduler`](crate::global_heap)
+//! says one is due. The §4.5 semantics are unchanged — same rate limiter,
+//! same low-yield pause rule (and the pause is still lifted by a free
+//! reaching the global heap) — only the executing thread differs.
+//!
+//! ## Shutdown handshake
+//!
+//! The thread holds only a `Weak` reference to the heap, so heap teardown
+//! is never blocked on it. Dropping the [`BackgroundMesher`] handle
+//! (stored inside `MeshInner`, so it drops with the heap) sets the stop
+//! flag and unparks the thread; the thread observes the flag — or fails
+//! to upgrade its `Weak` — and exits. The thread is deliberately *not*
+//! joined: if the final heap handle is dropped by the mesher itself
+//! (possible when a pass outlives every user handle), a join would be a
+//! self-join. The thread parks in short slices, so it exits promptly.
+
+use crate::alloc_api::{with_internal_alloc, MeshInner};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Upper bound on one park slice: keeps shutdown latency low even with
+/// multi-second mesh periods.
+const MAX_PARK: Duration = Duration::from_millis(50);
+
+/// Handle to a running background mesher. Signals shutdown on drop.
+#[derive(Debug)]
+pub(crate) struct BackgroundMesher {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::Thread,
+}
+
+impl BackgroundMesher {
+    /// Spawns the mesher for the heap behind `inner`.
+    pub fn spawn(inner: Weak<MeshInner>) -> BackgroundMesher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mesh-bg-mesher".into())
+            .spawn(move || run(inner, stop2))
+            .expect("failed to spawn background mesher");
+        BackgroundMesher {
+            stop,
+            thread: handle.thread().clone(),
+        }
+    }
+}
+
+impl Drop for BackgroundMesher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+fn run(inner: Weak<MeshInner>, stop: Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Upgrade per tick only: holding a strong reference across parks
+        // would keep a dead heap's arena mapped forever.
+        let mut park = MAX_PARK;
+        if let Some(inner) = inner.upgrade() {
+            // Internal-allocation guard: the pass allocates candidate
+            // lists; when this heap is also the process allocator those
+            // must go to the system allocator, not recurse into Mesh.
+            with_internal_alloc(|| {
+                inner.state.drain_all();
+                inner.state.maybe_mesh();
+            });
+            park = inner.state.rt.mesh_period().min(MAX_PARK).max(Duration::from_millis(1));
+        }
+        std::thread::park_timeout(park);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Mesh, MeshConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn background_mesher_meshes_without_explicit_calls() {
+        let mesh = Mesh::new(
+            MeshConfig::default()
+                .arena_bytes(256 << 20)
+                .seed(77)
+                .mesh_period(Duration::from_millis(5))
+                .background_meshing(true),
+        )
+        .unwrap();
+        let mut th = mesh.thread_heap();
+        // Fragment: allocate many 64 B objects, free 7 of every 8.
+        let ptrs: Vec<usize> = (0..32_768).map(|_| th.malloc(64) as usize).collect();
+        for (i, &p) in ptrs.iter().enumerate() {
+            if i % 8 != 0 {
+                unsafe { th.free(p as *mut u8) };
+            }
+        }
+        drop(th); // detach so the spans become mesh candidates
+        // No mesh_now() anywhere: only the background thread can compact.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let s = mesh.stats();
+            if s.spans_meshed > 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background mesher never ran a productive pass: {s:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Survivors still readable and freeable afterwards.
+        for (i, &p) in ptrs.iter().enumerate() {
+            if i % 8 == 0 {
+                unsafe { mesh.free(p as *mut u8) };
+            }
+        }
+        mesh.purge_dirty();
+        assert_eq!(mesh.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn dropping_the_heap_stops_the_mesher() {
+        let mesh = Mesh::new(
+            MeshConfig::default()
+                .arena_bytes(16 << 20)
+                .seed(5)
+                .mesh_period(Duration::from_millis(1))
+                .background_meshing(true),
+        )
+        .unwrap();
+        let p = mesh.malloc(64);
+        unsafe { mesh.free(p) };
+        drop(mesh);
+        // Nothing to assert beyond "no hang / no crash": the thread holds
+        // only a Weak and the drop signalled its stop flag.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -1,11 +1,14 @@
 //! Meshing: finding and merging spans with disjoint allocations
 //! (§3.3 SplitMesher, §4.5 implementation).
 //!
-//! A pass runs one size class at a time. For each class it collects the
-//! detached, partially-occupied MiniHeaps, randomly splits them into two
-//! halves, and probes pairs between the halves at most `t` times per span
-//! (Figure 2). Candidate pairs found by SplitMesher are recorded and then
-//! meshed en masse (§4.5).
+//! A pass runs one size class at a time, holding only that class's shard
+//! lock (plus the arena leaf lock around the virtual-memory operations) —
+//! see DESIGN.md's locking discipline. For each class it first drains the
+//! class's remote-free queue (so occupancy reflects every queued free),
+//! then collects the detached, partially-occupied MiniHeaps, randomly
+//! splits them into two halves, and probes pairs between the halves at
+//! most `t` times per span (Figure 2). Candidate pairs found by
+//! SplitMesher are recorded and then meshed en masse (§4.5).
 //!
 //! Meshing a pair is the two-step §4.5 process. With the source span
 //! write-protected behind the §4.5.2 barrier, every live object of the
@@ -19,8 +22,13 @@
 //! mapping) so concurrent readers never observe zeros; the `MADV_DONTNEED`
 //! fallback releases *before* the remap, which is safe because it
 //! preserves file contents.
+//!
+//! Passes may be initiated inline (the §4.5 free-path rate limiter) or by
+//! the background mesher thread ([`crate::mesher`]); the per-class locks
+//! make concurrent passes safe, and the scheduler's claim-based timer
+//! makes them rare.
 
-use crate::global_heap::{GlobalState, PARTIAL_BINS};
+use crate::global_heap::{ClassState, GlobalHeap, PARTIAL_BINS};
 use crate::miniheap::MiniHeapId;
 use crate::size_classes::SizeClass;
 use crate::span::Span;
@@ -62,39 +70,48 @@ impl MeshSummary {
 }
 
 /// Runs SplitMesher and meshes the found pairs for every meshable size
-/// class. Also purges dirty pages, as §4.4.1 prescribes whenever meshing
-/// is invoked.
-pub(crate) fn mesh_all_classes(state: &mut GlobalState) -> MeshSummary {
+/// class, taking one class lock at a time. Also purges dirty pages, as
+/// §4.4.1 prescribes whenever meshing is invoked.
+pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
     let t0 = Instant::now();
     // §4.4.1 ties a dirty-page purge to every meshing invocation; the
-    // purge itself is wall-clock rate-limited (see `last_mesh_purge`).
-    if state.last_mesh_purge.elapsed() >= state.config.mesh_period {
-        state.arena.purge_dirty();
-        state.last_mesh_purge = t0;
+    // purge itself is wall-clock rate-limited by the scheduler.
+    if heap.scheduler.should_purge(heap.rt.mesh_period()) {
+        heap.lock_arena().purge_dirty();
     }
     let mut summary = MeshSummary::default();
-    for class in SizeClass::all().filter(|c| c.is_meshable()) {
-        let candidates = collect_candidates(state, class);
+    // Every class drains — non-meshable classes (≥ one page per object)
+    // still rely on passes to apply queued remote frees promptly.
+    for class in SizeClass::all() {
+        let mut st = heap.lock_class(class);
+        heap.drain_class_locked(class, &mut st);
+        if !class.is_meshable() {
+            continue;
+        }
+        let candidates = collect_candidates(heap, &st);
         if candidates.len() < 2 {
             continue;
         }
-        let pairs = split_mesher(state, candidates, &mut summary.pairs_probed);
+        let pairs = split_mesher(
+            &mut st,
+            candidates,
+            heap.rt.probe_limit(),
+            heap.rt.max_span_count(),
+            &mut summary.pairs_probed,
+        );
         for (a, b) in pairs {
-            mesh_pair(state, a, b, &mut summary);
+            mesh_pair(heap, &mut st, class, a, b, &mut summary);
         }
     }
     let nanos = t0.elapsed().as_nanos() as u64;
-    state.counters.record_mesh_pass(nanos);
-    state
-        .counters
+    heap.counters.record_mesh_pass(nanos);
+    heap.counters
         .spans_meshed
         .fetch_add(summary.pairs_meshed as u64, Ordering::Relaxed);
-    state
-        .counters
+    heap.counters
         .mesh_pages_released
         .fetch_add(summary.pages_released as u64, Ordering::Relaxed);
-    state
-        .counters
+    heap.counters
         .mesh_bytes_copied
         .fetch_add(summary.bytes_copied as u64, Ordering::Relaxed);
     summary
@@ -103,13 +120,13 @@ pub(crate) fn mesh_all_classes(state: &mut GlobalState) -> MeshSummary {
 /// Collects the detached MiniHeaps of `class` that are eligible for
 /// meshing: partially occupied, below the occupancy cutoff, and with room
 /// left in their virtual-span list.
-fn collect_candidates(state: &mut GlobalState, class: SizeClass) -> Vec<MiniHeapId> {
-    let cutoff = state.config.occupancy_cutoff;
-    let max_spans = state.config.max_span_count;
+fn collect_candidates(heap: &GlobalHeap, st: &ClassState) -> Vec<MiniHeapId> {
+    let cutoff = heap.rt.occupancy_cutoff();
+    let max_spans = heap.rt.max_span_count();
     let mut out = Vec::new();
     for bin in 0..PARTIAL_BINS {
-        for &id in &state.bins[class.index()].partial[bin] {
-            let mh = state.slab.get(id).expect("binned ids are live");
+        for &id in &st.bins.partial[bin] {
+            let mh = st.slab.get(id).expect("binned ids are live");
             debug_assert!(!mh.is_attached());
             if mh.occupancy() <= cutoff && mh.span_count() < max_spans {
                 out.push(id);
@@ -123,11 +140,13 @@ fn collect_candidates(state: &mut GlobalState, class: SizeClass) -> Vec<MiniHeap
 /// split it into halves, and probe `Sl[j]` against `Sr[(j+i) % len]` for
 /// `i < t`. Returns the pairs to mesh (each span in at most one pair).
 fn split_mesher(
-    state: &mut GlobalState,
+    st: &mut ClassState,
     mut candidates: Vec<MiniHeapId>,
+    probe_limit: usize,
+    max_spans: usize,
     probes: &mut usize,
 ) -> Vec<(MiniHeapId, MiniHeapId)> {
-    state.rng.shuffle(&mut candidates);
+    st.rng.shuffle(&mut candidates);
     let half = candidates.len() / 2;
     let (left, right) = candidates.split_at(half);
     // `left` has `half` entries; `right` has `half` or `half + 1`.
@@ -135,12 +154,10 @@ fn split_mesher(
     if len == 0 {
         return Vec::new();
     }
-    let t = state.config.probe_limit;
-    let max_spans = state.config.max_span_count;
     let mut used_l = vec![false; left.len()];
     let mut used_r = vec![false; right.len()];
     let mut pairs = Vec::new();
-    for i in 0..t {
+    for i in 0..probe_limit {
         for j in 0..len {
             if used_l[j] {
                 continue;
@@ -150,8 +167,8 @@ fn split_mesher(
                 continue;
             }
             *probes += 1;
-            let a = state.slab.get(left[j]).expect("candidate is live");
-            let b = state.slab.get(right[k]).expect("candidate is live");
+            let a = st.slab.get(left[j]).expect("candidate is live");
+            let b = st.slab.get(right[k]).expect("candidate is live");
             // Combined alias count must stay within the page-table budget.
             if a.span_count() + b.span_count() > max_spans {
                 continue;
@@ -168,17 +185,20 @@ fn split_mesher(
 
 /// Meshes one pair: consolidates objects onto the higher-occupancy span
 /// (fewer bytes to copy), retargets the source's virtual spans, and
-/// releases the source's physical span (§4.5).
+/// releases the source's physical span (§4.5). The caller holds the class
+/// lock; the arena lock is held across the VM operations.
 fn mesh_pair(
-    state: &mut GlobalState,
+    heap: &GlobalHeap,
+    st: &mut ClassState,
+    class: SizeClass,
     a: MiniHeapId,
     b: MiniHeapId,
     summary: &mut MeshSummary,
 ) {
     // Destination = more live objects → we copy the smaller side.
     let (dst_id, src_id) = {
-        let ma = state.slab.get(a).expect("mesh candidate is live");
-        let mb = state.slab.get(b).expect("mesh candidate is live");
+        let ma = st.slab.get(a).expect("mesh candidate is live");
+        let mb = st.slab.get(b).expect("mesh candidate is live");
         if ma.in_use() >= mb.in_use() {
             (a, b)
         } else {
@@ -186,9 +206,9 @@ fn mesh_pair(
         }
     };
 
-    let arena_base = state.arena.base_addr();
+    let arena_base = heap.base_addr();
     let (src_spans, src_slots, object_size, src_primary) = {
-        let src = state.slab.get(src_id).expect("mesh source is live");
+        let src = st.slab.get(src_id).expect("mesh source is live");
         (
             src.virtual_spans().to_vec(),
             src.bitmap().iter_set().collect::<Vec<_>>(),
@@ -196,21 +216,23 @@ fn mesh_pair(
             src.span(),
         )
     };
-    let dst_primary = state.slab.get(dst_id).expect("mesh dest is live").span();
+    let dst_primary = st.slab.get(dst_id).expect("mesh dest is live").span();
     debug_assert_eq!(src_primary.pages, dst_primary.pages);
+
+    let mut arena = heap.lock_arena();
 
     // Raise the write barrier and protect every virtual span of the source
     // so no thread can write to an object while it is being copied.
-    if let Some(guard) = state.arena.barrier() {
+    if let Some(guard) = arena.barrier() {
         guard.begin_meshing();
     }
     for &vs in &src_spans {
-        state.arena.protect_span(vs);
+        arena.protect_span(vs);
     }
 
     // Copy each live source object to the same slot of the destination.
     {
-        let dst = state.slab.get(dst_id).expect("mesh dest is live");
+        let dst = st.slab.get(dst_id).expect("mesh dest is live");
         let src_base = arena_base + src_primary.byte_offset();
         let dst_base = arena_base + dst_primary.byte_offset();
         for &slot in &src_slots {
@@ -232,37 +254,35 @@ fn mesh_pair(
 
     // Release the source's physical pages and retarget its virtual spans.
     // Ordering depends on the release primitive; see module docs.
-    let release_before_remap =
-        state.arena.release_strategy() == ReleaseStrategy::MadviseDontNeed;
+    let release_before_remap = arena.release_strategy() == ReleaseStrategy::MadviseDontNeed;
     if release_before_remap {
-        state.arena.release_physical(src_primary);
+        arena.release_physical(src_primary);
     }
     for &vs in &src_spans {
-        state
-            .arena
+        arena
             .remap_alias(vs, dst_primary)
             .expect("mesh remap failed");
-        state.arena.set_owner(vs, dst_id);
+        heap.page_map.set_span(vs, dst_id, class.index() as u8);
     }
     if !release_before_remap {
-        state.arena.release_after_remap(src_primary);
+        arena.release_after_remap(src_primary);
     }
     // The remap itself restored PROT_READ|WRITE on all source spans, so
     // spinning writers proceed as soon as the barrier drops.
-    if let Some(guard) = state.arena.barrier() {
+    if let Some(guard) = arena.barrier() {
         guard.end_meshing();
     }
+    drop(arena);
 
     // Fold the source's spans into the destination MiniHeap and retire it.
-    state.bin_remove(src_id);
-    let src = state.slab.remove(src_id);
+    st.bin_remove(src_id);
+    let src = st.slab.remove(src_id);
     debug_assert_eq!(src.bitmap().in_use(), src_slots.len());
-    state
-        .slab
+    st.slab
         .get_mut(dst_id)
         .expect("mesh dest is live")
         .absorb_spans(&src_spans);
-    state.rebin(dst_id);
+    st.rebin(dst_id);
 
     summary.pairs_meshed += 1;
     summary.pages_released += src_primary.pages as usize;
@@ -288,8 +308,8 @@ mod tests {
     use crate::stats::Counters;
     use std::sync::Arc;
 
-    fn state(seed: u64) -> GlobalState {
-        GlobalState::new(
+    fn heap(seed: u64) -> GlobalHeap {
+        GlobalHeap::new(
             MeshConfig::default()
                 .arena_bytes(64 << 20)
                 .seed(seed)
@@ -302,15 +322,15 @@ mod tests {
     /// Builds a detached MiniHeap of `class` with objects at `slots`, each
     /// filled with `fill`.
     fn detached_with_slots(
-        st: &mut GlobalState,
+        h: &GlobalHeap,
         class: SizeClass,
         slots: &[usize],
         fill: u8,
     ) -> MiniHeapId {
-        let id = st.fresh_miniheap(class).unwrap();
-        let base = st.arena.base_addr();
+        let mut st = h.lock_class(class);
+        let id = h.fresh_miniheap_locked(&mut st, class).unwrap();
         let mh = st.slab.get(id).unwrap();
-        let start = base + mh.span().byte_offset();
+        let start = h.base_addr() + mh.span().byte_offset();
         for &s in slots {
             assert!(mh.bitmap().try_set(s));
             unsafe {
@@ -334,21 +354,22 @@ mod tests {
 
     #[test]
     fn mesh_pair_preserves_object_contents_and_addresses() {
-        let mut st = state(1);
+        let h = heap(1);
         let class = SizeClass::for_size(256).unwrap();
-        let a = detached_with_slots(&mut st, class, &[0, 2, 4], 0xAA);
-        let b = detached_with_slots(&mut st, class, &[1, 3, 5], 0xBB);
-        let base = st.arena.base_addr();
+        let a = detached_with_slots(&h, class, &[0, 2, 4], 0xAA);
+        let b = detached_with_slots(&h, class, &[1, 3, 5], 0xBB);
+        let base = h.base_addr();
+        let mut st = h.lock_class(class);
         let addr_a = base + st.slab.get(a).unwrap().span().byte_offset();
         let addr_b = base + st.slab.get(b).unwrap().span().byte_offset();
-        let committed_before = st.arena.committed_pages();
+        let committed_before = h.lock_arena().committed_pages();
 
         let mut summary = MeshSummary::default();
-        mesh_pair(&mut st, a, b, &mut summary);
+        mesh_pair(&h, &mut st, class, a, b, &mut summary);
         assert_eq!(summary.pairs_meshed, 1);
         assert_eq!(summary.pages_released, class.span_pages());
         assert_eq!(
-            st.arena.committed_pages(),
+            h.lock_arena().committed_pages(),
             committed_before - class.span_pages()
         );
 
@@ -372,46 +393,56 @@ mod tests {
         }
 
         // Both spans' pages resolve to the survivor.
-        assert_eq!(st.arena.owner_of_addr(addr_a + 10), Some(survivor_id));
-        assert_eq!(st.arena.owner_of_addr(addr_b + 10), Some(survivor_id));
+        let owner = |addr: usize| h.page_map.get(h.page_of_addr(addr).unwrap()).map(|i| i.id);
+        assert_eq!(owner(addr_a + 10), Some(survivor_id));
+        assert_eq!(owner(addr_b + 10), Some(survivor_id));
     }
 
     #[test]
     fn meshed_survivor_frees_through_both_spans_then_dies() {
-        let mut st = state(2);
+        let h = heap(2);
         let class = SizeClass::for_size(512).unwrap();
-        let a = detached_with_slots(&mut st, class, &[0, 1], 1);
-        let b = detached_with_slots(&mut st, class, &[6, 7], 2);
-        let base = st.arena.base_addr();
-        let addr_a = base + st.slab.get(a).unwrap().span().byte_offset();
-        let addr_b = base + st.slab.get(b).unwrap().span().byte_offset();
-        let mut summary = MeshSummary::default();
-        mesh_pair(&mut st, a, b, &mut summary);
+        let a = detached_with_slots(&h, class, &[0, 1], 1);
+        let b = detached_with_slots(&h, class, &[6, 7], 2);
+        let base = h.base_addr();
+        let (addr_a, addr_b) = {
+            let mut st = h.lock_class(class);
+            let addr_a = base + st.slab.get(a).unwrap().span().byte_offset();
+            let addr_b = base + st.slab.get(b).unwrap().span().byte_offset();
+            let mut summary = MeshSummary::default();
+            mesh_pair(&h, &mut st, class, a, b, &mut summary);
+            (addr_a, addr_b)
+        };
 
         // Free objects through their original (virtual) addresses.
-        assert!(st.free_global(addr_a));
-        assert!(st.free_global(addr_a + 512));
-        assert!(st.free_global(addr_b + 6 * 512));
-        assert!(st.free_global(addr_b + 7 * 512));
-        assert_eq!(st.slab.len(), 0, "survivor destroyed when empty");
-        // Identity restored: allocating fresh spans works at both ranges.
-        assert_eq!(st.arena.owner_of_addr(addr_a), None);
-        assert_eq!(st.arena.owner_of_addr(addr_b), None);
+        assert!(h.free_global(addr_a));
+        assert!(h.free_global(addr_a + 512));
+        assert!(h.free_global(addr_b + 6 * 512));
+        assert!(h.free_global(addr_b + 7 * 512));
+        h.drain_all();
+        {
+            let st = h.lock_class(class);
+            assert_eq!(st.slab.len(), 0, "survivor destroyed when empty");
+        }
+        // Identity restored: both page ranges unowned again.
+        assert_eq!(h.page_map.get(h.page_of_addr(addr_a).unwrap()), None);
+        assert_eq!(h.page_map.get(h.page_of_addr(addr_b).unwrap()), None);
     }
 
     #[test]
     fn split_mesher_finds_disjoint_pairs() {
-        let mut st = state(3);
+        let h = heap(3);
         let class = SizeClass::for_size(1024).unwrap();
         // Even-slot and odd-slot heaps: any (even, odd) pair meshes.
         for i in 0..8 {
             let slots: Vec<usize> = if i % 2 == 0 { vec![0, 2] } else { vec![1, 3] };
-            detached_with_slots(&mut st, class, &slots, i as u8);
+            detached_with_slots(&h, class, &slots, i as u8);
         }
-        let candidates = collect_candidates(&mut st, class);
+        let mut st = h.lock_class(class);
+        let candidates = collect_candidates(&h, &st);
         assert_eq!(candidates.len(), 8);
         let mut probes = 0;
-        let pairs = split_mesher(&mut st, candidates, &mut probes);
+        let pairs = split_mesher(&mut st, candidates, 64, 3, &mut probes);
         assert!(probes > 0);
         // With t=64 and only two "shapes", SplitMesher should pair nearly
         // everything; at minimum one pair must exist.
@@ -425,56 +456,68 @@ mod tests {
 
     #[test]
     fn full_pass_meshes_compatible_spans_and_respects_span_limit() {
-        let mut st = state(4);
+        let h = heap(4);
         let class = SizeClass::for_size(128).unwrap();
         for i in 0..6 {
             let slots = vec![i]; // all singletons at distinct offsets: all mesh
-            detached_with_slots(&mut st, class, &slots, i as u8);
+            detached_with_slots(&h, class, &slots, i as u8);
         }
-        let summary = mesh_all_classes(&mut st);
+        let summary = mesh_all_classes(&h);
         assert!(summary.pairs_meshed >= 2, "got {summary:?}");
         // max_span_count = 3 by default: no MiniHeap may exceed 3 spans.
+        let st = h.lock_class(class);
         for (_, mh) in st.slab.iter() {
             assert!(mh.span_count() <= 3);
         }
-        let stats = st.counters.snapshot();
+        let stats = h.counters.snapshot();
         assert_eq!(stats.mesh_passes, 1);
         assert!(stats.mesh_pages_released >= 2);
     }
 
     #[test]
     fn occupancy_cutoff_excludes_full_spans() {
-        let mut st = state(5);
-        st.config = st.config.clone().occupancy_cutoff(0.5);
+        let h = heap(5);
+        h.rt.set_occupancy_cutoff(0.5);
         let class = SizeClass::for_size(2048).unwrap();
         let count = class.object_count(); // 8
         // 75% occupied: above cutoff → not a candidate.
         let dense: Vec<usize> = (0..count * 3 / 4).collect();
-        detached_with_slots(&mut st, class, &dense, 1);
-        detached_with_slots(&mut st, class, &[0], 2);
-        let candidates = collect_candidates(&mut st, class);
+        detached_with_slots(&h, class, &dense, 1);
+        detached_with_slots(&h, class, &[0], 2);
+        let st = h.lock_class(class);
+        let candidates = collect_candidates(&h, &st);
         assert_eq!(candidates.len(), 1);
     }
 
     #[test]
     fn attached_miniheaps_are_never_candidates() {
-        let mut st = state(6);
+        let h = heap(6);
         let class = SizeClass::for_size(64).unwrap();
         let mut sv = ShuffleVector::new(true);
         let mut rng = Rng::with_seed(1);
-        st.refill(&mut sv, class, 1, &mut rng).unwrap();
+        h.refill(&mut sv, class, 1, &mut rng).unwrap();
         sv.malloc().unwrap();
-        assert!(collect_candidates(&mut st, class).is_empty());
+        let st = h.lock_class(class);
+        assert!(collect_candidates(&h, &st).is_empty());
     }
 
     #[test]
-    fn non_meshable_classes_skipped() {
-        let mut st = state(7);
+    fn non_meshable_classes_skipped_but_still_drained() {
+        let h = heap(7);
         let class = SizeClass::for_size(8192).unwrap();
         assert!(!class.is_meshable());
-        detached_with_slots(&mut st, class, &[0], 1);
-        detached_with_slots(&mut st, class, &[1], 2);
-        let summary = mesh_all_classes(&mut st);
+        let a = detached_with_slots(&h, class, &[0], 1);
+        detached_with_slots(&h, class, &[1], 2);
+        // Queue a remote free for the non-meshable class, then run a pass:
+        // the pass must not mesh it but must apply the queued free.
+        let addr = {
+            let st = h.lock_class(class);
+            h.base_addr() + st.slab.get(a).unwrap().span().byte_offset()
+        };
+        assert!(h.free_global(addr), "free enqueues on the class queue");
+        let summary = mesh_all_classes(&h);
         assert_eq!(summary.pairs_meshed, 0);
+        let st = h.lock_class(class);
+        assert!(st.slab.get(a).is_none(), "queued free not applied by the pass");
     }
 }

@@ -352,7 +352,7 @@ mod tests {
     fn slot_of_addr_primary_and_alias() {
         let mut mh = small_mh();
         let base = 0x7000_0000;
-        assert_eq!(mh.slot_of_addr(base, base + 0), Some(0));
+        assert_eq!(mh.slot_of_addr(base, base), Some(0));
         assert_eq!(mh.slot_of_addr(base, base + 256 * 3 + 10), Some(3));
         assert_eq!(mh.slot_of_addr(base, base + 4096), None);
         mh.absorb_spans(&[Span::new(9, 1)]);

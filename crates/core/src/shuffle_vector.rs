@@ -116,6 +116,7 @@ impl ShuffleVector {
     ///
     /// Panics if the vector is already attached, if `object_count`
     /// exceeds 256, or if `span_starts` is empty.
+    #[allow(clippy::too_many_arguments)] // mirrors the attach signature of Fig 4
     pub fn attach(
         &mut self,
         mh: MiniHeapId,
@@ -286,7 +287,7 @@ mod tests {
         let (mut sv, _bm, _) = attached(64, true, 7);
         let mut seen = HashSet::new();
         while let Some(addr) = sv.malloc() {
-            assert!(addr >= SPAN && addr < SPAN + 4096);
+            assert!((SPAN..SPAN + 4096).contains(&addr));
             assert_eq!((addr - SPAN) % 64, 0);
             assert!(seen.insert(addr), "duplicate address {addr:#x}");
         }

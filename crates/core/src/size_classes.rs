@@ -88,7 +88,7 @@ impl SizeClass {
         }
         if size <= 1024 {
             // 16-byte-granular lookup table for the sub-1 KiB classes.
-            let bucket = (size + 15) / 16; // 0..=64
+            let bucket = size.div_ceil(16); // 0..=64
             Some(SizeClass(SUB_1K_LOOKUP[bucket]))
         } else {
             // Power-of-two classes: 2048, 4096, 8192, 16384.

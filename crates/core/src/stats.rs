@@ -4,6 +4,7 @@
 //! Counters are plain atomics so the hot paths can bump them without the
 //! global lock; [`HeapStats`] is a coherent snapshot taken on demand.
 
+use crate::size_classes::NUM_SIZE_CLASSES;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Live atomic counters owned by a heap. Exposed for the substrate layers
@@ -32,6 +33,18 @@ pub struct Counters {
     pub committed_pages_peak: AtomicUsize,
     /// Bytes of live application objects (allocated minus freed).
     pub live_bytes: AtomicUsize,
+    /// Shuffle-vector refills (each takes exactly one class lock).
+    pub refills: AtomicU64,
+    /// Non-local frees pushed onto a lock-free remote-free queue.
+    pub remote_free_queued: AtomicU64,
+    /// Remote-free queue entries applied under a class lock.
+    pub remote_free_drained: AtomicU64,
+    /// Times a class lock was found contended (per size class): the
+    /// sharding metric — the seed's single global mutex counted every
+    /// cross-class collision here.
+    pub class_lock_contention: [AtomicU64; NUM_SIZE_CLASSES],
+    /// Times the arena (span/page-table) leaf lock was found contended.
+    pub arena_lock_contention: AtomicU64,
 }
 
 impl Counters {
@@ -69,6 +82,13 @@ impl Counters {
             committed_pages: self.committed_pages.load(Ordering::Relaxed),
             committed_pages_peak: self.committed_pages_peak.load(Ordering::Relaxed),
             live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            refills: self.refills.load(Ordering::Relaxed),
+            remote_free_queued: self.remote_free_queued.load(Ordering::Relaxed),
+            remote_free_drained: self.remote_free_drained.load(Ordering::Relaxed),
+            class_lock_contention: std::array::from_fn(|i| {
+                self.class_lock_contention[i].load(Ordering::Relaxed)
+            }),
+            arena_lock_contention: self.arena_lock_contention.load(Ordering::Relaxed),
         }
     }
 }
@@ -128,6 +148,16 @@ pub struct HeapStats {
     /// Live application bytes (allocated − freed), before size-class
     /// rounding.
     pub live_bytes: usize,
+    /// Shuffle-vector refills (one class-lock acquisition each).
+    pub refills: u64,
+    /// Non-local frees enqueued lock-free (§4.4.4 sharded path).
+    pub remote_free_queued: u64,
+    /// Queued remote frees applied under their class lock.
+    pub remote_free_drained: u64,
+    /// Contended class-lock acquisitions, per size class.
+    pub class_lock_contention: [u64; NUM_SIZE_CLASSES],
+    /// Contended acquisitions of the arena leaf lock.
+    pub arena_lock_contention: u64,
 }
 
 impl HeapStats {
@@ -151,6 +181,11 @@ impl HeapStats {
         } else {
             Some(self.heap_bytes() as f64 / self.live_bytes as f64)
         }
+    }
+
+    /// Total contended class-lock acquisitions across all size classes.
+    pub fn total_class_contention(&self) -> u64 {
+        self.class_lock_contention.iter().sum()
     }
 }
 

@@ -22,6 +22,7 @@
 //!    the DESIGN.md experiments) so it is always safe, though the file
 //!    pages themselves survive until reuse. RSS-equivalent to punch-hole.
 
+use crate::ffi as libc;
 use std::io;
 use std::os::raw::{c_int, c_uint};
 
@@ -53,7 +54,7 @@ impl MemFile {
         let fd = unsafe {
             libc::syscall(
                 libc::SYS_memfd_create,
-                b"mesh-arena\0".as_ptr(),
+                c"mesh-arena".as_ptr(),
                 libc::MFD_CLOEXEC as c_uint,
             ) as c_int
         };

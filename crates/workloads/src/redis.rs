@@ -316,7 +316,7 @@ pub fn run_redis(alloc: &mut TestAllocator, cfg: &RedisConfig) -> RedisReport {
         };
         store.insert(alloc, key, cfg.phase1_value_len, cfg.max_memory, cfg.eviction, &mut rng);
         ops += 1;
-        if ops % cfg.sample_every == 0 {
+        if ops.is_multiple_of(cfg.sample_every) {
             sample(alloc, &mut timeline);
         }
     }
@@ -330,7 +330,7 @@ pub fn run_redis(alloc: &mut TestAllocator, cfg: &RedisConfig) -> RedisReport {
         next_key += 1;
         store.insert(alloc, next_key, cfg.phase2_value_len, cfg.max_memory, cfg.eviction, &mut rng);
         ops += 1;
-        if ops % cfg.sample_every == 0 {
+        if ops.is_multiple_of(cfg.sample_every) {
             sample(alloc, &mut timeline);
         }
     }

@@ -98,7 +98,7 @@ fn deterministic_given_seed() {
     let run = || {
         let mesh = heap(77);
         let addrs: Vec<usize> = (0..1000)
-            .map(|i| mesh.malloc(16 + (i % 32) * 16) as usize - 0)
+            .map(|i| mesh.malloc(16 + (i % 32) * 16) as usize)
             .collect();
         let base = addrs[0];
         // Return offsets relative to the first allocation (arena base

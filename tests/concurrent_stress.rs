@@ -226,6 +226,108 @@ fn thread_heap_drop_returns_spans_for_meshing() {
 }
 
 #[test]
+fn sharded_heap_stress_distinct_classes_with_background_mesher() {
+    // The sharded-heap acceptance test: N threads hammer *distinct* size
+    // classes (their refills take disjoint class locks), a remote-free
+    // thread frees other threads' pointers (lock-free queue pushes), and
+    // the background mesher runs aggressively the whole time. Afterwards
+    // every free must be accounted for (no lost frees) and occupancy
+    // accounting must settle to exactly zero.
+    const CLASS_SIZES: [usize; 6] = [16, 48, 128, 320, 768, 2048];
+    const OPS: usize = 30_000;
+    let mesh = Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(1 << 30)
+            .seed(26)
+            .mesh_period(Duration::from_millis(2))
+            .background_meshing(true),
+    )
+    .unwrap();
+    let (tx, rx) = std::sync::mpsc::channel::<usize>();
+    let workers: Vec<_> = CLASS_SIZES
+        .iter()
+        .enumerate()
+        .map(|(t, &size)| {
+            let mesh = mesh.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut heap = mesh.thread_heap();
+                let mut rng = mesh::core::rng::Rng::with_seed(t as u64);
+                let mut live: Vec<usize> = Vec::new();
+                for i in 0..OPS {
+                    match i % 4 {
+                        // Allocate and keep (freed locally later).
+                        0 | 1 => {
+                            let p = heap.malloc(size);
+                            assert!(!p.is_null(), "class {size} exhausted");
+                            unsafe { std::ptr::write_bytes(p, t as u8 + 1, size.min(32)) };
+                            live.push(p as usize);
+                        }
+                        // Allocate and hand off for a remote free.
+                        2 => {
+                            let p = heap.malloc(size);
+                            assert!(!p.is_null());
+                            tx.send(p as usize).unwrap();
+                        }
+                        // Free one of our own (local fast path).
+                        _ => {
+                            if !live.is_empty() {
+                                let idx = rng.below(live.len() as u32) as usize;
+                                let addr = live.swap_remove(idx);
+                                unsafe { heap.free(addr as *mut u8) };
+                            }
+                        }
+                    }
+                }
+                for addr in live {
+                    unsafe { heap.free(addr as *mut u8) };
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let remote_freer = {
+        let mesh = mesh.clone();
+        std::thread::spawn(move || {
+            let mut heap = mesh.thread_heap();
+            let mut n = 0u64;
+            while let Ok(addr) = rx.recv() {
+                unsafe { heap.free(addr as *mut u8) };
+                n += 1;
+            }
+            n
+        })
+    };
+    for w in workers {
+        w.join().unwrap();
+    }
+    let remote = remote_freer.join().unwrap();
+    assert_eq!(remote as usize, CLASS_SIZES.len() * OPS.div_ceil(4));
+
+    // stats() flushes every remote-free queue: accounting must settle.
+    let stats = mesh.stats();
+    assert_eq!(stats.mallocs, stats.frees, "lost frees: {stats:?}");
+    assert_eq!(stats.live_bytes, 0, "occupancy accounting drifted");
+    assert_eq!(stats.double_frees, 0);
+    assert_eq!(stats.invalid_frees, 0);
+    assert_eq!(
+        stats.remote_free_queued, stats.remote_free_drained,
+        "queued remote frees never applied"
+    );
+    assert!(stats.remote_free_queued >= remote, "remote frees bypassed the queues");
+
+    // The background mesher had fragmented detached spans and an
+    // aggressive period: it must actually have run.
+    assert!(stats.mesh_passes > 0, "background mesher never ran");
+
+    // With everything freed and drained, a purge releases every page.
+    mesh.purge_dirty();
+    let _ = mesh.mesh_now();
+    mesh.purge_dirty();
+    assert_eq!(mesh.stats().committed_pages, 0, "pages leaked");
+}
+
+#[test]
 fn mesh_handle_is_usable_from_many_threads_at_once() {
     let mesh = heap(25);
     let handles: Vec<_> = (0..8)

@@ -1,95 +1,131 @@
 //! Property tests for the §5 theory kit: blossom matching, graph
 //! realization, Erdős–Renyi sampling, and trace round-trips.
+//!
+//! Deterministic seeded-RNG property loops (the offline build has no
+//! `proptest`); each property runs `CASES` randomized cases with the case
+//! number carried in every assertion message.
 
+use mesh::core::rng::Rng;
 use mesh::graph::blossom::blossom_matching;
 use mesh::graph::clique_cover::min_clique_cover_size;
 use mesh::graph::erdos_renyi::sample_gnp;
 use mesh::graph::matching::{greedy_matching, is_valid_matching, maximum_matching_size};
 use mesh::graph::MeshGraph;
 use mesh::workloads::trace::{Trace, TraceEvent};
-use mesh::core::rng::Rng;
-use proptest::prelude::*;
 
-/// Strategy: an arbitrary edge set over `n ≤ 12` nodes.
-fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..=12).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
-        )
-    })
+const CASES: u64 = 64;
+
+fn case_rng(test_id: u64, case: u64) -> Rng {
+    Rng::with_seed(test_id ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Generator: an arbitrary edge set over `n ≤ 12` nodes.
+fn small_graph(gen: &mut Rng) -> (usize, Vec<(usize, usize)>) {
+    let n = 2 + gen.below(11) as usize;
+    let max_edges = n * (n - 1) / 2;
+    let count = gen.below(max_edges as u32 + 1) as usize;
+    let edges = (0..count)
+        .map(|_| (gen.below(n as u32) as usize, gen.below(n as u32) as usize))
+        .collect();
+    (n, edges)
+}
 
-    /// `from_edge_list` realizes exactly the requested edge relation
-    /// (minus self-loops), for arbitrary edge sets.
-    #[test]
-    fn edge_list_realization_is_exact((n, edges) in small_graph()) {
+/// `from_edge_list` realizes exactly the requested edge relation (minus
+/// self-loops), for arbitrary edge sets.
+#[test]
+fn edge_list_realization_is_exact() {
+    for case in 0..CASES {
+        let (n, edges) = small_graph(&mut case_rng(0x61, case));
         let g = MeshGraph::from_edge_list(n, &edges);
-        prop_assert_eq!(g.node_count(), n);
+        assert_eq!(g.node_count(), n, "case {case}");
         for i in 0..n {
-            prop_assert!(!g.has_edge(i, i));
+            assert!(!g.has_edge(i, i), "case {case}");
             for j in 0..n {
                 if i != j {
                     let wanted = edges
                         .iter()
                         .any(|&(a, b)| (a, b) == (i, j) || (b, a) == (i, j));
-                    prop_assert_eq!(g.has_edge(i, j), wanted, "edge ({}, {})", i, j);
+                    assert_eq!(g.has_edge(i, j), wanted, "edge ({i}, {j}), case {case}");
                 }
             }
         }
     }
+}
 
-    /// Blossom output is always a valid matching, is optimal (vs the
-    /// subset DP), and dominates the greedy matcher.
-    #[test]
-    fn blossom_is_optimal_on_arbitrary_graphs((n, edges) in small_graph()) {
+/// Blossom output is always a valid matching, is optimal (vs the subset
+/// DP), and dominates the greedy matcher.
+#[test]
+fn blossom_is_optimal_on_arbitrary_graphs() {
+    for case in 0..CASES {
+        let (n, edges) = small_graph(&mut case_rng(0x62, case));
         let g = MeshGraph::from_edge_list(n, &edges);
         let m = blossom_matching(&g);
-        prop_assert!(is_valid_matching(&g, &m));
-        prop_assert!(m.len() <= n / 2);
+        assert!(is_valid_matching(&g, &m), "case {case}");
+        assert!(m.len() <= n / 2, "case {case}");
         let opt = maximum_matching_size(&g);
-        prop_assert_eq!(m.len(), opt);
+        assert_eq!(m.len(), opt, "case {case}");
         let greedy = greedy_matching(&g);
-        prop_assert!(greedy.len() <= m.len());
-        prop_assert!(2 * greedy.len() >= m.len(), "greedy below 1/2-approx");
+        assert!(greedy.len() <= m.len(), "case {case}");
+        assert!(2 * greedy.len() >= m.len(), "greedy below 1/2-approx, case {case}");
     }
+}
 
-    /// An optimal cover of `k` cliques releases `n − k` spans; a maximum
-    /// matching of `m` pairs releases `m`. The optimal cover dominates
-    /// the matching but never releases more than 2× as much: a clique of
-    /// size `s` releases `s − 1` spans yet contains `⌊s/2⌋ ≥ (s−1)/2`
-    /// disjoint pairs — the quantitative backbone of §5.2's claim.
-    #[test]
-    fn cover_dominates_matching_but_not_by_much((n, edges) in small_graph()) {
+/// An optimal cover of `k` cliques releases `n − k` spans; a maximum
+/// matching of `m` pairs releases `m`. The optimal cover dominates the
+/// matching but never releases more than 2× as much: a clique of size `s`
+/// releases `s − 1` spans yet contains `⌊s/2⌋ ≥ (s−1)/2` disjoint pairs —
+/// the quantitative backbone of §5.2's claim.
+#[test]
+fn cover_dominates_matching_but_not_by_much() {
+    for case in 0..CASES {
+        let (n, edges) = small_graph(&mut case_rng(0x63, case));
         let g = MeshGraph::from_edge_list(n, &edges);
         let match_released = blossom_matching(&g).len();
         let cover_released = n - min_clique_cover_size(&g);
-        prop_assert!(cover_released >= match_released);
-        prop_assert!(cover_released <= 2 * match_released);
+        assert!(cover_released >= match_released, "case {case}");
+        assert!(cover_released <= 2 * match_released, "case {case}");
     }
+}
 
-    /// Erdős–Renyi degenerate cases and density monotonicity.
-    #[test]
-    fn gnp_edge_counts_bounded(n in 2usize..40, p in 0.0f64..=1.0, seed in 0u64..1000) {
-        let mut rng = Rng::with_seed(seed);
+/// Erdős–Renyi degenerate cases and edge-count bounds (cases 0/1 of each
+/// triple pin the exact p = 0 and p = 1 endpoints).
+#[test]
+fn gnp_edge_counts_bounded() {
+    for case in 0..CASES {
+        let mut gen = case_rng(0x64, case);
+        let n = 2 + gen.below(38) as usize;
+        let p = match case % 3 {
+            0 => 0.0,
+            1 => 1.0,
+            _ => gen.next_u64() as f64 / u64::MAX as f64,
+        };
+        let mut rng = Rng::with_seed(gen.next_u64());
         let g = sample_gnp(n, p, &mut rng);
         let max = n * (n - 1) / 2;
-        prop_assert!(g.edge_count() <= max);
+        assert!(g.edge_count() <= max, "case {case}");
         if p == 0.0 {
-            prop_assert_eq!(g.edge_count(), 0);
+            assert_eq!(g.edge_count(), 0, "case {case}");
         }
         if p == 1.0 {
-            prop_assert_eq!(g.edge_count(), max);
+            assert_eq!(g.edge_count(), max, "case {case}");
         }
     }
+}
 
-    /// Any well-formed trace round-trips through the text format.
-    #[test]
-    fn trace_text_round_trip(ops in proptest::collection::vec((0u8..2, 0u64..8, 1usize..4096), 0..200)) {
+/// Any well-formed trace round-trips through the text format.
+#[test]
+fn trace_text_round_trip() {
+    for case in 0..CASES {
+        let mut gen = case_rng(0x65, case);
+        let ops: Vec<(u8, u64, usize)> = (0..gen.below(200))
+            .map(|_| {
+                (
+                    gen.below(2) as u8,
+                    gen.below(8) as u64,
+                    1 + gen.below(4095) as usize,
+                )
+            })
+            .collect();
         // Build a well-formed trace from the op stream: malloc if the id
         // is free, free if it is live.
         let mut live = std::collections::HashSet::new();
@@ -104,14 +140,20 @@ proptest! {
             }
         }
         let trace = Trace::from_events(events);
-        prop_assert!(trace.validate().is_ok());
+        assert!(trace.validate().is_ok(), "case {case}");
         let back = Trace::from_text(&trace.to_text()).unwrap();
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace, "case {case}");
     }
+}
 
-    /// Trace statistics are internally consistent.
-    #[test]
-    fn trace_stats_consistent(sizes in proptest::collection::vec(1usize..10_000, 1..100)) {
+/// Trace statistics are internally consistent.
+#[test]
+fn trace_stats_consistent() {
+    for case in 0..CASES {
+        let mut gen = case_rng(0x66, case);
+        let sizes: Vec<usize> = (0..1 + gen.below(99))
+            .map(|_| 1 + gen.below(9999) as usize)
+            .collect();
         let mut trace = Trace::default();
         for (i, &s) in sizes.iter().enumerate() {
             trace.push_malloc(i as u64, s);
@@ -120,17 +162,17 @@ proptest! {
             trace.push_free(i as u64);
         }
         let stats = trace.stats();
-        prop_assert_eq!(stats.mallocs, sizes.len());
-        prop_assert_eq!(stats.frees, sizes.len() / 2);
+        assert_eq!(stats.mallocs, sizes.len(), "case {case}");
+        assert_eq!(stats.frees, sizes.len() / 2, "case {case}");
         let total: usize = sizes.iter().sum();
-        prop_assert_eq!(stats.peak_live_bytes, total);
+        assert_eq!(stats.peak_live_bytes, total, "case {case}");
         let freed: usize = sizes[..sizes.len() / 2].iter().sum();
-        prop_assert_eq!(stats.final_live_bytes, total - freed);
+        assert_eq!(stats.final_live_bytes, total - freed, "case {case}");
     }
 }
 
-/// The blossom matcher on larger random meshing graphs: validity plus
-/// the Lemma 5.3 sanity relation (optimum ≥ greedy ≥ optimum/2).
+/// The blossom matcher on larger random meshing graphs: validity plus the
+/// Lemma 5.3 sanity relation (optimum ≥ greedy ≥ optimum/2).
 #[test]
 fn blossom_on_large_random_meshing_graphs() {
     let mut rng = Rng::with_seed(0xb0b);
