@@ -1,0 +1,138 @@
+//! **Trace replay footprint** — memory numbers for the perf trajectory.
+//!
+//! Replays one fixed fragmentation-heavy sawtooth trace (the §6
+//! Ruby/perlbench shape: scattered survivors pin a slot in nearly every
+//! span) against every Mesh-backed configuration and records *memory*
+//! outcomes, not throughput: peak committed pages, final committed
+//! footprint after a purge, live bytes, fragmentation ratio, process RSS,
+//! and segmented-arena traffic (segments created/retired). The heap is
+//! deliberately configured with a small initial segment so the replay
+//! exercises on-demand growth and end-of-run segment retirement.
+//!
+//! Output: one human table plus one `BENCH_FOOTPRINT.json` line on stdout
+//! for trajectory tracking.
+
+use mesh_bench::banner;
+use mesh_core::{MeshConfig, PAGE_SIZE};
+use mesh_workloads::driver::TestAllocator;
+use mesh_workloads::trace::{generate, TraceEvent};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One replay's memory outcome.
+struct Outcome {
+    label: &'static str,
+    peak_heap: usize,
+    final_heap: usize,
+    final_live: usize,
+    segments_created: u64,
+    segments_retired: u64,
+    elapsed_ms: f64,
+}
+
+fn run(label: &'static str, config: MeshConfig) -> Outcome {
+    let mut alloc = TestAllocator::from_config(config);
+    // Eight phases of 48–256 B objects, 2% random survivors per phase.
+    let trace = generate::sawtooth_pinned(8, 30_000, 48, 256, 50, 0xf00d);
+    let t0 = Instant::now();
+    let mut ptrs: HashMap<u64, usize> = HashMap::new();
+    for (at, ev) in trace.events().iter().enumerate() {
+        match *ev {
+            TraceEvent::Malloc { id, size } => {
+                ptrs.insert(id, alloc.malloc(size) as usize);
+            }
+            TraceEvent::Free { id } => unsafe {
+                alloc.free(ptrs.remove(&id).expect("live id") as *mut u8);
+            },
+        }
+        if at % 10_000 == 9_999 {
+            alloc.mesh_now();
+        }
+    }
+    alloc.mesh_now();
+    alloc.purge();
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = alloc.heap_stats().expect("Mesh-backed driver");
+    let outcome = Outcome {
+        label,
+        peak_heap: stats.peak_heap_bytes(),
+        final_heap: stats.heap_bytes(),
+        final_live: stats.live_bytes,
+        segments_created: stats.segments_created,
+        segments_retired: stats.segments_retired,
+        elapsed_ms,
+    };
+    // Leave the allocator balanced.
+    for (_, p) in ptrs.drain() {
+        unsafe { alloc.free(p as *mut u8) };
+    }
+    outcome
+}
+
+fn main() {
+    banner("trace replay footprint: sawtooth survivors, segmented arena");
+
+    // Small initial/growth segments under a 1 GiB cap: the replay must
+    // grow on demand and retire what it no longer needs.
+    let base = || {
+        MeshConfig::default()
+            .max_heap_bytes(1 << 30)
+            .initial_segment_bytes(4 << 20)
+            .segment_bytes(16 << 20)
+            .seed(0xf00d)
+    };
+    let outcomes = [
+        run("Mesh", base()),
+        run("Mesh (no meshing)", base().meshing(false)),
+        run("Mesh (no rand)", base().randomize(false)),
+    ];
+
+    println!();
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>8} {:>14} {:>10}",
+        "allocator", "peak MiB", "final MiB", "live MiB", "frag ×", "segs new/ret", "ms"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>12.2} {:>8.1} {:>11}/{:<2} {:>10.0}",
+            o.label,
+            o.peak_heap as f64 / (1 << 20) as f64,
+            o.final_heap as f64 / (1 << 20) as f64,
+            o.final_live as f64 / (1 << 20) as f64,
+            o.final_heap as f64 / o.final_live.max(1) as f64,
+            o.segments_created,
+            o.segments_retired,
+            o.elapsed_ms,
+        );
+    }
+    let rss_kb = mesh_core::sys::process_rss_kb().unwrap_or(0);
+    println!("\nprocess RSS: {:.1} MiB (all heaps + harness)", rss_kb as f64 / 1024.0);
+
+    // Machine-readable trajectory line. Field names are stable; consumers
+    // key on allocator labels.
+    let fields: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            let key = o
+                .label
+                .to_lowercase()
+                .replace([' ', '(', ')'], "")
+                .replace("nomeshing", "_nomesh")
+                .replace("norand", "_norand");
+            format!(
+                "\"{key}_peak_committed_pages\":{},\"{key}_final_committed_pages\":{},\
+                 \"{key}_final_live_bytes\":{},\"{key}_segments_created\":{},\
+                 \"{key}_segments_retired\":{}",
+                o.peak_heap / PAGE_SIZE,
+                o.final_heap / PAGE_SIZE,
+                o.final_live,
+                o.segments_created,
+                o.segments_retired,
+            )
+        })
+        .collect();
+    println!(
+        "BENCH_FOOTPRINT.json {{{},\"process_rss_kb\":{rss_kb}}}",
+        fields.join(",")
+    );
+}

@@ -114,7 +114,8 @@ impl Mesh {
     }
 
     /// Allocates `size` bytes, 16-byte aligned (page-aligned above 16 KiB).
-    /// Returns null when the arena is exhausted — never panics.
+    /// The segmented arena grows on demand; null is returned only when the
+    /// configured hard cap (`max_heap_bytes`) has no room — never panics.
     pub fn malloc(&self, size: usize) -> *mut u8 {
         with_internal_alloc(|| {
             self.inner
@@ -227,9 +228,23 @@ impl Mesh {
         with_internal_alloc(|| self.inner.state.mesh_now())
     }
 
-    /// Releases all dirty pages to the OS immediately.
+    /// Releases all dirty pages to the OS immediately, then retires any
+    /// non-initial segment left with all pages clean (unmapping it and
+    /// returning its file backing wholesale).
     pub fn purge_dirty(&self) {
-        with_internal_alloc(|| self.inner.state.lock_arena().purge_dirty());
+        with_internal_alloc(|| self.inner.state.purge_and_retire());
+    }
+
+    /// Per-segment accounting snapshots of the segmented arena, in
+    /// address order (takes the arena leaf lock briefly).
+    pub fn segment_stats(&self) -> Vec<crate::segment::SegmentStats> {
+        with_internal_alloc(|| self.inner.state.segment_stats())
+    }
+
+    /// Bytes currently mapped to segment files — the virtual footprint of
+    /// the active segments (lock-free; `heap_bytes() ≤ mapped_bytes()`).
+    pub fn mapped_bytes(&self) -> usize {
+        self.inner.counters.mapped_pages.load(Ordering::Relaxed) * PAGE_SIZE
     }
 
     /// A snapshot of heap statistics. Flushes every class's remote-free
@@ -381,7 +396,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::{Cell, RefCell};
 use std::sync::OnceLock;
 
-static GLOBAL_MESH: OnceLock<Mesh> = OnceLock::new();
+/// `None` means heap construction failed; remembered so every subsequent
+/// allocation fails cleanly (null) instead of retrying or panicking.
+static GLOBAL_MESH: OnceLock<Option<Mesh>> = OnceLock::new();
 
 thread_local! {
     /// Re-entrancy guard: allocations made *by* Mesh's own metadata
@@ -437,17 +454,43 @@ pub struct MeshGlobalAlloc;
 impl MeshGlobalAlloc {
     /// The process-wide heap, created on first allocation. Exposed so
     /// programs can inspect stats or force meshing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap could not be constructed. The allocation paths
+    /// never use this accessor — they go through [`Self::try_mesh`], which
+    /// converts construction failure into null returns as the
+    /// `GlobalAlloc` contract requires.
     pub fn mesh() -> &'static Mesh {
-        GLOBAL_MESH.get_or_init(|| {
-            let config = match std::env::var("MESH_ARENA_BYTES")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-            {
-                Some(bytes) => MeshConfig::default().arena_bytes(bytes),
-                None => MeshConfig::default(),
-            };
-            Mesh::new(config).expect("failed to create global Mesh heap")
-        })
+        Self::try_mesh().expect("failed to create global Mesh heap")
+    }
+
+    /// The process-wide heap, or `None` if construction failed (bad env
+    /// configuration, no memfd/tmpfile support, reservation refused).
+    /// Construction is attempted once; failure is sticky.
+    pub fn try_mesh() -> Option<&'static Mesh> {
+        GLOBAL_MESH
+            .get_or_init(|| {
+                let env_bytes = |name: &str| {
+                    std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok())
+                };
+                let mut config = MeshConfig::default();
+                // MESH_MAX_HEAP_BYTES is the hard cap; MESH_ARENA_BYTES is
+                // the legacy spelling of the same knob.
+                if let Some(bytes) =
+                    env_bytes("MESH_MAX_HEAP_BYTES").or_else(|| env_bytes("MESH_ARENA_BYTES"))
+                {
+                    config = config.max_heap_bytes(bytes);
+                }
+                if let Some(bytes) = env_bytes("MESH_INITIAL_SEGMENT_BYTES") {
+                    config = config.initial_segment_bytes(bytes);
+                }
+                if let Some(bytes) = env_bytes("MESH_SEGMENT_BYTES") {
+                    config = config.segment_bytes(bytes);
+                }
+                Mesh::new(config).ok()
+            })
+            .as_ref()
     }
 }
 
@@ -468,7 +511,12 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
             // Metadata allocation from inside Mesh itself.
             return System.alloc(layout);
         }
-        let mesh = Self::mesh();
+        let Some(mesh) = Self::try_mesh() else {
+            // Heap construction failed: report OOM per the GlobalAlloc
+            // contract instead of panicking across the boundary.
+            IN_MESH.with(|f| f.set(false));
+            return std::ptr::null_mut();
+        };
         let request = aligned_request(layout.size(), layout.align());
         let p = TLS_HEAP.with(|slot| {
             let mut slot = slot.borrow_mut();
@@ -487,7 +535,7 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        let Some(mesh) = GLOBAL_MESH.get() else {
+        let Some(mesh) = GLOBAL_MESH.get().and_then(|m| m.as_ref()) else {
             return System.dealloc(ptr, layout);
         };
         if !mesh.contains(ptr) {

@@ -1,13 +1,20 @@
-//! The meshable arena (§4.4.1): a single file-backed mapping from which
-//! every span and large object is carved.
+//! The meshable arena (§4.4.1), segmented: a table of independently
+//! file-backed segments carved out of one contiguous virtual reservation.
 //!
-//! The arena reserves one contiguous `MAP_SHARED` mapping of a memory file
-//! ([`crate::sys::MemFile`]). Virtual page *i* initially maps file page *i*
-//! (the *identity* mapping); meshing retargets a virtual span at another
-//! span's file range, and the arena restores identities when meshed
-//! MiniHeaps die.
+//! The arena reserves `max_heap_bytes` of virtual address space once
+//! (`PROT_NONE`, uncommitted) and maps **segments** — each backed by its
+//! own memory file ([`crate::sys::MemFile`]) — into that window on demand:
+//! the initial segment at construction, further segments whenever span
+//! allocation misses every existing segment ("grow on miss"). Because the
+//! reservation is contiguous, pointer→page arithmetic stays a single
+//! subtraction and the lock-free page map is oblivious to growth; only
+//! *file* offsets are per-segment. Within a segment, virtual page *i*
+//! initially maps file page *i − segment start* (the *identity* mapping);
+//! meshing retargets a virtual span at any segment's file range, and the
+//! arena restores identities when meshed MiniHeaps die.
 //!
-//! Freed spans are kept in two sets of bins, exactly as §4.4.1:
+//! Freed spans are kept per segment in two sets of bins, exactly as
+//! §4.4.1:
 //!
 //! * **dirty** — recently freed, physical pages still committed; preferred
 //!   for reuse because they are hot and reclamation is expensive.
@@ -16,27 +23,35 @@
 //!   allocator never assumes zeroed spans).
 //!
 //! Dirty pages are released en masse once they exceed the configured
-//! threshold (64 MB in the paper) or whenever meshing runs.
+//! threshold (64 MB in the paper) or whenever meshing runs. A purge that
+//! leaves a non-initial segment with no outstanding and no dirty pages
+//! makes it **retirable**: the segment is unmapped back to the reserved
+//! state, its file is closed (returning the backing to the OS wholesale),
+//! and its page range becomes reusable by future segments. Allocation
+//! fails — with [`MeshError::ArenaExhausted`] — only once the configured
+//! hard cap itself has no room left.
 //!
 //! The page→MiniHeap table used for constant-time pointer lookup on free
 //! (§4.4.4) lives in [`crate::page_map`] — it is lock-free and shared by
-//! every shard, while the arena itself sits behind the sharded heap's
-//! leaf lock (see DESIGN.md). The arena keeps the committed-page
-//! accounting that serves as the physical-footprint metric.
+//! every shard, while the arena (including the segment table) sits behind
+//! the sharded heap's leaf lock (see DESIGN.md). The arena keeps the
+//! committed-page accounting that serves as the physical-footprint metric.
 
 use crate::barrier::BarrierGuard;
 use crate::config::MeshConfig;
 use crate::error::MeshError;
+use crate::page_map::PageMap;
+use crate::segment::{Segment, SegmentStats, SegmentTable};
 use crate::span::Span;
 use crate::stats::Counters;
 use crate::sys::{self, MemFile, ReleaseStrategy, PAGE_SIZE};
-use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Where a span handed out by [`Arena::alloc_span`] came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanSource {
-    /// Fresh, never-used pages from the high-water bump frontier.
+    /// Fresh, never-used pages from a segment's bump frontier.
     Fresh,
     /// Reused dirty pages (still committed, contents stale).
     Dirty,
@@ -48,15 +63,14 @@ pub enum SpanSource {
 /// sharded heap's arena leaf lock); the arena itself performs no locking.
 #[derive(Debug)]
 pub struct Arena {
-    file: MemFile,
     base: *mut u8,
-    pages: u32,
+    /// Total reservation length in pages: the hard cap.
+    reserved_pages: u32,
     strategy: ReleaseStrategy,
-    high_water: u32,
-    /// Clean spans, binned by exact page count.
-    clean: BTreeMap<u32, Vec<u32>>,
-    /// Dirty spans, binned by exact page count.
-    dirty: BTreeMap<u32, Vec<u32>>,
+    table: SegmentTable,
+    /// Preferred size of growth segments, in pages.
+    segment_pages: u32,
+    /// Dirty pages across all segments (threshold accounting).
     dirty_pages: usize,
     committed_pages: usize,
     max_dirty_pages: usize,
@@ -64,60 +78,83 @@ pub struct Arena {
     counters: Arc<Counters>,
 }
 
-// SAFETY: the raw base pointer refers to a mapping owned by the arena; the
-// arena is only ever used under the sharded heap's arena lock.
+// SAFETY: the raw base pointer refers to a reservation owned by the arena;
+// the arena is only ever used under the sharded heap's arena lock.
 unsafe impl Send for Arena {}
 
 impl Arena {
-    /// Creates an arena per `config`, registering it with the write-barrier
-    /// fault handler when `config.write_barrier` is set.
+    /// Creates an arena per `config`: reserves `max_heap_bytes` of virtual
+    /// space, maps the initial segment, and registers the reservation with
+    /// the write-barrier fault handler when `config.write_barrier` is set.
     ///
     /// # Errors
     ///
     /// Returns [`MeshError::ArenaCreation`]/[`MeshError::Map`] if the
-    /// backing file or mapping cannot be created.
+    /// backing file or mappings cannot be created.
     pub fn new(config: &MeshConfig, counters: Arc<Counters>) -> Result<Arena, MeshError> {
-        let bytes = config.arena_pages() * PAGE_SIZE;
-        let file = MemFile::create(bytes).map_err(MeshError::ArenaCreation)?;
-        let base = sys::map_file_shared(&file).map_err(MeshError::Map)?;
-        let strategy = ReleaseStrategy::detect(&file, base);
+        let cap_pages = config.arena_pages() as u32;
+        let cap_bytes = cap_pages as usize * PAGE_SIZE;
+        let base = sys::reserve_region(cap_bytes).map_err(MeshError::Map)?;
         let barrier = if config.write_barrier {
-            BarrierGuard::register(base as usize, bytes)
+            BarrierGuard::register(base as usize, cap_bytes)
         } else {
             None
         };
-        Ok(Arena {
-            file,
+        let mut arena = Arena {
             base,
-            pages: config.arena_pages() as u32,
-            strategy,
-            high_water: 0,
-            clean: BTreeMap::new(),
-            dirty: BTreeMap::new(),
+            reserved_pages: cap_pages,
+            strategy: ReleaseStrategy::Nop,
+            table: SegmentTable::new(cap_pages),
+            segment_pages: (config.segment_pages() as u32).min(cap_pages),
             dirty_pages: 0,
             committed_pages: 0,
             max_dirty_pages: config.max_dirty_bytes / PAGE_SIZE,
             barrier,
             counters,
-        })
+        };
+        // The initial segment (id 0) is mapped eagerly and never retired.
+        let initial_pages = (config.initial_segment_pages() as u32).min(cap_pages);
+        let idx = arena.grow_exact(initial_pages, initial_pages)?;
+        let seg = arena.table.get(idx);
+        arena.strategy = ReleaseStrategy::detect(seg.file(), base);
+        Ok(arena)
     }
 
-    /// Base address of the arena mapping.
+    /// Base address of the arena reservation.
     #[inline]
     pub fn base_addr(&self) -> usize {
         self.base as usize
     }
 
-    /// Total capacity in pages.
+    /// Total reserved capacity in pages (the hard cap).
     #[inline]
     pub fn capacity_pages(&self) -> u32 {
-        self.pages
+        self.reserved_pages
     }
 
     /// Pages currently committed (the physical footprint).
     #[inline]
     pub fn committed_pages(&self) -> usize {
         self.committed_pages
+    }
+
+    /// Pages currently mapped to segment files (the virtual footprint of
+    /// active segments; committed ≤ mapped ≤ capacity).
+    #[inline]
+    pub fn mapped_pages(&self) -> usize {
+        self.table.mapped_pages()
+    }
+
+    /// Number of active (mapped) segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Segments ever created over this arena's lifetime.
+    #[inline]
+    pub fn segments_created(&self) -> u64 {
+        self.table.ids_created()
     }
 
     /// The active release strategy (diagnostic).
@@ -135,11 +172,11 @@ impl Arena {
     /// Address of arena page `page`.
     #[inline]
     pub fn addr_of_page(&self, page: u32) -> usize {
-        debug_assert!(page < self.pages);
+        debug_assert!(page < self.reserved_pages);
         self.base as usize + page as usize * PAGE_SIZE
     }
 
-    /// Arena page containing `addr`, or `None` if outside the arena.
+    /// Arena page containing `addr`, or `None` if outside the reservation.
     #[inline]
     pub fn page_of_addr(&self, addr: usize) -> Option<u32> {
         let base = self.base as usize;
@@ -147,11 +184,19 @@ impl Arena {
             return None;
         }
         let page = (addr - base) / PAGE_SIZE;
-        if page < self.pages as usize {
+        if page < self.reserved_pages as usize {
             Some(page as u32)
         } else {
             None
         }
+    }
+
+    /// Per-segment accounting snapshots, in address order.
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.table
+            .iter()
+            .map(|seg| seg.stats(seg.id() != 0 && seg.is_empty_of_live_data()))
+            .collect()
     }
 
     fn set_committed(&mut self, pages: usize) {
@@ -159,64 +204,167 @@ impl Arena {
         self.counters.set_committed(pages);
     }
 
+    fn seg_index_of(&self, span: Span) -> usize {
+        let idx = self
+            .table
+            .index_of_page(span.offset)
+            .expect("span belongs to no active segment");
+        debug_assert!(
+            span.end() <= self.table.get(idx).end(),
+            "span {span} crosses a segment boundary"
+        );
+        idx
+    }
+
     /// Hands out a span of `pages` pages, preferring dirty, then clean,
-    /// then fresh pages (§4.4.1).
+    /// then fresh pages (§4.4.1) from any active segment; when every
+    /// segment misses, a new segment is mapped on demand ("grow on miss").
     ///
     /// # Errors
     ///
-    /// Returns [`MeshError::ArenaExhausted`] when no free range is large
-    /// enough.
+    /// Returns [`MeshError::ArenaExhausted`] when the hard cap has no room
+    /// for the request, or [`MeshError::ArenaCreation`]/[`MeshError::Map`]
+    /// if the OS refuses the new segment's file or mapping.
     pub fn alloc_span(&mut self, pages: u32) -> Result<(Span, SpanSource), MeshError> {
         assert!(pages > 0);
         // 1. Dirty reuse: exact length only (dirty spans are transient).
-        if let Some(list) = self.dirty.get_mut(&pages) {
-            if let Some(offset) = list.pop() {
-                if list.is_empty() {
-                    self.dirty.remove(&pages);
-                }
+        for seg in self.table.iter_mut() {
+            if let Some(offset) = seg.take_dirty_exact(pages) {
                 self.dirty_pages -= pages as usize;
                 // Already committed; no accounting change.
                 return Ok((Span::new(offset, pages), SpanSource::Dirty));
             }
         }
-        // 2. Clean reuse: smallest clean span that fits, splitting the rest
-        //    back into the clean bins.
-        let fit = self
-            .clean
-            .range(pages..)
-            .next()
-            .map(|(&len, _)| len);
-        if let Some(len) = fit {
-            let list = self.clean.get_mut(&len).expect("bin just observed");
-            let offset = list.pop().expect("non-empty bin");
-            if list.is_empty() {
-                self.clean.remove(&len);
+        // 2. Clean reuse: smallest clean span across all segments that
+        //    fits, splitting the rest back into its segment's bins.
+        let mut best: Option<(usize, u32)> = None;
+        for (idx, seg) in self.table.iter().enumerate() {
+            if let Some(len) = seg.smallest_clean_at_least(pages) {
+                if best.is_none_or(|(_, best_len)| len < best_len) {
+                    best = Some((idx, len));
+                }
             }
-            let (head, tail) = Span::new(offset, len).split(pages);
-            if let Some(tail) = tail {
-                self.clean.entry(tail.pages).or_default().push(tail.offset);
-            }
+        }
+        if let Some((idx, len)) = best {
+            let span = self.table.get_mut(idx).take_clean(len, pages);
             self.set_committed(self.committed_pages + pages as usize);
-            return Ok((head, SpanSource::Clean));
+            return Ok((span, SpanSource::Clean));
         }
-        // 3. Fresh pages from the bump frontier.
-        if self.high_water as usize + pages as usize > self.pages as usize {
-            return Err(MeshError::ArenaExhausted {
-                requested_pages: pages as usize,
-                capacity_pages: self.pages as usize,
-            });
+        // 3. Fresh pages from the first segment with frontier room.
+        let mut fresh = None;
+        for seg in self.table.iter_mut() {
+            if let Some(offset) = seg.take_fresh(pages) {
+                fresh = Some(offset);
+                break;
+            }
         }
-        let span = Span::new(self.high_water, pages);
-        self.high_water += pages;
+        if let Some(offset) = fresh {
+            self.set_committed(self.committed_pages + pages as usize);
+            return Ok((Span::new(offset, pages), SpanSource::Fresh));
+        }
+        // 4. Grow on miss: map a new segment and carve from it.
+        let idx = self.grow(pages)?;
+        let offset = self
+            .table
+            .get_mut(idx)
+            .take_fresh(pages)
+            .expect("fresh segment sized for the request");
         self.set_committed(self.committed_pages + pages as usize);
-        Ok((span, SpanSource::Fresh))
+        Ok((Span::new(offset, pages), SpanSource::Fresh))
     }
 
-    /// Returns a dead span to the dirty bins; triggers a purge when the
-    /// dirty threshold is exceeded.
+    /// Maps a new segment able to serve a `min_pages`-page span, preferring
+    /// the configured segment size. Returns its table index.
+    fn grow(&mut self, min_pages: u32) -> Result<usize, MeshError> {
+        self.grow_exact(min_pages.max(self.segment_pages), min_pages)
+    }
+
+    fn grow_exact(&mut self, desired: u32, min_pages: u32) -> Result<usize, MeshError> {
+        let Some((start, len)) = self.table.take_range(desired, min_pages) else {
+            return Err(MeshError::ArenaExhausted {
+                requested_pages: min_pages as usize,
+                capacity_pages: self.reserved_pages as usize,
+            });
+        };
+        let bytes = len as usize * PAGE_SIZE;
+        let file = match MemFile::create(bytes) {
+            Ok(file) => file,
+            Err(e) => {
+                self.table.return_range(start, len);
+                return Err(MeshError::ArenaCreation(e));
+            }
+        };
+        let addr = (self.base as usize + start as usize * PAGE_SIZE) as *mut u8;
+        if let Err(e) = unsafe { sys::map_file_fixed(&file, addr) } {
+            self.table.return_range(start, len);
+            return Err(MeshError::Map(e));
+        }
+        let id = self.table.allocate_id();
+        let idx = self.table.insert(Segment::new(id, start, len, file));
+        self.counters.segments_created.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .active_segments
+            .store(self.table.len(), Ordering::Relaxed);
+        self.counters
+            .mapped_pages
+            .store(self.table.mapped_pages(), Ordering::Relaxed);
+        Ok(idx)
+    }
+
+    /// Unmaps every non-initial segment whose pages are all clean: virtual
+    /// range back to the reservation, file backing back to the OS, page
+    /// range back to the free ledger. Returns the number retired.
+    ///
+    /// `page_map` is consulted only to assert (debug builds) that retired
+    /// ranges hold no routed pages — an outstanding entry would mean a
+    /// live span was lost.
+    pub(crate) fn retire_empty_segments(&mut self, page_map: &PageMap) -> usize {
+        let mut retired = 0;
+        let mut idx = 0;
+        while idx < self.table.len() {
+            let seg = self.table.get(idx);
+            if seg.id() == 0 || !seg.is_empty_of_live_data() {
+                idx += 1;
+                continue;
+            }
+            debug_assert_eq!(seg.committed_pages(), 0, "clean segment holds committed pages");
+            debug_assert!(
+                page_map.range_is_clear(seg.start(), seg.pages()),
+                "retiring segment {} with routed pages",
+                seg.id()
+            );
+            let seg = self.table.remove(idx);
+            let addr = (self.base as usize + seg.start() as usize * PAGE_SIZE) as *mut u8;
+            // SAFETY: the range lies inside our reservation and holds no
+            // live spans (outstanding == dirty == 0).
+            unsafe {
+                sys::unmap_to_reserved(addr, seg.pages() as usize * PAGE_SIZE)
+                    .expect("segment retirement remap failed");
+            }
+            self.table.return_range(seg.start(), seg.pages());
+            // Dropping `seg` closes its MemFile, releasing the backing.
+            drop(seg);
+            retired += 1;
+        }
+        if retired > 0 {
+            self.counters
+                .segments_retired
+                .fetch_add(retired as u64, Ordering::Relaxed);
+            self.counters
+                .active_segments
+                .store(self.table.len(), Ordering::Relaxed);
+            self.counters
+                .mapped_pages
+                .store(self.table.mapped_pages(), Ordering::Relaxed);
+        }
+        retired as usize
+    }
+
+    /// Returns a dead span to its segment's dirty bins; triggers a purge
+    /// when the dirty threshold is exceeded.
     pub fn free_span_dirty(&mut self, span: Span) {
-        debug_assert!(span.end() <= self.high_water);
-        self.dirty.entry(span.pages).or_default().push(span.offset);
+        let idx = self.seg_index_of(span);
+        self.table.get_mut(idx).free_dirty(span);
         self.dirty_pages += span.pages as usize;
         if self.dirty_pages > self.max_dirty_pages {
             self.purge_dirty();
@@ -224,11 +372,11 @@ impl Arena {
     }
 
     /// Returns a span whose physical pages were already released (e.g. the
-    /// source of a mesh) straight to the clean bins. No accounting change:
-    /// the pages were uncommitted at release time.
+    /// source of a mesh) straight to its segment's clean bins. No
+    /// accounting change: the pages were uncommitted at release time.
     pub fn free_span_clean(&mut self, span: Span) {
-        debug_assert!(span.end() <= self.high_water);
-        self.clean.entry(span.pages).or_default().push(span.offset);
+        let idx = self.seg_index_of(span);
+        self.table.get_mut(idx).free_clean(span);
     }
 
     /// Releases a dead span's physical pages immediately and files it
@@ -242,14 +390,18 @@ impl Arena {
     /// mapping must still be intact (guaranteed for any never-meshed span
     /// and for mesh sources before their remap).
     pub fn release_physical(&mut self, span: Span) {
+        let idx = self.seg_index_of(span);
+        let seg = self.table.get_mut(idx);
+        let file_offset = seg.file_offset_of_page(span.offset);
         unsafe {
             self.strategy.release(
-                &self.file,
-                self.addr_of_page(span.offset) as *mut u8,
+                seg.file(),
+                (self.base as usize + span.byte_offset()) as *mut u8,
                 span.byte_len(),
-                span.byte_offset(),
+                file_offset,
             );
         }
+        seg.note_release(span.pages as usize);
         self.set_committed(self.committed_pages - span.pages as usize);
     }
 
@@ -262,69 +414,73 @@ impl Arena {
     /// release *before* the remap via [`Arena::release_physical`] — this
     /// method then only adjusts accounting (as does `Nop`).
     pub fn release_after_remap(&mut self, span: Span) {
+        let idx = self.seg_index_of(span);
+        let seg = self.table.get_mut(idx);
+        let file_offset = seg.file_offset_of_page(span.offset);
         match self.strategy {
             ReleaseStrategy::PunchHole => unsafe {
                 self.strategy.release(
-                    &self.file,
+                    seg.file(),
                     std::ptr::null_mut(), // unused by punch-hole
                     span.byte_len(),
-                    span.byte_offset(),
+                    file_offset,
                 );
             },
             ReleaseStrategy::MadviseRemove => unsafe {
-                if let Ok(scratch) =
-                    sys::map_range_shared(&self.file, span.byte_offset(), span.byte_len())
+                if let Ok(scratch) = sys::map_range_shared(seg.file(), file_offset, span.byte_len())
                 {
                     self.strategy
-                        .release(&self.file, scratch, span.byte_len(), span.byte_offset());
+                        .release(seg.file(), scratch, span.byte_len(), file_offset);
                     sys::unmap(scratch, span.byte_len());
                 }
             },
             ReleaseStrategy::MadviseDontNeed | ReleaseStrategy::Nop => {}
         }
+        self.table.get_mut(idx).note_release(span.pages as usize);
         self.set_committed(self.committed_pages - span.pages as usize);
     }
 
     /// Releases every dirty span to the OS, moving them to the clean bins
     /// (§4.4.1: after 64 MB accumulate, or when meshing runs).
     ///
-    /// Adjacent dirty spans are coalesced into maximal contiguous runs and
-    /// released with one kernel call per run (dirty spans always have their
-    /// identity mapping, so virtual adjacency equals file adjacency); with
-    /// thousands of spans dying together this saves the same factor in
-    /// syscalls.
+    /// Within each segment, adjacent dirty spans are coalesced into
+    /// maximal contiguous runs and released with one kernel call per run
+    /// (dirty spans always have their identity mapping, so virtual
+    /// adjacency equals file adjacency); with thousands of spans dying
+    /// together this saves the same factor in syscalls. Runs never cross
+    /// segments — their file ranges live in different files.
     pub fn purge_dirty(&mut self) {
         if self.dirty_pages == 0 {
             return;
         }
-        let dirty = std::mem::take(&mut self.dirty);
-        let mut spans: Vec<Span> = dirty
-            .iter()
-            .flat_map(|(&len, offsets)| offsets.iter().map(move |&o| Span::new(o, len)))
-            .collect();
-        spans.sort_unstable_by_key(|s| s.offset);
-        let mut i = 0;
-        while i < spans.len() {
-            let run_start = spans[i].offset;
-            let mut run_end = spans[i].end();
-            let mut j = i + 1;
-            while j < spans.len() && spans[j].offset == run_end {
-                run_end = spans[j].end();
-                j += 1;
+        let purged = self.dirty_pages;
+        for idx in 0..self.table.len() {
+            let mut spans = self.table.get_mut(idx).take_all_dirty();
+            if spans.is_empty() {
+                continue;
             }
-            self.release_physical(Span::new(run_start, run_end - run_start));
-            i = j;
+            spans.sort_unstable_by_key(|s| s.offset);
+            let mut i = 0;
+            while i < spans.len() {
+                let run_start = spans[i].offset;
+                let mut run_end = spans[i].end();
+                let mut j = i + 1;
+                while j < spans.len() && spans[j].offset == run_end {
+                    run_end = spans[j].end();
+                    j += 1;
+                }
+                self.release_physical(Span::new(run_start, run_end - run_start));
+                i = j;
+            }
+            for span in spans {
+                self.table.get_mut(idx).park_clean(span);
+            }
         }
-        for span in spans {
-            self.free_span_clean(span);
-        }
-        self.counters
-            .pages_purged
-            .fetch_add(self.dirty_pages as u64, std::sync::atomic::Ordering::Relaxed);
         self.dirty_pages = 0;
         self.counters
-            .dirty_purges
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .pages_purged
+            .fetch_add(purged as u64, Ordering::Relaxed);
+        self.counters.dirty_purges.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Bytes currently sitting in the dirty bins.
@@ -332,10 +488,21 @@ impl Arena {
         self.dirty_pages * PAGE_SIZE
     }
 
+    /// Pages handed out (or aliased) from the segment that owns `span`:
+    /// the segment-aware meshing heuristic prefers evacuating spans out of
+    /// emptier segments so those segments drain toward retirement.
+    pub(crate) fn segment_outstanding_of(&self, span: Span) -> usize {
+        self.table
+            .seg_of_page(span.offset)
+            .map_or(usize::MAX, |seg| seg.outstanding_pages())
+    }
+
     // ----- meshing primitives -------------------------------------------
 
     /// Remaps virtual span `vspan` to alias the file range of `target`
-    /// (which must have equal length): the §4.5.1 page-table update.
+    /// (which must have equal length): the §4.5.1 page-table update. The
+    /// two spans may live in different segments — the remap simply targets
+    /// the other segment's file.
     ///
     /// # Errors
     ///
@@ -343,19 +510,23 @@ impl Arena {
     /// prior mapping is unchanged in that case.
     pub fn remap_alias(&mut self, vspan: Span, target: Span) -> Result<(), MeshError> {
         assert_eq!(vspan.pages, target.pages, "mesh of unequal spans");
+        let tidx = self.seg_index_of(target);
+        let tseg = self.table.get(tidx);
+        let file_offset = tseg.file_offset_of_page(target.offset);
         unsafe {
             sys::remap_fixed(
                 self.addr_of_page(vspan.offset) as *mut u8,
                 vspan.byte_len(),
-                &self.file,
-                target.byte_offset(),
+                tseg.file(),
+                file_offset,
             )
             .map_err(MeshError::Map)
         }
     }
 
     /// Restores the identity mapping of `vspan` (virtual page *i* → file
-    /// page *i*), used when meshed MiniHeaps die.
+    /// page *i − segment start* of its own segment), used when meshed
+    /// MiniHeaps die.
     ///
     /// # Errors
     ///
@@ -388,7 +559,9 @@ impl Drop for Arena {
     fn drop(&mut self) {
         // Deregister the fault handler range before the mapping disappears.
         self.barrier = None;
-        unsafe { sys::unmap(self.base, self.pages as usize * PAGE_SIZE) };
+        // One munmap covers the reservation and every segment mapped into
+        // it; the segments' MemFiles close as the table drops.
+        unsafe { sys::unmap(self.base, self.reserved_pages as usize * PAGE_SIZE) };
     }
 }
 
@@ -557,5 +730,144 @@ mod tests {
         unsafe { assert_eq!(*p, 1) };
         a.unprotect_span(s);
         unsafe { *p = 2 };
+    }
+
+    // ----- segmented growth and retirement ------------------------------
+
+    /// Arena with a small initial segment and small growth segments under
+    /// a larger cap, for exercising growth.
+    fn segmented(initial: usize, seg: usize, cap: usize) -> (Arena, Arc<Counters>) {
+        let config = MeshConfig::default()
+            .max_heap_bytes(cap * PAGE_SIZE)
+            .initial_segment_bytes(initial * PAGE_SIZE)
+            .segment_bytes(seg * PAGE_SIZE)
+            .write_barrier(false);
+        let counters = Arc::new(Counters::default());
+        let a = Arena::new(&config, Arc::clone(&counters)).unwrap();
+        (a, counters)
+    }
+
+    #[test]
+    fn grow_on_miss_maps_new_segments() {
+        let (mut a, counters) = segmented(32, 32, 256);
+        assert_eq!(a.segment_count(), 1);
+        assert_eq!(a.mapped_pages(), 32);
+        // Fill the initial segment, then one more span forces growth.
+        let (s1, _) = a.alloc_span(32).unwrap();
+        let (s2, src) = a.alloc_span(8).unwrap();
+        assert_eq!(src, SpanSource::Fresh);
+        assert_eq!(a.segment_count(), 2);
+        assert_eq!(a.mapped_pages(), 64);
+        assert_eq!(s2.offset, 32, "second segment starts past the first");
+        // Both spans are writable through the contiguous reservation.
+        unsafe {
+            std::ptr::write_bytes(a.addr_of_page(s1.offset) as *mut u8, 1, s1.byte_len());
+            std::ptr::write_bytes(a.addr_of_page(s2.offset) as *mut u8, 2, s2.byte_len());
+        }
+        assert_eq!(counters.snapshot().segments_created, 2);
+    }
+
+    #[test]
+    fn oversized_request_gets_dedicated_segment() {
+        let (mut a, _) = segmented(32, 32, 4096);
+        // A span bigger than the segment size: the growth segment is sized
+        // to the request.
+        let (big, _) = a.alloc_span(512).unwrap();
+        assert_eq!(big.pages, 512);
+        assert_eq!(a.segment_count(), 2);
+        assert_eq!(a.mapped_pages(), 32 + 512);
+    }
+
+    #[test]
+    fn retirement_unmaps_and_recycles_ranges() {
+        let (mut a, counters) = segmented(32, 32, 4096);
+        let pm = PageMap::new(4096);
+        let (s1, _) = a.alloc_span(32).unwrap();
+        let (s2, _) = a.alloc_span(32).unwrap(); // second segment
+        assert_eq!(a.segment_count(), 2);
+        unsafe {
+            std::ptr::write_bytes(a.addr_of_page(s2.offset) as *mut u8, 9, s2.byte_len());
+        }
+        // Free the second segment's span dirty; purge makes it all clean;
+        // retirement unmaps the segment and recycles its page range.
+        a.free_span_dirty(s2);
+        a.purge_dirty();
+        assert_eq!(a.retire_empty_segments(&pm), 1);
+        assert_eq!(a.segment_count(), 1);
+        assert_eq!(a.mapped_pages(), 32);
+        let snap = counters.snapshot();
+        assert_eq!(snap.segments_retired, 1);
+        assert_eq!(snap.segment_count, 1);
+        // The initial segment never retires, even when fully clean.
+        a.free_span_dirty(s1);
+        a.purge_dirty();
+        assert_eq!(a.retire_empty_segments(&pm), 0);
+        assert_eq!(a.segment_count(), 1);
+        // Growth after retirement reuses the recycled range and keeps ids
+        // monotonic.
+        let (s3, _) = a.alloc_span(32).unwrap(); // initial (clean reuse)
+        let (s4, _) = a.alloc_span(32).unwrap(); // new segment in old range
+        assert_eq!(s4.offset, 32, "retired range reused");
+        assert_eq!(a.segments_created(), 3, "ids never reused");
+        let _ = s3;
+    }
+
+    #[test]
+    fn cross_segment_mesh_remap_and_identity_restore() {
+        let (mut a, _) = segmented(32, 32, 256);
+        let (s1, _) = a.alloc_span(32).unwrap(); // segment 0
+        let (s2, _) = a.alloc_span(32).unwrap(); // segment 1
+        let src = Span::new(s2.offset, 1);
+        let dst = Span::new(s1.offset, 1);
+        let p_src = a.addr_of_page(src.offset) as *mut u8;
+        let p_dst = a.addr_of_page(dst.offset) as *mut u8;
+        unsafe {
+            *p_dst = 0xD5;
+            *p_src = 0x5D;
+            // Alias a segment-1 virtual span onto segment 0's file.
+            a.remap_alias(src, dst).unwrap();
+            assert_eq!(*p_src, 0xD5, "alias reads the other segment's file");
+            *p_src = 0x77;
+            assert_eq!(*p_dst, 0x77, "write through cross-segment alias");
+            a.restore_identity(src).unwrap();
+            assert_eq!(*p_src, 0x5D, "identity back to segment 1's own file");
+        }
+    }
+
+    #[test]
+    fn exhaustion_only_at_hard_cap() {
+        let (mut a, _) = segmented(32, 32, 96);
+        assert!(a.alloc_span(32).is_ok());
+        assert!(a.alloc_span(32).is_ok());
+        assert!(a.alloc_span(32).is_ok());
+        assert_eq!(a.segment_count(), 3);
+        match a.alloc_span(1) {
+            Err(MeshError::ArenaExhausted { capacity_pages, .. }) => {
+                assert_eq!(capacity_pages, 96)
+            }
+            other => panic!("expected cap exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segment_stats_reflect_lifecycle() {
+        let (mut a, _) = segmented(32, 32, 256);
+        let (s1, _) = a.alloc_span(32).unwrap();
+        let (s2, _) = a.alloc_span(4).unwrap();
+        let stats = a.segment_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].id, 0);
+        assert_eq!(stats[0].outstanding_pages, 32);
+        assert!(!stats[0].retirable);
+        assert_eq!(stats[1].outstanding_pages, 4);
+        a.free_span_dirty(s2);
+        let stats = a.segment_stats();
+        assert_eq!(stats[1].dirty_pages, 4);
+        assert!(!stats[1].retirable, "dirty pages block retirement");
+        a.purge_dirty();
+        let stats = a.segment_stats();
+        assert_eq!(stats[1].clean_pages, 4);
+        assert!(stats[1].retirable);
+        let _ = s1;
     }
 }

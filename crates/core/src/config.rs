@@ -24,8 +24,17 @@ use std::time::Duration;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct MeshConfig {
-    /// Virtual size of the meshable arena in bytes.
-    pub(crate) arena_bytes: usize,
+    /// Hard cap on the heap in bytes: the size of the virtual reservation
+    /// the segmented arena grows into. Allocation fails (null) only when
+    /// no segment can be placed under this cap.
+    pub(crate) max_heap_bytes: usize,
+    /// Size of the initial segment mapped at heap construction (clamped
+    /// to the hard cap).
+    pub(crate) initial_segment_bytes: usize,
+    /// Preferred size of segments mapped on demand when allocation misses
+    /// every existing segment (clamped to the cap; oversized span requests
+    /// get a dedicated segment sized to the request).
+    pub(crate) segment_bytes: usize,
     /// PRNG seed; `None` seeds from entropy.
     pub(crate) seed: Option<u64>,
     /// Master switch for meshing (§6.3 "Mesh (no meshing)" when false).
@@ -59,7 +68,9 @@ pub struct MeshConfig {
 impl Default for MeshConfig {
     fn default() -> Self {
         MeshConfig {
-            arena_bytes: 1 << 30, // 1 GiB of virtual space
+            max_heap_bytes: 1 << 30,         // 1 GiB hard cap (virtual)
+            initial_segment_bytes: 64 << 20, // 64 MiB initial segment
+            segment_bytes: 256 << 20,        // 256 MiB growth segments
             seed: None,
             meshing: true,
             randomize: true,
@@ -76,9 +87,31 @@ impl Default for MeshConfig {
 }
 
 impl MeshConfig {
-    /// Sets the virtual arena size in bytes (rounded up to a page).
-    pub fn arena_bytes(mut self, bytes: usize) -> Self {
-        self.arena_bytes = bytes;
+    /// Sets the heap's hard cap in bytes — the virtual reservation the
+    /// segmented arena grows into on demand. Legacy name from the
+    /// fixed-size-arena era; alias of [`MeshConfig::max_heap_bytes`].
+    pub fn arena_bytes(self, bytes: usize) -> Self {
+        self.max_heap_bytes(bytes)
+    }
+
+    /// Sets the heap's hard cap in bytes. Allocation returns null only
+    /// once no segment can be placed under this cap.
+    pub fn max_heap_bytes(mut self, bytes: usize) -> Self {
+        self.max_heap_bytes = bytes;
+        self
+    }
+
+    /// Sets the size of the initial segment mapped at construction
+    /// (clamped to the hard cap).
+    pub fn initial_segment_bytes(mut self, bytes: usize) -> Self {
+        self.initial_segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the preferred size of on-demand growth segments (clamped to
+    /// the hard cap; oversized requests get a dedicated segment).
+    pub fn segment_bytes(mut self, bytes: usize) -> Self {
+        self.segment_bytes = bytes;
         self
     }
 
@@ -171,9 +204,24 @@ impl MeshConfig {
         self.randomize
     }
 
-    /// The configured arena size in bytes.
+    /// The configured hard heap cap in bytes (legacy name).
     pub fn arena_size(&self) -> usize {
-        self.arena_bytes
+        self.max_heap_bytes
+    }
+
+    /// The configured hard heap cap in bytes.
+    pub fn max_heap_size(&self) -> usize {
+        self.max_heap_bytes
+    }
+
+    /// The configured initial segment size in bytes.
+    pub fn initial_segment_size(&self) -> usize {
+        self.initial_segment_bytes
+    }
+
+    /// The configured growth segment size in bytes.
+    pub fn segment_size(&self) -> usize {
+        self.segment_bytes
     }
 
     /// The configured SplitMesher probe limit `t`.
@@ -185,14 +233,27 @@ impl MeshConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`MeshError::InvalidConfig`] if the arena is smaller than one
-    /// span, the probe limit is zero, the occupancy cutoff is outside
-    /// `(0, 1]`, or `max_span_count < 2` (meshing needs at least two).
+    /// Returns [`MeshError::InvalidConfig`] if the heap cap or a segment
+    /// size is smaller than one span, the probe limit is zero, the
+    /// occupancy cutoff is outside `(0, 1]`, or `max_span_count < 2`
+    /// (meshing needs at least two).
     pub fn validate(&self) -> Result<(), MeshError> {
-        if self.arena_bytes < 32 * PAGE_SIZE {
+        if self.max_heap_bytes < 32 * PAGE_SIZE {
             return Err(MeshError::InvalidConfig(format!(
-                "arena of {} bytes is smaller than the largest span",
-                self.arena_bytes
+                "heap cap of {} bytes is smaller than the largest span",
+                self.max_heap_bytes
+            )));
+        }
+        if self.initial_segment_bytes < 32 * PAGE_SIZE {
+            return Err(MeshError::InvalidConfig(format!(
+                "initial segment of {} bytes is smaller than the largest span",
+                self.initial_segment_bytes
+            )));
+        }
+        if self.segment_bytes < 32 * PAGE_SIZE {
+            return Err(MeshError::InvalidConfig(format!(
+                "segment size of {} bytes is smaller than the largest span",
+                self.segment_bytes
             )));
         }
         if self.probe_limit == 0 {
@@ -212,9 +273,19 @@ impl MeshConfig {
         Ok(())
     }
 
-    /// Number of whole pages in the configured arena.
+    /// Number of whole pages under the hard cap.
     pub(crate) fn arena_pages(&self) -> usize {
-        self.arena_bytes / PAGE_SIZE
+        self.max_heap_bytes / PAGE_SIZE
+    }
+
+    /// Initial-segment size in whole pages.
+    pub(crate) fn initial_segment_pages(&self) -> usize {
+        self.initial_segment_bytes / PAGE_SIZE
+    }
+
+    /// Growth-segment size in whole pages.
+    pub(crate) fn segment_pages(&self) -> usize {
+        self.segment_bytes / PAGE_SIZE
     }
 }
 
@@ -231,6 +302,26 @@ mod tests {
         assert_eq!(c.max_dirty_bytes, 64 << 20, "64 MB dirty threshold (§4.4.1)");
         assert!(c.meshing && c.randomize && c.write_barrier);
         assert!(c.validate().is_ok());
+        assert!(
+            c.initial_segment_bytes <= c.max_heap_bytes
+                && c.segment_bytes <= c.max_heap_bytes,
+            "default segments fit under the default cap"
+        );
+    }
+
+    #[test]
+    fn segment_builders_and_accessors() {
+        let c = MeshConfig::default()
+            .max_heap_bytes(256 << 20)
+            .initial_segment_bytes(1 << 20)
+            .segment_bytes(2 << 20);
+        assert_eq!(c.max_heap_size(), 256 << 20);
+        assert_eq!(c.initial_segment_size(), 1 << 20);
+        assert_eq!(c.segment_size(), 2 << 20);
+        assert_eq!(c.arena_size(), 256 << 20, "legacy accessor reads the cap");
+        assert!(c.validate().is_ok());
+        // The legacy builder name sets the cap.
+        assert_eq!(MeshConfig::default().arena_bytes(64 << 20).max_heap_size(), 64 << 20);
     }
 
     #[test]
@@ -251,6 +342,8 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(MeshConfig::default().arena_bytes(4096).validate().is_err());
+        assert!(MeshConfig::default().initial_segment_bytes(4096).validate().is_err());
+        assert!(MeshConfig::default().segment_bytes(4096).validate().is_err());
         assert!(MeshConfig::default().probe_limit(0).validate().is_err());
         assert!(MeshConfig::default().occupancy_cutoff(0.0).validate().is_err());
         assert!(MeshConfig::default().occupancy_cutoff(1.5).validate().is_err());

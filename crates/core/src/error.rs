@@ -8,15 +8,19 @@ use std::io;
 /// returning a null pointer, as malloc does).
 #[derive(Debug)]
 pub enum MeshError {
-    /// Creating or sizing the arena's backing memory file failed.
+    /// Creating or sizing a segment's backing memory file failed (at heap
+    /// construction or during on-demand growth).
     ArenaCreation(io::Error),
     /// Mapping, remapping or protecting arena memory failed.
     Map(io::Error),
-    /// The configured virtual arena is exhausted.
+    /// The configured hard heap cap (`max_heap_bytes`) has no room for the
+    /// request: every segment missed and no further segment can be placed.
+    /// This — and only this — is how the segmented arena reports OOM; the
+    /// malloc path converts it to a null return.
     ArenaExhausted {
         /// Pages requested by the failing operation.
         requested_pages: usize,
-        /// Total pages the arena was configured with.
+        /// Total pages under the configured hard cap.
         capacity_pages: usize,
     },
     /// A configuration value is out of its valid range.
@@ -33,7 +37,7 @@ impl fmt::Display for MeshError {
                 capacity_pages,
             } => write!(
                 f,
-                "arena exhausted: requested {requested_pages} pages, capacity {capacity_pages}"
+                "heap cap exhausted: requested {requested_pages} pages, hard cap {capacity_pages}"
             ),
             MeshError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

@@ -22,10 +22,14 @@ pub type sighandler_t = size_t;
 
 // ---- mmap / mprotect / madvise ---------------------------------------
 
+pub const PROT_NONE: c_int = 0x0;
 pub const PROT_READ: c_int = 0x1;
 pub const PROT_WRITE: c_int = 0x2;
 pub const MAP_SHARED: c_int = 0x01;
+pub const MAP_PRIVATE: c_int = 0x02;
 pub const MAP_FIXED: c_int = 0x10;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+pub const MAP_NORESERVE: c_int = 0x4000;
 pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
 
 pub const MADV_DONTNEED: c_int = 4;

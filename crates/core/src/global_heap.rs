@@ -10,8 +10,10 @@
 //!   [`RemoteFreeQueue`]. Refills, detaches, and meshing of a class touch
 //!   only that class's lock.
 //! * **Arena leaf lock** — span hand-out/return, dirty purging, remaps,
-//!   and page-map writes. Acquired *after* at most one class (or the
-//!   large) lock, never the other way around.
+//!   page-map writes, and the whole segment table: growth on miss (a span
+//!   request that misses every segment maps a new one under this lock)
+//!   and segment retirement both happen here. Acquired *after* at most
+//!   one class (or the large) lock, never the other way around.
 //! * **Large shard** — large-object singletons (§4.4.3) behind their own
 //!   mutex, ordered like a class lock.
 //! * **Lock-free structures** — the [`PageMap`] routes frees without any
@@ -247,7 +249,10 @@ impl RuntimeConfig {
 #[derive(Debug)]
 pub(crate) struct MeshScheduler {
     last_mesh: Mutex<Instant>,
-    last_purge: Mutex<Instant>,
+    /// `None` until the first purge, which is always allowed. (A
+    /// subtracted-epoch sentinel would panic on hosts whose monotonic
+    /// clock is younger than the subtrahend.)
+    last_purge: Mutex<Option<Instant>>,
     last_drain: Mutex<Instant>,
     /// Set after a low-yield pass: the timer is not restarted until a
     /// subsequent free reaches the global heap (§4.5).
@@ -258,8 +263,7 @@ impl MeshScheduler {
     fn new() -> MeshScheduler {
         MeshScheduler {
             last_mesh: Mutex::new(Instant::now()),
-            // Allow the first purge-on-mesh immediately.
-            last_purge: Mutex::new(Instant::now() - Duration::from_secs(3600)),
+            last_purge: Mutex::new(None),
             last_drain: Mutex::new(Instant::now()),
             paused: AtomicBool::new(false),
         }
@@ -268,7 +272,10 @@ impl MeshScheduler {
     /// A free reached the global heap: restart a paused timer (§4.5's
     /// "until a subsequent allocation is freed through the global heap").
     pub fn on_global_free(&self) {
-        if self.paused.swap(false, Ordering::Relaxed) {
+        // Read-only fast path: the flag is clear almost always, and an
+        // unconditional swap would make every accepted global free a
+        // write-mode RMW on a cache line shared by all threads.
+        if self.paused.load(Ordering::Relaxed) && self.paused.swap(false, Ordering::Relaxed) {
             *self.last_mesh.lock() = Instant::now();
         }
     }
@@ -305,11 +312,12 @@ impl MeshScheduler {
     /// not cycle pages through release/refault at an unrealistic rate.
     pub(crate) fn should_purge(&self, period: Duration) -> bool {
         let mut last = self.last_purge.lock();
-        if last.elapsed() >= period {
-            *last = Instant::now();
-            true
-        } else {
-            false
+        match *last {
+            Some(at) if at.elapsed() < period => false,
+            _ => {
+                *last = Some(Instant::now());
+                true
+            }
         }
     }
 
@@ -782,6 +790,19 @@ impl GlobalHeap {
             }
             Some(class.object_size())
         }
+    }
+
+    /// Per-segment accounting snapshots (takes the arena leaf lock).
+    pub fn segment_stats(&self) -> Vec<crate::segment::SegmentStats> {
+        self.lock_arena().segment_stats()
+    }
+
+    /// Purges dirty pages and retires any segment left with all pages
+    /// clean (takes only the arena leaf lock).
+    pub fn purge_and_retire(&self) {
+        let mut arena = self.lock_arena();
+        arena.purge_dirty();
+        arena.retire_empty_segments(&self.page_map);
     }
 
     /// Snapshots of every live MiniHeap (shard locks taken one at a time).

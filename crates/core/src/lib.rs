@@ -21,7 +21,7 @@
 //! | §4.2 Shuffle vectors | [`shuffle_vector`] |
 //! | §4.3 Thread-local heaps | [`ThreadHeap`] |
 //! | §4.4 Global heap (sharded per size class) | [`Mesh`] |
-//! | §4.4.1 Meshable arena | [`arena`], [`sys`] |
+//! | §4.4.1 Meshable arena (segmented, grows on demand) | [`arena`], `segment` (internal), [`sys`] |
 //! | §4.4.4 Lock-free free routing | `page_map`, `remote_free` (internal) |
 //! | §3.3/§4.5 SplitMesher & meshing | [`meshing`] |
 //! | §4.5 Background meshing thread | `mesher` (internal), [`MeshConfig::background_meshing`] |
@@ -72,6 +72,7 @@ pub mod miniheap;
 mod page_map;
 mod remote_free;
 pub mod rng;
+mod segment;
 pub mod shuffle_vector;
 pub mod size_classes;
 pub mod span;
@@ -85,6 +86,7 @@ pub use alloc_api::{Mesh, MeshGlobalAlloc, ThreadHeap};
 pub use config::MeshConfig;
 pub use error::MeshError;
 pub use meshing::MeshSummary;
+pub use segment::{SegmentId, SegmentStats};
 pub use size_classes::{SizeClass, MAX_SMALL_SIZE, NUM_SIZE_CLASSES, PAGE_SIZE};
 pub use stats::{HeapStats, SpanSnapshot};
 pub use sys::ReleaseStrategy;

@@ -75,9 +75,11 @@ impl MeshSummary {
 pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
     let t0 = Instant::now();
     // §4.4.1 ties a dirty-page purge to every meshing invocation; the
-    // purge itself is wall-clock rate-limited by the scheduler.
+    // purge itself is wall-clock rate-limited by the scheduler. A purge
+    // can leave non-initial segments with all pages clean, so segment
+    // retirement rides the same rate limiter.
     if heap.scheduler.should_purge(heap.rt.mesh_period()) {
-        heap.lock_arena().purge_dirty();
+        heap.purge_and_retire();
     }
     let mut summary = MeshSummary::default();
     // Every class drains — non-meshable classes (≥ one page per object)
@@ -195,14 +197,25 @@ fn mesh_pair(
     b: MiniHeapId,
     summary: &mut MeshSummary,
 ) {
-    // Destination = more live objects → we copy the smaller side.
+    // Destination = more live objects → we copy the smaller side. Ties
+    // break segment-aware: evacuate the span whose segment has fewer
+    // outstanding pages, so sparse segments drain toward retirement.
     let (dst_id, src_id) = {
         let ma = st.slab.get(a).expect("mesh candidate is live");
         let mb = st.slab.get(b).expect("mesh candidate is live");
-        if ma.in_use() >= mb.in_use() {
+        if ma.in_use() > mb.in_use() {
             (a, b)
-        } else {
+        } else if ma.in_use() < mb.in_use() {
             (b, a)
+        } else {
+            let arena = heap.lock_arena();
+            if arena.segment_outstanding_of(ma.span())
+                >= arena.segment_outstanding_of(mb.span())
+            {
+                (a, b)
+            } else {
+                (b, a)
+            }
         }
     };
 

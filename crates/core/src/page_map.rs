@@ -3,8 +3,9 @@
 //!
 //! The seed implementation kept this table inside the arena, so every
 //! pointer lookup on the free path took the (then-global) heap lock. The
-//! sharded heap instead preallocates one `AtomicU64` per arena page and
-//! packs everything the lock-free remote-free path needs into the entry:
+//! sharded heap instead preallocates one `AtomicU64` per page of the
+//! arena's virtual *reservation* and packs everything the lock-free
+//! remote-free path needs into the entry:
 //!
 //! ```text
 //! bits  0..32   raw MiniHeapId (0 = page unowned)
@@ -22,6 +23,15 @@
 //! read lock-free from anywhere; `Release` stores pair with `Acquire`
 //! loads so a reader that observes an entry also observes the MiniHeap
 //! registration that produced it.
+//!
+//! The segmented arena maps and retires file-backed segments at arbitrary
+//! ranges inside the reservation, so at any moment the table covers a
+//! *discontiguous* set of live segment ranges. The table itself needs no
+//! segment awareness: pages of unmapped (reserved or retired) ranges
+//! simply hold the zero "unowned" entry, so a stale free into a retired
+//! range reads as invalid exactly like a wild pointer, and a range being
+//! retired must already be all-zero ([`PageMap::range_is_clear`] asserts
+//! this in debug builds).
 
 use crate::miniheap::MiniHeapId;
 use crate::span::Span;
@@ -120,6 +130,14 @@ impl PageMap {
             self.entries[page as usize].store(0, Ordering::Release);
         }
     }
+
+    /// Whether no page in `[start, start + pages)` is routed to a
+    /// MiniHeap. Used (under the arena lock) to validate that a segment
+    /// being retired holds no live spans.
+    pub fn range_is_clear(&self, start: u32, pages: u32) -> bool {
+        (start..start + pages)
+            .all(|page| self.entries[page as usize].load(Ordering::Acquire) == 0)
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +159,18 @@ mod tests {
         }
         pm.clear_span(Span::new(3, 4));
         assert_eq!(pm.get(3), None);
+    }
+
+    #[test]
+    fn range_is_clear_tracks_routing() {
+        let pm = PageMap::new(32);
+        assert!(pm.range_is_clear(0, 32));
+        pm.set_span(Span::new(8, 2), MiniHeapId::from_raw(3), 1);
+        assert!(!pm.range_is_clear(0, 32), "routed pages are not clear");
+        assert!(pm.range_is_clear(0, 8), "ranges outside the span are clear");
+        assert!(pm.range_is_clear(10, 22));
+        pm.clear_span(Span::new(8, 2));
+        assert!(pm.range_is_clear(0, 32));
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub struct Counters {
     pub class_lock_contention: [AtomicU64; NUM_SIZE_CLASSES],
     /// Times the arena (span/page-table) leaf lock was found contended.
     pub arena_lock_contention: AtomicU64,
+    /// Segments mapped over the heap's lifetime (including the initial
+    /// one); segment ids are monotonic, so this equals `max id + 1`.
+    pub segments_created: AtomicU64,
+    /// Segments unmapped ("retired") after all their pages went clean.
+    pub segments_retired: AtomicU64,
+    /// Segments currently mapped.
+    pub active_segments: AtomicUsize,
+    /// Pages currently mapped to segment files (virtual footprint of the
+    /// active segments; committed ≤ mapped ≤ cap).
+    pub mapped_pages: AtomicUsize,
 }
 
 impl Counters {
@@ -89,6 +99,10 @@ impl Counters {
                 self.class_lock_contention[i].load(Ordering::Relaxed)
             }),
             arena_lock_contention: self.arena_lock_contention.load(Ordering::Relaxed),
+            segments_created: self.segments_created.load(Ordering::Relaxed),
+            segments_retired: self.segments_retired.load(Ordering::Relaxed),
+            segment_count: self.active_segments.load(Ordering::Relaxed),
+            mapped_pages: self.mapped_pages.load(Ordering::Relaxed),
         }
     }
 }
@@ -158,6 +172,14 @@ pub struct HeapStats {
     pub class_lock_contention: [u64; NUM_SIZE_CLASSES],
     /// Contended acquisitions of the arena leaf lock.
     pub arena_lock_contention: u64,
+    /// Segments mapped over the heap's lifetime (ids are monotonic).
+    pub segments_created: u64,
+    /// Segments retired (unmapped after all their pages went clean).
+    pub segments_retired: u64,
+    /// Segments currently mapped.
+    pub segment_count: usize,
+    /// Pages currently mapped to segment files.
+    pub mapped_pages: usize,
 }
 
 impl HeapStats {
@@ -186,6 +208,12 @@ impl HeapStats {
     /// Total contended class-lock acquisitions across all size classes.
     pub fn total_class_contention(&self) -> u64 {
         self.class_lock_contention.iter().sum()
+    }
+
+    /// Bytes currently mapped to segment files (virtual footprint of the
+    /// active segments; `heap_bytes() ≤ mapped_bytes()`).
+    pub fn mapped_bytes(&self) -> usize {
+        self.mapped_pages * crate::size_classes::PAGE_SIZE
     }
 }
 

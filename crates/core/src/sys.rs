@@ -110,6 +110,87 @@ impl Drop for MemFile {
     }
 }
 
+/// Reserves `len` bytes of contiguous virtual address space without
+/// committing any memory (`PROT_NONE`, `MAP_NORESERVE`). Segments of the
+/// segmented arena are later mapped *into* this window with `MAP_FIXED`,
+/// which keeps pointer→page arithmetic a single subtraction even though
+/// the backing files come and go.
+///
+/// # Errors
+///
+/// Returns the `mmap` error on failure.
+pub fn reserve_region(len: usize) -> io::Result<*mut u8> {
+    let p = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            len,
+            libc::PROT_NONE,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+            -1,
+            0,
+        )
+    };
+    if p == libc::MAP_FAILED {
+        Err(last_err())
+    } else {
+        Ok(p as *mut u8)
+    }
+}
+
+/// Maps the whole of `file` read-write at exactly `addr` (which must lie
+/// inside a region obtained from [`reserve_region`]): segment activation.
+///
+/// # Safety
+///
+/// `addr` must be page-aligned and `[addr, addr + file.len())` must lie
+/// within a reservation owned by the caller with no live mapping the
+/// caller still needs (`MAP_FIXED` replaces whatever is there).
+///
+/// # Errors
+///
+/// Returns the `mmap` error on failure (the prior mapping is untouched).
+pub unsafe fn map_file_fixed(file: &MemFile, addr: *mut u8) -> io::Result<()> {
+    let p = libc::mmap(
+        addr as *mut libc::c_void,
+        file.len(),
+        libc::PROT_READ | libc::PROT_WRITE,
+        libc::MAP_SHARED | libc::MAP_FIXED,
+        file.fd(),
+        0,
+    );
+    if p == libc::MAP_FAILED {
+        Err(last_err())
+    } else {
+        debug_assert_eq!(p as *mut u8, addr);
+        Ok(())
+    }
+}
+
+/// Returns `[addr, addr+len)` to the reserved (inaccessible, uncommitted)
+/// state: segment retirement. The file mapping previously there is
+/// atomically replaced by a `PROT_NONE` reservation, so the virtual range
+/// can be reused by a future segment.
+///
+/// # Safety
+///
+/// `addr`/`len` must denote a range inside a reservation owned by the
+/// caller; nothing may access it afterwards until remapped.
+pub unsafe fn unmap_to_reserved(addr: *mut u8, len: usize) -> io::Result<()> {
+    let p = libc::mmap(
+        addr as *mut libc::c_void,
+        len,
+        libc::PROT_NONE,
+        libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE | libc::MAP_FIXED,
+        -1,
+        0,
+    );
+    if p == libc::MAP_FAILED {
+        Err(last_err())
+    } else {
+        Ok(())
+    }
+}
+
 /// Maps the whole of `file` as one shared read-write region.
 ///
 /// # Errors
@@ -400,6 +481,27 @@ mod tests {
             *base = 2;
             assert_eq!(*base, 2);
             unmap(base, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn reserve_map_retire_roundtrip() {
+        // Reserve a window, map a segment file into its middle, write
+        // through it, retire it back to PROT_NONE, then map a fresh file
+        // over the same range: the segmented arena's lifecycle in
+        // miniature.
+        let base = reserve_region(8 * PAGE_SIZE).unwrap();
+        let seg_at = unsafe { base.add(2 * PAGE_SIZE) };
+        let f1 = MemFile::create(2 * PAGE_SIZE).unwrap();
+        unsafe {
+            map_file_fixed(&f1, seg_at).unwrap();
+            *seg_at = 0x41;
+            assert_eq!(*seg_at, 0x41);
+            unmap_to_reserved(seg_at, 2 * PAGE_SIZE).unwrap();
+            let f2 = MemFile::create(2 * PAGE_SIZE).unwrap();
+            map_file_fixed(&f2, seg_at).unwrap();
+            assert_eq!(*seg_at, 0, "fresh segment file reads zero");
+            unmap(base, 8 * PAGE_SIZE);
         }
     }
 

@@ -185,6 +185,12 @@ impl TestAllocator {
         self.mesh.as_ref().map(|(m, _)| m.heap_bytes())
     }
 
+    /// Full heap statistics snapshot (peak footprint, segment counts, …),
+    /// `None` for the System backend.
+    pub fn heap_stats(&self) -> Option<mesh_core::HeapStats> {
+        self.mesh.as_ref().map(|(m, _)| m.stats())
+    }
+
     /// Live (allocated, not yet freed) bytes as tracked by the allocator.
     pub fn live_bytes(&self) -> usize {
         match &self.mesh {

@@ -1,0 +1,34 @@
+//! Regression test: if the process-wide Mesh heap cannot be constructed
+//! (here: an invalid env configuration), `MeshGlobalAlloc::alloc` must
+//! report OOM by returning null — never panic or abort across the
+//! FFI-analog boundary — and `dealloc` must still route pointers that
+//! went to the system allocator.
+//!
+//! Own test binary: construction failure is sticky for the process.
+
+use mesh::core::MeshGlobalAlloc;
+use std::alloc::{GlobalAlloc, Layout};
+
+#[test]
+fn construction_failure_degrades_to_null_not_panic() {
+    // 4 KiB is below the smallest valid cap (one 32-page span).
+    std::env::set_var("MESH_MAX_HEAP_BYTES", "4096");
+
+    let alloc = MeshGlobalAlloc;
+    let layout = Layout::from_size_align(256, 16).unwrap();
+    // Every allocation fails cleanly; nothing panics, nothing aborts.
+    for _ in 0..4 {
+        assert!(unsafe { alloc.alloc(layout) }.is_null());
+        assert!(unsafe { alloc.alloc_zeroed(layout) }.is_null());
+    }
+    // try_mesh reports the failure; the panicking accessor is not used on
+    // the allocation path.
+    assert!(MeshGlobalAlloc::try_mesh().is_none());
+    // dealloc of a system-allocator pointer (the no-heap fallback path)
+    // still works.
+    unsafe {
+        let p = std::alloc::System.alloc(layout);
+        assert!(!p.is_null());
+        alloc.dealloc(p, layout);
+    }
+}
