@@ -1,0 +1,136 @@
+//! The bootstrap bump allocator: a static arena serving allocations that
+//! arrive before anything else can.
+//!
+//! Two kinds of callers land here. First, the dlsym/ld.so era: resolving
+//! the *real* allocator with `dlsym(RTLD_NEXT, …)` makes glibc call
+//! `calloc` — which is interposed right back into this library — before
+//! any `malloc` implementation exists to serve it. Second, any thread that
+//! observes the resolution in progress (the `RESOLVING` window in
+//! [`crate::real`]). Both are tiny and bounded, so a 1 MiB zero-initialized
+//! BSS arena with a lock-free bump pointer is ample; the reference
+//! implementation's static bootstrap buffer plays the same role.
+//!
+//! Bootstrap memory is handed out once and never reused: `free` on a
+//! bootstrap pointer is a no-op (the interposed `free` recognizes the
+//! range via [`contains`]), and `realloc` copies out using the size header
+//! stashed just below each object.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Arena size. Typical dlsym-era usage is a few hundred bytes; 1 MiB
+/// leaves three orders of magnitude of headroom without bloating the
+/// binary (BSS is not stored in the file).
+const ARENA_BYTES: usize = 1 << 20;
+
+/// Bytes reserved below each object for its size header (16 keeps objects
+/// 16-byte aligned by construction).
+const HEADER: usize = 16;
+
+#[repr(C, align(4096))]
+struct Arena(UnsafeCell<[u8; ARENA_BYTES]>);
+
+// SAFETY: the bump pointer's CAS hands out disjoint byte ranges, so no two
+// threads ever touch the same bytes through the shared cell.
+unsafe impl Sync for Arena {}
+
+static ARENA: Arena = Arena(UnsafeCell::new([0; ARENA_BYTES]));
+
+/// Bytes handed out so far (offset of the next free byte).
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn base() -> usize {
+    ARENA.0.get() as usize
+}
+
+/// Bump-allocates `size` bytes aligned to `align` (a power of two), or
+/// null once the arena is exhausted. The contents are zero: the arena is
+/// BSS and every byte is handed out at most once.
+pub fn alloc(size: usize, align: usize) -> *mut u8 {
+    let align = align.max(HEADER);
+    debug_assert!(align.is_power_of_two());
+    let base = base();
+    let mut cur = NEXT.load(Ordering::Relaxed);
+    loop {
+        let Some(unaligned) = base.checked_add(cur + HEADER) else {
+            return std::ptr::null_mut();
+        };
+        let obj = (unaligned + (align - 1)) & !(align - 1);
+        let Some(end) = obj.checked_add(size) else {
+            return std::ptr::null_mut();
+        };
+        let claimed = end - base;
+        if claimed > ARENA_BYTES {
+            return std::ptr::null_mut();
+        }
+        match NEXT.compare_exchange_weak(cur, claimed, Ordering::Release, Ordering::Relaxed) {
+            Ok(_) => {
+                // SAFETY: [obj − HEADER, end) is uniquely ours by the CAS.
+                unsafe { ((obj - HEADER) as *mut usize).write(size) };
+                return obj as *mut u8;
+            }
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Whether `ptr` points into the bootstrap arena (free-time routing).
+#[inline]
+pub fn contains(ptr: *const u8) -> bool {
+    let a = ptr as usize;
+    a >= base() && a < base() + ARENA_BYTES
+}
+
+/// Size recorded for a bootstrap allocation (its `malloc_usable_size`).
+pub fn usable_size(ptr: *const u8) -> usize {
+    debug_assert!(contains(ptr));
+    // SAFETY: every bootstrap object was written a header by `alloc`.
+    unsafe { ((ptr as usize - HEADER) as *const usize).read() }
+}
+
+/// Bytes consumed so far (diagnostic).
+#[cfg(test)]
+pub fn used_bytes() -> usize {
+    NEXT.load(Ordering::Relaxed).min(ARENA_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_alloc_disjoint_aligned_and_sized() {
+        let a = alloc(100, 16);
+        let b = alloc(1, 64);
+        let c = alloc(5000, 4096);
+        for (p, align, size) in [(a, 16usize, 100usize), (b, 64, 1), (c, 4096, 5000)] {
+            assert!(!p.is_null());
+            assert!(contains(p));
+            assert_eq!(p as usize % align, 0);
+            assert_eq!(usable_size(p), size);
+            // Hand-out ranges are writable and zero-initialized.
+            unsafe {
+                for i in 0..size {
+                    assert_eq!(*p.add(i), 0, "bootstrap memory must be fresh");
+                }
+                std::ptr::write_bytes(p, 0xEE, size);
+            }
+        }
+        // Disjointness: writing 0xEE everywhere didn't cross objects'
+        // headers (usable_size still reads back correctly).
+        assert_eq!(usable_size(a), 100);
+        assert_eq!(usable_size(b), 1);
+        assert_eq!(usable_size(c), 5000);
+        assert!(!contains(std::ptr::null()));
+        assert!(used_bytes() >= 5101);
+    }
+
+    #[test]
+    fn exhaustion_returns_null() {
+        // Don't actually burn the whole arena (other tests share it):
+        // an impossible single request must fail cleanly.
+        assert!(alloc(ARENA_BYTES + 1, 16).is_null());
+        assert!(alloc(usize::MAX - 4096, 16).is_null());
+    }
+}

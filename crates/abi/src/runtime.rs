@@ -1,0 +1,211 @@
+//! Process runtime of the interposition layer: the lazily constructed
+//! process heap, per-thread heap lifecycle (pthread TSD destructors, not
+//! Rust drop-order luck), the `pthread_atfork` protocol, and the
+//! stats-at-exit dump.
+
+use mesh_core::ffi as libc;
+use mesh_core::ffi::{c_uint, c_void};
+use mesh_core::{in_internal_alloc, with_internal_alloc, Mesh, MeshConfig, MeshForkGuard, ThreadHeap};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI32, AtomicPtr, AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// Default hard cap (virtual reservation) for interposed processes,
+/// overridable with `MESH_MAX_HEAP_BYTES`. Unmodified C programs cannot
+/// pick their own `MeshConfig`, so the default errs large: reservation is
+/// address space, not memory.
+const DEFAULT_CAP_BYTES: usize = 8 << 30;
+
+/// `None` means construction failed; sticky, so the process degrades to
+/// the real allocator instead of retrying forever.
+static HEAP: OnceLock<Option<Mesh>> = OnceLock::new();
+
+/// TSD key whose destructor returns a dying thread's spans to the global
+/// heap. `u32::MAX` until `pthread_key_create` succeeds.
+static TH_KEY: AtomicU32 = AtomicU32::new(u32::MAX);
+
+/// Private dup of stderr for the exit-time stats dump. Programs like the
+/// coreutils register `close_stdout` with `atexit` from `main` — *after*
+/// our construction-time registration, so it runs *before* our handler
+/// (LIFO) and closes fd 2. Writing the dump through a dup taken at
+/// registration time survives that. −1 until (and unless) dup succeeds.
+static STATS_FD: AtomicI32 = AtomicI32::new(-1);
+
+thread_local! {
+    /// Fast path to the calling thread's heap. `const`-initialized and
+    /// non-`Drop` (a bare pointer), so access never allocates and never
+    /// registers a Rust TLS destructor — teardown belongs to the pthread
+    /// key alone, which glibc runs at a well-defined point of thread exit
+    /// for C and Rust threads alike.
+    static THREAD_HEAP: Cell<*mut ThreadHeap> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// Writes a line to `fd` without `eprintln!`'s panic-on-error (an
+/// allocator must survive a closed stderr).
+fn write_line(fd: i32, line: &str) {
+    unsafe {
+        let _ = libc::write(fd, line.as_ptr() as *const c_void, line.len());
+        let _ = libc::write(fd, b"\n".as_ptr() as *const c_void, 1);
+    }
+}
+
+/// Writes a line to stderr (see [`write_line`]).
+pub fn warn(line: &str) {
+    write_line(2, line);
+}
+
+/// The process heap, constructed on first use (under the internal-alloc
+/// guard: construction itself allocates, and those allocations must route
+/// to the real allocator). Returns `None` — permanently — if construction
+/// failed, in which case the interposed symbols pass straight through.
+pub fn heap() -> Option<&'static Mesh> {
+    HEAP.get_or_init(|| {
+        debug_assert!(in_internal_alloc(), "heap construction outside the guard");
+        let config = MeshConfig::default()
+            .max_heap_bytes(DEFAULT_CAP_BYTES)
+            .apply_env();
+        match Mesh::new(config) {
+            Ok(mesh) => {
+                install_process_hooks();
+                Some(mesh)
+            }
+            Err(e) => {
+                warn(&format!(
+                    "mesh: heap construction failed ({e}); running on the system allocator"
+                ));
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// The process heap only if it has already been (successfully) built.
+/// Free-path routing uses this: a pointer cannot belong to a heap that
+/// does not exist yet, and `free` must never trigger construction.
+pub fn built_heap() -> Option<&'static Mesh> {
+    HEAP.get().and_then(|slot| slot.as_ref())
+}
+
+/// One-time process hooks, called from inside the successful construction
+/// (so exactly once, under the guard).
+fn install_process_hooks() {
+    unsafe {
+        let mut key: c_uint = 0;
+        if crate::real::pthread_key_create(&mut key, Some(thread_heap_dtor)) == 0 {
+            TH_KEY.store(key, Ordering::Release);
+        }
+        crate::real::pthread_atfork(Some(fork_prepare), Some(fork_parent), Some(fork_child));
+        if mesh_core::env_bool("MESH_PRINT_STATS_AT_EXIT").unwrap_or(false) {
+            STATS_FD.store(
+                crate::real::fcntl(2, crate::real::F_DUPFD_CLOEXEC, 3),
+                Ordering::Release,
+            );
+            crate::real::atexit(stats_at_exit);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread heaps (§4.3 fast path for every pthread)
+// ---------------------------------------------------------------------
+
+/// Runs `f` on the calling thread's [`ThreadHeap`], creating it on first
+/// use. Must be called under the internal-alloc guard (the creation path
+/// allocates the heap's own state).
+pub fn with_thread_heap<R>(mesh: &'static Mesh, f: impl FnOnce(&mut ThreadHeap) -> R) -> R {
+    debug_assert!(in_internal_alloc());
+    let mut p = THREAD_HEAP.with(|c| c.get());
+    if p.is_null() {
+        p = Box::into_raw(Box::new(mesh.thread_heap()));
+        THREAD_HEAP.with(|c| c.set(p));
+        let key = TH_KEY.load(Ordering::Acquire);
+        if key != u32::MAX {
+            unsafe { crate::real::pthread_setspecific(key, p as *const c_void) };
+        }
+    }
+    // SAFETY: the pointer is thread-local and the TSD destructor (which
+    // frees it) only runs once the thread can no longer call us.
+    unsafe { f(&mut *p) }
+}
+
+/// pthread TSD destructor: returns the dying thread's attached MiniHeaps
+/// to the global heap (`ThreadHeap`'s drop detaches every span). If the
+/// thread allocates again during a later destructor iteration, a fresh
+/// heap is created and this runs again — glibc bounds the iterations.
+unsafe extern "C" fn thread_heap_dtor(p: *mut c_void) {
+    with_internal_alloc(|| {
+        THREAD_HEAP.with(|c| c.set(std::ptr::null_mut()));
+        drop(Box::from_raw(p as *mut ThreadHeap));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Fork protocol
+// ---------------------------------------------------------------------
+
+/// The guard built by the prepare handler, consumed by whichever side
+/// (parent or child) runs next. One slot suffices: prepare/parent/child
+/// of one `fork()` all run on the forking thread, and a second thread's
+/// prepare blocks on the heap locks until the first fork's parent handler
+/// releases them.
+static FORK_GUARD: AtomicPtr<MeshForkGuard<'static>> = AtomicPtr::new(std::ptr::null_mut());
+
+extern "C" fn fork_prepare() {
+    with_internal_alloc(|| {
+        if let Some(mesh) = built_heap() {
+            let guard = Box::new(mesh.fork_prepare());
+            FORK_GUARD.store(Box::into_raw(guard), Ordering::Release);
+        }
+    });
+}
+
+extern "C" fn fork_parent() {
+    with_internal_alloc(|| {
+        let guard = FORK_GUARD.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !guard.is_null() {
+            // SAFETY: the pointer came from Box::into_raw in fork_prepare
+            // on this same thread.
+            unsafe { Box::from_raw(guard) }.release_parent();
+        }
+    });
+}
+
+extern "C" fn fork_child() {
+    with_internal_alloc(|| {
+        let guard = FORK_GUARD.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !guard.is_null() {
+            // SAFETY: as above; the child's address space holds a copy.
+            unsafe { Box::from_raw(guard) }.release_child();
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------
+
+/// Prints the one-line stats summary to `fd` (the body of
+/// `mesh_stats_print()` and the `MESH_PRINT_STATS_AT_EXIT=1` dump).
+fn print_stats_to(fd: i32) {
+    if let Some(mesh) = built_heap() {
+        with_internal_alloc(|| {
+            write_line(fd, &mesh.stats().render());
+        });
+    } else {
+        write_line(fd, "mesh: heap never constructed");
+    }
+}
+
+/// Prints the stats summary to stderr (for explicit `mesh_stats_print()`
+/// / `malloc_stats()` calls).
+pub fn print_stats() {
+    print_stats_to(2);
+}
+
+extern "C" fn stats_at_exit() {
+    // fd 2 may already be closed by the application's own atexit handlers
+    // (coreutils' close_stdout); the dup taken at registration survives.
+    let fd = STATS_FD.load(Ordering::Acquire);
+    print_stats_to(if fd >= 0 { fd } else { 2 });
+}

@@ -488,6 +488,38 @@ impl Arena {
         self.dirty_pages * PAGE_SIZE
     }
 
+    /// Re-backs every segment with a private copy of its file and restores
+    /// the *identity* mapping over each segment's range — the arena half of
+    /// fork privatization. A forked child shares `MAP_SHARED` file pages
+    /// with its parent, so without this the two processes would corrupt
+    /// each other's heap the moment either writes. Sparse copy keeps the
+    /// child's physical footprint equal to the parent's committed pages.
+    ///
+    /// Mesh *aliases* (virtual spans retargeted at another span's file
+    /// range) are clobbered by the identity remap; the caller must
+    /// re-establish them from the MiniHeap tables afterwards — see
+    /// `GlobalHeap::privatize_after_fork`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first file-creation/copy/remap error; segments already
+    /// privatized stay privatized (re-running is safe).
+    pub(crate) fn privatize_segments(&mut self) -> std::io::Result<()> {
+        for idx in 0..self.table.len() {
+            let base = self.base;
+            let seg = self.table.get_mut(idx);
+            let fresh = MemFile::create(seg.file().len())?;
+            sys::copy_file_sparse(seg.file(), &fresh)?;
+            let addr = (base as usize + seg.start() as usize * PAGE_SIZE) as *mut u8;
+            // SAFETY: the range is this segment's slice of our reservation.
+            unsafe { sys::map_file_fixed(&fresh, addr)? };
+            // The old (shared) file closes here; the parent keeps its own
+            // descriptor and mappings, so only the child lets go.
+            drop(seg.replace_file(fresh));
+        }
+        Ok(())
+    }
+
     /// Pages handed out (or aliased) from the segment that owns `span`:
     /// the segment-aware meshing heuristic prefers evacuating spans out of
     /// emptier segments so those segments drain toward retirement.
@@ -832,6 +864,32 @@ mod tests {
             a.restore_identity(src).unwrap();
             assert_eq!(*p_src, 0x5D, "identity back to segment 1's own file");
         }
+    }
+
+    #[test]
+    fn privatize_segments_preserves_data_per_segment() {
+        let (mut a, _) = segmented(32, 32, 256);
+        let (s1, _) = a.alloc_span(4).unwrap(); // initial segment
+        let (s2, _) = a.alloc_span(32).unwrap(); // forces a second segment
+        let p1 = a.addr_of_page(s1.offset) as *mut u8;
+        let p2 = a.addr_of_page(s2.offset) as *mut u8;
+        unsafe {
+            std::ptr::write_bytes(p1, 0x11, s1.byte_len());
+            std::ptr::write_bytes(p2, 0x22, s2.byte_len());
+        }
+        assert_eq!(a.segment_count(), 2);
+        a.privatize_segments().unwrap();
+        unsafe {
+            assert_eq!(*p1, 0x11, "segment 0 data survived the file swap");
+            assert_eq!(*p1.add(s1.byte_len() - 1), 0x11);
+            assert_eq!(*p2, 0x22, "segment 1 data survived the file swap");
+            assert_eq!(*p2.add(s2.byte_len() - 1), 0x22);
+            // Still writable through the fresh mappings.
+            *p1 = 0x33;
+            assert_eq!(*p1, 0x33);
+        }
+        assert_eq!(a.segment_count(), 2);
+        assert_eq!(a.mapped_pages(), 64);
     }
 
     #[test]

@@ -273,6 +273,43 @@ impl MeshConfig {
         Ok(())
     }
 
+    /// Applies the `MESH_*` environment knobs on top of this
+    /// configuration — the tuning surface of the `LD_PRELOAD` deployment
+    /// (§4.5's `mallctl` analog for processes we cannot recompile):
+    ///
+    /// | variable | meaning |
+    /// |---|---|
+    /// | `MESH_MAX_HEAP_BYTES` (legacy `MESH_ARENA_BYTES`) | hard cap |
+    /// | `MESH_INITIAL_SEGMENT_BYTES` | initial segment size |
+    /// | `MESH_SEGMENT_BYTES` | growth segment size |
+    /// | `MESH_BACKGROUND_MESHING` | run meshing on a dedicated thread |
+    /// | `MESH_SEED` | fix the PRNG seed |
+    ///
+    /// Size knobs accept `K`/`M`/`G`/`T` suffixes (optionally followed by
+    /// `B` or `iB`, case-insensitive): `MESH_MAX_HEAP_BYTES=8G`. Malformed
+    /// values are ignored with a one-line warning on stderr rather than
+    /// silently falling back.
+    pub fn apply_env(mut self) -> Self {
+        if let Some(bytes) =
+            env_size("MESH_MAX_HEAP_BYTES").or_else(|| env_size("MESH_ARENA_BYTES"))
+        {
+            self = self.max_heap_bytes(bytes);
+        }
+        if let Some(bytes) = env_size("MESH_INITIAL_SEGMENT_BYTES") {
+            self = self.initial_segment_bytes(bytes);
+        }
+        if let Some(bytes) = env_size("MESH_SEGMENT_BYTES") {
+            self = self.segment_bytes(bytes);
+        }
+        if let Some(enabled) = env_bool("MESH_BACKGROUND_MESHING") {
+            self = self.background_meshing(enabled);
+        }
+        if let Some(seed) = env_u64("MESH_SEED") {
+            self = self.seed(seed);
+        }
+        self
+    }
+
     /// Number of whole pages under the hard cap.
     pub(crate) fn arena_pages(&self) -> usize {
         self.max_heap_bytes / PAGE_SIZE
@@ -287,6 +324,68 @@ impl MeshConfig {
     pub(crate) fn segment_pages(&self) -> usize {
         self.segment_bytes / PAGE_SIZE
     }
+}
+
+/// Parses a byte-size string with an optional `K`/`M`/`G`/`T` suffix
+/// (case-insensitive, optionally followed by `B`/`iB`): `"64M"`,
+/// `"8g"`, `"1073741824"`, `"2GiB"`. Returns `None` for anything else
+/// (including overflow).
+pub fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let lower = s.to_ascii_lowercase();
+    let body = lower
+        .strip_suffix("ib")
+        .or_else(|| lower.strip_suffix('b'))
+        .unwrap_or(&lower);
+    let (digits, shift) = match body.as_bytes().last()? {
+        b'k' => (&body[..body.len() - 1], 10),
+        b'm' => (&body[..body.len() - 1], 20),
+        b'g' => (&body[..body.len() - 1], 30),
+        b't' => (&body[..body.len() - 1], 40),
+        b'0'..=b'9' => (body, 0),
+        _ => return None,
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_shl(shift).filter(|v| v >> shift == n)
+}
+
+/// Parses a boolean knob: `1`/`true`/`yes`/`on` and `0`/`false`/`no`/`off`
+/// (case-insensitive). Returns `None` for anything else.
+pub fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Some(true),
+        "0" | "false" | "no" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+fn env_parsed<T>(name: &str, parse: impl Fn(&str) -> Option<T>, hint: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match parse(&raw) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("mesh: ignoring malformed {name}={raw:?} (expected {hint})");
+            None
+        }
+    }
+}
+
+/// Reads a size knob from the environment ([`parse_size`] syntax),
+/// warning on stderr and returning `None` for malformed values.
+pub fn env_size(name: &str) -> Option<usize> {
+    env_parsed(name, parse_size, "a byte count such as 67108864, 64M, or 8G")
+}
+
+/// Reads a boolean knob from the environment ([`parse_bool`] syntax),
+/// warning on stderr and returning `None` for malformed values.
+pub fn env_bool(name: &str) -> Option<bool> {
+    env_parsed(name, parse_bool, "one of 1/0/true/false/yes/no/on/off")
+}
+
+/// Reads an integer knob from the environment, warning on stderr and
+/// returning `None` for malformed values.
+pub fn env_u64(name: &str) -> Option<u64> {
+    env_parsed(name, |s| s.trim().parse().ok(), "an unsigned integer")
 }
 
 #[cfg(test)]
@@ -338,6 +437,39 @@ mod tests {
         assert_eq!(c.probe_limit, 8);
         assert!(c.validate().is_ok());
     }
+
+    #[test]
+    fn parse_size_suffixes() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size(" 64k "), Some(64 << 10));
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size("64KB"), Some(64 << 10));
+        assert_eq!(parse_size("64KiB"), Some(64 << 10));
+        assert_eq!(parse_size("512M"), Some(512 << 20));
+        assert_eq!(parse_size("8G"), Some(8usize << 30));
+        assert_eq!(parse_size("2T"), Some(2usize << 40));
+        assert_eq!(parse_size("2g"), Some(2usize << 30));
+        for bad in ["", "  ", "G", "12Q", "0x10", "-4", "4.5M", "9999999999999999G"] {
+            assert_eq!(parse_size(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_bool_spellings() {
+        for t in ["1", "true", "YES", "On"] {
+            assert_eq!(parse_bool(t), Some(true));
+        }
+        for f in ["0", "false", "No", "OFF"] {
+            assert_eq!(parse_bool(f), Some(false));
+        }
+        assert_eq!(parse_bool("maybe"), None);
+        assert_eq!(parse_bool(""), None);
+    }
+
+    // `apply_env` itself is covered by `tests/env_knobs.rs` (an
+    // integration test with its own process): mutating the process
+    // environment from this parallel unit-test harness would race other
+    // threads' getenv calls.
 
     #[test]
     fn invalid_configs_rejected() {

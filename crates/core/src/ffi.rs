@@ -49,6 +49,19 @@ pub const SYS_memfd_create: c_long = 279;
 #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub const SYS_memfd_create: c_long = 279;
 
+// ---- lseek hole probing (sparse file copy on fork) --------------------
+
+/// `lseek` whence: seek to the next data extent at or after the offset.
+pub const SEEK_DATA: c_int = 3;
+/// `lseek` whence: seek to the next hole at or after the offset.
+pub const SEEK_HOLE: c_int = 4;
+
+pub const EINTR: c_int = 4;
+/// Returned by `lseek(SEEK_DATA)` when no data follows the offset.
+pub const ENXIO: c_int = 6;
+pub const ENOMEM: c_int = 12;
+pub const EINVAL: c_int = 22;
+
 // ---- signals ----------------------------------------------------------
 
 pub const SIGSEGV: c_int = 11;
@@ -122,6 +135,26 @@ extern "C" {
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;
     pub fn sched_yield() -> c_int;
     pub fn raise(sig: c_int) -> c_int;
+    // Fork-protocol surface: the sparse segment copy probes file extents
+    // with lseek, and the parent/child handshake rides a pipe.
+    pub fn lseek(fd: c_int, offset: off_t, whence: c_int) -> off_t;
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> isize;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> isize;
+    pub fn fork() -> c_int;
+    pub fn waitpid(pid: c_int, status: *mut c_int, options: c_int) -> c_int;
+    pub fn _exit(status: c_int) -> !;
+    pub fn __errno_location() -> *mut c_int;
+}
+
+/// The calling thread's `errno` value.
+pub fn errno() -> c_int {
+    unsafe { *__errno_location() }
+}
+
+/// Sets the calling thread's `errno`.
+pub fn set_errno(value: c_int) {
+    unsafe { *__errno_location() = value };
 }
 
 #[cfg(test)]

@@ -169,6 +169,19 @@ struct ClassShard {
     queue: RemoteFreeQueue,
 }
 
+/// Every lock of the heap, held at once: the fork-quiescence state built
+/// by [`GlobalHeap::lock_all`] (see `Mesh::fork_prepare`). The guards are
+/// held purely for their locking effect; dropping the struct releases
+/// everything.
+pub(crate) struct AllShardGuards<'a> {
+    _classes: Vec<MutexGuard<'a, ClassState>>,
+    _large: MutexGuard<'a, Slab>,
+    _arena: MutexGuard<'a, Arena>,
+    _sched_mesh: MutexGuard<'a, Instant>,
+    _sched_purge: MutexGuard<'a, Option<Instant>>,
+    _sched_drain: MutexGuard<'a, Instant>,
+}
+
 /// Runtime-tunable configuration (the `mallctl` analogs, §4.5) as
 /// atomics, so controls never take a heap lock.
 #[derive(Debug)]
@@ -319,6 +332,22 @@ impl MeshScheduler {
                 true
             }
         }
+    }
+
+    /// Acquires all three scheduler leaf locks (fork quiescence: a child
+    /// must not inherit a scheduler mutex locked by some other thread).
+    pub(crate) fn lock_all(
+        &self,
+    ) -> (
+        MutexGuard<'_, Instant>,
+        MutexGuard<'_, Option<Instant>>,
+        MutexGuard<'_, Instant>,
+    ) {
+        (
+            self.last_mesh.lock(),
+            self.last_purge.lock(),
+            self.last_drain.lock(),
+        )
     }
 
     /// Rate limiter for queue settlement when no meshing pass will run
@@ -634,14 +663,31 @@ impl GlobalHeap {
     /// and a singleton MiniHeap accounts for it. Takes the large-shard
     /// lock, then the arena lock.
     pub fn malloc_large(&self, size: usize) -> Result<usize, MeshError> {
-        let requested = size.div_ceil(PAGE_SIZE).max(1);
+        self.malloc_large_aligned(size, PAGE_SIZE)
+    }
+
+    /// Allocates a large object aligned to `align` (a power of two).
+    /// Alignments above the page size are served by over-allocating
+    /// `align/PAGE_SIZE − 1` extra pages and returning the first aligned
+    /// address inside the span — every page of the span routes through the
+    /// page map to the same singleton MiniHeap, so `free`/`usable_size` on
+    /// the interior pointer behave normally.
+    pub fn malloc_large_aligned(&self, size: usize, align: usize) -> Result<usize, MeshError> {
+        debug_assert!(align.is_power_of_two());
+        let extra = (align / PAGE_SIZE).saturating_sub(1);
+        let requested = size.div_ceil(PAGE_SIZE).max(1).saturating_add(extra);
         // Absurd sizes (near usize::MAX) must fail as exhaustion, not
-        // truncate in the page-count narrowing below.
+        // truncate in the page-count narrowing below; the byte length must
+        // also fit the MiniHeap's u32 object size.
+        let exhausted = || MeshError::ArenaExhausted {
+            requested_pages: requested,
+            capacity_pages: self.pages as usize,
+        };
+        if requested > (u32::MAX as usize) / PAGE_SIZE {
+            return Err(exhausted());
+        }
         let Ok(pages) = u32::try_from(requested) else {
-            return Err(MeshError::ArenaExhausted {
-                requested_pages: requested,
-                capacity_pages: self.pages as usize,
-            });
+            return Err(exhausted());
         };
         let span = {
             let mut large = self.large.lock();
@@ -656,7 +702,14 @@ impl GlobalHeap {
         self.counters
             .live_bytes
             .fetch_add(span.byte_len(), Ordering::Relaxed);
-        Ok(self.base + span.offset as usize * PAGE_SIZE)
+        let start = self.base + span.offset as usize * PAGE_SIZE;
+        let addr = if align > PAGE_SIZE {
+            (start + align - 1) & !(align - 1)
+        } else {
+            start
+        };
+        debug_assert!(addr + size <= start + span.byte_len());
+        Ok(addr)
     }
 
     fn free_large(&self, page: u32) -> bool {
@@ -743,6 +796,80 @@ impl GlobalHeap {
         true
     }
 
+    /// Frees `addr` through the global path *without* running inline
+    /// meshing or queue settlement: the route for frees arriving from
+    /// internal contexts (which may already hold a shard lock a meshing
+    /// pass would retake). The queued free is applied at the next refill,
+    /// pass, or stats flush.
+    pub fn free_global_deferred(&self, addr: usize) -> bool {
+        let accepted = self.free_global_inner(addr);
+        if accepted {
+            self.scheduler.on_global_free();
+        }
+        accepted
+    }
+
+    // ----- fork support --------------------------------------------------
+
+    /// Acquires every heap lock in the canonical order — size classes by
+    /// index, then the large shard, then the arena leaf, then the
+    /// scheduler leaves — quiescing the heap for `fork()`. Any in-flight
+    /// refill, drain, or meshing pass completes before this returns, so a
+    /// child forked at any moment inherits consistent heap state.
+    pub(crate) fn lock_all(&self) -> AllShardGuards<'_> {
+        let classes = SizeClass::all().map(|c| self.lock_class(c)).collect();
+        let large = self.large.lock();
+        let arena = self.lock_arena();
+        let (sched_mesh, sched_purge, sched_drain) = self.scheduler.lock_all();
+        AllShardGuards {
+            _classes: classes,
+            _large: large,
+            _arena: arena,
+            _sched_mesh: sched_mesh,
+            _sched_purge: sched_purge,
+            _sched_drain: sched_drain,
+        }
+    }
+
+    /// Child-side fork recovery: re-backs every segment with a private
+    /// file copy and re-establishes mesh alias mappings (which the
+    /// identity remap clobbers; large objects are never meshed, so
+    /// identity is already right for them). Runs in the single-threaded
+    /// child with no locks held; takes them normally. Returns whether
+    /// privatization succeeded.
+    pub(crate) fn privatize_after_fork(&self) -> bool {
+        if let Err(e) = self.lock_arena().privatize_segments() {
+            eprintln!(
+                "mesh: fork privatization failed ({e}); child still shares parent heap pages"
+            );
+            return false;
+        }
+        let mut ok = true;
+        for class in SizeClass::all() {
+            let st = self.lock_class(class);
+            for (_, mh) in st.slab.iter() {
+                if mh.span_count() > 1 {
+                    let spans = mh.virtual_spans();
+                    let mut arena = self.lock_arena();
+                    for alias in &spans[1..] {
+                        // Warn-and-continue, like the copy failure above: a
+                        // degraded child beats aborting someone's shell from
+                        // an atfork handler. (The alias range then reads its
+                        // own identity pages instead of the meshed data.)
+                        if let Err(e) = arena.remap_alias(*alias, spans[0]) {
+                            eprintln!(
+                                "mesh: fork alias remap failed ({e}); \
+                                 meshed span {alias} left unaliased in the child"
+                            );
+                            ok = false;
+                        }
+                    }
+                }
+            }
+        }
+        ok
+    }
+
     // ----- meshing entry points -----------------------------------------
 
     /// Runs a meshing pass if meshing is enabled and the rate limiter
@@ -774,13 +901,19 @@ impl GlobalHeap {
 
     /// Object size usable at `addr`, or `None` for foreign pointers —
     /// including addresses in a span's tail waste past the last object
-    /// slot. Lock-free for small classes.
+    /// slot. For interior pointers into a large span (over-aligned
+    /// allocations return those) this is the bytes remaining to the span
+    /// end, matching what `malloc_usable_size` promises for the pointer
+    /// actually handed out. Lock-free for small classes.
     pub fn usable_size(&self, addr: usize) -> Option<usize> {
         let page = self.page_of_addr(addr)?;
         let info = self.page_map.get(page)?;
         if info.is_large() {
             let large = self.large.lock();
-            Some(large.get(info.id)?.object_size())
+            let mh = large.get(info.id)?;
+            let span_start = self.base + mh.span().byte_offset();
+            debug_assert!(addr >= span_start);
+            Some(mh.object_size() - (addr - span_start))
         } else {
             let class = SizeClass::from_index(info.class_code as usize);
             let span_start = self.base + (page as usize - info.page_idx as usize) * PAGE_SIZE;
@@ -965,6 +1098,24 @@ mod tests {
             "large pages released on free"
         );
         assert_eq!(h.large.lock().len(), 0);
+    }
+
+    #[test]
+    fn malloc_large_aligned_over_page_alignment() {
+        let h = heap();
+        for align in [8192usize, 1 << 16, 2 << 20] {
+            let addr = h.malloc_large_aligned(100_000, align).unwrap();
+            assert_eq!(addr % align, 0, "align {align}");
+            // Usable size of the aligned (possibly interior) pointer is
+            // the bytes remaining to the span end.
+            let usable = h.usable_size(addr).unwrap();
+            assert!(usable >= 100_000, "align {align}: usable {usable}");
+            unsafe { std::ptr::write_bytes(addr as *mut u8, 0x3D, usable) };
+            assert!(h.free_global(addr), "align {align}");
+        }
+        let s = h.counters.snapshot();
+        assert_eq!(s.live_bytes, 0, "over-aligned accounting balanced");
+        assert_eq!(s.invalid_frees, 0);
     }
 
     #[test]

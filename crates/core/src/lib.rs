@@ -32,6 +32,13 @@
 //! remote-free queue, and meshing can run on a background thread — see
 //! DESIGN.md for the locking discipline.
 //!
+//! The paper's deployment vehicle lives in the sibling `mesh-abi` crate:
+//! `cargo build --release` emits `target/release/libmesh.so`, and
+//! `LD_PRELOAD=libmesh.so <any C program>` runs that program on this
+//! heap ([`with_internal_alloc`] / [`Mesh::fork_prepare`] are the pieces
+//! of this crate that interposition layer drives; DESIGN.md "ABI &
+//! bootstrap" documents the protocols).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -82,8 +89,10 @@ pub mod sys;
 
 mod alloc_api;
 
-pub use alloc_api::{Mesh, MeshGlobalAlloc, ThreadHeap};
-pub use config::MeshConfig;
+pub use alloc_api::{
+    in_internal_alloc, with_internal_alloc, Mesh, MeshForkGuard, MeshGlobalAlloc, ThreadHeap,
+};
+pub use config::{env_bool, env_size, env_u64, parse_bool, parse_size, MeshConfig};
 pub use error::MeshError;
 pub use meshing::MeshSummary;
 pub use segment::{SegmentId, SegmentStats};

@@ -114,6 +114,14 @@ impl Segment {
         &self.file
     }
 
+    /// Swaps in a new backing file of identical length (fork
+    /// privatization: the child re-backs each segment with a private
+    /// copy). Returns the old file; dropping it closes the descriptor.
+    pub fn replace_file(&mut self, file: MemFile) -> MemFile {
+        debug_assert_eq!(file.len(), self.file.len());
+        std::mem::replace(&mut self.file, file)
+    }
+
     #[inline]
     pub fn contains_page(&self, page: u32) -> bool {
         page >= self.start && page < self.end()

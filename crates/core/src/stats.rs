@@ -55,6 +55,9 @@ pub struct Counters {
     /// Pages currently mapped to segment files (virtual footprint of the
     /// active segments; committed ≤ mapped ≤ cap).
     pub mapped_pages: AtomicUsize,
+    /// Times this heap was privatized in a forked child (each copies the
+    /// segment files so parent and child stop sharing pages).
+    pub forks: AtomicU64,
 }
 
 impl Counters {
@@ -103,6 +106,7 @@ impl Counters {
             segments_retired: self.segments_retired.load(Ordering::Relaxed),
             segment_count: self.active_segments.load(Ordering::Relaxed),
             mapped_pages: self.mapped_pages.load(Ordering::Relaxed),
+            forks: self.forks.load(Ordering::Relaxed),
         }
     }
 }
@@ -180,6 +184,8 @@ pub struct HeapStats {
     pub segment_count: usize,
     /// Pages currently mapped to segment files.
     pub mapped_pages: usize,
+    /// Times the heap was privatized in a forked child.
+    pub forks: u64,
 }
 
 impl HeapStats {
@@ -214,6 +220,37 @@ impl HeapStats {
     /// active segments; `heap_bytes() ≤ mapped_bytes()`).
     pub fn mapped_bytes(&self) -> usize {
         self.mapped_pages * crate::size_classes::PAGE_SIZE
+    }
+
+    /// One machine-parseable `key=value` summary line, used by the C ABI
+    /// layer's `mesh_stats_print()` / `MESH_PRINT_STATS_AT_EXIT=1` dump
+    /// (grep for `^mesh:`; `pairs_meshed` is the paper's headline
+    /// meshing metric).
+    pub fn render(&self) -> String {
+        format!(
+            "mesh: mallocs={} frees={} live_bytes={} heap_bytes={} peak_heap_bytes={} \
+             mapped_bytes={} large_allocs={} remote_frees={} invalid_frees={} double_frees={} \
+             mesh_passes={} pairs_meshed={} mesh_pages_released={} pages_purged={} \
+             segments={} segments_created={} segments_retired={} forks={}",
+            self.mallocs,
+            self.frees,
+            self.live_bytes,
+            self.heap_bytes(),
+            self.peak_heap_bytes(),
+            self.mapped_bytes(),
+            self.large_allocs,
+            self.remote_frees,
+            self.invalid_frees,
+            self.double_frees,
+            self.mesh_passes,
+            self.spans_meshed,
+            self.mesh_pages_released,
+            self.pages_purged,
+            self.segment_count,
+            self.segments_created,
+            self.segments_retired,
+            self.forks,
+        )
     }
 }
 
@@ -298,6 +335,20 @@ mod tests {
         s2.live_bytes = 4096;
         s2.committed_pages = 2;
         assert_eq!(s2.fragmentation_ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn render_is_one_parseable_line() {
+        let c = Counters::default();
+        c.mallocs.fetch_add(7, Ordering::Relaxed);
+        c.spans_meshed.fetch_add(2, Ordering::Relaxed);
+        c.forks.fetch_add(1, Ordering::Relaxed);
+        let line = c.snapshot().render();
+        assert!(line.starts_with("mesh: "));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("mallocs=7"));
+        assert!(line.contains("pairs_meshed=2"));
+        assert!(line.contains("forks=1"));
     }
 
     #[test]

@@ -1,11 +1,66 @@
-//! Poison-transparent mutex used throughout the heap.
+//! Poison-transparent mutex and the re-entrancy flag used throughout the
+//! heap.
 //!
-//! A thin wrapper over [`std::sync::Mutex`] (the offline build cannot pull
-//! in `parking_lot`) that ignores poisoning: the allocator's invariants
-//! are guarded by its own accounting, and a panic while holding a heap
-//! lock must not turn every subsequent allocation into a second panic.
+//! The mutex is a thin wrapper over [`std::sync::Mutex`] (the offline
+//! build cannot pull in `parking_lot`) that ignores poisoning: the
+//! allocator's invariants are guarded by its own accounting, and a panic
+//! while holding a heap lock must not turn every subsequent allocation
+//! into a second panic.
+//!
+//! [`ReentrantFlag`] is the substrate of the internal-allocation guard
+//! (`with_internal_alloc`): a per-thread boolean that can be *entered*
+//! exactly once per thread at a time. It is deliberately built on a
+//! `const`-initialized, non-`Drop` `thread_local!` so that reading or
+//! setting it never allocates and never registers a TLS destructor —
+//! both would be fatal inside an interposed `malloc`, where the guard is
+//! consulted before any heap exists.
 
 use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, TryLockError};
+
+/// A per-thread entered/not-entered flag with scoped entry. See
+/// [`crate::with_internal_alloc`] for the allocator-facing contract.
+pub(crate) struct ReentrantFlag {
+    read: fn() -> bool,
+    set: fn(bool),
+}
+
+impl ReentrantFlag {
+    /// Builds a flag over a caller-provided thread-local cell (the macro
+    /// cannot be expanded here because `thread_local!` statics must live
+    /// in the defining crate's scope).
+    pub const fn new(read: fn() -> bool, set: fn(bool)) -> ReentrantFlag {
+        ReentrantFlag { read, set }
+    }
+
+    /// Whether the current thread has entered the flag.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        (self.read)()
+    }
+
+    /// Runs `f` with the flag set, restoring the previous state afterwards
+    /// (including on unwind). Re-entrant calls simply observe the flag
+    /// already set and change nothing.
+    #[inline]
+    pub fn with<T>(&self, f: impl FnOnce() -> T) -> T {
+        struct Reset(fn(bool), bool);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                if self.1 {
+                    (self.0)(false);
+                }
+            }
+        }
+        let entered = if (self.read)() {
+            false
+        } else {
+            (self.set)(true);
+            true
+        };
+        let _reset = Reset(self.set, entered);
+        f()
+    }
+}
 
 /// A mutual-exclusion lock whose `lock` never fails.
 #[derive(Debug, Default)]
@@ -53,6 +108,23 @@ mod tests {
         }
         assert_eq!(*m.lock(), 6);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn reentrant_flag_scopes_and_nests() {
+        thread_local! {
+            static FLAG: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+        }
+        static F: ReentrantFlag =
+            ReentrantFlag::new(|| FLAG.with(|c| c.get()), |v| FLAG.with(|c| c.set(v)));
+        assert!(!F.is_set());
+        F.with(|| {
+            assert!(F.is_set());
+            // Nested entry is a no-op; the flag survives the inner scope.
+            F.with(|| assert!(F.is_set()));
+            assert!(F.is_set());
+        });
+        assert!(!F.is_set());
     }
 
     #[test]

@@ -312,6 +312,78 @@ pub unsafe fn protect_read_write(addr: *mut u8, len: usize) -> io::Result<()> {
     }
 }
 
+/// Copies `src`'s contents into `dst` (equal-length memory files),
+/// preserving sparseness: only data extents — probed with
+/// `lseek(SEEK_DATA/SEEK_HOLE)` — are copied, so holes (never-touched or
+/// punched pages) stay holes and the copy commits no more physical memory
+/// than `src` held. Kernels whose tmpfs lacks `SEEK_DATA` fall back to a
+/// whole-file copy. Returns the number of bytes copied.
+///
+/// This is the heavy half of fork privatization: a forked child re-backs
+/// every segment with a fresh file so parent and child stop sharing
+/// `MAP_SHARED` pages.
+///
+/// # Errors
+///
+/// Returns the first `lseek`/`mmap` error encountered.
+pub fn copy_file_sparse(src: &MemFile, dst: &MemFile) -> io::Result<usize> {
+    use crate::ffi as libc;
+    debug_assert_eq!(src.len(), dst.len());
+    let len = src.len();
+    let mut copied = 0usize;
+    let mut pos = 0usize;
+    while pos < len {
+        let data = unsafe { libc::lseek(src.fd(), pos as libc::off_t, libc::SEEK_DATA) };
+        if data < 0 {
+            match libc::errno() {
+                libc::ENXIO => break, // no data past `pos`
+                _ if pos == 0 && copied == 0 => {
+                    // SEEK_DATA unsupported here: degrade to a full copy.
+                    copy_file_range_mapped(src, dst, 0, len)?;
+                    return Ok(len);
+                }
+                _ => return Err(last_err()),
+            }
+        }
+        let data = (data as usize).min(len);
+        let hole = unsafe { libc::lseek(src.fd(), data as libc::off_t, libc::SEEK_HOLE) };
+        let end = if hole < 0 { len } else { (hole as usize).min(len) };
+        if end > data {
+            copy_file_range_mapped(src, dst, data, end - data)?;
+            copied += end - data;
+        }
+        pos = end.max(data + 1);
+    }
+    Ok(copied)
+}
+
+/// Copies `len` bytes at `offset` from `src` to `dst` through transient
+/// shared mappings (extents from SEEK_DATA/SEEK_HOLE are page-granular on
+/// tmpfs, and `MemFile` lengths are whole pages).
+fn copy_file_range_mapped(
+    src: &MemFile,
+    dst: &MemFile,
+    offset: usize,
+    len: usize,
+) -> io::Result<()> {
+    debug_assert_eq!(offset % PAGE_SIZE, 0, "extents are page-granular");
+    debug_assert_eq!(len % PAGE_SIZE, 0, "extents are page-granular");
+    let s = map_range_shared(src, offset, len)?;
+    let d = match map_range_shared(dst, offset, len) {
+        Ok(d) => d,
+        Err(e) => {
+            unsafe { unmap(s, len) };
+            return Err(e);
+        }
+    };
+    unsafe {
+        std::ptr::copy_nonoverlapping(s, d, len);
+        unmap(s, len);
+        unmap(d, len);
+    }
+    Ok(())
+}
+
 /// How physical pages are returned to the OS (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReleaseStrategy {
@@ -502,6 +574,35 @@ mod tests {
             map_file_fixed(&f2, seg_at).unwrap();
             assert_eq!(*seg_at, 0, "fresh segment file reads zero");
             unmap(base, 8 * PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn copy_file_sparse_preserves_data_and_holes() {
+        let src = MemFile::create(8 * PAGE_SIZE).unwrap();
+        let dst = MemFile::create(8 * PAGE_SIZE).unwrap();
+        let base = map_file_shared(&src).unwrap();
+        unsafe {
+            // Touch pages 1 and 5-6; leave the rest as holes.
+            std::ptr::write_bytes(base.add(PAGE_SIZE), 0xA1, PAGE_SIZE);
+            std::ptr::write_bytes(base.add(5 * PAGE_SIZE), 0xA5, 2 * PAGE_SIZE);
+        }
+        let copied = copy_file_sparse(&src, &dst).unwrap();
+        // Either sparse-aware (3 pages) or the full-copy fallback.
+        assert!(copied == 3 * PAGE_SIZE || copied == 8 * PAGE_SIZE, "copied {copied}");
+        let d = map_file_shared(&dst).unwrap();
+        unsafe {
+            assert_eq!(*d.add(PAGE_SIZE), 0xA1);
+            assert_eq!(*d.add(PAGE_SIZE + PAGE_SIZE - 1), 0xA1);
+            assert_eq!(*d.add(5 * PAGE_SIZE), 0xA5);
+            assert_eq!(*d.add(7 * PAGE_SIZE - 1), 0xA5);
+            assert_eq!(*d, 0, "hole stays zero");
+            assert_eq!(*d.add(4 * PAGE_SIZE), 0, "hole stays zero");
+            // The copy is a snapshot: later writes to src must not show.
+            *base.add(PAGE_SIZE) = 0x77;
+            assert_eq!(*d.add(PAGE_SIZE), 0xA1);
+            unmap(base, 8 * PAGE_SIZE);
+            unmap(d, 8 * PAGE_SIZE);
         }
     }
 

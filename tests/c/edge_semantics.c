@@ -1,0 +1,77 @@
+/* glibc edge-semantics conformance for the interposed malloc family:
+ * realloc(p, 0), realloc(NULL, n), calloc overflow, posix_memalign
+ * EINVAL, malloc(0) uniqueness. Passes on plain glibc too — that is the
+ * point: programs must not be able to tell the allocators apart. */
+#include <assert.h>
+#include <errno.h>
+#include <malloc.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    /* malloc(0): unique, freeable pointers. */
+    void *a = malloc(0);
+    void *b = malloc(0);
+    assert(a != NULL && b != NULL && a != b);
+    free(a);
+    free(b);
+
+    /* realloc(NULL, n) behaves as malloc(n). */
+    char *p = realloc(NULL, 64);
+    assert(p != NULL);
+    memset(p, 0x77, 64);
+
+    /* realloc(p, 0) frees p and returns NULL. */
+    assert(realloc(p, 0) == NULL);
+
+    /* calloc overflow: NULL, and the errno glibc documents. (volatile
+     * keeps -Walloc-size-larger-than from flagging the intentional
+     * overflow at compile time.) */
+    volatile size_t huge = SIZE_MAX;
+    errno = 0;
+    assert(calloc(huge, 2) == NULL);
+    assert(errno == ENOMEM);
+    errno = 0;
+    assert(calloc(huge / 2, 3) == NULL);
+    assert(errno == ENOMEM);
+
+    /* reallocarray overflow leaves the old block valid. */
+    char *q = malloc(32);
+    memset(q, 0x2B, 32);
+    errno = 0;
+    assert(reallocarray(q, huge / 4, 5) == NULL);
+    assert(errno == ENOMEM);
+    for (int i = 0; i < 32; i++)
+        assert(q[i] == 0x2B);
+    free(q);
+
+    /* posix_memalign: EINVAL for non-power-of-two or non-pointer-multiple
+     * alignment, memptr untouched; 0 and an aligned pointer otherwise. */
+    void *m = (void *)0x1234;
+    assert(posix_memalign(&m, 3, 100) == EINVAL);
+    assert(posix_memalign(&m, 24, 100) == EINVAL);
+    assert(posix_memalign(&m, sizeof(void *) / 2, 100) == EINVAL);
+    assert(m == (void *)0x1234);
+    assert(posix_memalign(&m, 4096, 100) == 0);
+    assert(m != NULL && ((uintptr_t)m % 4096) == 0);
+    free(m);
+
+    /* aligned_alloc rejects non-power-of-two alignment with EINVAL. */
+    errno = 0;
+    assert(aligned_alloc(48, 96) == NULL);
+    assert(errno == EINVAL);
+
+    /* malloc_usable_size(NULL) is 0; for live pointers it covers the
+     * request and the reported bytes are fully writable. */
+    assert(malloc_usable_size(NULL) == 0);
+    char *u = malloc(100);
+    size_t usable = malloc_usable_size(u);
+    assert(usable >= 100);
+    memset(u, 0x6E, usable);
+    free(u);
+
+    puts("edge_semantics OK");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/* realloc churn: grow and shrink a population of buffers through many
+ * size classes (and across the small/large boundary), verifying a
+ * checksum pattern survives every move. */
+#include <assert.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define SLOTS 256
+#define ROUNDS 200
+
+static unsigned char tag(int slot, int round) {
+    return (unsigned char)(((slot * 37) ^ (round * 101)) | 1);
+}
+
+int main(void) {
+    unsigned char *bufs[SLOTS] = {0};
+    size_t sizes[SLOTS] = {0};
+    unsigned rng = 0x6d657368; /* "mesh" */
+
+    for (int round = 0; round < ROUNDS; round++) {
+        for (int slot = 0; slot < SLOTS; slot++) {
+            rng = rng * 1103515245 + 12345;
+            /* Walk sizes across classes: 1 B … ~128 KiB. */
+            size_t size = 1 + (rng >> 8) % (1 << (7 + (slot % 11)));
+            if (bufs[slot]) {
+                /* Verify the previous round's fill survived. */
+                unsigned char expect = tag(slot, round - 1);
+                for (size_t i = 0; i < sizes[slot]; i += 17)
+                    assert(bufs[slot][i] == expect);
+            }
+            unsigned char *next = realloc(bufs[slot], size);
+            assert(next != NULL);
+            /* The preserved prefix must match before we refill. */
+            if (bufs[slot] != NULL && sizes[slot] > 0) {
+                size_t keep = sizes[slot] < size ? sizes[slot] : size;
+                unsigned char expect = tag(slot, round - 1);
+                for (size_t i = 0; i < keep; i += 17)
+                    assert(next[i] == expect);
+            }
+            memset(next, tag(slot, round), size);
+            bufs[slot] = next;
+            sizes[slot] = size;
+        }
+    }
+    for (int slot = 0; slot < SLOTS; slot++)
+        free(bufs[slot]);
+
+    puts("realloc_churn OK");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/* Basic malloc-family smoke test, run under LD_PRELOAD=libmesh.so by
+ * tests/c_abi.rs (and also expected to pass on plain glibc). */
+#include <assert.h>
+#include <malloc.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    /* malloc/free with content verification across many sizes. */
+    for (size_t size = 1; size < 100000; size = size * 3 + 7) {
+        unsigned char *p = malloc(size);
+        assert(p != NULL);
+        assert(malloc_usable_size(p) >= size);
+        memset(p, (int)(size & 0xFF), size);
+        assert(p[0] == (unsigned char)(size & 0xFF));
+        assert(p[size - 1] == (unsigned char)(size & 0xFF));
+        free(p);
+    }
+
+    /* calloc zeroes. */
+    unsigned char *z = calloc(1000, 10);
+    assert(z != NULL);
+    for (size_t i = 0; i < 10000; i++)
+        assert(z[i] == 0);
+    free(z);
+
+    /* realloc preserves contents while growing and shrinking. */
+    char *r = malloc(100);
+    memset(r, 0x5A, 100);
+    r = realloc(r, 100000);
+    assert(r != NULL);
+    for (int i = 0; i < 100; i++)
+        assert(r[i] == 0x5A);
+    r = realloc(r, 10);
+    assert(r != NULL);
+    for (int i = 0; i < 10; i++)
+        assert(r[i] == 0x5A);
+    free(r);
+
+    /* strdup routes through the interposed malloc. */
+    char *dup = strdup("mesh interposition smoke");
+    assert(dup && strcmp(dup, "mesh interposition smoke") == 0);
+    free(dup);
+
+    /* The aligned family, including alignments far above the page size
+     * (the satellite fix: these used to be unobtainable). */
+    size_t aligns[] = {16, 64, 256, 4096, 1 << 16, 2 << 20};
+    for (size_t i = 0; i < sizeof(aligns) / sizeof(aligns[0]); i++) {
+        void *p = NULL;
+        assert(posix_memalign(&p, aligns[i], 1234) == 0);
+        assert(p != NULL && ((uintptr_t)p % aligns[i]) == 0);
+        memset(p, 0x11, 1234);
+        free(p);
+
+        p = aligned_alloc(aligns[i], 512);
+        assert(p != NULL && ((uintptr_t)p % aligns[i]) == 0);
+        free(p);
+
+        p = memalign(aligns[i], 99);
+        assert(p != NULL && ((uintptr_t)p % aligns[i]) == 0);
+        free(p);
+    }
+    void *v = valloc(100);
+    assert(v != NULL && ((uintptr_t)v % 4096) == 0);
+    free(v);
+    v = pvalloc(4097);
+    assert(v != NULL && ((uintptr_t)v % 4096) == 0);
+    assert(malloc_usable_size(v) >= 8192);
+    free(v);
+
+    /* malloc_trim / mallopt are at least callable. */
+    malloc_trim(0);
+    mallopt(1, 1);
+
+    puts("smoke OK");
+    return 0;
+}

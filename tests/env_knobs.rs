@@ -1,0 +1,36 @@
+//! `MeshConfig::apply_env` against real process environment — suffix
+//! parsing, the boolean/seed knobs, and warn-and-ignore on malformed
+//! values.
+//!
+//! Own test binary with a single test: `std::env::set_var` is not safe
+//! against concurrent `getenv` from other test threads, so the env is
+//! written once, up front, and never removed.
+
+use mesh::core::MeshConfig;
+
+#[test]
+fn apply_env_reads_knobs_and_ignores_malformed() {
+    std::env::set_var("MESH_MAX_HEAP_BYTES", "64M");
+    std::env::set_var("MESH_INITIAL_SEGMENT_BYTES", "1M");
+    std::env::set_var("MESH_SEGMENT_BYTES", "not-a-size");
+    std::env::set_var("MESH_BACKGROUND_MESHING", "0");
+    std::env::set_var("MESH_SEED", "99");
+
+    let c = MeshConfig::default().apply_env();
+    assert_eq!(c.max_heap_size(), 64 << 20, "suffix-parsed cap");
+    assert_eq!(c.initial_segment_size(), 1 << 20);
+    assert_eq!(
+        c.segment_size(),
+        MeshConfig::default().segment_size(),
+        "malformed value ignored, default kept"
+    );
+    assert!(!c.is_background_meshing());
+    assert!(c.validate().is_ok());
+
+    // The parsed config actually drives a heap (seed fixed by MESH_SEED).
+    let mesh = mesh::core::Mesh::new(c).unwrap();
+    let p = mesh.malloc(100);
+    assert!(!p.is_null());
+    unsafe { mesh.free(p) };
+    assert_eq!(mesh.stats().live_bytes, 0);
+}

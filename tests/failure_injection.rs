@@ -212,8 +212,11 @@ fn aligned_allocation_contract() {
         assert_eq!(p as usize % align, 0, "align {align} violated");
         unsafe { mesh.free(p) };
     }
-    // Beyond a page: unsupported, null (posix_memalign would EINVAL).
-    assert!(mesh.malloc_aligned(100, 8192).is_null());
+    // Beyond a page: served on the large path (over-allocate + align).
+    let p = mesh.malloc_aligned(100, 8192);
+    assert!(!p.is_null(), "over-page alignment must not fail");
+    assert_eq!(p as usize % 8192, 0);
+    unsafe { mesh.free(p) };
     assert_eq!(mesh.stats().live_bytes, 0);
 }
 

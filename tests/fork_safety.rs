@@ -1,0 +1,130 @@
+//! Real `fork()` through the Rust API: `Mesh::fork_prepare` +
+//! `MeshForkGuard::{release_parent, release_child}` — the protocol the
+//! `libmesh.so` atfork handlers drive, exercised here without the C
+//! layer. The child overwrites every shared-looking buffer; because the
+//! arena is `MAP_SHARED` memory files, only segment privatization keeps
+//! those writes out of the parent.
+//!
+//! Own test binary: forking a multi-threaded cargo-test harness is only
+//! safe when this file's single test is all that runs in the process.
+
+use mesh::core::ffi;
+use mesh::core::{Mesh, MeshConfig};
+
+const SLOTS: usize = 384;
+const SIZE: usize = 1500;
+
+fn parent_tag(i: usize) -> u8 {
+    0x40 | (i as u8 & 0x3F)
+}
+
+fn child_tag(i: usize) -> u8 {
+    0x80 | (i as u8 & 0x3F)
+}
+
+/// Child-side body; returns success instead of panicking (a panic would
+/// unwind into the forked copy of the test harness).
+fn child_body(mesh: &Mesh, ptrs: &[*mut u8]) -> bool {
+    for (i, &p) in ptrs.iter().enumerate() {
+        for j in (0..SIZE).step_by(11) {
+            if unsafe { *p.add(j) } != parent_tag(i) {
+                return false;
+            }
+        }
+    }
+    // Overwrite with the child's pattern: must not reach the parent.
+    for (i, &p) in ptrs.iter().enumerate() {
+        unsafe { std::ptr::write_bytes(p, child_tag(i), SIZE) };
+    }
+    // Churn the allocator: refills, large objects, frees.
+    for round in 0..5_000usize {
+        let size = 1 + (round * 37) % 3000;
+        let q = mesh.malloc(size);
+        if q.is_null() {
+            return false;
+        }
+        unsafe {
+            std::ptr::write_bytes(q, 0xEE, size);
+            mesh.free(q);
+        }
+    }
+    for (i, &p) in ptrs.iter().enumerate() {
+        for j in (0..SIZE).step_by(11) {
+            if unsafe { *p.add(j) } != child_tag(i) {
+                return false;
+            }
+        }
+    }
+    mesh.stats().forks == 1
+}
+
+#[test]
+fn fork_preserves_parent_and_child_heaps() {
+    let mesh = Mesh::new(
+        MeshConfig::default()
+            .seed(23)
+            .arena_bytes(128 << 20)
+            .initial_segment_bytes(4 << 20)
+            .segment_bytes(4 << 20),
+    )
+    .unwrap();
+    let ptrs: Vec<*mut u8> = (0..SLOTS).map(|_| mesh.malloc(SIZE)).collect();
+    for (i, &p) in ptrs.iter().enumerate() {
+        assert!(!p.is_null());
+        unsafe { std::ptr::write_bytes(p, parent_tag(i), SIZE) };
+    }
+    // Mesh some spans first so alias restoration is exercised too.
+    let small: Vec<*mut u8> = (0..4096).map(|_| mesh.malloc(64)).collect();
+    for (i, &p) in small.iter().enumerate() {
+        if i % 8 != 0 {
+            unsafe { mesh.free(p) };
+        } else {
+            unsafe { std::ptr::write_bytes(p, 0x3C, 64) };
+        }
+    }
+    mesh.mesh_now();
+
+    let guard = mesh.fork_prepare();
+    let pid = unsafe { ffi::fork() };
+    assert!(pid >= 0, "fork failed");
+    if pid == 0 {
+        guard.release_child();
+        let ok = child_body(&mesh, &ptrs)
+            && small
+                .iter()
+                .step_by(8)
+                .all(|&p| unsafe { *p } == 0x3C && unsafe { *p.add(63) } == 0x3C);
+        // _exit: the forked harness copy must not run its own teardown.
+        unsafe { ffi::_exit(if ok { 0 } else { 1 }) };
+    }
+    guard.release_parent();
+
+    let mut status: i32 = -1;
+    let waited = unsafe { ffi::waitpid(pid, &mut status, 0) };
+    assert_eq!(waited, pid, "waitpid failed");
+    assert!(
+        status & 0x7F == 0 && (status >> 8) & 0xFF == 0,
+        "child failed: raw status {status:#x}"
+    );
+
+    // The child's overwrites and churn must not have reached the parent.
+    for (i, &p) in ptrs.iter().enumerate() {
+        for j in (0..SIZE).step_by(11) {
+            assert_eq!(
+                unsafe { *p.add(j) },
+                parent_tag(i),
+                "slot {i} corrupted by the forked child"
+            );
+        }
+    }
+    for &p in small.iter().step_by(8) {
+        assert_eq!(unsafe { *p }, 0x3C, "meshed survivor corrupted");
+        unsafe { mesh.free(p) };
+    }
+    for &p in &ptrs {
+        unsafe { mesh.free(p) };
+    }
+    let stats = mesh.stats();
+    assert_eq!(stats.forks, 0, "parent never privatizes");
+    assert_eq!(stats.double_frees, 0);
+}

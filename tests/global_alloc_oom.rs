@@ -40,9 +40,10 @@ fn alloc_returns_null_at_hard_cap_and_recovers() {
     let huge = Layout::from_size_align(1 << 40, 16).unwrap();
     assert!(unsafe { alloc.alloc(huge) }.is_null());
     assert!(unsafe { alloc.alloc_zeroed(huge) }.is_null());
-    // Over-aligned requests are unsupported: null, not panic.
-    let overaligned = Layout::from_size_align(64, 8192).unwrap();
-    assert!(unsafe { alloc.alloc(overaligned) }.is_null());
+    // An over-aligned request that cannot fit under the (exhausted) cap is
+    // a clean null too, not a panic.
+    let overaligned_huge = Layout::from_size_align(4 << 20, 4 << 20).unwrap();
+    assert!(unsafe { alloc.alloc(overaligned_huge) }.is_null());
 
     // Freeing makes the heap usable again — OOM was not sticky.
     for p in held.drain(..) {
@@ -51,6 +52,14 @@ fn alloc_returns_null_at_hard_cap_and_recovers() {
     let p = unsafe { alloc.alloc(layout) };
     assert!(!p.is_null(), "heap did not recover after frees");
     unsafe { alloc.dealloc(p, layout) };
+
+    // Over-aligned layouts are served on the large path once there is
+    // room again (they used to be a spurious OOM).
+    let overaligned = Layout::from_size_align(64, 8192).unwrap();
+    let q = unsafe { alloc.alloc(overaligned) };
+    assert!(!q.is_null(), "over-aligned layout not served");
+    assert_eq!(q as usize % 8192, 0);
+    unsafe { alloc.dealloc(q, overaligned) };
 
     let stats = MeshGlobalAlloc::mesh().stats();
     assert_eq!(stats.live_bytes, 0);
