@@ -155,10 +155,10 @@ fn reallocate(ptr: *mut u8, size: usize) -> *mut u8 {
     }
     if let Some(mesh) = runtime::built_heap() {
         if mesh.contains(ptr) {
-            let old = mesh.usable_size(ptr).unwrap_or(0);
-            if size <= old && size * 2 >= old {
-                return ptr; // still the right size class
+            if with_internal_alloc(|| mesh.realloc_in_place(ptr, size)) {
+                return ptr; // same size class / still within the span
             }
+            let old = mesh.usable_size(ptr).unwrap_or(0);
             let fresh = allocate(size, 16, false);
             if !fresh.is_null() {
                 unsafe { std::ptr::copy_nonoverlapping(ptr, fresh, old.min(size)) };

@@ -130,9 +130,12 @@ pub fn with_thread_heap<R>(mesh: &'static Mesh, f: impl FnOnce(&mut ThreadHeap) 
 }
 
 /// pthread TSD destructor: returns the dying thread's attached MiniHeaps
-/// to the global heap (`ThreadHeap`'s drop detaches every span). If the
-/// thread allocates again during a later destructor iteration, a fresh
-/// heap is created and this runs again — glibc bounds the iterations.
+/// to the global heap (`ThreadHeap`'s drop detaches every span) and folds
+/// its batched fast-path statistics into the shared counters — the exit
+/// dump therefore sees exact totals even though live threads never touch
+/// shared stat cachelines. If the thread allocates again during a later
+/// destructor iteration, a fresh heap is created and this runs again —
+/// glibc bounds the iterations.
 unsafe extern "C" fn thread_heap_dtor(p: *mut c_void) {
     with_internal_alloc(|| {
         THREAD_HEAP.with(|c| c.set(std::ptr::null_mut()));

@@ -1,0 +1,232 @@
+//! **malloc_throughput** (E18/E19) — the fast-path throughput suite.
+//!
+//! The paper's §4.3 claim is that meshing costs nothing on the hot path:
+//! malloc/free are lock-free and O(1). This harness is the proof burden
+//! for that claim in this repo — four measurements that bracket the fast
+//! path from every side:
+//!
+//! * `single_thread_churn` — pure fast-path malloc/free of one size with
+//!   a bounded live window: every op is a shuffle-vector pop/push plus
+//!   a page-map read; no locks, no shared atomics. The headline number.
+//! * `scaling` — the same churn on 1→N threads in distinct size classes.
+//!   With per-class shard locks and batched statistics the curve should
+//!   track thread count (on multi-core hosts) instead of flattening on
+//!   a shared cacheline.
+//! * `remote_ping_pong` — producer/consumer pairs where every free is
+//!   non-local: the lock-free queue-push path, the fast path's worst case.
+//! * `class_sweep` — per-size-class single-thread churn, ns/op, catching
+//!   class-local regressions (e.g. a slow span geometry) that the single
+//!   headline number would average away.
+//!
+//! Output: a human table, one `BENCH_MALLOC.json` trajectory line on
+//! stdout, and the same JSON written to `BENCH_MALLOC.json` in the
+//! working directory (CI uploads it as an artifact). Unless
+//! `MESH_BENCH_NO_ENFORCE=1`, the run **fails** when single-thread
+//! throughput regresses more than 2× below the checked-in baseline floor
+//! (`crates/bench/baselines/malloc_throughput.json`).
+
+use mesh_bench::banner;
+use mesh_core::{Mesh, MeshConfig, SizeClass};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const OPS_PER_THREAD: usize = 400_000;
+/// Live-window size of the churn loops (objects held before freeing).
+const WINDOW: usize = 64;
+/// Distinct size-class request sizes, one per worker thread.
+const CLASS_SIZES: [usize; 8] = [16, 48, 96, 160, 256, 448, 768, 2048];
+
+const BASELINE: &str = include_str!("../baselines/malloc_throughput.json");
+
+fn heap() -> Mesh {
+    Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(1 << 30)
+            .seed(42)
+            .mesh_period(Duration::from_secs(3600)),
+    )
+    .expect("bench heap")
+}
+
+/// Malloc/free churn on `threads` workers (size per thread from
+/// `size_of`), returning aggregate ops/sec.
+fn churn(mesh: &Mesh, threads: usize, ops: usize, size_of: impl Fn(usize) -> usize + Sync) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total_ops = threads * ops;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mesh = mesh.clone();
+            let barrier = Arc::clone(&barrier);
+            let size = size_of(t);
+            s.spawn(move || {
+                let mut th = mesh.thread_heap();
+                let mut live: Vec<usize> = Vec::with_capacity(WINDOW);
+                barrier.wait();
+                for i in 0..ops {
+                    if live.len() < WINDOW {
+                        let p = th.malloc(size);
+                        assert!(!p.is_null());
+                        live.push(p as usize);
+                    } else {
+                        let victim = live.swap_remove(i % live.len());
+                        unsafe { th.free(victim as *mut u8) };
+                    }
+                }
+                for p in live {
+                    unsafe { th.free(p as *mut u8) };
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let t0 = Instant::now();
+        barrier.wait();
+        total_ops as f64 / t0.elapsed().as_secs_f64()
+    })
+}
+
+/// Producer/consumer pairs: every consumer free is remote. Returns
+/// aggregate freed-objects/sec.
+fn remote_ping_pong(mesh: &Mesh, pairs: usize) -> f64 {
+    let per_pair = OPS_PER_THREAD / 4;
+    let total = pairs * per_pair;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..pairs {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(1024);
+            let produce = mesh.clone();
+            let consume = mesh.clone();
+            let size = CLASS_SIZES[t % CLASS_SIZES.len()];
+            s.spawn(move || {
+                let mut th = produce.thread_heap();
+                for _ in 0..per_pair {
+                    let p = th.malloc(size);
+                    assert!(!p.is_null());
+                    if tx.send(p as usize).is_err() {
+                        break;
+                    }
+                }
+            });
+            s.spawn(move || {
+                let mut th = consume.thread_heap();
+                while let Ok(addr) = rx.recv() {
+                    unsafe { th.free(addr as *mut u8) };
+                }
+            });
+        }
+    });
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Extracts a named number from a flat JSON object (no serde in the
+/// offline build; the baseline file is one flat object we control).
+fn json_number(source: &str, key: &str) -> Option<f64> {
+    let at = source.find(&format!("\"{key}\""))?;
+    let rest = source[at..].split_once(':')?.1;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    banner("malloc throughput: O(1) fast-path churn, scaling, remote frees");
+
+    // --- headline: single-thread fast-path churn ------------------------
+    let m = heap();
+    let single = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
+
+    // --- scaling curve 1 → cores (distinct classes per thread) ----------
+    let mut scale_threads: Vec<usize> = vec![1, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= cores)
+        .collect();
+    if *scale_threads.last().unwrap_or(&0) != cores && cores <= 16 {
+        scale_threads.push(cores);
+    }
+    let scaling: Vec<(usize, f64)> = scale_threads
+        .iter()
+        .map(|&t| {
+            let m = heap();
+            let ops = churn(&m, t, OPS_PER_THREAD, |i| CLASS_SIZES[i % CLASS_SIZES.len()]);
+            (t, ops)
+        })
+        .collect();
+
+    // --- remote-free ping-pong ------------------------------------------
+    let m = heap();
+    let pairs = (cores / 2).max(1);
+    let remote = remote_ping_pong(&m, pairs);
+    let remote_stats = m.stats();
+    drop(m);
+
+    // --- per-class sweep -------------------------------------------------
+    let sweep: Vec<(usize, f64)> = SizeClass::all()
+        .map(|class| {
+            let m = heap();
+            let ops = churn(&m, 1, OPS_PER_THREAD / 4, |_| class.object_size());
+            (class.object_size(), 1e9 / ops)
+        })
+        .collect();
+
+    println!();
+    println!("{:<40} {:>16}", "configuration", "ops/sec");
+    println!("{:<40} {:>16.0}", "single_thread_churn (256 B)", single);
+    for &(t, ops) in &scaling {
+        println!("{:<40} {:>16.0}", format!("scaling/{t}t distinct classes"), ops);
+    }
+    println!(
+        "{:<40} {:>16.0}   (queued/drained {}/{})",
+        format!("remote_ping_pong/{pairs}p"),
+        remote,
+        remote_stats.remote_free_queued,
+        remote_stats.remote_free_drained
+    );
+    println!("\n{:<12} {:>12}", "class", "ns/op");
+    for &(size, ns) in &sweep {
+        println!("{:<12} {:>12.1}", format!("{size} B"), ns);
+    }
+
+    // --- trajectory JSON --------------------------------------------------
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(t, ops)| format!("{{\"threads\":{t},\"ops_sec\":{ops:.0}}}"))
+        .collect();
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(size, ns)| format!("{{\"size\":{size},\"ns_per_op\":{ns:.1}}}"))
+        .collect();
+    let json = format!(
+        "{{\"cores\":{cores},\"ops_per_thread\":{OPS_PER_THREAD},\
+         \"single_thread_ops_sec\":{single:.0},\
+         \"scaling\":[{}],\
+         \"remote_ping_pong_pairs\":{pairs},\"remote_ping_pong_ops_sec\":{remote:.0},\
+         \"class_sweep\":[{}]}}",
+        scaling_json.join(","),
+        sweep_json.join(",")
+    );
+    println!("\nBENCH_MALLOC.json {json}");
+    if let Err(e) = std::fs::write("BENCH_MALLOC.json", format!("{json}\n")) {
+        eprintln!("warning: could not write BENCH_MALLOC.json: {e}");
+    }
+
+    // --- baseline floor ---------------------------------------------------
+    let floor = json_number(BASELINE, "single_thread_ops_sec").expect("baseline parses");
+    if std::env::var_os("MESH_BENCH_NO_ENFORCE").is_none() {
+        // >2× below the checked-in floor is a regression failure; the
+        // floor itself is set conservatively below typical CI hardware.
+        assert!(
+            single * 2.0 >= floor,
+            "single-thread throughput regressed >2x: {single:.0} ops/sec \
+             vs baseline floor {floor:.0} (set MESH_BENCH_NO_ENFORCE=1 to bypass)"
+        );
+        println!(
+            "baseline check OK: {single:.0} ops/sec >= {:.0} (floor {floor:.0} / 2)",
+            floor / 2.0
+        );
+    }
+}

@@ -99,7 +99,7 @@ impl Mesh {
             .unwrap_or_else(|| Rng::from_entropy().next_u64());
         let randomize = config.randomize;
         let background = state.rt.background_meshing;
-        let main = ThreadHeapCore::new(seed_base ^ 0x6d61_696e, randomize, 0);
+        let main = ThreadHeapCore::new(seed_base ^ 0x6d61_696e, randomize, 0, Arc::clone(&counters));
         let inner = Arc::new_cyclic(|weak| MeshInner {
             state,
             counters,
@@ -118,12 +118,7 @@ impl Mesh {
     /// The segmented arena grows on demand; null is returned only when the
     /// configured hard cap (`max_heap_bytes`) has no room — never panics.
     pub fn malloc(&self, size: usize) -> *mut u8 {
-        with_internal_alloc(|| {
-            self.inner
-                .main
-                .lock()
-                .malloc(&self.inner.state, &self.inner.counters, size)
-        })
+        with_internal_alloc(|| self.inner.main.lock().malloc(&self.inner.state, size))
     }
 
     /// Allocates `size` bytes with alignment `align` (any power of two).
@@ -162,6 +157,9 @@ impl Mesh {
     }
 
     /// Resizes the allocation at `ptr` to `new_size` bytes (`realloc`).
+    /// Growing or shrinking within the same size class — or within a
+    /// large allocation's page span — returns the original pointer with
+    /// no copy (see [`Mesh::realloc_in_place`]).
     ///
     /// # Safety
     ///
@@ -171,16 +169,36 @@ impl Mesh {
         if ptr.is_null() {
             return self.malloc(new_size);
         }
-        let usable = self.usable_size(ptr).unwrap_or(0);
-        if new_size <= usable && new_size * 2 >= usable {
-            return ptr; // still the right size class
+        if self.realloc_in_place(ptr, new_size) {
+            return ptr;
         }
+        let usable = self.usable_size(ptr).unwrap_or(0);
         let fresh = self.malloc(new_size);
         if !fresh.is_null() {
             std::ptr::copy_nonoverlapping(ptr, fresh, usable.min(new_size));
             self.free(ptr);
         }
         fresh
+    }
+
+    /// Whether the allocation at `ptr` already satisfies `new_size` in
+    /// place — the `realloc` fast path, one page-map resolution. True
+    /// (counting one `reallocs_in_place`) when the new size maps to the
+    /// *same size class*, or, for large allocations, still fits the page
+    /// span without leaving more than half of it dead. The allocation is
+    /// not touched either way; on `true` the caller keeps using `ptr`.
+    pub fn realloc_in_place(&self, ptr: *mut u8, new_size: usize) -> bool {
+        let in_place = self
+            .inner
+            .state
+            .realloc_fits_in_place(ptr as usize, new_size);
+        if in_place {
+            self.inner
+                .counters
+                .reallocs_in_place
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        in_place
     }
 
     /// Frees `ptr`. Null is ignored; foreign pointers and double frees are
@@ -195,10 +213,7 @@ impl Mesh {
             return;
         }
         with_internal_alloc(|| {
-            self.inner
-                .main
-                .lock()
-                .free(&self.inner.state, &self.inner.counters, ptr);
+            self.inner.main.lock().free(&self.inner.state, ptr);
         });
     }
 
@@ -224,6 +239,7 @@ impl Mesh {
                 self.inner.seed_base.wrapping_add(token.wrapping_mul(0x9e37_79b9)),
                 self.inner.randomize,
                 token,
+                Arc::clone(&self.inner.counters),
             ),
             inner: Arc::clone(&self.inner),
         }
@@ -507,10 +523,7 @@ impl ThreadHeap {
     /// Allocates `size` bytes (lock-free for small sizes with an attached
     /// span). Returns null on exhaustion.
     pub fn malloc(&mut self, size: usize) -> *mut u8 {
-        with_internal_alloc(|| {
-            self.core
-                .malloc(&self.inner.state, &self.inner.counters, size)
-        })
+        with_internal_alloc(|| self.core.malloc(&self.inner.state, size))
     }
 
     /// Allocates `size` bytes with alignment `align` (any power of two):
@@ -541,9 +554,7 @@ impl ThreadHeap {
         if ptr.is_null() {
             return;
         }
-        with_internal_alloc(|| {
-            self.core.free(&self.inner.state, &self.inner.counters, ptr)
-        });
+        with_internal_alloc(|| self.core.free(&self.inner.state, ptr));
     }
 
     /// The owning heap.
@@ -702,9 +713,10 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
                         mesh.inner.seed_base.wrapping_add(token.wrapping_mul(0x9e37)),
                         mesh.inner.randomize,
                         token,
+                        Arc::clone(&mesh.inner.counters),
                     )
                 });
-                core.malloc(&mesh.inner.state, &mesh.inner.counters, request)
+                core.malloc(&mesh.inner.state, request)
             })
         };
         IN_MESH.with(|f| f.set(false));
@@ -737,7 +749,7 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
         TLS_HEAP.with(|slot| {
             let mut slot = slot.borrow_mut();
             if let Some(core) = slot.as_mut() {
-                core.free(&mesh.inner.state, &mesh.inner.counters, ptr);
+                core.free(&mesh.inner.state, ptr);
             } else {
                 mesh.inner.state.free_global(ptr as usize);
             }
@@ -824,8 +836,43 @@ mod tests {
             let p = m.realloc(std::ptr::null_mut(), 120);
             let q = m.realloc(p, 128); // both in the 128 class
             assert_eq!(p, q);
+            assert_eq!(m.stats().reallocs_in_place, 1);
             m.free(q);
         }
+    }
+
+    #[test]
+    fn realloc_in_place_small_and_large() {
+        let m = mesh();
+        unsafe {
+            // Small: any size mapping to the same class stays put…
+            let p = m.malloc(100); // 112 class
+            assert!(m.realloc_in_place(p, 112));
+            assert!(m.realloc_in_place(p, 97));
+            // …crossing a class boundary moves (either direction).
+            assert!(!m.realloc_in_place(p, 113));
+            assert!(!m.realloc_in_place(p, 96));
+            let q = m.realloc(p, 200);
+            assert_ne!(p, q);
+            m.free(q);
+
+            // Large: growth into the span tail and moderate shrinks stay.
+            let big = m.malloc(100_000); // 25 pages → 102400 usable
+            std::ptr::write_bytes(big, 0x11, 100_000);
+            let usable = m.usable_size(big).unwrap();
+            assert_eq!(m.realloc(big, usable), big, "grow into tail");
+            assert_eq!(m.realloc(big, usable / 2), big, "half-span shrink");
+            let moved = m.realloc(big, 1000);
+            assert_ne!(moved, big, "deep shrink must release the span");
+            assert_eq!(*moved, 0x11, "contents preserved across the move");
+            m.free(moved);
+
+            // Foreign pointers never claim in-place.
+            assert!(!m.realloc_in_place(0x1000 as *mut u8, 8));
+        }
+        let s = m.stats();
+        assert_eq!(s.reallocs_in_place, 4);
+        assert_eq!(s.live_bytes, 0);
     }
 
     #[test]
@@ -1002,6 +1049,26 @@ mod tests {
         // reliably produces some, so make silent regressions loud.
         assert!(summary.pairs_meshed > 0, "test exercised no aliases");
         assert_eq!(m.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn fork_prepare_quiesces_stats_registry() {
+        // The per-thread stats registry is a heap lock like any other: a
+        // child forked while some thread is mid-register/unregister must
+        // not inherit it held, so fork_prepare takes it too.
+        let m = mesh();
+        let guard = m.fork_prepare();
+        assert!(
+            m.inner.counters.locals_contended(),
+            "fork quiescence must hold the stats registry lock"
+        );
+        guard.release_parent();
+        assert!(!m.inner.counters.locals_contended());
+        // Registration (thread-heap creation) works again after release.
+        let mut th = m.thread_heap();
+        let p = th.malloc(64);
+        assert!(!p.is_null());
+        unsafe { th.free(p) };
     }
 
     #[test]

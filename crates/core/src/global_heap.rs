@@ -180,6 +180,7 @@ pub(crate) struct AllShardGuards<'a> {
     _sched_mesh: MutexGuard<'a, Instant>,
     _sched_purge: MutexGuard<'a, Option<Instant>>,
     _sched_drain: MutexGuard<'a, Instant>,
+    _stat_locals: MutexGuard<'a, Vec<Arc<crate::stats::LocalCounters>>>,
 }
 
 /// Runtime-tunable configuration (the `mallctl` analogs, §4.5) as
@@ -517,9 +518,11 @@ impl GlobalHeap {
             let Some(mh) = st.slab.get(info.id) else {
                 return invalid(&self.counters);
             };
-            let span_start = self.base + (page as usize - info.page_idx as usize) * PAGE_SIZE;
-            let slot = (addr - span_start) / mh.object_size();
-            if slot >= mh.object_count() {
+            let offset = addr - info.span_start(self.base, page);
+            let slot = offset / mh.object_size();
+            // Tail waste and misaligned interior pointers are hostile
+            // frees, mirroring the local path's validation.
+            if slot >= mh.object_count() || !offset.is_multiple_of(mh.object_size()) {
                 return invalid(&self.counters);
             }
             if !mh.bitmap().unset(slot) {
@@ -750,13 +753,41 @@ impl GlobalHeap {
 
     // ----- non-local frees (§4.4.4) -------------------------------------
 
+    /// Resolves `addr` to its arena page and page-map entry, or `None`
+    /// for foreign/unowned pointers (lock-free).
+    #[inline]
+    fn resolve_free(&self, addr: usize) -> Option<(u32, crate::page_map::PageInfo)> {
+        let page = self.page_of_addr(addr)?;
+        let info = self.page_map.get(page)?;
+        Some((page, info))
+    }
+
     /// Frees `addr` through the global heap. Small objects are *enqueued*
     /// lock-free on their class's remote-free queue (validation happens at
     /// drain time); large objects are freed immediately under the large
     /// lock. Returns whether the free was accepted (optimistically, for
     /// the queued path).
     pub fn free_global(&self, addr: usize) -> bool {
-        let accepted = self.free_global_inner(addr);
+        match self.resolve_free(addr) {
+            Some((page, info)) => self.free_routed(addr, page, info),
+            None => {
+                self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Frees `addr` given its already-decoded page-map entry — the entry
+    /// point used by the thread-heap fast path, which resolved the entry
+    /// for its own local/remote decision and passes it down instead of
+    /// having the global heap re-derive it.
+    pub(crate) fn free_routed(
+        &self,
+        addr: usize,
+        page: u32,
+        info: crate::page_map::PageInfo,
+    ) -> bool {
+        let accepted = self.free_resolved_inner(addr, page, info);
         if accepted {
             self.scheduler.on_global_free();
             if !self.rt.background_meshing {
@@ -777,15 +808,7 @@ impl GlobalHeap {
         accepted
     }
 
-    fn free_global_inner(&self, addr: usize) -> bool {
-        let Some(page) = self.page_of_addr(addr) else {
-            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
-            return false;
-        };
-        let Some(info) = self.page_map.get(page) else {
-            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
-            return false;
-        };
+    fn free_resolved_inner(&self, addr: usize, page: u32, info: crate::page_map::PageInfo) -> bool {
         if info.is_large() {
             return self.free_large(page);
         }
@@ -802,7 +825,11 @@ impl GlobalHeap {
     /// pass would retake). The queued free is applied at the next refill,
     /// pass, or stats flush.
     pub fn free_global_deferred(&self, addr: usize) -> bool {
-        let accepted = self.free_global_inner(addr);
+        let Some((page, info)) = self.resolve_free(addr) else {
+            self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let accepted = self.free_resolved_inner(addr, page, info);
         if accepted {
             self.scheduler.on_global_free();
         }
@@ -813,14 +840,16 @@ impl GlobalHeap {
 
     /// Acquires every heap lock in the canonical order — size classes by
     /// index, then the large shard, then the arena leaf, then the
-    /// scheduler leaves — quiescing the heap for `fork()`. Any in-flight
-    /// refill, drain, or meshing pass completes before this returns, so a
-    /// child forked at any moment inherits consistent heap state.
+    /// scheduler leaves, then the per-thread stats registry — quiescing
+    /// the heap for `fork()`. Any in-flight refill, drain, meshing pass,
+    /// or thread-block (un)registration completes before this returns, so
+    /// a child forked at any moment inherits consistent heap state.
     pub(crate) fn lock_all(&self) -> AllShardGuards<'_> {
         let classes = SizeClass::all().map(|c| self.lock_class(c)).collect();
         let large = self.large.lock();
         let arena = self.lock_arena();
         let (sched_mesh, sched_purge, sched_drain) = self.scheduler.lock_all();
+        let stat_locals = self.counters.lock_locals();
         AllShardGuards {
             _classes: classes,
             _large: large,
@@ -828,6 +857,7 @@ impl GlobalHeap {
             _sched_mesh: sched_mesh,
             _sched_purge: sched_purge,
             _sched_drain: sched_drain,
+            _stat_locals: stat_locals,
         }
     }
 
@@ -916,12 +946,40 @@ impl GlobalHeap {
             Some(mh.object_size() - (addr - span_start))
         } else {
             let class = SizeClass::from_index(info.class_code as usize);
-            let span_start = self.base + (page as usize - info.page_idx as usize) * PAGE_SIZE;
-            let slot = (addr - span_start) / class.object_size();
+            let slot = (addr - info.span_start(self.base, page)) / class.object_size();
             if slot >= class.object_count() {
                 return None;
             }
             Some(class.object_size())
+        }
+    }
+
+    /// Whether the allocation at `addr` already satisfies `new_size`
+    /// without moving: same size class for small objects; still within
+    /// the page span at ≥ 50% utilization for large ones. One page-map
+    /// resolution (plus the large lock only for large pointers) —
+    /// `realloc`'s fast-path decision.
+    pub fn realloc_fits_in_place(&self, addr: usize, new_size: usize) -> bool {
+        let Some((page, info)) = self.resolve_free(addr) else {
+            return false;
+        };
+        if info.is_large() {
+            let usable = {
+                let large = self.large.lock();
+                let Some(mh) = large.get(info.id) else {
+                    return false;
+                };
+                // Bytes to the span end, as for `usable_size` (interior
+                // pointers from over-aligned allocations are legal here).
+                mh.object_size() - (addr - (self.base + mh.span().byte_offset()))
+            };
+            new_size <= usable && new_size * 2 >= usable
+        } else {
+            let class = SizeClass::from_index(info.class_code as usize);
+            let offset = addr - info.span_start(self.base, page);
+            offset / class.object_size() < class.object_count()
+                && offset.is_multiple_of(class.object_size())
+                && SizeClass::for_size(new_size) == Some(class)
         }
     }
 

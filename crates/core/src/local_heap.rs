@@ -5,33 +5,79 @@
 //! refills take only the *owning class's* shard lock, large objects take
 //! the large + arena locks, and non-local frees push onto a lock-free
 //! remote-free queue without taking any lock at all (see DESIGN.md's
-//! sharded locking discipline).
+//! sharded locking discipline and "Fast path anatomy").
+//!
+//! Both hot paths are O(1) and free of shared-cacheline traffic:
+//!
+//! * **malloc** pops the class's shuffle vector and bumps a per-thread
+//!   [`LocalCounters`] block (plain load+store, no RMW — deltas are
+//!   summed into [`crate::HeapStats`] at snapshot time).
+//! * **free** resolves the pointer with *one* lock-free [`PageMap`]
+//!   lookup, which yields the owning MiniHeap id, size class, and slot in
+//!   one read. Comparing the id against the attached vector's decides
+//!   local vs remote; the decoded entry is passed down to the global heap
+//!   so nothing is re-derived. (The previous design scanned every class's
+//!   attached span per free — O(classes), and O(aliases) after meshing.)
+//!
+//! The page-map route also makes the local path *checkable*: slot-range,
+//! alignment, and double-free validation that used to exist only on the
+//! drain side now run before the shuffle vector is touched, so a hostile
+//! free is counted and discarded instead of corrupting the freelist.
 
 use crate::global_heap::GlobalHeap;
+use crate::page_map::PageInfo;
 use crate::rng::Rng;
 use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES};
-use crate::stats::Counters;
+use crate::stats::{Counters, LocalCounters};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-/// Per-thread allocation state: one shuffle vector per size class and a
-/// thread-private PRNG (§4.3).
+/// Where one free request is routed, as decided by a single page-map
+/// lookup (see [`ThreadHeapCore::route`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FreeRoute {
+    /// The pointer belongs to the span attached to this thread's vector
+    /// for `class_idx`: freed in place, no lock, no atomics.
+    Local { class_idx: usize, slot: usize },
+    /// The page belongs to this thread's attached span, but the address
+    /// is not a valid object: span tail waste or a misaligned interior
+    /// pointer. Counted and discarded.
+    LocalInvalid,
+    /// Owned by some other MiniHeap (detached, another thread's, or a
+    /// large object): handed to the global heap along with the decoded
+    /// entry.
+    Global { page: u32, info: PageInfo },
+    /// Not an arena pointer, or an unowned (stale/retired/wild) page.
+    Unowned,
+}
+
+/// Per-thread allocation state: one shuffle vector per size class, a
+/// thread-private PRNG (§4.3), and a private statistics delta block.
 #[derive(Debug)]
 pub(crate) struct ThreadHeapCore {
     vectors: Vec<ShuffleVector>,
     rng: Rng,
     token: u64,
+    /// Fast-path counter deltas (single-writer; see [`LocalCounters`]).
+    local: Arc<LocalCounters>,
+    /// The shared block `local` is registered with, kept for flush points
+    /// and teardown.
+    counters: Arc<Counters>,
 }
 
 impl ThreadHeapCore {
-    /// Creates a detached thread heap with identity `token`.
-    pub fn new(seed: u64, randomize: bool, token: u64) -> Self {
+    /// Creates a detached thread heap with identity `token`, registering
+    /// its statistics delta block with `counters`.
+    pub fn new(seed: u64, randomize: bool, token: u64, counters: Arc<Counters>) -> Self {
         ThreadHeapCore {
             vectors: (0..NUM_SIZE_CLASSES)
                 .map(|_| ShuffleVector::new(randomize))
                 .collect(),
             rng: Rng::with_seed(seed),
             token,
+            local: counters.register_local(),
+            counters,
         }
     }
 
@@ -44,7 +90,7 @@ impl ThreadHeapCore {
     /// class's shuffle vector in the common case, the class shard for
     /// refills, the global large path otherwise. Returns null on arena
     /// exhaustion.
-    pub fn malloc(&mut self, state: &GlobalHeap, counters: &Counters, size: usize) -> *mut u8 {
+    pub fn malloc(&mut self, state: &GlobalHeap, size: usize) -> *mut u8 {
         let Some(class) = SizeClass::for_size(size) else {
             // Large object: forwarded to the global heap (§4.4.3).
             return match state.malloc_large(size) {
@@ -55,12 +101,12 @@ impl ThreadHeapCore {
         let idx = class.index();
         loop {
             if let Some(addr) = self.vectors[idx].malloc() {
-                counters.mallocs.fetch_add(1, Ordering::Relaxed);
-                counters
-                    .live_bytes
-                    .fetch_add(class.object_size(), Ordering::Relaxed);
+                self.local.on_malloc(class.object_size());
                 return addr as *mut u8;
             }
+            // Refill boundary: already taking the class lock, so fold the
+            // batched deltas into the shared counters while we are here.
+            self.counters.flush_local(&self.local);
             if state
                 .refill(&mut self.vectors[idx], class, self.token, &mut self.rng)
                 .is_err()
@@ -70,42 +116,95 @@ impl ThreadHeapCore {
         }
     }
 
+    /// Resolves where a free of `addr` must go with one lock-free page-map
+    /// lookup. Pure (no heap mutation): the oracle property test compares
+    /// this decision against the legacy linear-scan routing.
+    #[inline]
+    pub(crate) fn route(&self, state: &GlobalHeap, addr: usize) -> FreeRoute {
+        let Some(page) = state.page_of_addr(addr) else {
+            return FreeRoute::Unowned;
+        };
+        let Some(info) = state.page_map.get(page) else {
+            return FreeRoute::Unowned;
+        };
+        if !info.is_large() {
+            let idx = info.class_code as usize;
+            let sv = &self.vectors[idx];
+            // Ids are unique within a class, and the page map covers every
+            // virtual span (aliases are retargeted when meshed), so this
+            // single compare is exactly the old "inside any attached
+            // span?" scan.
+            if sv.miniheap() == Some(info.id) {
+                let offset = addr - info.span_start(state.base_addr(), page);
+                let size = sv.object_size();
+                let slot = offset / size;
+                if !offset.is_multiple_of(size) || slot >= sv.object_count() {
+                    return FreeRoute::LocalInvalid;
+                }
+                return FreeRoute::Local {
+                    class_idx: idx,
+                    slot,
+                };
+            }
+        }
+        FreeRoute::Global { page, info }
+    }
+
     /// Frees `ptr` (Fig 4, `MeshLocal::free`): handled by the owning
-    /// shuffle vector when the object is local, else enqueued on the
-    /// owning class's remote-free queue (lock-free, §4.4.4).
+    /// shuffle vector when the object is local, else routed through the
+    /// global heap with the already-decoded page-map entry (lock-free
+    /// queue push for small objects, §4.4.4).
     ///
     /// # Safety
     ///
     /// `ptr` must be a pointer previously returned by this heap family's
-    /// malloc and not already freed (foreign/duplicate pointers on the
-    /// *global* path are detected and discarded; on the local fast path
-    /// they are undefined behaviour exactly as in C).
-    pub unsafe fn free(&mut self, state: &GlobalHeap, counters: &Counters, ptr: *mut u8) {
+    /// malloc and not already freed. Unlike the seed, hostile pointers are
+    /// *detected* on every path — foreign, misaligned, tail-waste, and
+    /// double frees are counted and discarded rather than corrupting the
+    /// freelist — but the contract stays that of C `free`.
+    pub unsafe fn free(&mut self, state: &GlobalHeap, ptr: *mut u8) {
         let addr = ptr as usize;
-        for sv in &mut self.vectors {
-            if sv.miniheap().is_some() && sv.contains(addr) {
-                let object_size = sv.object_size();
-                sv.free(addr, &mut self.rng);
-                counters.frees.fetch_add(1, Ordering::Relaxed);
-                counters.live_bytes.fetch_sub(object_size, Ordering::Relaxed);
-                return;
+        match self.route(state, addr) {
+            FreeRoute::Local { class_idx, slot } => {
+                let sv = &mut self.vectors[class_idx];
+                if sv.free_slot(slot, &mut self.rng) {
+                    self.local.on_free(sv.object_size());
+                } else {
+                    state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            FreeRoute::LocalInvalid | FreeRoute::Unowned => {
+                state.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            }
+            FreeRoute::Global { page, info } => {
+                state.free_routed(addr, page, info);
             }
         }
-        state.free_global(addr);
     }
 
-    /// Returns every attached MiniHeap to its class shard (thread exit).
+    /// Returns every attached MiniHeap to its class shard (thread exit)
+    /// and flushes the batched statistics deltas.
     pub fn detach_all(&mut self, state: &GlobalHeap) {
         for (idx, sv) in self.vectors.iter_mut().enumerate() {
             if sv.miniheap().is_some() {
                 state.release_vector(SizeClass::from_index(idx), sv);
             }
         }
+        self.counters.flush_local(&self.local);
     }
 
     /// Number of classes with a currently attached MiniHeap (diagnostic).
     pub fn attached_count(&self) -> usize {
         self.vectors.iter().filter(|v| v.miniheap().is_some()).count()
+    }
+}
+
+impl Drop for ThreadHeapCore {
+    fn drop(&mut self) {
+        // Spans are returned by the owning wrapper (`ThreadHeap::drop`
+        // calls `detach_all` with the heap in hand); the delta block can
+        // retire here, folding any remaining counts into the shared stats.
+        self.counters.unregister_local(&self.local);
     }
 }
 
@@ -128,15 +227,19 @@ mod tests {
         (st, counters)
     }
 
+    fn core(counters: &Arc<Counters>, seed: u64, token: u64) -> ThreadHeapCore {
+        ThreadHeapCore::new(seed, true, token, Arc::clone(counters))
+    }
+
     #[test]
     fn malloc_free_roundtrip_small() {
         let (state, counters) = setup();
-        let mut heap = ThreadHeapCore::new(1, true, 1);
-        let p = heap.malloc(&state, &counters, 100);
+        let mut heap = core(&counters, 1, 1);
+        let p = heap.malloc(&state, 100);
         assert!(!p.is_null());
         unsafe {
             std::ptr::write_bytes(p, 0x5A, 100);
-            heap.free(&state, &counters, p);
+            heap.free(&state, p);
         }
         let s = counters.snapshot();
         assert_eq!(s.mallocs, 1);
@@ -147,9 +250,9 @@ mod tests {
     #[test]
     fn local_free_does_not_touch_global_path() {
         let (state, counters) = setup();
-        let mut heap = ThreadHeapCore::new(2, true, 1);
-        let p = heap.malloc(&state, &counters, 64);
-        unsafe { heap.free(&state, &counters, p) };
+        let mut heap = core(&counters, 2, 1);
+        let p = heap.malloc(&state, 64);
+        unsafe { heap.free(&state, p) };
         state.drain_all();
         let s = counters.snapshot();
         assert_eq!(s.remote_frees, 0, "free stayed local");
@@ -159,24 +262,24 @@ mod tests {
     #[test]
     fn large_allocation_via_global() {
         let (state, counters) = setup();
-        let mut heap = ThreadHeapCore::new(3, true, 1);
-        let p = heap.malloc(&state, &counters, 64 * 1024);
+        let mut heap = core(&counters, 3, 1);
+        let p = heap.malloc(&state, 64 * 1024);
         assert!(!p.is_null());
         assert_eq!(p as usize % 4096, 0, "large objects are page-aligned");
         assert_eq!(counters.snapshot().large_allocs, 1);
-        unsafe { heap.free(&state, &counters, p) };
+        unsafe { heap.free(&state, p) };
         assert_eq!(counters.snapshot().remote_frees, 1);
     }
 
     #[test]
     fn exhausted_vector_refills_transparently() {
         let (state, counters) = setup();
-        let mut heap = ThreadHeapCore::new(4, true, 1);
+        let mut heap = core(&counters, 4, 1);
         let class = SizeClass::for_size(512).unwrap();
         let per_span = class.object_count();
         let mut ptrs = vec![];
         for _ in 0..per_span * 3 {
-            let p = heap.malloc(&state, &counters, 512);
+            let p = heap.malloc(&state, 512);
             assert!(!p.is_null());
             ptrs.push(p);
         }
@@ -185,18 +288,18 @@ mod tests {
         assert_eq!(set.len(), ptrs.len());
         assert!(counters.snapshot().refills >= 3);
         for p in ptrs {
-            unsafe { heap.free(&state, &counters, p) };
+            unsafe { heap.free(&state, p) };
         }
     }
 
     #[test]
     fn cross_thread_free_goes_through_queue() {
         let (state, counters) = setup();
-        let mut a = ThreadHeapCore::new(5, true, 1);
-        let mut b = ThreadHeapCore::new(6, true, 2);
-        let p = a.malloc(&state, &counters, 256);
+        let mut a = core(&counters, 5, 1);
+        let mut b = core(&counters, 6, 2);
+        let p = a.malloc(&state, 256);
         // Thread B frees A's pointer: must take the queued global path.
-        unsafe { b.free(&state, &counters, p) };
+        unsafe { b.free(&state, p) };
         assert_eq!(counters.snapshot().remote_free_queued, 1);
         state.drain_all();
         let s = counters.snapshot();
@@ -208,16 +311,16 @@ mod tests {
     #[test]
     fn detach_all_returns_everything() {
         let (state, counters) = setup();
-        let mut heap = ThreadHeapCore::new(7, true, 1);
-        let p1 = heap.malloc(&state, &counters, 32);
-        let p2 = heap.malloc(&state, &counters, 4000);
+        let mut heap = core(&counters, 7, 1);
+        let p1 = heap.malloc(&state, 32);
+        let p2 = heap.malloc(&state, 4000);
         assert!(heap.attached_count() >= 2);
         heap.detach_all(&state);
         assert_eq!(heap.attached_count(), 0);
         // Frees after detach go through the global heap and still work.
         unsafe {
-            heap.free(&state, &counters, p1);
-            heap.free(&state, &counters, p2);
+            heap.free(&state, p1);
+            heap.free(&state, p2);
         }
         state.drain_all();
         assert_eq!(counters.snapshot().remote_frees, 2);
@@ -235,14 +338,166 @@ mod tests {
             Arc::clone(&counters),
         )
         .unwrap();
-        let mut heap = ThreadHeapCore::new(8, true, 1);
+        let mut heap = core(&counters, 8, 1);
         let mut got_null = false;
         for _ in 0..100_000 {
-            if heap.malloc(&st, &counters, 16384).is_null() {
+            if heap.malloc(&st, 16384).is_null() {
                 got_null = true;
                 break;
             }
         }
         assert!(got_null, "exhaustion must surface as null");
+    }
+
+    #[test]
+    fn local_double_free_detected_and_discarded() {
+        let (state, counters) = setup();
+        let mut heap = core(&counters, 9, 1);
+        let p = heap.malloc(&state, 128);
+        unsafe {
+            heap.free(&state, p);
+            heap.free(&state, p); // second free of the same local object
+        }
+        let s = counters.snapshot();
+        assert_eq!(s.frees, 1, "only the first free applied");
+        assert_eq!(s.double_frees, 1, "duplicate detected on the local path");
+        assert_eq!(s.live_bytes, 0);
+        // The heap is still fully usable afterwards.
+        let q = heap.malloc(&state, 128);
+        assert!(!q.is_null());
+        unsafe { heap.free(&state, q) };
+    }
+
+    #[test]
+    fn local_invalid_frees_detected_and_discarded() {
+        let (state, counters) = setup();
+        let mut heap = core(&counters, 10, 1);
+        let p = heap.malloc(&state, 64);
+        unsafe {
+            // Misaligned interior pointer into our own attached span.
+            heap.free(&state, p.add(1));
+            // Wild pointer outside the arena entirely.
+            heap.free(&state, 0x1000 as *mut u8);
+        }
+        let s = counters.snapshot();
+        assert_eq!(s.invalid_frees, 2);
+        assert_eq!(s.frees, 0, "no invalid free was applied");
+        // The object itself is still live and freeable.
+        unsafe { heap.free(&state, p) };
+        assert_eq!(counters.snapshot().frees, 1);
+        assert_eq!(counters.snapshot().live_bytes, 0);
+    }
+
+    #[test]
+    fn tail_waste_free_is_invalid_not_corrupting() {
+        // 4096 % 48 != 0: the span has tail waste past the last slot. A
+        // free there used to push an out-of-range offset into the shuffle
+        // vector; it must now be rejected.
+        let (state, counters) = setup();
+        let mut heap = core(&counters, 11, 1);
+        let p = heap.malloc(&state, 48) as usize;
+        let class = SizeClass::for_size(48).unwrap();
+        let page = state.page_of_addr(p).unwrap();
+        let info = state.page_map.get(page).unwrap();
+        let span_start = info.span_start(state.base_addr(), page);
+        let tail = span_start + class.object_count() * 48;
+        assert_eq!(
+            heap.route(&state, tail),
+            FreeRoute::LocalInvalid,
+            "tail waste routes as invalid"
+        );
+        unsafe { heap.free(&state, tail as *mut u8) };
+        assert_eq!(counters.snapshot().invalid_frees, 1);
+        unsafe { heap.free(&state, p as *mut u8) };
+        assert_eq!(counters.snapshot().live_bytes, 0);
+    }
+
+    /// Oracle: the page-map routing must agree with the legacy
+    /// linear-scan routing — "is the address inside any attached span?"
+    /// — on every reachable state. Random malloc/free interleavings with
+    /// two thread heaps (handoffs make some frees remote) drive both
+    /// classifiers over the same addresses.
+    #[test]
+    fn route_agrees_with_linear_scan_oracle() {
+        /// The routing the old free path implemented: first vector whose
+        /// attached spans contain the address wins; everything else goes
+        /// to the global heap.
+        fn linear_scan(heap: &ThreadHeapCore, addr: usize) -> Option<usize> {
+            heap.vectors
+                .iter()
+                .position(|sv| sv.miniheap().is_some() && sv.contains(addr))
+        }
+
+        for seed in [3u64, 17, 95] {
+            let (state, counters) = setup();
+            let mut heaps = [core(&counters, seed, 1), core(&counters, seed ^ 77, 2)];
+            let mut rng = Rng::with_seed(seed.wrapping_mul(0x9e37_79b9));
+            // (addr, owner, size): owner = which heap allocated it.
+            let mut live: Vec<(usize, usize, usize)> = Vec::new();
+            for _ in 0..20_000 {
+                let op = rng.below(100);
+                if op < 55 || live.is_empty() {
+                    let who = rng.below(2) as usize;
+                    let size = match rng.below(4) {
+                        0 => 16 + rng.below(100) as usize,
+                        1 => 500 + rng.below(600) as usize,
+                        2 => 2048,
+                        _ => 16384 + rng.below(9000) as usize, // large path
+                    };
+                    let p = heaps[who].malloc(&state, size);
+                    assert!(!p.is_null());
+                    live.push((p as usize, who, size));
+                } else {
+                    let pick = rng.below(live.len() as u32) as usize;
+                    let (addr, owner, _) = live.swap_remove(pick);
+                    // Hand off ~every third free to the non-owner.
+                    let who = if rng.below(3) == 0 { 1 - owner } else { owner };
+                    let (a, b) = heaps.split_at_mut(1);
+                    let freer = if who == 0 { &mut a[0] } else { &mut b[0] };
+                    let old = linear_scan(freer, addr);
+                    let new = freer.route(&state, addr);
+                    match (old, new) {
+                        (Some(idx), FreeRoute::Local { class_idx, slot }) => {
+                            assert_eq!(idx, class_idx, "class disagrees at {addr:#x}");
+                            let sv = &freer.vectors[class_idx];
+                            assert!(slot < sv.object_count());
+                            assert!(!sv.is_available(slot), "live slot free in mask");
+                        }
+                        (None, FreeRoute::Global { .. }) => {}
+                        (old, new) => {
+                            panic!("routing diverged at {addr:#x}: old {old:?}, new {new:?}")
+                        }
+                    }
+                    unsafe { freer.free(&state, addr as *mut u8) };
+                }
+            }
+            // Misaligned probes: old routing said "local" (then corrupted);
+            // new routing must flag them instead — the one intentional
+            // divergence.
+            for &(addr, owner, size) in &live {
+                if size > 1 {
+                    let freer = &heaps[owner];
+                    if let Some(idx) = linear_scan(freer, addr + 1) {
+                        assert_eq!(
+                            freer.route(&state, addr + 1),
+                            FreeRoute::LocalInvalid,
+                            "misaligned pointer in class {idx} must be rejected"
+                        );
+                    }
+                }
+            }
+            for (addr, owner, _) in live.drain(..) {
+                unsafe { heaps[owner].free(&state, addr as *mut u8) };
+            }
+            for h in &mut heaps {
+                h.detach_all(&state);
+            }
+            state.drain_all();
+            let s = counters.snapshot();
+            assert_eq!(s.live_bytes, 0, "seed {seed}: accounting balanced");
+            assert_eq!(s.mallocs, s.frees, "seed {seed}: every object freed once");
+            assert_eq!(s.invalid_frees, 0, "seed {seed}");
+            assert_eq!(s.double_frees, 0, "seed {seed}");
+        }
     }
 }

@@ -58,6 +58,15 @@ impl PageInfo {
     pub fn is_large(&self) -> bool {
         self.class_code == LARGE_CLASS
     }
+
+    /// Start address of the *virtual span* containing arena page `page`
+    /// (the page this entry was read from), given the arena base. Small
+    /// spans only — large spans saturate `page_idx`.
+    #[inline]
+    pub fn span_start(&self, base: usize, page: u32) -> usize {
+        debug_assert!(!self.is_large());
+        base + (page as usize - self.page_idx as usize) * crate::size_classes::PAGE_SIZE
+    }
 }
 
 /// One packed `AtomicU64` per arena page.

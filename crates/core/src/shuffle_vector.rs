@@ -47,6 +47,11 @@ use crate::size_classes::MAX_OBJECTS_PER_SPAN;
 pub struct ShuffleVector {
     /// Free offsets, stored in `list[off..max]` in random order.
     list: [u8; MAX_OBJECTS_PER_SPAN],
+    /// Membership mask over `list[off..max]`: bit `i` set ⇔ offset `i` is
+    /// currently available (free). Maintained alongside the list so the
+    /// free path can reject double frees of local objects in O(1) —
+    /// something the pure list cannot do without a scan.
+    avail: [u64; MAX_OBJECTS_PER_SPAN / 64],
     /// Allocation index: `list[off]` is the next offset handed out.
     off: u16,
     /// Object count of the attached span (`maxCount()`).
@@ -70,6 +75,7 @@ impl ShuffleVector {
     pub fn new(randomized: bool) -> Self {
         ShuffleVector {
             list: [0; MAX_OBJECTS_PER_SPAN],
+            avail: [0; MAX_OBJECTS_PER_SPAN / 64],
             off: 0,
             max: 0,
             object_size: 0,
@@ -102,6 +108,18 @@ impl ShuffleVector {
     #[inline]
     pub fn object_size(&self) -> usize {
         self.object_size as usize
+    }
+
+    /// Object count of the attached span (zero when detached).
+    #[inline]
+    pub fn object_count(&self) -> usize {
+        self.max as usize
+    }
+
+    /// Whether slot `slot` is currently in the free list (available).
+    #[inline]
+    pub fn is_available(&self, slot: usize) -> bool {
+        self.avail[slot / 64] >> (slot % 64) & 1 == 1
     }
 
     /// Attaches a MiniHeap: claims every clear bit in `bitmap` (atomically
@@ -137,10 +155,12 @@ impl ShuffleVector {
         self.span_starts.push(primary_start);
         self.max = object_count as u16;
         self.off = object_count as u16;
+        self.avail = [0; MAX_OBJECTS_PER_SPAN / 64];
         for i in 0..object_count {
             if bitmap.try_set(i) {
                 self.off -= 1;
                 self.list[self.off as usize] = i as u8;
+                self.avail[i / 64] |= 1 << (i % 64);
             }
         }
         if self.randomized {
@@ -174,6 +194,7 @@ impl ShuffleVector {
         self.object_size = 0;
         self.span_bytes = 0;
         self.span_starts.clear();
+        self.avail = [0; MAX_OBJECTS_PER_SPAN / 64];
         mh
     }
 
@@ -186,6 +207,7 @@ impl ShuffleVector {
         }
         let off = self.list[self.off as usize];
         self.off += 1;
+        self.avail[off as usize / 64] &= !(1 << (off as usize % 64));
         Some(self.span_starts[0] + off as usize * self.object_size as usize)
     }
 
@@ -217,20 +239,43 @@ impl ShuffleVector {
     #[inline]
     pub unsafe fn free(&mut self, addr: usize, rng: &mut Rng) {
         debug_assert!(self.contains(addr), "free of non-local address");
-        debug_assert!(self.off > 0, "free into a full shuffle vector");
         let span = self
             .span_starts
             .iter()
             .find(|&&s| addr >= s && addr < s + self.span_bytes)
             .copied()
             .unwrap_or_else(|| self.span_starts[0]);
-        let freed_off = ((addr - span) / self.object_size as usize) as u8;
+        let freed = self.free_slot((addr - span) / self.object_size as usize, rng);
+        debug_assert!(freed, "double free into a shuffle vector");
+    }
+
+    /// Frees the object in slot `slot` of the attached span, by index —
+    /// the O(1) entry point of the page-map-routed free path, which has
+    /// already resolved the owning span and slot without scanning.
+    /// Returns `false` (leaving the vector untouched) when the slot is
+    /// already free: a double free, detected by the availability mask.
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be a valid slot index (`< object_count()`) of the
+    /// attached MiniHeap. The caller is responsible for having resolved
+    /// `slot` from an address inside one of the attached virtual spans.
+    #[inline]
+    pub unsafe fn free_slot(&mut self, slot: usize, rng: &mut Rng) -> bool {
+        debug_assert!(self.mh.is_some(), "free into a detached vector");
+        debug_assert!(slot < self.max as usize, "slot out of range");
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        if self.avail[word] & bit != 0 {
+            return false; // already in the free list: double free
+        }
+        self.avail[word] |= bit;
         self.off -= 1;
-        self.list[self.off as usize] = freed_off;
+        self.list[self.off as usize] = slot as u8;
         if self.randomized && self.off + 1 < self.max {
             let swap = rng.in_range(self.off as u32, self.max as u32 - 1) as usize;
             self.list.swap(self.off as usize, swap);
         }
+        true
     }
 
     /// The offsets currently available, in allocation order (test hook).
@@ -400,6 +445,53 @@ mod tests {
                 "first-slot distribution skewed: {counts:?}"
             );
         }
+    }
+
+    #[test]
+    fn free_slot_detects_double_free() {
+        let (mut sv, _bm, mut rng) = attached(16, true, 21);
+        let addr = sv.malloc().unwrap();
+        let slot = (addr - SPAN) / 256;
+        assert!(!sv.is_available(slot));
+        assert!(unsafe { sv.free_slot(slot, &mut rng) }, "first free accepted");
+        assert!(sv.is_available(slot));
+        assert!(!unsafe { sv.free_slot(slot, &mut rng) }, "second free rejected");
+        assert_eq!(sv.available(), 16, "rejected free changed nothing");
+    }
+
+    #[test]
+    fn availability_mask_tracks_list_membership() {
+        let (mut sv, _bm, mut rng) = attached(64, true, 22);
+        for slot in 0..64 {
+            assert!(sv.is_available(slot), "all slots free after attach");
+        }
+        let mut live = vec![];
+        for _ in 0..40 {
+            let a = sv.malloc().unwrap();
+            let slot = (a - SPAN) / 64;
+            assert!(!sv.is_available(slot), "popped slot left the mask");
+            live.push(a);
+        }
+        for a in live.drain(..20) {
+            unsafe { sv.free(a, &mut rng) };
+            assert!(sv.is_available((a - SPAN) / 64));
+        }
+        // Mask population must equal the free-list length.
+        let pop: u32 = (0..64).map(|s| sv.is_available(s) as u32).sum();
+        assert_eq!(pop as usize, sv.available());
+    }
+
+    #[test]
+    fn attach_skips_leave_mask_clear() {
+        let mut rng = Rng::with_seed(23);
+        let bitmap = AtomicBitmap::new(16);
+        bitmap.try_set(4); // live object from a previous attachment
+        let mut sv = ShuffleVector::new(true);
+        sv.attach(MiniHeapId::from_raw(1), SPAN, 4096, 16, 256, &bitmap, &mut rng);
+        assert!(!sv.is_available(4), "unclaimed slot is live, not free");
+        // Freeing the pre-existing live object is a legitimate local free.
+        assert!(unsafe { sv.free_slot(4, &mut rng) });
+        assert_eq!(sv.available(), 16);
     }
 
     #[test]

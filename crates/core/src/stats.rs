@@ -1,11 +1,66 @@
 //! Heap statistics: the quantities the paper's `mstat` tool measures (§6.1)
 //! plus meshing-specific counters used throughout the evaluation.
 //!
-//! Counters are plain atomics so the hot paths can bump them without the
-//! global lock; [`HeapStats`] is a coherent snapshot taken on demand.
+//! Two tiers keep the malloc/free fast path free of shared-cacheline
+//! traffic (the §4.3 "no atomics on the hot path" claim):
+//!
+//! * [`Counters`] — shared atomics, bumped only by cold paths (refills,
+//!   remote frees, meshing, segments).
+//! * [`LocalCounters`] — one cacheline-aligned delta block per thread
+//!   heap, registered with the shared block. The owning thread updates it
+//!   with plain load+store pairs (single-writer, so no RMW and no lock
+//!   prefix); other threads only ever *read* it. Deltas are folded into
+//!   the shared counters on refill/detach/teardown, and
+//!   [`Counters::snapshot`] sums the live blocks so [`HeapStats`] stays
+//!   exact without any hot-path `fetch_add`.
+//!
+//! [`HeapStats`] is a coherent snapshot taken on demand.
 
 use crate::size_classes::NUM_SIZE_CLASSES;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Per-thread counter deltas for the malloc/free fast path.
+///
+/// Single-writer: only the owning thread may call the `on_*` methods (they
+/// are unsynchronized load+store increments); any thread may read. Byte
+/// counters are monotonic — live bytes are derived as allocated − freed —
+/// so the snapshot sum stays exact under wrapping arithmetic even when a
+/// remote free is applied to the shared counters before the matching
+/// allocation delta has been flushed.
+#[derive(Debug, Default)]
+#[repr(align(64))] // a cacheline per thread: no false sharing between blocks
+pub struct LocalCounters {
+    mallocs: AtomicU64,
+    frees: AtomicU64,
+    alloc_bytes: AtomicU64,
+    freed_bytes: AtomicU64,
+}
+
+/// Single-writer increment: a relaxed load+store pair compiles to two
+/// plain moves (no `lock` prefix) — legal because the owning thread is
+/// the only writer.
+#[inline]
+fn bump(cell: &AtomicU64, v: u64) {
+    cell.store(cell.load(Ordering::Relaxed).wrapping_add(v), Ordering::Relaxed);
+}
+
+impl LocalCounters {
+    /// Records one fast-path allocation of `bytes` (owner thread only).
+    #[inline]
+    pub fn on_malloc(&self, bytes: usize) {
+        bump(&self.mallocs, 1);
+        bump(&self.alloc_bytes, bytes as u64);
+    }
+
+    /// Records one fast-path free of `bytes` (owner thread only).
+    #[inline]
+    pub fn on_free(&self, bytes: usize) {
+        bump(&self.frees, 1);
+        bump(&self.freed_bytes, bytes as u64);
+    }
+}
 
 /// Live atomic counters owned by a heap. Exposed for the substrate layers
 /// ([`crate::arena::Arena`] shares them); user code should read the
@@ -58,9 +113,83 @@ pub struct Counters {
     /// Times this heap was privatized in a forked child (each copies the
     /// segment files so parent and child stop sharing pages).
     pub forks: AtomicU64,
+    /// `realloc` calls satisfied without moving the allocation (same size
+    /// class, or still within a large allocation's page span).
+    pub reallocs_in_place: AtomicU64,
+    /// Live per-thread delta blocks; summed by [`Counters::snapshot`] so
+    /// stats stay exact while threads batch.
+    locals: Mutex<Vec<Arc<LocalCounters>>>,
 }
 
 impl Counters {
+    /// Creates and registers a per-thread delta block. The block's deltas
+    /// count toward [`Counters::snapshot`] until
+    /// [`Counters::unregister_local`] folds them in for good.
+    pub fn register_local(&self) -> Arc<LocalCounters> {
+        let block = Arc::new(LocalCounters::default());
+        self.locals.lock().push(Arc::clone(&block));
+        block
+    }
+
+    /// Folds a block's accumulated deltas into the shared counters,
+    /// zeroing the block. Must be called by the block's owning thread
+    /// (flush points: refill, detach, snapshot-by-owner, teardown).
+    pub fn flush_local(&self, block: &LocalCounters) {
+        let mallocs = block.mallocs.swap(0, Ordering::Relaxed);
+        let frees = block.frees.swap(0, Ordering::Relaxed);
+        let alloc = block.alloc_bytes.swap(0, Ordering::Relaxed);
+        let freed = block.freed_bytes.swap(0, Ordering::Relaxed);
+        if mallocs > 0 {
+            self.mallocs.fetch_add(mallocs, Ordering::Relaxed);
+        }
+        if frees > 0 {
+            self.frees.fetch_add(frees, Ordering::Relaxed);
+        }
+        // fetch_add/fetch_sub wrap, so a transiently "negative" shared
+        // live_bytes (remote free applied before the allocating thread
+        // flushed) still sums to the exact value in `snapshot`.
+        if alloc > 0 {
+            self.live_bytes.fetch_add(alloc as usize, Ordering::Relaxed);
+        }
+        if freed > 0 {
+            self.live_bytes.fetch_sub(freed as usize, Ordering::Relaxed);
+        }
+    }
+
+    /// Flushes and removes a dying thread's delta block.
+    pub fn unregister_local(&self, block: &Arc<LocalCounters>) {
+        self.flush_local(block);
+        self.locals.lock().retain(|b| !Arc::ptr_eq(b, block));
+    }
+
+    /// Holds the registry lock (fork quiescence: `GlobalHeap::lock_all`
+    /// takes this last, so a forked child cannot inherit it mid-register,
+    /// mid-unregister, or mid-snapshot). A leaf lock: nothing else is
+    /// ever acquired while it is held.
+    pub(crate) fn lock_locals(&self) -> crate::sync::MutexGuard<'_, Vec<Arc<LocalCounters>>> {
+        self.locals.lock()
+    }
+
+    /// Whether the registry lock is currently held (test hook for the
+    /// fork-quiescence protocol).
+    #[cfg(test)]
+    pub(crate) fn locals_contended(&self) -> bool {
+        self.locals.try_lock().is_none()
+    }
+
+    /// Sums the pending deltas of every registered thread block.
+    fn local_sums(&self) -> (u64, u64, u64, u64) {
+        let locals = self.locals.lock();
+        let mut sums = (0u64, 0u64, 0u64, 0u64);
+        for b in locals.iter() {
+            sums.0 = sums.0.wrapping_add(b.mallocs.load(Ordering::Relaxed));
+            sums.1 = sums.1.wrapping_add(b.frees.load(Ordering::Relaxed));
+            sums.2 = sums.2.wrapping_add(b.alloc_bytes.load(Ordering::Relaxed));
+            sums.3 = sums.3.wrapping_add(b.freed_bytes.load(Ordering::Relaxed));
+        }
+        sums
+    }
+
     /// Updates committed-page accounting, maintaining the peak.
     pub fn set_committed(&self, pages: usize) {
         self.committed_pages.store(pages, Ordering::Relaxed);
@@ -76,10 +205,13 @@ impl Counters {
 
     /// Takes a coherent-enough snapshot (individual counters are relaxed;
     /// exact cross-counter consistency is not required for reporting).
+    /// Pending per-thread deltas are summed in, so totals are exact
+    /// whenever the heap is quiescent — no flush required.
     pub fn snapshot(&self) -> HeapStats {
+        let (l_mallocs, l_frees, l_alloc, l_freed) = self.local_sums();
         HeapStats {
-            mallocs: self.mallocs.load(Ordering::Relaxed),
-            frees: self.frees.load(Ordering::Relaxed),
+            mallocs: self.mallocs.load(Ordering::Relaxed).wrapping_add(l_mallocs),
+            frees: self.frees.load(Ordering::Relaxed).wrapping_add(l_frees),
             remote_frees: self.remote_frees.load(Ordering::Relaxed),
             invalid_frees: self.invalid_frees.load(Ordering::Relaxed),
             double_frees: self.double_frees.load(Ordering::Relaxed),
@@ -94,7 +226,11 @@ impl Counters {
             pages_purged: self.pages_purged.load(Ordering::Relaxed),
             committed_pages: self.committed_pages.load(Ordering::Relaxed),
             committed_pages_peak: self.committed_pages_peak.load(Ordering::Relaxed),
-            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            live_bytes: self
+                .live_bytes
+                .load(Ordering::Relaxed)
+                .wrapping_add(l_alloc as usize)
+                .wrapping_sub(l_freed as usize),
             refills: self.refills.load(Ordering::Relaxed),
             remote_free_queued: self.remote_free_queued.load(Ordering::Relaxed),
             remote_free_drained: self.remote_free_drained.load(Ordering::Relaxed),
@@ -107,6 +243,7 @@ impl Counters {
             segment_count: self.active_segments.load(Ordering::Relaxed),
             mapped_pages: self.mapped_pages.load(Ordering::Relaxed),
             forks: self.forks.load(Ordering::Relaxed),
+            reallocs_in_place: self.reallocs_in_place.load(Ordering::Relaxed),
         }
     }
 }
@@ -186,6 +323,8 @@ pub struct HeapStats {
     pub mapped_pages: usize,
     /// Times the heap was privatized in a forked child.
     pub forks: u64,
+    /// `realloc` calls satisfied in place (no copy, pointer unchanged).
+    pub reallocs_in_place: u64,
 }
 
 impl HeapStats {
@@ -230,8 +369,8 @@ impl HeapStats {
         format!(
             "mesh: mallocs={} frees={} live_bytes={} heap_bytes={} peak_heap_bytes={} \
              mapped_bytes={} large_allocs={} remote_frees={} invalid_frees={} double_frees={} \
-             mesh_passes={} pairs_meshed={} mesh_pages_released={} pages_purged={} \
-             segments={} segments_created={} segments_retired={} forks={}",
+             reallocs_in_place={} mesh_passes={} pairs_meshed={} mesh_pages_released={} \
+             pages_purged={} segments={} segments_created={} segments_retired={} forks={}",
             self.mallocs,
             self.frees,
             self.live_bytes,
@@ -242,6 +381,7 @@ impl HeapStats {
             self.remote_frees,
             self.invalid_frees,
             self.double_frees,
+            self.reallocs_in_place,
             self.mesh_passes,
             self.spans_meshed,
             self.mesh_pages_released,
@@ -349,6 +489,53 @@ mod tests {
         assert!(line.contains("mallocs=7"));
         assert!(line.contains("pairs_meshed=2"));
         assert!(line.contains("forks=1"));
+    }
+
+    #[test]
+    fn local_blocks_count_toward_snapshot_without_flush() {
+        let c = Counters::default();
+        let block = c.register_local();
+        block.on_malloc(112);
+        block.on_malloc(112);
+        block.on_free(112);
+        let s = c.snapshot();
+        assert_eq!(s.mallocs, 2);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.live_bytes, 112);
+        // Flushing moves the deltas but changes no totals.
+        c.flush_local(&block);
+        let s = c.snapshot();
+        assert_eq!((s.mallocs, s.frees, s.live_bytes), (2, 1, 112));
+        assert_eq!(c.mallocs.load(Ordering::Relaxed), 2, "deltas folded in");
+    }
+
+    #[test]
+    fn unregister_preserves_totals() {
+        let c = Counters::default();
+        let block = c.register_local();
+        block.on_malloc(64);
+        c.unregister_local(&block);
+        let s = c.snapshot();
+        assert_eq!(s.mallocs, 1);
+        assert_eq!(s.live_bytes, 64);
+    }
+
+    #[test]
+    fn remote_free_before_flush_sums_exactly() {
+        // Thread A allocates (delta unflushed); the remote drain frees it
+        // against the shared counter first. The transient shared value
+        // wraps, but the snapshot sum is exact.
+        let c = Counters::default();
+        let block = c.register_local();
+        block.on_malloc(4096);
+        c.live_bytes.fetch_sub(4096, Ordering::Relaxed); // drain-side free
+        c.frees.fetch_add(1, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!(s.mallocs, 1);
+        assert_eq!(s.frees, 1);
+        c.unregister_local(&block);
+        assert_eq!(c.snapshot().live_bytes, 0);
     }
 
     #[test]

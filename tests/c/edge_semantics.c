@@ -1,7 +1,12 @@
 /* glibc edge-semantics conformance for the interposed malloc family:
  * realloc(p, 0), realloc(NULL, n), calloc overflow, posix_memalign
  * EINVAL, malloc(0) uniqueness. Passes on plain glibc too — that is the
- * point: programs must not be able to tell the allocators apart. */
+ * point: programs must not be able to tell the allocators apart.
+ *
+ * When running on Mesh (detected via the weak mesh_stats_print symbol the
+ * preload exports) it additionally exercises the hostile frees glibc
+ * aborts on: Mesh's page-map free routing detects double frees and
+ * misaligned/never-allocated pointers on every path and discards them. */
 #include <assert.h>
 #include <errno.h>
 #include <malloc.h>
@@ -9,6 +14,9 @@
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
+
+/* Non-NULL only when libmesh.so is preloaded. */
+__attribute__((weak)) extern void mesh_stats_print(void);
 
 int main(void) {
     /* malloc(0): unique, freeable pointers. */
@@ -71,6 +79,26 @@ int main(void) {
     assert(usable >= 100);
     memset(u, 0x6E, usable);
     free(u);
+
+    /* Hostile frees: only under Mesh (glibc aborts on all of these).
+     * Each must be detected, counted, and discarded — the process keeps
+     * running and the victim object stays intact. */
+    if (mesh_stats_print) {
+        /* (A pointer *outside* the Mesh arena is delegated to the real
+         * allocator by provenance routing — it may genuinely be glibc's —
+         * so only in-arena hostility can be absorbed here.) */
+        char *v = malloc(64);
+        memset(v, 0x3C, 64);
+        free(v + 1);              /* misaligned interior pointer */
+        free(v + 33);             /* interior pointer, another slot offset */
+        for (int i = 0; i < 64; i++)
+            assert(v[i] == 0x3C); /* victim untouched by the bad frees */
+        free(v);
+        free(v);                  /* double free: detected and discarded */
+        char *w = malloc(64);     /* heap still fully usable */
+        assert(w != NULL);
+        free(w);
+    }
 
     puts("edge_semantics OK");
     return 0;

@@ -2,6 +2,7 @@
  * size classes (and across the small/large boundary), verifying a
  * checksum pattern survives every move. */
 #include <assert.h>
+#include <malloc.h>
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
@@ -45,6 +46,33 @@ int main(void) {
     }
     for (int slot = 0; slot < SLOTS; slot++)
         free(bufs[slot]);
+
+    /* In-place fast path: a realloc the current block already satisfies
+     * must return the original pointer with no copy. Holds on glibc too
+     * (the chunk suffices), and on Mesh it exercises the same-size-class
+     * and large-span-tail cases of realloc_in_place. */
+    {
+        unsigned char *small = malloc(100);
+        memset(small, 0x5D, 100);
+        size_t us = malloc_usable_size(small);
+        assert(us >= 100);
+        unsigned char *grown = realloc(small, us); /* grow within the class */
+        assert(grown == small);
+        for (size_t i = 0; i < 100; i++)
+            assert(grown[i] == 0x5D);
+        free(grown);
+
+        unsigned char *big = malloc(200 * 1024);
+        memset(big, 0x7B, 200 * 1024);
+        size_t ub = malloc_usable_size(big);
+        unsigned char *grown_big = realloc(big, ub); /* grow into the span tail */
+        assert(grown_big == big);
+        unsigned char *shrunk = realloc(grown_big, 150 * 1024); /* in-span shrink */
+        assert(shrunk == grown_big);
+        for (size_t i = 0; i < 150 * 1024; i += 4096)
+            assert(shrunk[i] == 0x7B);
+        free(shrunk);
+    }
 
     puts("realloc_churn OK");
     return 0;
