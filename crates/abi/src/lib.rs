@@ -13,10 +13,13 @@
 //! Exported: `malloc`, `free`, `calloc`, `realloc`, `reallocarray`,
 //! `aligned_alloc`, `posix_memalign`, `memalign`, `valloc`, `pvalloc`,
 //! `malloc_usable_size`, `malloc_trim`, `mallopt`, `malloc_stats`, plus
-//! the Mesh-specific diagnostics `mesh_stats_print()` and
-//! `mesh_mesh_now()`. Tunables arrive via `MESH_*` environment variables
-//! (see [`mesh_core::MeshConfig::apply_env`]); `MESH_PRINT_STATS_AT_EXIT=1`
-//! dumps a one-line machine-readable summary at process exit.
+//! the Mesh-specific diagnostics `mesh_stats_print()`, `mesh_mesh_now()`
+//! and `mesh_prof_dump()`. Tunables arrive via `MESH_*` environment
+//! variables (see [`mesh_core::MeshConfig::apply_env`]);
+//! `MESH_PRINT_STATS_AT_EXIT=1` dumps a one-line machine-readable
+//! summary at process exit, and `MESH_PROF=1` turns on the sampled heap
+//! profiler (JSON dumps at exit, on `SIGUSR2`, every
+//! `MESH_PROF_INTERVAL_MS`, or via `mesh_prof_dump()`).
 //!
 //! ## The four hard problems (see DESIGN.md "ABI & bootstrap")
 //!
@@ -364,6 +367,21 @@ pub extern "C" fn mesh_mesh_now() -> u64 {
     })
 }
 
+/// Writes the sampled heap profile (version-1 JSON, see DESIGN.md
+/// "Telemetry & profiling") to `MESH_PROF_PATH` — or to stderr as one
+/// `mesh-prof: ` line when no path is configured. Returns 0 on success,
+/// -1 when profiling is off (`MESH_PROF` unset) or no heap exists. C
+/// programs can declare it `__attribute__((weak))` and call it only when
+/// running under the preload; `kill -USR2 <pid>` reaches the same dump
+/// asynchronously.
+#[no_mangle]
+pub extern "C" fn mesh_prof_dump() -> c_int {
+    if in_internal_alloc() {
+        return -1;
+    }
+    runtime::prof_dump_to(2)
+}
+
 // ---------------------------------------------------------------------
 // Tests — these run with Mesh interposed over the test harness's own
 // malloc (the lib target links its #[no_mangle] symbols into the test
@@ -495,6 +513,15 @@ mod tests {
         assert_eq!(malloc_trim(0), 1);
         assert_eq!(mallopt(0, 0), 1);
         mesh_stats_print();
+    }
+
+    #[test]
+    fn prof_dump_reports_disabled_without_mesh_prof() {
+        // The interposed test harness runs without MESH_PROF: the dump
+        // entry point must report -1, not crash or write anything.
+        let p = malloc(100); // ensure the heap exists
+        unsafe { free(p) };
+        assert_eq!(mesh_prof_dump(), -1);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn heap() -> Option<&'static Mesh> {
             .apply_env();
         match Mesh::new(config) {
             Ok(mesh) => {
-                install_process_hooks();
+                install_process_hooks(&mesh);
                 Some(mesh)
             }
             Err(e) => {
@@ -89,19 +89,37 @@ pub fn built_heap() -> Option<&'static Mesh> {
 
 /// One-time process hooks, called from inside the successful construction
 /// (so exactly once, under the guard).
-fn install_process_hooks() {
+fn install_process_hooks(mesh: &Mesh) {
     unsafe {
         let mut key: c_uint = 0;
         if crate::real::pthread_key_create(&mut key, Some(thread_heap_dtor)) == 0 {
             TH_KEY.store(key, Ordering::Release);
         }
         crate::real::pthread_atfork(Some(fork_prepare), Some(fork_parent), Some(fork_child));
-        if mesh_core::env_bool("MESH_PRINT_STATS_AT_EXIT").unwrap_or(false) {
+        let stats_at_exit_wanted = mesh_core::env_bool("MESH_PRINT_STATS_AT_EXIT").unwrap_or(false);
+        if stats_at_exit_wanted || mesh.is_profiling() {
+            // Both exit dumps write through a private dup of stderr taken
+            // now: applications (coreutils' close_stdout) close fd 2 from
+            // their own atexit handlers, which run before ours (LIFO).
             STATS_FD.store(
                 crate::real::fcntl(2, crate::real::F_DUPFD_CLOEXEC, 3),
                 Ordering::Release,
             );
+        }
+        if stats_at_exit_wanted {
             crate::real::atexit(stats_at_exit);
+        }
+        if mesh.is_profiling() {
+            // Opt-in SIGUSR2 → heap-profile dump. The handler body is one
+            // atomic store ([`Mesh::request_profile_dump`]); the dump
+            // itself rides the background telemetry thread.
+            let mut act: libc::sigaction = std::mem::zeroed();
+            let handler: extern "C" fn(mesh_core::ffi::c_int) = sigusr2_handler;
+            act.sa_sigaction = handler as usize;
+            act.sa_flags = libc::SA_RESTART;
+            libc::sigemptyset(&mut act.sa_mask);
+            libc::sigaction(libc::SIGUSR2, &act, std::ptr::null_mut());
+            crate::real::atexit(prof_at_exit);
         }
     }
 }
@@ -193,7 +211,7 @@ extern "C" fn fork_child() {
 fn print_stats_to(fd: i32) {
     if let Some(mesh) = built_heap() {
         with_internal_alloc(|| {
-            write_line(fd, &mesh.stats().render());
+            write_line(fd, &mesh.stats_with_spectrum().render());
         });
     } else {
         write_line(fd, "mesh: heap never constructed");
@@ -211,4 +229,41 @@ extern "C" fn stats_at_exit() {
     // (coreutils' close_stdout); the dup taken at registration survives.
     let fd = STATS_FD.load(Ordering::Acquire);
     print_stats_to(if fd >= 0 { fd } else { 2 });
+}
+
+// ---------------------------------------------------------------------
+// Heap profiling (mesh-insight)
+// ---------------------------------------------------------------------
+
+/// SIGUSR2 handler: request an asynchronous profile dump. The entire
+/// body is one atomic store — the only thing a signal context may do
+/// against a heap that might be mid-allocation on this very thread.
+extern "C" fn sigusr2_handler(_sig: mesh_core::ffi::c_int) {
+    if let Some(mesh) = built_heap() {
+        mesh.request_profile_dump();
+    }
+}
+
+/// Writes one profile dump: to `MESH_PROF_PATH` when configured, else to
+/// `fd` as a single `mesh-prof: `-prefixed line. Returns 0 on success,
+/// -1 when no profiling heap exists.
+pub fn prof_dump_to(fd: i32) -> i32 {
+    let Some(mesh) = built_heap() else { return -1 };
+    with_internal_alloc(|| {
+        if mesh.profile_path().is_some() {
+            return if mesh.dump_profile_now() { 0 } else { -1 };
+        }
+        match mesh.profile_json() {
+            Some(json) => {
+                write_line(fd, &format!("mesh-prof: {json}"));
+                0
+            }
+            None => -1,
+        }
+    })
+}
+
+extern "C" fn prof_at_exit() {
+    let fd = STATS_FD.load(Ordering::Acquire);
+    prof_dump_to(if fd >= 0 { fd } else { 2 });
 }

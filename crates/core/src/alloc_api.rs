@@ -98,8 +98,18 @@ impl Mesh {
             .seed
             .unwrap_or_else(|| Rng::from_entropy().next_u64());
         let randomize = config.randomize;
-        let background = state.rt.background_meshing;
-        let main = ThreadHeapCore::new(seed_base ^ 0x6d61_696e, randomize, 0, Arc::clone(&counters));
+        // The background thread serves two masters: background meshing
+        // and telemetry (interval/signal-requested profile dumps). Spawn
+        // it when either wants it; the run loop only meshes when
+        // background meshing is actually configured.
+        let background = state.background_thread_wanted();
+        let main = ThreadHeapCore::new(
+            seed_base ^ 0x6d61_696e,
+            randomize,
+            0,
+            Arc::clone(&counters),
+            state.telemetry.clone(),
+        );
         let inner = Arc::new_cyclic(|weak| MeshInner {
             state,
             counters,
@@ -240,6 +250,7 @@ impl Mesh {
                 self.inner.randomize,
                 token,
                 Arc::clone(&self.inner.counters),
+                self.inner.state.telemetry.clone(),
             ),
             inner: Arc::clone(&self.inner),
         }
@@ -275,15 +286,111 @@ impl Mesh {
 
     /// A snapshot of heap statistics. Flushes every class's remote-free
     /// queue first so `frees`/`live_bytes` reflect all queued frees.
+    /// The occupancy spectrum is left empty — counters only, so periodic
+    /// samplers can call this concurrently with workers without walking
+    /// every MiniHeap under the shard locks; use
+    /// [`Mesh::stats_with_spectrum`] where meshability matters.
     pub fn stats(&self) -> HeapStats {
         with_internal_alloc(|| self.inner.state.drain_all());
         self.inner.counters.snapshot()
+    }
+
+    /// [`Mesh::stats`] plus the occupancy spectrum filled in
+    /// ([`HeapStats::spectrum`]), so `render()` shows meshability at a
+    /// glance — the snapshot behind `malloc_stats(3)` and the exit dump.
+    /// Walks every MiniHeap, one class shard lock at a time.
+    pub fn stats_with_spectrum(&self) -> HeapStats {
+        with_internal_alloc(|| {
+            self.inner.state.drain_all();
+            let mut stats = self.inner.counters.snapshot();
+            stats.spectrum = self.inner.state.occupancy_spectrum();
+            stats
+        })
     }
 
     /// Current physical heap footprint in bytes (lock-free; see DESIGN.md
     /// on why this — not process RSS — mirrors the paper's metric).
     pub fn heap_bytes(&self) -> usize {
         self.inner.counters.committed_pages.load(Ordering::Relaxed) * PAGE_SIZE
+    }
+
+    // ----- telemetry (mesh-insight) --------------------------------------
+
+    /// The heap's occupancy spectrum: per-class span histograms over the
+    /// §3.1 occupancy bins plus a meshability estimate — the paper's
+    /// Figure-style spectra, computed online. Queued remote frees are
+    /// drained first so occupancies are settled; each class's shard lock
+    /// is taken one at a time, never across classes.
+    pub fn occupancy_spectrum(&self) -> crate::telemetry::HeapSpectrum {
+        with_internal_alloc(|| {
+            self.inner.state.drain_all();
+            self.inner.state.occupancy_spectrum()
+        })
+    }
+
+    /// Renders the heap's state as Prometheus text-format metrics:
+    /// counters, gauges, the per-class occupancy spectrum, and (when
+    /// profiling) the sampler's summary. Scrape-ready.
+    pub fn prom_text(&self) -> String {
+        let stats = self.stats_with_spectrum();
+        with_internal_alloc(|| {
+            let prof = self.inner.state.telemetry.as_ref().map(|t| t.stats());
+            crate::telemetry::prom_text(&stats, prof.as_ref())
+        })
+    }
+
+    /// Whether the sampled heap profiler is active on this heap.
+    pub fn is_profiling(&self) -> bool {
+        self.inner.state.telemetry.is_some()
+    }
+
+    /// The profiler's self-summary, or `None` when profiling is off.
+    pub fn profile_stats(&self) -> Option<crate::telemetry::ProfileStats> {
+        self.inner.state.telemetry.as_ref().map(|t| t.stats())
+    }
+
+    /// The sampled heap profile as version-1 JSON (see DESIGN.md
+    /// "Telemetry & profiling" for the schema), or `None` when profiling
+    /// is off.
+    pub fn profile_json(&self) -> Option<String> {
+        with_internal_alloc(|| self.inner.state.profile_json())
+    }
+
+    /// The configured profile-dump destination (`MESH_PROF_PATH`), if
+    /// profiling is on and a path was set.
+    pub fn profile_path(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .state
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.dump_path().map(|p| p.to_path_buf()))
+    }
+
+    /// Requests an asynchronous profile dump from the background thread.
+    /// Async-signal-safe (one atomic store): this is the body of the C
+    /// ABI's `SIGUSR2` handler. No-op when profiling is off.
+    pub fn request_profile_dump(&self) {
+        if let Some(t) = &self.inner.state.telemetry {
+            t.request_dump();
+        }
+    }
+
+    /// Writes one profile dump synchronously to the configured
+    /// destination (`MESH_PROF_PATH`, or stderr as a `mesh-prof: ` line).
+    /// Returns whether profiling was on and a dump was written.
+    pub fn dump_profile_now(&self) -> bool {
+        with_internal_alloc(|| {
+            let Some(t) = &self.inner.state.telemetry else {
+                return false;
+            };
+            match self.inner.state.profile_json() {
+                Some(json) => {
+                    t.write_dump(&json);
+                    true
+                }
+                None => false,
+            }
+        })
     }
 
     /// Runtime control analog of `mallctl` (§4.5): changes the meshing
@@ -354,11 +461,11 @@ impl Mesh {
         })
     }
 
-    /// Respawns the background mesher in a forked child (the parent's
-    /// thread does not exist there). No-op unless background meshing was
-    /// configured.
+    /// Respawns the background thread in a forked child (the parent's
+    /// thread does not exist there). No-op unless background meshing or
+    /// telemetry wanted one.
     fn respawn_mesher_after_fork(&self) {
-        if !self.inner.state.rt.background_meshing {
+        if !self.inner.state.background_thread_wanted() {
             return;
         }
         let weak = Arc::downgrade(&self.inner);
@@ -714,6 +821,7 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
                         mesh.inner.randomize,
                         token,
                         Arc::clone(&mesh.inner.counters),
+                        mesh.inner.state.telemetry.clone(),
                     )
                 });
                 core.malloc(&mesh.inner.state, request)

@@ -7,6 +7,7 @@
 
 use crate::error::MeshError;
 use crate::size_classes::PAGE_SIZE;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Builder-style configuration for a [`crate::Mesh`] heap.
@@ -63,6 +64,21 @@ pub struct MeshConfig {
     /// allocation/free path. The thread honours the same §4.5 rate limiter
     /// and pause rule; it only moves *where* passes run.
     pub(crate) background_meshing: bool,
+    /// Master switch for the sampled heap profiler (`MESH_PROF`). Off by
+    /// default: no telemetry state exists and the fast path pays only one
+    /// predictable branch.
+    pub(crate) profiling: bool,
+    /// Mean bytes between allocation samples (`MESH_PROF_SAMPLE_BYTES`,
+    /// tcmalloc's classic default of 512 KiB). Smaller = more samples =
+    /// sharper profiles and more overhead.
+    pub(crate) prof_sample_bytes: usize,
+    /// Interval between automatic profile dumps (`MESH_PROF_INTERVAL_MS`;
+    /// `None` = only on request/at exit). Dumps ride the background
+    /// telemetry thread.
+    pub(crate) prof_interval: Option<Duration>,
+    /// Profile-dump destination (`MESH_PROF_PATH`; `None` = stderr as a
+    /// single `mesh-prof: ` line). The file is rewritten on each dump.
+    pub(crate) prof_path: Option<PathBuf>,
 }
 
 impl Default for MeshConfig {
@@ -82,6 +98,10 @@ impl Default for MeshConfig {
             max_dirty_bytes: 64 << 20,
             write_barrier: true,
             background_meshing: false,
+            profiling: false,
+            prof_sample_bytes: 512 << 10, // tcmalloc's classic rate
+            prof_interval: None,
+            prof_path: None,
         }
     }
 }
@@ -194,6 +214,52 @@ impl MeshConfig {
         self.background_meshing
     }
 
+    /// Enables or disables the sampled heap profiler (`MESH_PROF`).
+    pub fn profiling(mut self, enabled: bool) -> Self {
+        self.profiling = enabled;
+        self
+    }
+
+    /// Sets the mean bytes between allocation samples
+    /// (`MESH_PROF_SAMPLE_BYTES`).
+    pub fn prof_sample_bytes(mut self, bytes: usize) -> Self {
+        self.prof_sample_bytes = bytes;
+        self
+    }
+
+    /// Sets (or clears) the automatic profile-dump interval
+    /// (`MESH_PROF_INTERVAL_MS`).
+    pub fn prof_interval(mut self, interval: Option<Duration>) -> Self {
+        self.prof_interval = interval;
+        self
+    }
+
+    /// Sets (or clears) the profile-dump destination (`MESH_PROF_PATH`).
+    pub fn prof_path(mut self, path: Option<PathBuf>) -> Self {
+        self.prof_path = path;
+        self
+    }
+
+    /// Whether the sampled heap profiler is enabled.
+    pub fn is_profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// The configured mean bytes between allocation samples.
+    pub fn prof_sample_size(&self) -> usize {
+        self.prof_sample_bytes
+    }
+
+    /// The configured automatic profile-dump interval, if any.
+    pub fn prof_dump_interval(&self) -> Option<Duration> {
+        self.prof_interval
+    }
+
+    /// The configured profile-dump destination, if any.
+    pub fn prof_dump_path(&self) -> Option<&std::path::Path> {
+        self.prof_path.as_deref()
+    }
+
     /// Whether meshing is enabled.
     pub fn is_meshing_enabled(&self) -> bool {
         self.meshing
@@ -270,6 +336,11 @@ impl MeshConfig {
                 "max_span_count must be ≥ 2 for meshing".into(),
             ));
         }
+        if self.profiling && self.prof_sample_bytes == 0 {
+            return Err(MeshError::InvalidConfig(
+                "prof_sample_bytes must be ≥ 1 when profiling is enabled".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -284,6 +355,10 @@ impl MeshConfig {
     /// | `MESH_SEGMENT_BYTES` | growth segment size |
     /// | `MESH_BACKGROUND_MESHING` | run meshing on a dedicated thread |
     /// | `MESH_SEED` | fix the PRNG seed |
+    /// | `MESH_PROF` | enable the sampled heap profiler |
+    /// | `MESH_PROF_SAMPLE_BYTES` | mean bytes between samples |
+    /// | `MESH_PROF_INTERVAL_MS` | periodic profile dumps (0 = off) |
+    /// | `MESH_PROF_PATH` | profile-dump file (default: stderr) |
     ///
     /// Size knobs accept `K`/`M`/`G`/`T` suffixes (optionally followed by
     /// `B` or `iB`, case-insensitive): `MESH_MAX_HEAP_BYTES=8G`. Malformed
@@ -306,6 +381,18 @@ impl MeshConfig {
         }
         if let Some(seed) = env_u64("MESH_SEED") {
             self = self.seed(seed);
+        }
+        if let Some(enabled) = env_bool("MESH_PROF") {
+            self = self.profiling(enabled);
+        }
+        if let Some(bytes) = env_size("MESH_PROF_SAMPLE_BYTES") {
+            self = self.prof_sample_bytes(bytes);
+        }
+        if let Some(ms) = env_u64("MESH_PROF_INTERVAL_MS") {
+            self = self.prof_interval((ms > 0).then(|| Duration::from_millis(ms)));
+        }
+        if let Some(path) = env_path("MESH_PROF_PATH") {
+            self = self.prof_path(Some(path));
         }
         self
     }
@@ -386,6 +473,19 @@ pub fn env_bool(name: &str) -> Option<bool> {
 /// returning `None` for malformed values.
 pub fn env_u64(name: &str) -> Option<u64> {
     env_parsed(name, |s| s.trim().parse().ok(), "an unsigned integer")
+}
+
+/// Reads a path knob from the environment, warning on stderr and
+/// returning `None` for malformed (empty/whitespace) values.
+pub fn env_path(name: &str) -> Option<PathBuf> {
+    env_parsed(
+        name,
+        |s| {
+            let t = s.trim();
+            (!t.is_empty()).then(|| PathBuf::from(t))
+        },
+        "a non-empty file path",
+    )
 }
 
 #[cfg(test)]
@@ -470,6 +570,35 @@ mod tests {
     // integration test with its own process): mutating the process
     // environment from this parallel unit-test harness would race other
     // threads' getenv calls.
+
+    #[test]
+    fn profiling_knobs_build_and_validate() {
+        let c = MeshConfig::default();
+        assert!(!c.is_profiling(), "profiling is off by default");
+        assert_eq!(c.prof_sample_size(), 512 << 10, "tcmalloc's classic rate");
+        assert_eq!(c.prof_dump_interval(), None);
+        assert_eq!(c.prof_dump_path(), None);
+        let c = MeshConfig::default()
+            .profiling(true)
+            .prof_sample_bytes(64 << 10)
+            .prof_interval(Some(Duration::from_millis(250)))
+            .prof_path(Some("/tmp/prof.json".into()));
+        assert!(c.is_profiling());
+        assert_eq!(c.prof_sample_size(), 64 << 10);
+        assert_eq!(c.prof_dump_interval(), Some(Duration::from_millis(250)));
+        assert_eq!(
+            c.prof_dump_path(),
+            Some(std::path::Path::new("/tmp/prof.json"))
+        );
+        assert!(c.validate().is_ok());
+        // Zero sample rate only matters when profiling is on.
+        assert!(MeshConfig::default().prof_sample_bytes(0).validate().is_ok());
+        assert!(MeshConfig::default()
+            .profiling(true)
+            .prof_sample_bytes(0)
+            .validate()
+            .is_err());
+    }
 
     #[test]
     fn invalid_configs_rejected() {

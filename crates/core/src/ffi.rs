@@ -65,7 +65,10 @@ pub const EINVAL: c_int = 22;
 // ---- signals ----------------------------------------------------------
 
 pub const SIGSEGV: c_int = 11;
+/// `SIGUSR2`: the C ABI layer's opt-in "dump the heap profile" signal.
+pub const SIGUSR2: c_int = 12;
 pub const SA_SIGINFO: c_int = 0x0000_0004;
+pub const SA_RESTART: c_int = 0x1000_0000;
 pub const SA_ONSTACK: c_int = 0x0800_0000;
 pub const SA_NODEFER: c_int = 0x4000_0000;
 pub const SIG_DFL: sighandler_t = 0;

@@ -39,6 +39,7 @@ use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES, PAGE_SIZE};
 use crate::stats::Counters;
 use crate::sync::{Mutex, MutexGuard};
+use crate::telemetry::{self, HeapSpectrum, Telemetry};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -181,6 +182,7 @@ pub(crate) struct AllShardGuards<'a> {
     _sched_purge: MutexGuard<'a, Option<Instant>>,
     _sched_drain: MutexGuard<'a, Instant>,
     _stat_locals: MutexGuard<'a, Vec<Arc<crate::stats::LocalCounters>>>,
+    _telemetry_dump: Option<MutexGuard<'a, Instant>>,
 }
 
 /// Runtime-tunable configuration (the `mallctl` analogs, §4.5) as
@@ -299,6 +301,17 @@ impl MeshScheduler {
         self.paused.load(Ordering::Relaxed)
     }
 
+    /// Time until the next meshing pass becomes due, or `None` while the
+    /// timer is paused (§4.5: nothing will be due until a free reaches
+    /// the global heap). The background thread parks on this instead of
+    /// polling in fixed slices.
+    pub(crate) fn time_until_due(&self, period: Duration) -> Option<Duration> {
+        if self.is_paused() {
+            return None;
+        }
+        Some(period.saturating_sub(self.last_mesh.lock().elapsed()))
+    }
+
     /// Claims a rate-limited meshing slot: true at most once per `period`,
     /// and never while paused. Claiming resets the timer so concurrent
     /// callers cannot both start a pass for the same slot.
@@ -378,6 +391,9 @@ pub(crate) struct GlobalHeap {
     pub rt: RuntimeConfig,
     pub scheduler: MeshScheduler,
     pub counters: Arc<Counters>,
+    /// Sampled-profiling state (`None` when `MESH_PROF` is off — the
+    /// zero-overhead mode).
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
     base: usize,
     pages: u32,
 }
@@ -418,6 +434,7 @@ impl GlobalHeap {
             rt: RuntimeConfig::new(&config),
             scheduler: MeshScheduler::new(),
             counters,
+            telemetry: Telemetry::new(&config),
             base,
             pages,
         })
@@ -712,6 +729,12 @@ impl GlobalHeap {
             start
         };
         debug_assert!(addr + size <= start + span.byte_len());
+        if let Some(t) = &self.telemetry {
+            // Large objects are traced exactly (sampling probability ≈ 1
+            // at these sizes); keyed by the address actually handed out,
+            // which is what free() will present.
+            t.record_large(addr, span.byte_len());
+        }
         Ok(addr)
     }
 
@@ -768,6 +791,9 @@ impl GlobalHeap {
     /// lock. Returns whether the free was accepted (optimistically, for
     /// the queued path).
     pub fn free_global(&self, addr: usize) -> bool {
+        if let Some(t) = &self.telemetry {
+            t.on_free(addr);
+        }
         match self.resolve_free(addr) {
             Some((page, info)) => self.free_routed(addr, page, info),
             None => {
@@ -825,6 +851,9 @@ impl GlobalHeap {
     /// pass would retake). The queued free is applied at the next refill,
     /// pass, or stats flush.
     pub fn free_global_deferred(&self, addr: usize) -> bool {
+        if let Some(t) = &self.telemetry {
+            t.on_free(addr);
+        }
         let Some((page, info)) = self.resolve_free(addr) else {
             self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
             return false;
@@ -840,16 +869,19 @@ impl GlobalHeap {
 
     /// Acquires every heap lock in the canonical order — size classes by
     /// index, then the large shard, then the arena leaf, then the
-    /// scheduler leaves, then the per-thread stats registry — quiescing
-    /// the heap for `fork()`. Any in-flight refill, drain, meshing pass,
-    /// or thread-block (un)registration completes before this returns, so
-    /// a child forked at any moment inherits consistent heap state.
+    /// scheduler leaves, then the per-thread stats registry, then the
+    /// telemetry dump clock — quiescing the heap for `fork()`. Any
+    /// in-flight refill, drain, meshing pass, thread-block
+    /// (un)registration, or dump-clock claim completes before this
+    /// returns, so a child forked at any moment inherits consistent heap
+    /// state.
     pub(crate) fn lock_all(&self) -> AllShardGuards<'_> {
         let classes = SizeClass::all().map(|c| self.lock_class(c)).collect();
         let large = self.large.lock();
         let arena = self.lock_arena();
         let (sched_mesh, sched_purge, sched_drain) = self.scheduler.lock_all();
         let stat_locals = self.counters.lock_locals();
+        let telemetry_dump = self.telemetry.as_ref().map(|t| t.lock_dump_clock());
         AllShardGuards {
             _classes: classes,
             _large: large,
@@ -858,6 +890,7 @@ impl GlobalHeap {
             _sched_purge: sched_purge,
             _sched_drain: sched_drain,
             _stat_locals: stat_locals,
+            _telemetry_dump: telemetry_dump,
         }
     }
 
@@ -1017,6 +1050,117 @@ impl GlobalHeap {
         out
     }
 
+    // ----- telemetry (mesh-insight) -------------------------------------
+
+    /// Computes the occupancy spectrum: per-class span histograms over
+    /// the occupancy bins plus a meshability estimate, and the
+    /// large-object tally. Takes one class lock at a time — never two,
+    /// never across classes — so it can run against live traffic.
+    pub fn occupancy_spectrum(&self) -> HeapSpectrum {
+        let cutoff = self.rt.occupancy_cutoff();
+        let mut spec = HeapSpectrum::default();
+        let mut candidates: Vec<u32> = Vec::new();
+        for class in SizeClass::all() {
+            let slots = class.object_count();
+            let cs = &mut spec.classes[class.index()];
+            cs.object_size = class.object_size() as u32;
+            cs.meshable = class.is_meshable();
+            candidates.clear();
+            let st = self.lock_class(class);
+            for (_, mh) in st.slab.iter() {
+                let in_use = mh.in_use();
+                cs.live_objects += in_use as u64;
+                cs.total_slots += slots as u64;
+                if mh.is_attached() {
+                    cs.attached_spans += 1;
+                } else {
+                    // Recompute rather than trusting `mh.bin`: a span can
+                    // be transiently unbinned (mid-selection) and drained
+                    // occupancy may have moved since binning.
+                    let bin = if in_use == 0 {
+                        // Empty MiniHeaps are freed, not binned; a
+                        // transient zero counts with the emptiest.
+                        PARTIAL_BINS as u8 - 1
+                    } else {
+                        bin_for_occupancy(in_use, slots)
+                    };
+                    cs.bins[bin as usize] += 1;
+                    if cs.meshable
+                        && mh.span_count() < self.rt.max_span_count()
+                        && (in_use as f64 / slots as f64) <= cutoff
+                    {
+                        candidates.push(in_use as u32);
+                    }
+                }
+            }
+            drop(st);
+            cs.est_meshable_pairs =
+                telemetry::estimate_meshable_pairs(&mut candidates, slots as u32);
+        }
+        let large = self.large.lock();
+        spec.large_spans = large.len() as u32;
+        spec.large_bytes = large.iter().map(|(_, mh)| mh.object_size() as u64).sum();
+        spec
+    }
+
+    /// Renders the version-1 JSON heap profile, or `None` when profiling
+    /// is off. Allocates; callers hold the internal-alloc guard (and no
+    /// shard locks — the drain takes them).
+    pub fn profile_json(&self) -> Option<String> {
+        let t = self.telemetry.as_ref()?;
+        // Settle the remote-free queues first: the estimator side retired
+        // sampled objects at free-*enqueue* time, while the exact counter
+        // only moves when a queued free is applied. Without the drain,
+        // the dump's live_bytes_exact cross-check field would read high
+        // on remote-free-heavy workloads and belie a correct estimator.
+        self.drain_all();
+        let prof = t.stats();
+        let entries = t.site_snapshots();
+        Some(telemetry::profile_json(
+            &prof,
+            &entries,
+            self.counters.snapshot().live_bytes,
+        ))
+    }
+
+    /// One background-thread telemetry beat: writes a profile dump when
+    /// one is due (interval expired, or a request from `SIGUSR2` /
+    /// [`Telemetry::request_dump`]). No-op without profiling.
+    pub(crate) fn telemetry_tick(&self) {
+        let Some(t) = &self.telemetry else { return };
+        if t.take_dump_due() {
+            if let Some(json) = self.profile_json() {
+                t.write_dump(&json);
+            }
+        }
+    }
+
+    /// How long the background thread may park: until the meshing
+    /// scheduler's next deadline or the next interval dump, whichever is
+    /// closer — or a full idle slice when neither is pending (paused
+    /// timer, no interval). Replaces the old fixed 50 ms polling slices,
+    /// cutting idle wakeups ~20×.
+    pub(crate) fn next_park(&self) -> Duration {
+        let mut park = crate::mesher::IDLE_PARK;
+        if self.rt.background_meshing && self.rt.meshing() {
+            if let Some(d) = self.scheduler.time_until_due(self.rt.mesh_period()) {
+                park = park.min(d);
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            if let Some(d) = t.time_until_dump() {
+                park = park.min(d);
+            }
+        }
+        park.clamp(Duration::from_millis(1), crate::mesher::IDLE_PARK)
+    }
+
+    /// Whether a heap with this configuration runs the background thread:
+    /// for background meshing, for telemetry duties (interval dumps,
+    /// signal-requested dumps), or both.
+    pub(crate) fn background_thread_wanted(&self) -> bool {
+        self.rt.background_meshing || self.telemetry.is_some()
+    }
 }
 
 #[cfg(test)]

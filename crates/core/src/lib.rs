@@ -26,6 +26,7 @@
 //! | §3.3/§4.5 SplitMesher & meshing | [`meshing`] |
 //! | §4.5 Background meshing thread | `mesher` (internal), [`MeshConfig::background_meshing`] |
 //! | §4.5.2 Write barrier | [`barrier`] |
+//! | mesh-insight telemetry (this repo's extension) | [`telemetry`], [`Mesh::prom_text`], [`Mesh::profile_json`] |
 //!
 //! Unlike the seed implementation's single global mutex, the global heap
 //! is sharded: each size class has its own lock and a lock-free MPSC
@@ -86,6 +87,7 @@ pub mod span;
 pub mod stats;
 mod sync;
 pub mod sys;
+pub mod telemetry;
 
 mod alloc_api;
 
@@ -99,3 +101,4 @@ pub use segment::{SegmentId, SegmentStats};
 pub use size_classes::{SizeClass, MAX_SMALL_SIZE, NUM_SIZE_CLASSES, PAGE_SIZE};
 pub use stats::{HeapStats, SpanSnapshot};
 pub use sys::ReleaseStrategy;
+pub use telemetry::{ClassSpectrum, HeapSpectrum, ProfileStats, SiteSnapshot};

@@ -30,6 +30,7 @@ use crate::rng::Rng;
 use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES};
 use crate::stats::{Counters, LocalCounters};
+use crate::telemetry::{Telemetry, ThreadSampler};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -64,12 +65,22 @@ pub(crate) struct ThreadHeapCore {
     /// The shared block `local` is registered with, kept for flush points
     /// and teardown.
     counters: Arc<Counters>,
+    /// Geometric byte-sampling state (`None` when `MESH_PROF` is off: the
+    /// fast path then pays exactly one branch on this field).
+    sampler: Option<Box<ThreadSampler>>,
 }
 
 impl ThreadHeapCore {
     /// Creates a detached thread heap with identity `token`, registering
-    /// its statistics delta block with `counters`.
-    pub fn new(seed: u64, randomize: bool, token: u64, counters: Arc<Counters>) -> Self {
+    /// its statistics delta block with `counters` and — when profiling is
+    /// on — a private sampler feeding `telemetry`.
+    pub fn new(
+        seed: u64,
+        randomize: bool,
+        token: u64,
+        counters: Arc<Counters>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Self {
         ThreadHeapCore {
             vectors: (0..NUM_SIZE_CLASSES)
                 .map(|_| ShuffleVector::new(randomize))
@@ -78,6 +89,7 @@ impl ThreadHeapCore {
             token,
             local: counters.register_local(),
             counters,
+            sampler: telemetry.map(|t| Box::new(ThreadSampler::new(t, seed))),
         }
     }
 
@@ -102,6 +114,9 @@ impl ThreadHeapCore {
         loop {
             if let Some(addr) = self.vectors[idx].malloc() {
                 self.local.on_malloc(class.object_size());
+                if let Some(s) = self.sampler.as_deref_mut() {
+                    s.on_alloc(addr, class.object_size());
+                }
                 return addr as *mut u8;
             }
             // Refill boundary: already taking the class lock, so fold the
@@ -164,6 +179,12 @@ impl ThreadHeapCore {
     /// freelist — but the contract stays that of C `free`.
     pub unsafe fn free(&mut self, state: &GlobalHeap, ptr: *mut u8) {
         let addr = ptr as usize;
+        if let Some(s) = self.sampler.as_deref() {
+            // Retire a sampled object on any route (local, queued remote,
+            // large). The global entry points hook themselves, so every
+            // free is checked exactly once.
+            s.telemetry().on_free(addr);
+        }
         match self.route(state, addr) {
             FreeRoute::Local { class_idx, slot } => {
                 let sv = &mut self.vectors[class_idx];
@@ -228,7 +249,7 @@ mod tests {
     }
 
     fn core(counters: &Arc<Counters>, seed: u64, token: u64) -> ThreadHeapCore {
-        ThreadHeapCore::new(seed, true, token, Arc::clone(counters))
+        ThreadHeapCore::new(seed, true, token, Arc::clone(counters), None)
     }
 
     #[test]
@@ -410,6 +431,42 @@ mod tests {
         assert_eq!(counters.snapshot().invalid_frees, 1);
         unsafe { heap.free(&state, p as *mut u8) };
         assert_eq!(counters.snapshot().live_bytes, 0);
+    }
+
+    #[test]
+    fn sampler_tracks_allocations_through_free() {
+        // An aggressive rate (every ~256 bytes) on a churny mix: the
+        // sampler must see allocations on the fast path, the refill path,
+        // and the large path, and retire every sample on free.
+        let counters = Arc::new(Counters::default());
+        let config = MeshConfig::default()
+            .arena_bytes(32 << 20)
+            .seed(21)
+            .profiling(true)
+            .prof_sample_bytes(256)
+            .write_barrier(false);
+        let state = GlobalHeap::new(config, Arc::clone(&counters)).unwrap();
+        let mut heap = ThreadHeapCore::new(5, true, 1, Arc::clone(&counters), state.telemetry.clone());
+        let t = state.telemetry.as_ref().unwrap();
+        let mut live = Vec::new();
+        for i in 0..4000usize {
+            let size = [64, 200, 1000, 20_000][i % 4];
+            let p = heap.malloc(&state, size);
+            assert!(!p.is_null());
+            live.push(p);
+        }
+        let s = t.stats();
+        assert!(s.samples > 500, "rate 256 over ~21 MB: got {} samples", s.samples);
+        assert!(s.live_bytes_estimate > 0);
+        assert_eq!(s.samples_dropped, 0);
+        for p in live {
+            unsafe { heap.free(&state, p) };
+        }
+        state.drain_all();
+        let s = t.stats();
+        assert_eq!(s.live_samples, 0, "every sampled object retired");
+        assert_eq!(s.live_bytes_estimate, 0);
+        assert_eq!(s.sampled_frees, s.samples);
     }
 
     /// Oracle: the page-map routing must agree with the legacy

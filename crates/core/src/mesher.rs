@@ -1,12 +1,27 @@
-//! The background meshing thread (§4.5, moved off the allocation path).
+//! The background thread (§4.5's mesher, moved off the allocation path,
+//! plus the telemetry beat).
 //!
 //! With [`crate::MeshConfig::background_meshing`] enabled, meshing no
-//! longer runs inline on the free path: a dedicated thread wakes a few
-//! times per mesh period, flushes every class's remote-free queue, and
-//! runs a pass when the shared [`MeshScheduler`](crate::global_heap)
-//! says one is due. The §4.5 semantics are unchanged — same rate limiter,
-//! same low-yield pause rule (and the pause is still lifted by a free
-//! reaching the global heap) — only the executing thread differs.
+//! longer runs inline on the free path: a dedicated thread flushes every
+//! class's remote-free queue and runs a pass when the shared
+//! [`MeshScheduler`](crate::global_heap) says one is due. The §4.5
+//! semantics are unchanged — same rate limiter, same low-yield pause rule
+//! (and the pause is still lifted by a free reaching the global heap) —
+//! only the executing thread differs. With profiling on (`MESH_PROF`)
+//! the same thread also carries the telemetry beat: interval profile
+//! dumps and dumps requested by `SIGUSR2`/`mesh_prof_dump` requests.
+//!
+//! ## Parking
+//!
+//! The thread parks until the *next deadline* — the meshing scheduler's
+//! next due time or the next interval dump, whichever is sooner
+//! (`GlobalHeap::next_park`) — instead of polling in fixed 50 ms slices
+//! as it used to. A fully idle heap (paused timer, no dump interval)
+//! parks in [`IDLE_PARK`] slices, ~20× fewer wakeups than the old
+//! polling. The §4.5 pause is lifted asynchronously by a free reaching
+//! the global heap, so an idle park may overshoot the first pass after a
+//! resume by up to one slice — bounded staleness the 100 ms-granularity
+//! scheduler already tolerates.
 //!
 //! ## Shutdown handshake
 //!
@@ -17,16 +32,17 @@
 //! to upgrade its `Weak` — and exits. The thread is deliberately *not*
 //! joined: if the final heap handle is dropped by the mesher itself
 //! (possible when a pass outlives every user handle), a join would be a
-//! self-join. The thread parks in short slices, so it exits promptly.
+//! self-join. Unpark tokens make even an [`IDLE_PARK`] exit immediate.
 
 use crate::alloc_api::{with_internal_alloc, MeshInner};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-/// Upper bound on one park slice: keeps shutdown latency low even with
-/// multi-second mesh periods.
-const MAX_PARK: Duration = Duration::from_millis(50);
+/// Park slice when nothing is scheduled (idle heap): long enough that an
+/// idle process stays quiet, short enough that a lifted §4.5 pause or a
+/// signal-requested dump is honoured promptly.
+pub(crate) const IDLE_PARK: Duration = Duration::from_secs(1);
 
 /// Handle to a running background mesher. Signals shutdown on drop.
 #[derive(Debug)]
@@ -64,17 +80,25 @@ fn run(inner: Weak<MeshInner>, stop: Arc<AtomicBool>) {
             return;
         }
         // Upgrade per tick only: holding a strong reference across parks
-        // would keep a dead heap's arena mapped forever.
-        let mut park = MAX_PARK;
+        // would keep a dead heap's arena mapped forever. A failed upgrade
+        // is a race window, not idleness — either spawn-time (we start
+        // inside `Arc::new_cyclic`, before the heap's Arc exists) or
+        // teardown (the stop flag is about to land) — so park briefly,
+        // not for an idle slice that would delay the first pass by a
+        // second.
+        let mut park = Duration::from_millis(1);
         if let Some(inner) = inner.upgrade() {
-            // Internal-allocation guard: the pass allocates candidate
-            // lists; when this heap is also the process allocator those
+            // Internal-allocation guard: passes and dumps allocate; when
+            // this heap is also the process allocator those allocations
             // must go to the system allocator, not recurse into Mesh.
             with_internal_alloc(|| {
-                inner.state.drain_all();
-                inner.state.maybe_mesh();
+                if inner.state.rt.background_meshing {
+                    inner.state.drain_all();
+                    inner.state.maybe_mesh();
+                }
+                inner.state.telemetry_tick();
             });
-            park = inner.state.rt.mesh_period().min(MAX_PARK).max(Duration::from_millis(1));
+            park = inner.state.next_park();
         }
         std::thread::park_timeout(park);
     }
@@ -84,6 +108,47 @@ fn run(inner: Weak<MeshInner>, stop: Arc<AtomicBool>) {
 mod tests {
     use crate::{Mesh, MeshConfig};
     use std::time::Duration;
+
+    #[test]
+    fn next_park_tracks_deadlines_not_fixed_slices() {
+        use crate::global_heap::GlobalHeap;
+        use crate::stats::Counters;
+        use std::sync::Arc;
+        let heap = |cfg: MeshConfig| {
+            GlobalHeap::new(
+                cfg.arena_bytes(16 << 20).seed(1).write_barrier(false),
+                Arc::new(Counters::default()),
+            )
+            .unwrap()
+        };
+        // Nothing scheduled (no background meshing, no telemetry): one
+        // full idle slice — the ~20× wakeup cut over 50 ms polling.
+        let h = heap(MeshConfig::default());
+        assert_eq!(h.next_park(), super::IDLE_PARK);
+        // Background meshing with a 100 ms period: park to the deadline.
+        let h = heap(
+            MeshConfig::default()
+                .background_meshing(true)
+                .mesh_period(Duration::from_millis(100)),
+        );
+        let park = h.next_park();
+        assert!(park <= Duration::from_millis(100), "{park:?}");
+        assert!(park >= Duration::from_millis(1), "{park:?}");
+        // A low-yield pass pauses the timer (§4.5): no deadline remains,
+        // so the thread parks idle instead of polling the paused clock.
+        h.mesh_now();
+        assert!(h.scheduler.is_paused(), "empty heap pass must pause");
+        assert_eq!(h.next_park(), super::IDLE_PARK);
+        // The telemetry dump interval bounds the park when it is sooner.
+        let h = heap(
+            MeshConfig::default()
+                .background_meshing(true)
+                .mesh_period(Duration::from_secs(30))
+                .profiling(true)
+                .prof_interval(Some(Duration::from_millis(20))),
+        );
+        assert!(h.next_park() <= Duration::from_millis(20));
+    }
 
     #[test]
     fn background_mesher_meshes_without_explicit_calls() {
@@ -125,6 +190,46 @@ mod tests {
         }
         mesh.purge_dirty();
         assert_eq!(mesh.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn profiling_heap_serves_dump_requests_via_background_thread() {
+        // Profiling alone (no background meshing) must still spawn the
+        // thread, and a requested dump — the SIGUSR2 path minus the
+        // signal — must land in MESH_PROF_PATH within one idle slice.
+        let path = std::env::temp_dir().join(format!(
+            "mesh-mesher-dump-{}.json",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let mesh = Mesh::new(
+            MeshConfig::default()
+                .arena_bytes(16 << 20)
+                .seed(3)
+                .profiling(true)
+                .prof_sample_bytes(1024)
+                .prof_path(Some(path.clone())),
+        )
+        .unwrap();
+        let p = mesh.malloc(100_000); // large: traced exactly
+        assert!(!p.is_null());
+        mesh.request_profile_dump();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(s) = std::fs::read_to_string(&path) {
+                assert!(s.contains("\"mesh_profile_version\":1"), "{s}");
+                // Large allocations account page-rounded: 25 pages.
+                assert!(s.contains("\"live_bytes_exact\":102400"), "{s}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background thread never served the dump request"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        unsafe { mesh.free(p) };
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

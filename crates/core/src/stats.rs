@@ -18,6 +18,7 @@
 
 use crate::size_classes::NUM_SIZE_CLASSES;
 use crate::sync::Mutex;
+use crate::telemetry::HeapSpectrum;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -244,6 +245,7 @@ impl Counters {
             mapped_pages: self.mapped_pages.load(Ordering::Relaxed),
             forks: self.forks.load(Ordering::Relaxed),
             reallocs_in_place: self.reallocs_in_place.load(Ordering::Relaxed),
+            spectrum: HeapSpectrum::default(),
         }
     }
 }
@@ -325,6 +327,12 @@ pub struct HeapStats {
     pub forks: u64,
     /// `realloc` calls satisfied in place (no copy, pointer unchanged).
     pub reallocs_in_place: u64,
+    /// Per-class occupancy spectrum with meshability estimates. Filled
+    /// only by [`crate::Mesh::stats_with_spectrum`] — plain
+    /// [`crate::Mesh::stats`] / [`Counters::snapshot`] leave it empty
+    /// (spans are global-heap state, not counters, and walking them has
+    /// a cost periodic samplers should opt into).
+    pub spectrum: HeapSpectrum,
 }
 
 impl HeapStats {
@@ -364,8 +372,23 @@ impl HeapStats {
     /// One machine-parseable `key=value` summary line, used by the C ABI
     /// layer's `mesh_stats_print()` / `MESH_PRINT_STATS_AT_EXIT=1` dump
     /// (grep for `^mesh:`; `pairs_meshed` is the paper's headline
-    /// meshing metric).
+    /// meshing metric). When the snapshot carries an occupancy spectrum
+    /// (see [`HeapStats::spectrum`]), a compact per-class summary and the
+    /// releasable-bytes estimate are appended, so `malloc_stats(3)` shows
+    /// meshability at a glance.
     pub fn render(&self) -> String {
+        let mut line = self.render_counters();
+        if !self.spectrum.is_empty() {
+            line.push_str(&format!(
+                " est_releasable_bytes={} spectrum={}",
+                self.spectrum.est_releasable_bytes(),
+                self.spectrum.render_compact(),
+            ));
+        }
+        line
+    }
+
+    fn render_counters(&self) -> String {
         format!(
             "mesh: mallocs={} frees={} live_bytes={} heap_bytes={} peak_heap_bytes={} \
              mapped_bytes={} large_allocs={} remote_frees={} invalid_frees={} double_frees={} \
@@ -489,6 +512,28 @@ mod tests {
         assert!(line.contains("mallocs=7"));
         assert!(line.contains("pairs_meshed=2"));
         assert!(line.contains("forks=1"));
+    }
+
+    #[test]
+    fn render_appends_spectrum_when_present() {
+        let mut s = Counters::default().snapshot();
+        assert!(
+            !s.render().contains("spectrum="),
+            "bare counter snapshots carry no spectrum"
+        );
+        s.spectrum.classes[0] = crate::telemetry::ClassSpectrum {
+            object_size: 16,
+            attached_spans: 1,
+            bins: [0, 0, 0, 2, 0],
+            live_objects: 3,
+            total_slots: 768,
+            est_meshable_pairs: 1,
+            meshable: true,
+        };
+        let line = s.render();
+        assert!(line.contains("spectrum=16B:a1+p0/0/0/2+f0~1"), "{line}");
+        assert!(line.contains("est_releasable_bytes=4096"), "{line}");
+        assert!(!line.contains('\n'), "render stays one line");
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Exposition: Prometheus-style text and the JSON heap-profile dump.
+//!
+//! Both formats are assembled as plain strings (no serde in the offline
+//! build) from data the caller already snapshotted — nothing here takes a
+//! heap lock.
+//!
+//! ## Profile dump schema (version 1)
+//!
+//! ```json
+//! {
+//!   "mesh_profile_version": 1,
+//!   "sample_bytes": 524288,
+//!   "samples": 123, "samples_dropped": 0, "sampled_frees": 100,
+//!   "sites": 7, "live_samples": 23,
+//!   "live_bytes_exact": 1048576,
+//!   "live_bytes_estimate": 1012345,
+//!   "entries": [
+//!     {"site": 17, "frames": ["0x55d0c0ffee00", "…"],
+//!      "live_bytes": 900000, "live_samples": 20,
+//!      "alloc_bytes": 5000000, "alloc_samples": 110,
+//!      "freed_bytes": 4100000, "free_samples": 90}
+//!   ]
+//! }
+//! ```
+//!
+//! `entries` is sorted by `live_bytes` descending — entry 0 is the top
+//! leak suspect. `frames` are raw return addresses (innermost first),
+//! hex-encoded; symbolize offline against `/proc/<pid>/maps`. An entry
+//! with `"site": 4294967295` and empty `frames` is the overflow
+//! catch-all. `*_bytes` fields are unbiased estimates (see the sampling
+//! math in DESIGN.md); `live_bytes_exact` is the allocator's exact
+//! counter for cross-checking the estimator.
+
+use super::{ProfileStats, SiteSnapshot};
+use crate::stats::HeapStats;
+use crate::telemetry::HeapSpectrum;
+
+/// Renders the version-1 JSON heap profile.
+pub(crate) fn profile_json(
+    prof: &ProfileStats,
+    entries: &[SiteSnapshot],
+    live_bytes_exact: usize,
+) -> String {
+    let mut out = String::with_capacity(256 + entries.len() * 160);
+    out.push_str(&format!(
+        "{{\"mesh_profile_version\":1,\"sample_bytes\":{},\
+         \"samples\":{},\"samples_dropped\":{},\"sampled_frees\":{},\
+         \"sites\":{},\"live_samples\":{},\
+         \"live_bytes_exact\":{},\"live_bytes_estimate\":{},\"entries\":[",
+        prof.sample_bytes,
+        prof.samples,
+        prof.samples_dropped,
+        prof.sampled_frees,
+        prof.sites,
+        prof.live_samples,
+        live_bytes_exact,
+        prof.live_bytes_estimate,
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let frames: Vec<String> = e.frames.iter().map(|f| format!("\"{f:#x}\"")).collect();
+        out.push_str(&format!(
+            "{{\"site\":{},\"frames\":[{}],\
+             \"live_bytes\":{},\"live_samples\":{},\
+             \"alloc_bytes\":{},\"alloc_samples\":{},\
+             \"freed_bytes\":{},\"free_samples\":{}}}",
+            e.site,
+            frames.join(","),
+            e.live_bytes(),
+            e.live_samples(),
+            e.alloc_bytes,
+            e.alloc_samples,
+            e.freed_bytes,
+            e.free_samples,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Appends one Prometheus metric with `# TYPE` header.
+fn metric(out: &mut String, name: &str, kind: &str, value: impl std::fmt::Display) {
+    out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+}
+
+/// Renders the heap's state as Prometheus text-format metrics: the
+/// [`HeapStats`] counters/gauges, the per-class occupancy spectrum, and
+/// (when profiling) the sampler's own summary.
+pub(crate) fn prom_text(stats: &HeapStats, prof: Option<&ProfileStats>) -> String {
+    let mut out = String::with_capacity(4096);
+    metric(&mut out, "mesh_mallocs_total", "counter", stats.mallocs);
+    metric(&mut out, "mesh_frees_total", "counter", stats.frees);
+    metric(&mut out, "mesh_remote_frees_total", "counter", stats.remote_frees);
+    metric(&mut out, "mesh_invalid_frees_total", "counter", stats.invalid_frees);
+    metric(&mut out, "mesh_double_frees_total", "counter", stats.double_frees);
+    metric(&mut out, "mesh_large_allocs_total", "counter", stats.large_allocs);
+    metric(&mut out, "mesh_mesh_passes_total", "counter", stats.mesh_passes);
+    metric(&mut out, "mesh_spans_meshed_total", "counter", stats.spans_meshed);
+    metric(
+        &mut out,
+        "mesh_mesh_pages_released_total",
+        "counter",
+        stats.mesh_pages_released,
+    );
+    metric(&mut out, "mesh_pages_purged_total", "counter", stats.pages_purged);
+    metric(&mut out, "mesh_reallocs_in_place_total", "counter", stats.reallocs_in_place);
+    metric(&mut out, "mesh_forks_total", "counter", stats.forks);
+    metric(&mut out, "mesh_live_bytes", "gauge", stats.live_bytes);
+    metric(&mut out, "mesh_heap_bytes", "gauge", stats.heap_bytes());
+    metric(&mut out, "mesh_heap_bytes_peak", "gauge", stats.peak_heap_bytes());
+    metric(&mut out, "mesh_mapped_bytes", "gauge", stats.mapped_bytes());
+    metric(&mut out, "mesh_segments", "gauge", stats.segment_count);
+    spectrum_metrics(&mut out, &stats.spectrum);
+    if let Some(p) = prof {
+        metric(&mut out, "mesh_prof_sample_bytes", "gauge", p.sample_bytes);
+        metric(&mut out, "mesh_prof_samples_total", "counter", p.samples);
+        metric(&mut out, "mesh_prof_samples_dropped_total", "counter", p.samples_dropped);
+        metric(&mut out, "mesh_prof_sampled_frees_total", "counter", p.sampled_frees);
+        metric(&mut out, "mesh_prof_sites", "gauge", p.sites);
+        metric(&mut out, "mesh_prof_live_samples", "gauge", p.live_samples);
+        metric(
+            &mut out,
+            "mesh_prof_live_bytes_estimate",
+            "gauge",
+            p.live_bytes_estimate,
+        );
+    }
+    out
+}
+
+/// The spectrum as labelled gauges (only classes holding spans emit
+/// series, so an idle heap's exposition stays small).
+fn spectrum_metrics(out: &mut String, spec: &HeapSpectrum) {
+    out.push_str("# TYPE mesh_class_spans gauge\n");
+    for c in spec.classes.iter().filter(|c| c.spans() > 0) {
+        out.push_str(&format!(
+            "mesh_class_spans{{class=\"{}\",bin=\"attached\"}} {}\n",
+            c.object_size, c.attached_spans
+        ));
+        for (bin, &count) in c.bins.iter().enumerate() {
+            let label: &str = match bin {
+                0 => "q75_100",
+                1 => "q50_75",
+                2 => "q25_50",
+                3 => "q0_25",
+                _ => "full",
+            };
+            out.push_str(&format!(
+                "mesh_class_spans{{class=\"{}\",bin=\"{label}\"}} {count}\n",
+                c.object_size
+            ));
+        }
+    }
+    out.push_str("# TYPE mesh_class_occupancy gauge\n");
+    for c in spec.classes.iter().filter(|c| c.total_slots > 0) {
+        out.push_str(&format!(
+            "mesh_class_occupancy{{class=\"{}\"}} {:.4}\n",
+            c.object_size,
+            c.occupancy()
+        ));
+    }
+    out.push_str("# TYPE mesh_class_est_meshable_pairs gauge\n");
+    for c in spec.classes.iter().filter(|c| c.est_meshable_pairs > 0) {
+        out.push_str(&format!(
+            "mesh_class_est_meshable_pairs{{class=\"{}\"}} {}\n",
+            c.object_size, c.est_meshable_pairs
+        ));
+    }
+    metric(
+        out,
+        "mesh_est_releasable_bytes",
+        "gauge",
+        spec.est_releasable_bytes(),
+    );
+    if spec.large_spans > 0 {
+        metric(out, "mesh_large_spans", "gauge", spec.large_spans);
+        metric(out, "mesh_large_bytes", "gauge", spec.large_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof() -> ProfileStats {
+        ProfileStats {
+            sample_bytes: 4096,
+            samples: 10,
+            samples_dropped: 1,
+            sampled_frees: 4,
+            sites: 2,
+            live_samples: 6,
+            live_bytes_estimate: 24_000,
+        }
+    }
+
+    #[test]
+    fn profile_json_is_wellformed_and_ordered() {
+        let entries = vec![
+            SiteSnapshot {
+                site: 5,
+                frames: vec![0x1000, 0x2000],
+                alloc_samples: 8,
+                alloc_bytes: 30_000,
+                free_samples: 2,
+                freed_bytes: 8_000,
+            },
+            SiteSnapshot {
+                site: super::super::OVERFLOW_SITE,
+                frames: vec![],
+                alloc_samples: 2,
+                alloc_bytes: 2_000,
+                free_samples: 2,
+                freed_bytes: 2_000,
+            },
+        ];
+        let json = profile_json(&prof(), &entries, 30_000);
+        assert!(json.starts_with("{\"mesh_profile_version\":1,"));
+        assert!(json.contains("\"sample_bytes\":4096"));
+        assert!(json.contains("\"live_bytes_exact\":30000"));
+        assert!(json.contains("\"frames\":[\"0x1000\",\"0x2000\"]"));
+        assert!(json.contains("\"frames\":[]"));
+        assert!(json.contains("\"live_bytes\":22000"));
+        assert!(json.ends_with("}]}"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert!(!json.contains('\n'), "dump is a single line");
+    }
+
+    #[test]
+    fn prom_text_has_headers_and_spectrum() {
+        let mut stats = HeapStats {
+            mallocs: 7,
+            live_bytes: 1234,
+            ..Default::default()
+        };
+        stats.spectrum.classes[2] = crate::telemetry::ClassSpectrum {
+            object_size: 48,
+            attached_spans: 1,
+            bins: [0, 1, 0, 2, 0],
+            live_objects: 10,
+            total_slots: 340,
+            est_meshable_pairs: 1,
+            meshable: true,
+        };
+        let text = prom_text(&stats, Some(&prof()));
+        assert!(text.contains("# TYPE mesh_mallocs_total counter\nmesh_mallocs_total 7\n"));
+        assert!(text.contains("mesh_live_bytes 1234"));
+        assert!(text.contains("mesh_class_spans{class=\"48\",bin=\"attached\"} 1"));
+        assert!(text.contains("mesh_class_spans{class=\"48\",bin=\"q0_25\"} 2"));
+        assert!(text.contains("mesh_class_est_meshable_pairs{class=\"48\"} 1"));
+        assert!(text.contains("mesh_prof_live_bytes_estimate 24000"));
+        // Without profiling, the prof series are absent.
+        let text = prom_text(&stats, None);
+        assert!(!text.contains("mesh_prof_"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! mesh-insight: the always-on telemetry & sampled heap-profiling
+//! subsystem.
+//!
+//! Three capabilities, layered over the allocator without touching its
+//! O(1) fast path when disabled:
+//!
+//! 1. **Sampled allocation profiling** ([`sampler`]) — tcmalloc-style
+//!    geometric byte-sampling hooked into each thread heap. Sampled
+//!    objects carry a best-effort frame-pointer call-site chain into a
+//!    lock-free fingerprint table ([`profile_table`]) and are tracked
+//!    through `free`, so the profile is a *live-heap* (leak) profile, not
+//!    just cumulative counts.
+//! 2. **Occupancy spectra** ([`spectrum`]) — per-class span-occupancy
+//!    histograms plus a meshability estimate, computed online one class
+//!    lock at a time.
+//! 3. **Exposition** ([`exposition`]) — Prometheus-style text
+//!    ([`crate::Mesh::prom_text`]) and a JSON heap-profile dump reachable
+//!    from the C ABI (`mesh_prof_dump()`), an opt-in SIGUSR2 handler,
+//!    interval dumps riding the background thread, and at exit.
+//!
+//! Enable with `MESH_PROF=1` (or [`crate::MeshConfig::profiling`]); tune
+//! with `MESH_PROF_SAMPLE_BYTES`, `MESH_PROF_INTERVAL_MS`,
+//! `MESH_PROF_PATH`. See DESIGN.md "Telemetry & profiling" for the
+//! sampling math, the tables' lock-freedom argument, and the dump path's
+//! signal-safety.
+
+mod exposition;
+mod profile_table;
+mod sampler;
+mod spectrum;
+
+pub use profile_table::{SiteSnapshot, MAX_FRAMES, OVERFLOW_SITE};
+pub use spectrum::{ClassSpectrum, HeapSpectrum, SPECTRUM_BINS};
+
+pub(crate) use exposition::{profile_json, prom_text};
+pub(crate) use sampler::ThreadSampler;
+pub(crate) use spectrum::estimate_meshable_pairs;
+
+use crate::config::MeshConfig;
+use crate::sync::{Mutex, MutexGuard};
+use profile_table::{FingerprintTable, SampledSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fingerprint-table capacity: distinct call-site chains kept before new
+/// chains fold into the overflow site.
+const SITE_CAPACITY: usize = 2048;
+
+/// A point-in-time summary of the profiler itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Mean bytes between samples (`MESH_PROF_SAMPLE_BYTES`).
+    pub sample_bytes: usize,
+    /// Samples recorded.
+    pub samples: u64,
+    /// Samples dropped because the sampled set was full.
+    pub samples_dropped: u64,
+    /// Sampled objects seen through their free.
+    pub sampled_frees: u64,
+    /// Distinct call-site fingerprints interned.
+    pub sites: usize,
+    /// Sampled objects currently live.
+    pub live_samples: usize,
+    /// Unbiased estimate of live bytes from the sampled population.
+    pub live_bytes_estimate: u64,
+}
+
+/// Shared profiling state of one heap: the fingerprint table, the live
+/// sampled set, and the dump schedule. `None` on the heap when profiling
+/// is off — every hook is behind that `Option`.
+#[derive(Debug)]
+pub struct Telemetry {
+    sample_bytes: usize,
+    table: FingerprintTable,
+    live: SampledSet,
+    dump_interval: Option<Duration>,
+    dump_path: Option<PathBuf>,
+    /// Set by [`Telemetry::request_dump`] (the SIGUSR2 handler's entire
+    /// body — one atomic store is all a signal context may do here).
+    dump_requested: AtomicBool,
+    /// Interval-dump clock. Held only for the claim instant, never across
+    /// the dump I/O; joins `GlobalHeap::lock_all`'s fork-quiescence set.
+    last_dump: Mutex<Instant>,
+    samples: AtomicU64,
+    samples_dropped: AtomicU64,
+    sampled_frees: AtomicU64,
+}
+
+impl Telemetry {
+    /// Builds the telemetry state for `config`, or `None` when profiling
+    /// is off (the zero-overhead mode: no tables exist, heaps carry no
+    /// sampler, and every hook is one `Option` branch).
+    pub(crate) fn new(config: &MeshConfig) -> Option<Arc<Telemetry>> {
+        if !config.profiling {
+            return None;
+        }
+        let rate = config.prof_sample_bytes.max(1);
+        // Expected live samples ≈ live bytes / rate; double for headroom,
+        // clamped so a tiny rate cannot demand a gigantic table.
+        let capacity = (config.max_heap_bytes / rate)
+            .saturating_mul(2)
+            .clamp(1 << 12, 1 << 20);
+        Some(Arc::new(Telemetry {
+            sample_bytes: rate,
+            table: FingerprintTable::new(SITE_CAPACITY),
+            live: SampledSet::new(capacity),
+            dump_interval: config.prof_interval,
+            dump_path: config.prof_path.clone(),
+            dump_requested: AtomicBool::new(false),
+            last_dump: Mutex::new(Instant::now()),
+            samples: AtomicU64::new(0),
+            samples_dropped: AtomicU64::new(0),
+            sampled_frees: AtomicU64::new(0),
+        }))
+    }
+
+    /// Mean bytes between samples.
+    #[inline]
+    pub fn sample_bytes(&self) -> usize {
+        self.sample_bytes
+    }
+
+    /// The configured dump destination (`MESH_PROF_PATH`), if any.
+    pub fn dump_path(&self) -> Option<&Path> {
+        self.dump_path.as_deref()
+    }
+
+    /// Records one sample: interns the chain, tracks the object as live,
+    /// credits the site. Called by thread samplers and (with exact
+    /// weights) by the large-object path.
+    pub(crate) fn record_sample(&self, addr: usize, weight: u64, frames: &[usize]) {
+        let site = self.table.intern(frames);
+        if self.live.insert(addr, weight, site) {
+            self.table.record_alloc(site, weight);
+            self.samples.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Table full: drop the sample *before* crediting the site so
+            // the alloc and free sides of the estimator stay paired.
+            self.samples_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a large allocation (§4.4.3). Large objects bypass the
+    /// thread samplers' countdown: they are big enough that the sampling
+    /// probability saturates anyway, so each is traced exactly (weight =
+    /// its own size) — and the path is already heavyweight (page-table
+    /// work under locks), so one frame walk is noise.
+    pub(crate) fn record_large(&self, addr: usize, bytes: usize) {
+        let mut frames = [0usize; MAX_FRAMES];
+        let depth = sampler::capture_frames(&mut frames);
+        self.record_sample(addr, bytes as u64, &frames[..depth]);
+    }
+
+    /// Free hook (any thread, lock-free): if `addr` is a tracked sampled
+    /// object, retire it and credit its site.
+    #[inline]
+    pub(crate) fn on_free(&self, addr: usize) {
+        if let Some((weight, site)) = self.live.remove(addr) {
+            self.table.record_free(site, weight);
+            self.sampled_frees.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Unbiased live-byte estimate from the sampled population.
+    pub fn live_bytes_estimate(&self) -> u64 {
+        self.table.live_bytes_estimate()
+    }
+
+    /// Profiler self-summary.
+    pub fn stats(&self) -> ProfileStats {
+        ProfileStats {
+            sample_bytes: self.sample_bytes,
+            samples: self.samples.load(Ordering::Relaxed),
+            samples_dropped: self.samples_dropped.load(Ordering::Relaxed),
+            sampled_frees: self.sampled_frees.load(Ordering::Relaxed),
+            sites: self.table.site_count(),
+            live_samples: self.live.len(),
+            live_bytes_estimate: self.table.live_bytes_estimate(),
+        }
+    }
+
+    /// Snapshots of every site with samples, sorted by live bytes
+    /// descending (allocates; callers hold the internal-alloc guard).
+    pub fn site_snapshots(&self) -> Vec<SiteSnapshot> {
+        self.table.snapshots()
+    }
+
+    /// Requests a profile dump at the next telemetry tick. The only entry
+    /// point safe from a signal handler: one relaxed atomic store.
+    #[inline]
+    pub fn request_dump(&self) {
+        self.dump_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a dump is due (an explicit request, or the interval clock
+    /// expiring). Claims the slot: the interval clock restarts.
+    pub(crate) fn take_dump_due(&self) -> bool {
+        if self.dump_requested.swap(false, Ordering::Relaxed) {
+            return true;
+        }
+        let Some(interval) = self.dump_interval else {
+            return false;
+        };
+        let mut last = self.last_dump.lock();
+        if last.elapsed() >= interval {
+            *last = Instant::now();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time until the interval clock next expires (`None` without an
+    /// interval): the background thread's park bound.
+    pub(crate) fn time_until_dump(&self) -> Option<Duration> {
+        let interval = self.dump_interval?;
+        Some(interval.saturating_sub(self.last_dump.lock().elapsed()))
+    }
+
+    /// Writes one dump: to `MESH_PROF_PATH` (truncating — the file always
+    /// holds the latest profile) or, with no path, to stderr as a single
+    /// `mesh-prof: `-prefixed line. Never panics: an allocator must
+    /// survive a read-only filesystem or a closed stderr.
+    pub(crate) fn write_dump(&self, json: &str) {
+        match &self.dump_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    let msg = format!("mesh: profile dump to {} failed: {e}\n", path.display());
+                    unsafe {
+                        crate::ffi::write(
+                            2,
+                            msg.as_ptr() as *const crate::ffi::c_void,
+                            msg.len(),
+                        )
+                    };
+                }
+            }
+            None => {
+                let line = format!("mesh-prof: {json}\n");
+                unsafe {
+                    crate::ffi::write(2, line.as_ptr() as *const crate::ffi::c_void, line.len())
+                };
+            }
+        }
+    }
+
+    /// Holds the dump-clock lock (fork quiescence: a child must not
+    /// inherit it mid-claim). A leaf lock like the scheduler's.
+    pub(crate) fn lock_dump_clock(&self) -> MutexGuard<'_, Instant> {
+        self.last_dump.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof_config() -> MeshConfig {
+        MeshConfig::default()
+            .profiling(true)
+            .prof_sample_bytes(4096)
+            .arena_bytes(32 << 20)
+    }
+
+    #[test]
+    fn disabled_config_builds_no_state() {
+        assert!(Telemetry::new(&MeshConfig::default()).is_none());
+        assert!(Telemetry::new(&prof_config()).is_some());
+    }
+
+    #[test]
+    fn sample_free_roundtrip_and_stats() {
+        let t = Telemetry::new(&prof_config()).unwrap();
+        t.record_sample(0x10_0000, 5000, &[0xaa, 0xbb]);
+        t.record_sample(0x10_4000, 7000, &[0xaa, 0xcc]);
+        let s = t.stats();
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.sites, 2);
+        assert_eq!(s.live_samples, 2);
+        assert_eq!(s.live_bytes_estimate, 12_000);
+        t.on_free(0x10_0000);
+        t.on_free(0xdead_0000); // unsampled: a one-probe miss
+        let s = t.stats();
+        assert_eq!(s.sampled_frees, 1);
+        assert_eq!(s.live_bytes_estimate, 7000);
+        let snaps = t.site_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].live_bytes(), 7000, "sorted live-first");
+        assert_eq!(snaps[1].live_bytes(), 0);
+    }
+
+    #[test]
+    fn dump_due_via_request_and_interval() {
+        let mut cfg = prof_config();
+        cfg = cfg.prof_interval(Some(Duration::from_millis(10)));
+        let t = Telemetry::new(&cfg).unwrap();
+        assert!(!t.take_dump_due(), "fresh clock: nothing due");
+        assert!(t.time_until_dump().unwrap() <= Duration::from_millis(10));
+        t.request_dump();
+        assert!(t.take_dump_due(), "explicit request fires");
+        assert!(!t.take_dump_due(), "request is one-shot");
+        std::thread::sleep(Duration::from_millis(12));
+        assert!(t.take_dump_due(), "interval clock fires");
+        assert!(!t.take_dump_due(), "claiming restarts the clock");
+    }
+
+    #[test]
+    fn no_interval_means_no_clock() {
+        let t = Telemetry::new(&prof_config()).unwrap();
+        assert_eq!(t.time_until_dump(), None);
+        assert!(!t.take_dump_due());
+    }
+
+    #[test]
+    fn dump_writes_to_path() {
+        let path = std::env::temp_dir().join(format!("mesh-prof-test-{}.json", std::process::id()));
+        let cfg = prof_config().prof_path(Some(path.clone()));
+        let t = Telemetry::new(&cfg).unwrap();
+        t.write_dump("{\"ok\":1}");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"ok\":1}\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

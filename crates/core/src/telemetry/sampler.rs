@@ -1,0 +1,242 @@
+//! Geometric byte-sampling (the tcmalloc heap-profiler discipline).
+//!
+//! Every thread heap owns a [`ThreadSampler`] when profiling is on. The
+//! sampler maintains a *byte countdown* drawn from an exponential
+//! distribution with mean `MESH_PROF_SAMPLE_BYTES`; each allocation
+//! subtracts its size, and the allocation that drives the countdown
+//! through zero is *sampled*: its call-site chain is captured by walking
+//! frame pointers and the object is entered into the sampled set with an
+//! unbiased weight. The countdown makes the probability that a given
+//! allocation of `s` bytes is sampled exactly `1 − exp(−s/rate)` —
+//! independent of how allocations interleave — so scaling each sample by
+//! the inverse probability yields an unbiased live/allocated byte
+//! estimator (see DESIGN.md "Telemetry & profiling" for the math).
+//!
+//! Cost model: when profiling is off no sampler exists — the fast path
+//! pays one branch on an `Option` already in the thread heap's cache
+//! line. When on, the common case is a subtract-and-compare; the capture
+//! path (one allocation per ~rate bytes) walks at most [`MAX_FRAMES`]
+//! frames and performs two lock-free table operations.
+//!
+//! Frame-pointer walking is best-effort by design: the workspace builds
+//! with `-C force-frame-pointers=yes` (see `.cargo/config.toml`) and the
+//! walk validates every hop (monotone, aligned, within a 1 MiB window
+//! above the current frame) so foreign frames without frame pointers
+//! truncate the chain instead of faulting.
+
+use super::profile_table::MAX_FRAMES;
+use super::Telemetry;
+use crate::rng::Rng;
+use std::sync::Arc;
+
+/// Per-thread sampling state (single-writer, owned by the thread heap).
+#[derive(Debug)]
+pub(crate) struct ThreadSampler {
+    telemetry: Arc<Telemetry>,
+    rng: Rng,
+    /// Bytes left until the next sample fires.
+    bytes_until: i64,
+}
+
+impl ThreadSampler {
+    pub fn new(telemetry: Arc<Telemetry>, seed: u64) -> ThreadSampler {
+        let mut rng = Rng::with_seed(seed ^ 0x7072_6f66); // "prof"
+        let gap = next_gap(&mut rng, telemetry.sample_bytes());
+        ThreadSampler {
+            telemetry,
+            rng,
+            bytes_until: gap,
+        }
+    }
+
+    /// The shared telemetry state this sampler feeds.
+    #[inline]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Per-allocation hook: subtract, compare, and (rarely) sample.
+    #[inline]
+    pub fn on_alloc(&mut self, addr: usize, size: usize) {
+        self.bytes_until -= size as i64;
+        if self.bytes_until <= 0 {
+            self.sample(addr, size);
+        }
+    }
+
+    /// Captures and records one sample, then re-arms the countdown.
+    #[cold]
+    #[inline(never)]
+    fn sample(&mut self, addr: usize, size: usize) {
+        self.bytes_until = next_gap(&mut self.rng, self.telemetry.sample_bytes());
+        let mut frames = [0usize; MAX_FRAMES];
+        let depth = capture_frames(&mut frames);
+        let weight = unsample_weight(size, self.telemetry.sample_bytes());
+        self.telemetry
+            .record_sample(addr, weight, &frames[..depth]);
+    }
+}
+
+/// Draws the next inter-sample byte gap from Exp(mean = `rate`).
+fn next_gap(rng: &mut Rng, rate: usize) -> i64 {
+    // 53 uniform bits in (0, 1]: never zero, so ln() is finite.
+    let u = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    let gap = -(rate as f64) * u.ln();
+    gap.min(i64::MAX as f64 / 2.0).max(0.0) as i64
+}
+
+/// Unbiased weight of one sampled allocation of `size` bytes: each sample
+/// represents `size / P(sampled)` bytes with `P = 1 − exp(−size/rate)`.
+/// For `size ≫ rate` the probability saturates at 1 and the weight is the
+/// size itself (large objects are effectively traced exactly).
+pub(crate) fn unsample_weight(size: usize, rate: usize) -> u64 {
+    let s = size.max(1) as f64;
+    let r = rate.max(1) as f64;
+    let x = s / r;
+    if x >= 32.0 {
+        return size as u64; // exp(-32) underflows any meaningful correction
+    }
+    let p = 1.0 - (-x).exp();
+    (s / p).round() as u64
+}
+
+/// Walks the frame-pointer chain of the calling thread, storing return
+/// addresses innermost-first. Returns the number captured (possibly 0 —
+/// the walk is best-effort and every hop is validated before it is
+/// dereferenced).
+#[inline(never)]
+pub(crate) fn capture_frames(out: &mut [usize; MAX_FRAMES]) -> usize {
+    let anchor = {
+        let probe = 0u8;
+        &probe as *const u8 as usize
+    };
+    let mut fp = frame_pointer();
+    let mut depth = 0;
+    // Hops must walk monotonically *up* the stack, stay 8-byte aligned,
+    // and remain within a 1 MiB window above this frame: every
+    // dereference below then lands in our own live stack. Garbage frame
+    // pointers (foreign frames compiled without them) fail the checks and
+    // truncate the chain.
+    while depth < MAX_FRAMES {
+        if fp <= anchor || fp >= anchor + (1 << 20) || !fp.is_multiple_of(8) {
+            break;
+        }
+        // SAFETY: fp passed the bounds checks above — both words lie in
+        // the calling thread's stack between this frame and its base.
+        let (next, ret) = unsafe { (*(fp as *const usize), *((fp + 8) as *const usize)) };
+        if ret < 0x1000 {
+            break;
+        }
+        out[depth] = ret;
+        depth += 1;
+        if next <= fp {
+            break;
+        }
+        fp = next;
+    }
+    depth
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn frame_pointer() -> usize {
+    let fp: usize;
+    unsafe { std::arch::asm!("mov {}, rbp", out(reg) fp, options(nomem, nostack, preserves_flags)) };
+    fp
+}
+
+#[cfg(target_arch = "aarch64")]
+#[inline(always)]
+fn frame_pointer() -> usize {
+    let fp: usize;
+    unsafe { std::arch::asm!("mov {}, x29", out(reg) fp, options(nomem, nostack, preserves_flags)) };
+    fp
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[inline(always)]
+fn frame_pointer() -> usize {
+    0 // no frame-pointer convention known: capture_frames returns 0 frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_average_the_sample_rate() {
+        let mut rng = Rng::with_seed(7);
+        let rate = 64 * 1024;
+        let n = 20_000;
+        let total: i64 = (0..n).map(|_| next_gap(&mut rng, rate)).sum();
+        let mean = total as f64 / n as f64;
+        // Exp(rate) mean with n=20k: standard error rate/sqrt(n) ≈ 0.7%.
+        assert!(
+            (mean - rate as f64).abs() < rate as f64 * 0.05,
+            "mean gap {mean} far from rate {rate}"
+        );
+    }
+
+    #[test]
+    fn weights_are_unbiased_scalings() {
+        // Tiny objects: weight ≈ rate (each sample stands in for ~rate bytes).
+        let w = unsample_weight(16, 1 << 19);
+        assert!((w as f64 - (1 << 19) as f64).abs() < (1 << 19) as f64 * 0.01, "{w}");
+        // size == rate: weight = size / (1 - 1/e).
+        let w = unsample_weight(4096, 4096);
+        assert!((w as f64 - 4096.0 / (1.0 - (-1.0f64).exp())).abs() < 1.0);
+        // Huge objects: sampled with certainty, weight is exact.
+        assert_eq!(unsample_weight(100 << 20, 4096), 100 << 20);
+        // Weight never undercounts the object itself.
+        for size in [1usize, 100, 4096, 65536] {
+            assert!(unsample_weight(size, 8192) >= size as u64);
+        }
+    }
+
+    #[test]
+    fn sampling_probability_matches_model() {
+        // Feed a long malloc stream of one size through the countdown and
+        // check the empirical sample rate against 1 − exp(−s/rate).
+        let rate = 4096usize;
+        let size = 512usize;
+        let mut rng = Rng::with_seed(42);
+        let mut until = next_gap(&mut rng, rate);
+        let (mut samples, n) = (0u64, 200_000u64);
+        for _ in 0..n {
+            until -= size as i64;
+            if until <= 0 {
+                samples += 1;
+                until = next_gap(&mut rng, rate);
+            }
+        }
+        let p_expected = 1.0 - (-(size as f64) / rate as f64).exp();
+        let p_actual = samples as f64 / n as f64;
+        assert!(
+            (p_actual - p_expected).abs() < 0.01,
+            "empirical {p_actual:.4} vs model {p_expected:.4}"
+        );
+    }
+
+    #[test]
+    fn capture_walks_at_least_own_frames() {
+        #[inline(never)]
+        fn deep(n: usize, out: &mut [usize; MAX_FRAMES]) -> usize {
+            if n == 0 {
+                capture_frames(out)
+            } else {
+                let d = deep(n - 1, out);
+                std::hint::black_box(d)
+            }
+        }
+        let mut frames = [0usize; MAX_FRAMES];
+        let depth = deep(6, &mut frames);
+        // With forced frame pointers the chain covers the recursion; on
+        // exotic targets it may be empty — the walk is best-effort, but it
+        // must never report garbage (every entry a plausible code address).
+        for &f in &frames[..depth] {
+            assert!(f >= 0x1000, "bogus frame {f:#x}");
+        }
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        assert!(depth >= 5, "frame-pointer walk too shallow: {depth}");
+    }
+}

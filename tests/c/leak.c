@@ -1,0 +1,78 @@
+/* leak.c — a deliberate leak for the sampled heap profiler (E20).
+ *
+ * Two allocation sites with opposite fates:
+ *   - scratch_one(): heavy churn, every object freed (live ≈ 0 at exit);
+ *   - leak_one():    LEAK_COUNT × LEAK_SIZE bytes, never freed.
+ *
+ * Run under LD_PRELOAD=libmesh.so with MESH_PROF=1 and a small
+ * MESH_PROF_SAMPLE_BYTES: the at-exit JSON dump (MESH_PROF_PATH) must
+ * attribute ≥90% of live bytes to leak_one's call site. Both functions
+ * are noinline (and this file compiles with -fno-omit-frame-pointer) so
+ * the frame-pointer walk sees two distinct return-address chains.
+ *
+ * Also raises SIGUSR2 at itself mid-run: with MESH_PROF=1 the preload
+ * installs a dump-request handler, so surviving the signal is the
+ * end-to-end proof the handler is in place (without the preload the
+ * default action would kill us).
+ */
+#include <signal.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+#include <unistd.h>
+
+#define SCRATCH_ITERS 4000
+#define SCRATCH_SIZE 3000
+#define LEAK_COUNT 1500
+#define LEAK_SIZE 4000
+
+__attribute__((noinline)) static void *leak_one(size_t n) {
+  void *p = malloc(n);
+  if (!p) {
+    fprintf(stderr, "leak_one: malloc failed\n");
+    exit(1);
+  }
+  memset(p, 0x11, n);
+  return p;
+}
+
+__attribute__((noinline)) static void *scratch_one(size_t n) {
+  void *p = malloc(n);
+  if (!p) {
+    fprintf(stderr, "scratch_one: malloc failed\n");
+    exit(1);
+  }
+  memset(p, 0x22, n);
+  return p;
+}
+
+int main(void) {
+  /* Churn from the innocent site: allocated and always freed. */
+  for (int i = 0; i < SCRATCH_ITERS; i++) {
+    void *p = scratch_one(SCRATCH_SIZE);
+    free(p);
+  }
+  /* The leak: LEAK_COUNT objects that stay live to process exit. */
+  void *sink = NULL;
+  for (int i = 0; i < LEAK_COUNT; i++) {
+    void **p = leak_one(LEAK_SIZE);
+    *p = sink; /* chain them so the compiler cannot elide the loop */
+    sink = p;
+  }
+  /* More innocent churn after the leak, so "last writer" ordering cannot
+   * fake the attribution. */
+  for (int i = 0; i < SCRATCH_ITERS; i++) {
+    void *p = scratch_one(SCRATCH_SIZE);
+    free(p);
+  }
+  /* SIGUSR2 must be handled (dump request), not fatal. */
+  raise(SIGUSR2);
+  struct timespec ts = {0, 50 * 1000 * 1000};
+  nanosleep(&ts, NULL);
+  if (!sink) {
+    return 1;
+  }
+  printf("leak OK\n");
+  return 0;
+}

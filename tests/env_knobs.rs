@@ -1,6 +1,6 @@
 //! `MeshConfig::apply_env` against real process environment — suffix
-//! parsing, the boolean/seed knobs, and warn-and-ignore on malformed
-//! values.
+//! parsing, the boolean/seed knobs, the `MESH_PROF*` profiling knobs,
+//! and warn-and-ignore on malformed values.
 //!
 //! Own test binary with a single test: `std::env::set_var` is not safe
 //! against concurrent `getenv` from other test threads, so the env is
@@ -15,6 +15,10 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     std::env::set_var("MESH_SEGMENT_BYTES", "not-a-size");
     std::env::set_var("MESH_BACKGROUND_MESHING", "0");
     std::env::set_var("MESH_SEED", "99");
+    std::env::set_var("MESH_PROF", "1");
+    std::env::set_var("MESH_PROF_SAMPLE_BYTES", "64K");
+    std::env::set_var("MESH_PROF_INTERVAL_MS", "banana"); // malformed
+    std::env::set_var("MESH_PROF_PATH", "   "); // malformed (blank)
 
     let c = MeshConfig::default().apply_env();
     assert_eq!(c.max_heap_size(), 64 << 20, "suffix-parsed cap");
@@ -25,12 +29,49 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
         "malformed value ignored, default kept"
     );
     assert!(!c.is_background_meshing());
+    assert!(c.is_profiling(), "MESH_PROF=1 enables the profiler");
+    assert_eq!(c.prof_sample_size(), 64 << 10, "suffix-parsed sample rate");
+    assert_eq!(
+        c.prof_dump_interval(),
+        None,
+        "malformed interval ignored (warned), default kept"
+    );
+    assert_eq!(
+        c.prof_dump_path(),
+        None,
+        "blank path ignored (warned), default kept"
+    );
     assert!(c.validate().is_ok());
 
-    // The parsed config actually drives a heap (seed fixed by MESH_SEED).
+    // The parsed config actually drives a heap (seed fixed by MESH_SEED,
+    // profiler live): a sampled churn must produce samples and retire
+    // them through free.
     let mesh = mesh::core::Mesh::new(c).unwrap();
-    let p = mesh.malloc(100);
-    assert!(!p.is_null());
-    unsafe { mesh.free(p) };
+    assert!(mesh.is_profiling());
+    let mut ptrs = Vec::new();
+    for _ in 0..4096 {
+        let p = mesh.malloc(100);
+        assert!(!p.is_null());
+        ptrs.push(p);
+    }
+    let prof = mesh.profile_stats().expect("profiling on");
+    assert!(prof.samples > 0, "400 KB churn at a 64 KiB rate never sampled");
+    for p in ptrs {
+        unsafe { mesh.free(p) };
+    }
     assert_eq!(mesh.stats().live_bytes, 0);
+    assert_eq!(mesh.profile_stats().unwrap().live_bytes_estimate, 0);
+    drop(mesh);
+
+    // A second heap with the interval knob well-formed: 0 still means
+    // "no interval dumps", exercising the ms parse end to end.
+    std::env::set_var("MESH_PROF_INTERVAL_MS", "250");
+    let c = MeshConfig::default().apply_env();
+    assert_eq!(
+        c.prof_dump_interval(),
+        Some(std::time::Duration::from_millis(250))
+    );
+    std::env::set_var("MESH_PROF_INTERVAL_MS", "0");
+    let c = MeshConfig::default().apply_env();
+    assert_eq!(c.prof_dump_interval(), None, "0 disables interval dumps");
 }

@@ -1,0 +1,99 @@
+//! E21 — seeded property test for the sampled live-bytes estimator.
+//!
+//! The profiler claims its geometric byte-sampling yields an *unbiased*
+//! live-heap estimate (weight = size / (1 − e^(−size/rate)) per sample;
+//! DESIGN.md "Telemetry & profiling"). This harness drives churn
+//! workloads — random sizes across every size class plus the large path,
+//! handoffs to a second thread heap so remote frees retire samples too —
+//! and checks at every checkpoint that the estimate stays within a
+//! statistical error bound of the allocator's exact live-byte counter.
+//!
+//! The bound: the live estimate is a sum of ~live/rate independent
+//! sample weights of ~rate bytes each, so its standard deviation is
+//! ≈ √(live × rate). We allow 8σ plus a small absolute slack — far
+//! outside seeded-run noise, far inside the 2× error a weighting bug
+//! (e.g. forgetting the inverse-probability scaling) would cause.
+
+use mesh::core::rng::Rng;
+use mesh::core::{Mesh, MeshConfig};
+
+const SAMPLE_BYTES: usize = 8 << 10;
+
+fn error_bound(exact: f64) -> f64 {
+    8.0 * (exact.max(0.0) * SAMPLE_BYTES as f64).sqrt() + 16.0 * SAMPLE_BYTES as f64
+}
+
+#[test]
+fn live_byte_estimate_converges_across_churn() {
+    for seed in [11u64, 42, 1337] {
+        let mesh = Mesh::new(
+            MeshConfig::default()
+                .arena_bytes(256 << 20)
+                .seed(seed)
+                .profiling(true)
+                .prof_sample_bytes(SAMPLE_BYTES),
+        )
+        .unwrap();
+        let mut heaps = [mesh.thread_heap(), mesh.thread_heap()];
+        let mut rng = Rng::with_seed(seed ^ 0xe571_ae70);
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (addr, owner)
+        let mut checkpoints = 0;
+        for op in 0..60_000usize {
+            // Bias toward allocation until a ~3000-object window fills.
+            if live.len() < 3000 && (live.is_empty() || rng.below(100) < 55) {
+                let who = rng.below(2) as usize;
+                let size = match rng.below(10) {
+                    0..=3 => 16 + rng.below(1000) as usize,  // small classes
+                    4..=6 => 1000 + rng.below(7000) as usize, // mid classes
+                    7 | 8 => 8000 + rng.below(8384) as usize, // top classes
+                    _ => 20_000 + rng.below(80_000) as usize, // large path
+                };
+                let p = heaps[who].malloc(size);
+                assert!(!p.is_null(), "seed {seed}: oom at op {op}");
+                live.push((p as usize, who));
+            } else {
+                let pick = rng.below(live.len() as u32) as usize;
+                let (addr, owner) = live.swap_remove(pick);
+                // A third of frees are handed to the other thread heap:
+                // sampled objects must retire on the remote path too.
+                let who = if rng.below(3) == 0 { 1 - owner } else { owner };
+                unsafe { heaps[who].free(addr as *mut u8) };
+            }
+            if op % 10_000 == 9_999 {
+                let exact = mesh.stats().live_bytes as f64;
+                let prof = mesh.profile_stats().expect("profiling is on");
+                assert_eq!(prof.samples_dropped, 0, "seed {seed}: sampled set overflowed");
+                let estimate = prof.live_bytes_estimate as f64;
+                let bound = error_bound(exact);
+                assert!(
+                    (estimate - exact).abs() <= bound,
+                    "seed {seed} op {op}: estimate {estimate} vs exact {exact} \
+                     (|Δ| {} > bound {bound})",
+                    (estimate - exact).abs()
+                );
+                checkpoints += 1;
+            }
+        }
+        assert!(checkpoints >= 6, "seed {seed}: churn too short");
+        // Drain everything: the estimator must return exactly to zero —
+        // every sampled object was tracked through its free.
+        for (addr, owner) in live.drain(..) {
+            unsafe { heaps[owner].free(addr as *mut u8) };
+        }
+        let exact = mesh.stats().live_bytes;
+        let prof = mesh.profile_stats().unwrap();
+        assert_eq!(exact, 0, "seed {seed}: accounting imbalance");
+        assert_eq!(
+            prof.live_bytes_estimate, 0,
+            "seed {seed}: estimator leaked {} bytes over {} samples",
+            prof.live_bytes_estimate, prof.samples
+        );
+        assert_eq!(prof.live_samples, 0, "seed {seed}");
+        assert_eq!(prof.sampled_frees, prof.samples, "seed {seed}");
+        assert!(
+            prof.samples > 1000,
+            "seed {seed}: only {} samples — the workload barely sampled",
+            prof.samples
+        );
+    }
+}
