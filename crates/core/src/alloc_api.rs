@@ -109,6 +109,7 @@ impl Mesh {
             0,
             Arc::clone(&counters),
             state.telemetry.clone(),
+            true,
         );
         let inner = Arc::new_cyclic(|weak| MeshInner {
             state,
@@ -251,6 +252,7 @@ impl Mesh {
                 token,
                 Arc::clone(&self.inner.counters),
                 self.inner.state.telemetry.clone(),
+                true,
             ),
             inner: Arc::clone(&self.inner),
         }
@@ -291,7 +293,9 @@ impl Mesh {
     /// every MiniHeap under the shard locks; use
     /// [`Mesh::stats_with_spectrum`] where meshability matters.
     pub fn stats(&self) -> HeapStats {
-        with_internal_alloc(|| self.inner.state.drain_all());
+        with_internal_alloc(|| {
+            self.inner.state.drain_all();
+        });
         self.inner.counters.snapshot()
     }
 
@@ -446,7 +450,13 @@ impl Mesh {
     /// [`MeshForkGuard::release_child`] — see DESIGN.md "ABI & bootstrap".
     pub fn fork_prepare(&self) -> MeshForkGuard<'_> {
         with_internal_alloc(|| {
-            let main = self.inner.main.lock();
+            let mut main = self.inner.main.lock();
+            // Flush the main core's sender buffers while the heap is still
+            // live: the child wipes the sender registry (other threads'
+            // buffer locks may be inherited held), so anything left here
+            // would be invisible to the child's stats until the next
+            // buffered free re-registers the core.
+            main.flush_remote(&self.inner.state);
             let all = self.inner.state.lock_all();
             let mut pipe = [-1, -1];
             // A pipe failure (fd exhaustion) degrades to not waiting: the
@@ -569,6 +579,14 @@ impl MeshForkGuard<'_> {
             }
             drop(main);
             drop(all);
+            // The child has exactly one thread: every other thread's
+            // registered sender buffers are orphans whose leaf locks may
+            // have been inherited held mid-steal, so they must never be
+            // touched here. Wipe the registry; the epoch bump makes the
+            // child's own cores re-register on their next buffered free.
+            // (The main core's buffers were flushed in `fork_prepare`, so
+            // nothing of the child's is stranded.)
+            mesh.inner.state.clear_senders();
             mesh.inner.state.privatize_after_fork();
             mesh.inner.counters.forks.fetch_add(1, Ordering::Relaxed);
             mesh.respawn_mesher_after_fork();
@@ -674,6 +692,17 @@ impl ThreadHeap {
     /// The unique token identifying this thread heap.
     pub fn token(&self) -> u64 {
         self.core.token()
+    }
+
+    /// Flushes this thread's buffered remote frees (and batched local
+    /// statistics) to the global heap, making them visible to
+    /// [`Mesh::stats`] from other threads. Buffers also flush implicitly
+    /// when they reach the transfer batch size and on drop.
+    pub fn flush(&mut self) {
+        with_internal_alloc(|| {
+            self.core.flush_remote(&self.inner.state);
+            self.core.flush_stats();
+        });
     }
 
     /// Number of size classes with a currently attached span (diagnostic).
@@ -816,12 +845,16 @@ unsafe impl GlobalAlloc for MeshGlobalAlloc {
                 let mut slot = slot.borrow_mut();
                 let core = slot.get_or_insert_with(|| {
                     let token = mesh.inner.token_gen.fetch_add(1, Ordering::Relaxed);
+                    // `batched: false` — these cores live in TLS for the
+                    // process lifetime and are never detached, so buffered
+                    // remote frees would strand invisibly.
                     ThreadHeapCore::new(
                         mesh.inner.seed_base.wrapping_add(token.wrapping_mul(0x9e37)),
                         mesh.inner.randomize,
                         token,
                         Arc::clone(&mesh.inner.counters),
                         mesh.inner.state.telemetry.clone(),
+                        false,
                     )
                 });
                 core.malloc(&mesh.inner.state, request)

@@ -79,6 +79,15 @@ pub struct MeshConfig {
     /// Profile-dump destination (`MESH_PROF_PATH`; `None` = stderr as a
     /// single `mesh-prof: ` line). The file is rewritten on each dump.
     pub(crate) prof_path: Option<PathBuf>,
+    /// Objects exchanged per transfer-cache batch (`MESH_TRANSFER_BATCH`).
+    /// 1 disables batching entirely: every remote free takes one queue
+    /// push and every refill goes straight to the class shard, exactly
+    /// the pre-transfer-cache behaviour.
+    pub(crate) transfer_batch: usize,
+    /// Batches parked per size class in the transfer cache
+    /// (`MESH_TRANSFER_CACHE_SLOTS`). 0 disables the middle tier (sender
+    /// side free batching stays on when `transfer_batch > 1`).
+    pub(crate) transfer_cache_slots: usize,
 }
 
 impl Default for MeshConfig {
@@ -102,6 +111,8 @@ impl Default for MeshConfig {
             prof_sample_bytes: 512 << 10, // tcmalloc's classic rate
             prof_interval: None,
             prof_path: None,
+            transfer_batch: 32,
+            transfer_cache_slots: 8,
         }
     }
 }
@@ -260,6 +271,30 @@ impl MeshConfig {
         self.prof_path.as_deref()
     }
 
+    /// Sets the number of objects exchanged per transfer-cache batch
+    /// (`MESH_TRANSFER_BATCH`; 1 = no batching, legacy path).
+    pub fn transfer_batch(mut self, n: usize) -> Self {
+        self.transfer_batch = n;
+        self
+    }
+
+    /// Sets the number of batches parked per size class in the transfer
+    /// cache (`MESH_TRANSFER_CACHE_SLOTS`; 0 = no middle tier).
+    pub fn transfer_cache_slots(mut self, n: usize) -> Self {
+        self.transfer_cache_slots = n;
+        self
+    }
+
+    /// The configured objects-per-batch for the transfer cache.
+    pub fn transfer_batch_size(&self) -> usize {
+        self.transfer_batch
+    }
+
+    /// The configured per-class transfer-cache capacity in batches.
+    pub fn transfer_cache_slot_count(&self) -> usize {
+        self.transfer_cache_slots
+    }
+
     /// Whether meshing is enabled.
     pub fn is_meshing_enabled(&self) -> bool {
         self.meshing
@@ -341,6 +376,18 @@ impl MeshConfig {
                 "prof_sample_bytes must be ≥ 1 when profiling is enabled".into(),
             ));
         }
+        if !(1..=256).contains(&self.transfer_batch) {
+            return Err(MeshError::InvalidConfig(format!(
+                "transfer_batch {} outside 1..=256",
+                self.transfer_batch
+            )));
+        }
+        if self.transfer_cache_slots > 1024 {
+            return Err(MeshError::InvalidConfig(format!(
+                "transfer_cache_slots {} above 1024",
+                self.transfer_cache_slots
+            )));
+        }
         Ok(())
     }
 
@@ -359,6 +406,8 @@ impl MeshConfig {
     /// | `MESH_PROF_SAMPLE_BYTES` | mean bytes between samples |
     /// | `MESH_PROF_INTERVAL_MS` | periodic profile dumps (0 = off) |
     /// | `MESH_PROF_PATH` | profile-dump file (default: stderr) |
+    /// | `MESH_TRANSFER_BATCH` | objects per transfer-cache batch (1 = off) |
+    /// | `MESH_TRANSFER_CACHE_SLOTS` | cached batches per size class (0 = off) |
     ///
     /// Size knobs accept `K`/`M`/`G`/`T` suffixes (optionally followed by
     /// `B` or `iB`, case-insensitive): `MESH_MAX_HEAP_BYTES=8G`. Malformed
@@ -393,6 +442,12 @@ impl MeshConfig {
         }
         if let Some(path) = env_path("MESH_PROF_PATH") {
             self = self.prof_path(Some(path));
+        }
+        if let Some(n) = env_u64("MESH_TRANSFER_BATCH") {
+            self = self.transfer_batch(n as usize);
+        }
+        if let Some(n) = env_u64("MESH_TRANSFER_CACHE_SLOTS") {
+            self = self.transfer_cache_slots(n as usize);
         }
         self
     }
@@ -598,6 +653,19 @@ mod tests {
             .prof_sample_bytes(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn transfer_knobs_build_and_validate() {
+        let c = MeshConfig::default();
+        assert_eq!(c.transfer_batch_size(), 32);
+        assert_eq!(c.transfer_cache_slot_count(), 8);
+        let c = MeshConfig::default().transfer_batch(1).transfer_cache_slots(0);
+        assert_eq!(c.transfer_batch_size(), 1, "degenerate mode is valid");
+        assert!(c.validate().is_ok());
+        assert!(MeshConfig::default().transfer_batch(0).validate().is_err());
+        assert!(MeshConfig::default().transfer_batch(257).validate().is_err());
+        assert!(MeshConfig::default().transfer_cache_slots(1025).validate().is_err());
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub mod stats;
 mod sync;
 pub mod sys;
 pub mod telemetry;
+mod transfer_cache;
 
 mod alloc_api;
 

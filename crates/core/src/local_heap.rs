@@ -26,6 +26,7 @@
 
 use crate::global_heap::GlobalHeap;
 use crate::page_map::PageInfo;
+use crate::remote_free::SenderBufs;
 use crate::rng::Rng;
 use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES};
@@ -68,18 +69,37 @@ pub(crate) struct ThreadHeapCore {
     /// Geometric byte-sampling state (`None` when `MESH_PROF` is off: the
     /// fast path then pays exactly one branch on this field).
     sampler: Option<Box<ThreadSampler>>,
+    /// Per-class sender-side buffers of small remote frees, flushed as one
+    /// queue node per `transfer.batch()` frees (empty when `!batched`).
+    /// Shared (via the global heap's sender registry) so stats snapshots
+    /// and the exhaustion fallback can flush them from any thread.
+    remote_bufs: Arc<SenderBufs>,
+    /// Registry epoch at which `remote_bufs` was last registered; 0 means
+    /// never. The forked child bumps the heap's epoch after clearing its
+    /// registry, which makes every surviving core re-register lazily.
+    sender_epoch: u64,
+    /// Per-class remainder of a transfer-cache batch popped for refills:
+    /// claimed addresses this thread hands out before touching any lock.
+    cache: Vec<Vec<usize>>,
+    /// Whether this core participates in batched exchange. False for
+    /// cores that are never detached (the `GlobalAlloc` TLS heaps), whose
+    /// buffers could otherwise strand objects forever.
+    batched: bool,
 }
 
 impl ThreadHeapCore {
     /// Creates a detached thread heap with identity `token`, registering
     /// its statistics delta block with `counters` and — when profiling is
-    /// on — a private sampler feeding `telemetry`.
+    /// on — a private sampler feeding `telemetry`. `batched` opts into
+    /// the transfer-cache exchange; pass false for cores with no teardown
+    /// path to flush their buffers.
     pub fn new(
         seed: u64,
         randomize: bool,
         token: u64,
         counters: Arc<Counters>,
         telemetry: Option<Arc<Telemetry>>,
+        batched: bool,
     ) -> Self {
         ThreadHeapCore {
             vectors: (0..NUM_SIZE_CLASSES)
@@ -90,6 +110,10 @@ impl ThreadHeapCore {
             local: counters.register_local(),
             counters,
             sampler: telemetry.map(|t| Box::new(ThreadSampler::new(t, seed))),
+            remote_bufs: Arc::new(SenderBufs::new()),
+            sender_epoch: 0,
+            cache: (0..NUM_SIZE_CLASSES).map(|_| Vec::new()).collect(),
+            batched,
         }
     }
 
@@ -111,6 +135,10 @@ impl ThreadHeapCore {
             };
         };
         let idx = class.index();
+        // Memory-pressure escalation (see the refill-failure arm below):
+        // 0 = normal, 1 = after flushing our own buffered remote frees,
+        // 2 = after purging the shared transfer cache.
+        let mut pressure = 0u8;
         loop {
             if let Some(addr) = self.vectors[idx].malloc() {
                 self.local.on_malloc(class.object_size());
@@ -119,6 +147,29 @@ impl ThreadHeapCore {
                 }
                 return addr as *mut u8;
             }
+            // Vector exhausted: serve from the thread's popped batch, or
+            // pop a fresh transfer-cache batch — both without the class
+            // lock — before paying for a shard refill.
+            if self.batched {
+                if self.cache[idx].is_empty() && state.transfer.cache_enabled() {
+                    match state.transfer.pop(idx) {
+                        Some(batch) => {
+                            state.counters.transfer_hits.fetch_add(1, Ordering::Relaxed);
+                            self.cache[idx] = batch;
+                        }
+                        None => {
+                            state.counters.transfer_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if let Some(addr) = self.cache[idx].pop() {
+                    self.local.on_malloc(class.object_size());
+                    if let Some(s) = self.sampler.as_deref_mut() {
+                        s.on_alloc(addr, class.object_size());
+                    }
+                    return addr as *mut u8;
+                }
+            }
             // Refill boundary: already taking the class lock, so fold the
             // batched deltas into the shared counters while we are here.
             self.counters.flush_local(&self.local);
@@ -126,7 +177,20 @@ impl ThreadHeapCore {
                 .refill(&mut self.vectors[idx], class, self.token, &mut self.rng)
                 .is_err()
             {
-                return std::ptr::null_mut();
+                // Before reporting exhaustion, return memory the heap is
+                // sitting on: first every sender's buffered remote frees
+                // (sub-batch buffers can pin the last free spans), then
+                // the whole transfer cache (cached objects keep their
+                // spans alive). Each step retries the full fast path.
+                match pressure {
+                    0 => {
+                        self.flush_remote(state);
+                        state.flush_all_senders();
+                    }
+                    1 => state.purge_transfer_all(),
+                    _ => return std::ptr::null_mut(),
+                }
+                pressure += 1;
             }
         }
     }
@@ -187,6 +251,16 @@ impl ThreadHeapCore {
         }
         match self.route(state, addr) {
             FreeRoute::Local { class_idx, slot } => {
+                // A batch-cache-held slot has its claim bit set but is not
+                // in the vector's avail mask, so `free_slot` alone would
+                // accept a duplicate free of it *and* leave the address
+                // parked for a second hand-out. The membership scan is
+                // bounded by one batch and only runs while a partially
+                // consumed batch exists for this class.
+                if !self.cache[class_idx].is_empty() && self.cache[class_idx].contains(&addr) {
+                    state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 let sv = &mut self.vectors[class_idx];
                 if sv.free_slot(slot, &mut self.rng) {
                     self.local.on_free(sv.object_size());
@@ -198,17 +272,85 @@ impl ThreadHeapCore {
                 state.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
             }
             FreeRoute::Global { page, info } => {
-                state.free_routed(addr, page, info);
+                // Small remote frees are buffered per class and flushed as
+                // one queue node per batch: the sender-side half of the
+                // transfer-cache amortization. Large objects (immediate
+                // page release) stay on the direct path.
+                if self.batched && !info.is_large() && state.transfer.batching_enabled() {
+                    // Make the buffers reachable by stats snapshots and the
+                    // exhaustion fallback before the first free can hide in
+                    // them. The epoch compare keeps this to one branch per
+                    // free; it re-fires only after a fork wipes the registry.
+                    if self.sender_epoch != state.sender_epoch() {
+                        self.sender_epoch = state.register_sender(&self.remote_bufs);
+                    }
+                    let idx = info.class_code as usize;
+                    let mut buf = self.remote_bufs.lock(idx);
+                    // An address still in the buffer cannot have been
+                    // re-allocated (its free has not drained), so a
+                    // second appearance is always a double free. The
+                    // check must precede the flush: flushing between the
+                    // two copies of a back-to-back pair would let the
+                    // second drain in a later epoch, after the slot's
+                    // claim bit may have been re-claimed by a re-attach.
+                    if buf.contains(&addr) {
+                        state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    // Lazy flush: a full buffer is handed to the queue
+                    // before the *next* push, never between two adjacent
+                    // frees of the same address. The buf lock is a leaf —
+                    // drop it before the queue push takes nothing, but
+                    // settle_after_free may take shard locks.
+                    let full = if buf.len() >= state.transfer.batch() {
+                        Some(std::mem::take(&mut *buf))
+                    } else {
+                        None
+                    };
+                    buf.push(addr);
+                    drop(buf);
+                    if let Some(mut batch) = full {
+                        state.flush_remote_batch(idx, &mut batch);
+                        state.settle_after_free();
+                    }
+                } else {
+                    state.free_routed(addr, page, info);
+                }
             }
         }
     }
 
-    /// Returns every attached MiniHeap to its class shard (thread exit)
-    /// and flushes the batched statistics deltas.
+    /// Flushes every pending sender-side remote-free buffer (one batch
+    /// node per non-empty class). Lock-free; called at detach, by stats
+    /// readers that need settled queues, and on demand.
+    pub fn flush_remote(&mut self, state: &GlobalHeap) {
+        for idx in 0..NUM_SIZE_CLASSES {
+            let mut buf = self.remote_bufs.take(idx);
+            if !buf.is_empty() {
+                state.flush_remote_batch(idx, &mut buf);
+            }
+        }
+    }
+
+    /// Folds this thread's batched statistics deltas into the shared
+    /// counters immediately (normally they fold at refill boundaries).
+    pub fn flush_stats(&self) {
+        self.counters.flush_local(&self.local);
+    }
+
+    /// Returns every attached MiniHeap to its class shard (thread exit),
+    /// flushes the remote-free buffers, parks the thread's batch-cache
+    /// remainders back in the transfer cache, and flushes the batched
+    /// statistics deltas. Nothing this thread held can be stranded.
     pub fn detach_all(&mut self, state: &GlobalHeap) {
+        self.flush_remote(state);
         for (idx, sv) in self.vectors.iter_mut().enumerate() {
-            if sv.miniheap().is_some() {
-                state.release_vector(SizeClass::from_index(idx), sv);
+            if sv.miniheap().is_some() || !self.cache[idx].is_empty() {
+                state.release_vector_and_cache(
+                    SizeClass::from_index(idx),
+                    sv,
+                    &mut self.cache[idx],
+                );
             }
         }
         self.counters.flush_local(&self.local);
@@ -249,7 +391,7 @@ mod tests {
     }
 
     fn core(counters: &Arc<Counters>, seed: u64, token: u64) -> ThreadHeapCore {
-        ThreadHeapCore::new(seed, true, token, Arc::clone(counters), None)
+        ThreadHeapCore::new(seed, true, token, Arc::clone(counters), None, true)
     }
 
     #[test]
@@ -319,9 +461,13 @@ mod tests {
         let mut a = core(&counters, 5, 1);
         let mut b = core(&counters, 6, 2);
         let p = a.malloc(&state, 256);
-        // Thread B frees A's pointer: must take the queued global path.
+        // Thread B frees A's pointer: must take the queued global path
+        // (buffered in B until the batch fills or B flushes).
         unsafe { b.free(&state, p) };
+        assert_eq!(counters.snapshot().remote_free_queued, 0, "buffered in sender");
+        b.flush_remote(&state);
         assert_eq!(counters.snapshot().remote_free_queued, 1);
+        assert_eq!(counters.snapshot().remote_free_batches, 1);
         state.drain_all();
         let s = counters.snapshot();
         assert_eq!(s.remote_frees, 1);
@@ -338,11 +484,13 @@ mod tests {
         assert!(heap.attached_count() >= 2);
         heap.detach_all(&state);
         assert_eq!(heap.attached_count(), 0);
-        // Frees after detach go through the global heap and still work.
+        // Frees after detach go through the global heap and still work
+        // (buffered in the sender until flushed).
         unsafe {
             heap.free(&state, p1);
             heap.free(&state, p2);
         }
+        heap.flush_remote(&state);
         state.drain_all();
         assert_eq!(counters.snapshot().remote_frees, 2);
         assert_eq!(counters.snapshot().live_bytes, 0);
@@ -446,7 +594,8 @@ mod tests {
             .prof_sample_bytes(256)
             .write_barrier(false);
         let state = GlobalHeap::new(config, Arc::clone(&counters)).unwrap();
-        let mut heap = ThreadHeapCore::new(5, true, 1, Arc::clone(&counters), state.telemetry.clone());
+        let mut heap =
+            ThreadHeapCore::new(5, true, 1, Arc::clone(&counters), state.telemetry.clone(), true);
         let t = state.telemetry.as_ref().unwrap();
         let mut live = Vec::new();
         for i in 0..4000usize {

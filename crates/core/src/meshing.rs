@@ -90,6 +90,10 @@ pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
         if !class.is_meshable() {
             continue;
         }
+        // Cached objects hold claim bits that inflate occupancy; return
+        // them to their spans so candidate collection sees the truth (and
+        // empty-but-cached spans get reclaimed rather than pinned).
+        heap.purge_transfer_locked(class, &mut st);
         let candidates = collect_candidates(heap, &st);
         if candidates.len() < 2 {
             continue;

@@ -26,8 +26,15 @@
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
+/// A node carries either one address (the unbuffered legacy push, which
+/// pays no extra allocation) or a whole sender-side batch.
+enum Payload {
+    One(usize),
+    Many(Vec<usize>),
+}
+
 struct Node {
-    addr: usize,
+    payload: Payload,
     next: *mut Node,
 }
 
@@ -46,8 +53,21 @@ impl RemoteFreeQueue {
 
     /// Pushes a freed address. Lock-free; callable from any thread.
     pub fn push(&self, addr: usize) {
+        self.push_node(Payload::One(addr));
+    }
+
+    /// Pushes a whole sender-side batch of freed addresses as one node —
+    /// one allocation and one CAS per `batch.len()` frees. Empty batches
+    /// are ignored.
+    pub fn push_batch(&self, batch: Vec<usize>) {
+        if !batch.is_empty() {
+            self.push_node(Payload::Many(batch));
+        }
+    }
+
+    fn push_node(&self, payload: Payload) {
         let node = Box::into_raw(Box::new(Node {
-            addr,
+            payload,
             next: ptr::null_mut(),
         }));
         let mut head = self.head.load(Ordering::Relaxed);
@@ -76,6 +96,7 @@ impl RemoteFreeQueue {
     pub fn drain(&self) -> Drain {
         Drain {
             node: self.head.swap(ptr::null_mut(), Ordering::Acquire),
+            batch: None,
         }
     }
 }
@@ -87,23 +108,39 @@ impl Drop for RemoteFreeQueue {
     }
 }
 
-/// Iterator over a detached remote-free list.
+/// Iterator over a detached remote-free list. Batch nodes are yielded
+/// address by address, in the order the sender buffered them.
 pub(crate) struct Drain {
     node: *mut Node,
+    /// In-progress batch node: (addresses, next index to yield).
+    batch: Option<(Vec<usize>, usize)>,
 }
 
 impl Iterator for Drain {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        if self.node.is_null() {
-            return None;
+        loop {
+            if let Some((ref addrs, ref mut i)) = self.batch {
+                if *i < addrs.len() {
+                    let addr = addrs[*i];
+                    *i += 1;
+                    return Some(addr);
+                }
+                self.batch = None;
+            }
+            if self.node.is_null() {
+                return None;
+            }
+            // SAFETY: the drain owns the detached list exclusively; each
+            // node was created by `Box::into_raw` in `push_node`.
+            let boxed = unsafe { Box::from_raw(self.node) };
+            self.node = boxed.next;
+            match boxed.payload {
+                Payload::One(addr) => return Some(addr),
+                Payload::Many(addrs) => self.batch = Some((addrs, 0)),
+            }
         }
-        // SAFETY: the drain owns the detached list exclusively; each node
-        // was created by `Box::into_raw` in `push`.
-        let boxed = unsafe { Box::from_raw(self.node) };
-        self.node = boxed.next;
-        Some(boxed.addr)
     }
 }
 
@@ -111,6 +148,38 @@ impl Drop for Drain {
     fn drop(&mut self) {
         // Exhaust (and thereby free) any unconsumed nodes.
         for _ in self {}
+    }
+}
+
+/// A thread's sender-side remote-free buffers: one `Vec` per size class,
+/// each behind its own mutex. The owning thread is the only pusher, so
+/// the locks are uncontended in the fast path; they exist so *other*
+/// threads — a stats snapshot, the exhaustion fallback — can steal the
+/// pending frees through the global heap's sender registry instead of
+/// waiting for the owner to fill a batch or exit.
+#[derive(Debug)]
+pub(crate) struct SenderBufs {
+    bufs: Vec<crate::sync::Mutex<Vec<usize>>>,
+}
+
+impl SenderBufs {
+    pub fn new() -> SenderBufs {
+        SenderBufs {
+            bufs: (0..crate::size_classes::NUM_SIZE_CLASSES)
+                .map(|_| crate::sync::Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Locks one class's buffer (a leaf lock: nothing else is acquired
+    /// while it is held).
+    pub fn lock(&self, class_idx: usize) -> crate::sync::MutexGuard<'_, Vec<usize>> {
+        self.bufs[class_idx].lock()
+    }
+
+    /// Steals one class's pending frees, leaving the buffer empty.
+    pub fn take(&self, class_idx: usize) -> Vec<usize> {
+        std::mem::take(&mut *self.bufs[class_idx].lock())
     }
 }
 
@@ -155,6 +224,42 @@ mod tests {
         assert_eq!(got.last(), Some(&80_000));
         got.dedup();
         assert_eq!(got.len(), 80_000, "no duplicates, no losses");
+    }
+
+    #[test]
+    fn batch_nodes_interleave_with_singles() {
+        let q = RemoteFreeQueue::new();
+        q.push(1);
+        q.push_batch(vec![2, 3, 4]);
+        q.push_batch(Vec::new()); // no-op
+        q.push(5);
+        let got: Vec<usize> = q.drain().collect();
+        // LIFO over nodes, sender order within a batch.
+        assert_eq!(got, vec![5, 2, 3, 4, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_batch_pushers_lose_nothing() {
+        let q = Arc::new(RemoteFreeQueue::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for chunk in 0..500usize {
+                        let base = t * 10_000 + chunk * 20;
+                        q.push_batch((base + 1..=base + 20).collect());
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let mut got: Vec<usize> = q.drain().collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 40_000, "no duplicates, no losses");
     }
 
     #[test]

@@ -107,6 +107,15 @@ pub(crate) fn prom_text(stats: &HeapStats, prof: Option<&ProfileStats>) -> Strin
     metric(&mut out, "mesh_pages_purged_total", "counter", stats.pages_purged);
     metric(&mut out, "mesh_reallocs_in_place_total", "counter", stats.reallocs_in_place);
     metric(&mut out, "mesh_forks_total", "counter", stats.forks);
+    metric(&mut out, "mesh_transfer_hits_total", "counter", stats.transfer_hits);
+    metric(&mut out, "mesh_transfer_misses_total", "counter", stats.transfer_misses);
+    metric(&mut out, "mesh_transfer_spills_total", "counter", stats.transfer_spills);
+    metric(
+        &mut out,
+        "mesh_remote_free_batches_total",
+        "counter",
+        stats.remote_free_batches,
+    );
     metric(&mut out, "mesh_live_bytes", "gauge", stats.live_bytes);
     metric(&mut out, "mesh_heap_bytes", "gauge", stats.heap_bytes());
     metric(&mut out, "mesh_heap_bytes_peak", "gauge", stats.peak_heap_bytes());

@@ -19,6 +19,8 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     std::env::set_var("MESH_PROF_SAMPLE_BYTES", "64K");
     std::env::set_var("MESH_PROF_INTERVAL_MS", "banana"); // malformed
     std::env::set_var("MESH_PROF_PATH", "   "); // malformed (blank)
+    std::env::set_var("MESH_TRANSFER_BATCH", "8");
+    std::env::set_var("MESH_TRANSFER_CACHE_SLOTS", "banana"); // malformed
 
     let c = MeshConfig::default().apply_env();
     assert_eq!(c.max_heap_size(), 64 << 20, "suffix-parsed cap");
@@ -40,6 +42,12 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
         c.prof_dump_path(),
         None,
         "blank path ignored (warned), default kept"
+    );
+    assert_eq!(c.transfer_batch_size(), 8, "MESH_TRANSFER_BATCH parsed");
+    assert_eq!(
+        c.transfer_cache_slot_count(),
+        MeshConfig::default().transfer_cache_slot_count(),
+        "malformed MESH_TRANSFER_CACHE_SLOTS ignored (warned), default kept"
     );
     assert!(c.validate().is_ok());
 

@@ -67,6 +67,9 @@ fn double_frees_are_detected_and_discarded_on_the_global_path() {
         other.free(p);
         other.free(p);
     }
+    // Remote frees buffer in the sender until a batch fills; `stats()`
+    // flushes every live sender's buffers through the registry, so the
+    // shard-side validation has run by the time we read the counters.
     let stats = mesh.stats();
     assert_eq!(stats.frees, 1, "only the first free lands");
     assert!(stats.double_frees >= 2);
