@@ -382,6 +382,19 @@ pub extern "C" fn mesh_prof_dump() -> c_int {
     runtime::prof_dump_to(2)
 }
 
+/// Writes the buffered slow-path trace (Chrome trace-event JSON, see
+/// DESIGN.md "Slow-path tracing") to `MESH_TRACE_PATH` — or to stderr as
+/// one `mesh-trace: ` line when no path is configured. Returns 0 on
+/// success, -1 when tracing is off (`MESH_TRACE` unset) or no heap
+/// exists. `kill -USR2 <pid>` reaches the same dump asynchronously.
+#[no_mangle]
+pub extern "C" fn mesh_trace_dump() -> c_int {
+    if in_internal_alloc() {
+        return -1;
+    }
+    runtime::trace_dump_to(2)
+}
+
 // ---------------------------------------------------------------------
 // Tests — these run with Mesh interposed over the test harness's own
 // malloc (the lib target links its #[no_mangle] symbols into the test
@@ -522,6 +535,15 @@ mod tests {
         let p = malloc(100); // ensure the heap exists
         unsafe { free(p) };
         assert_eq!(mesh_prof_dump(), -1);
+    }
+
+    #[test]
+    fn trace_dump_reports_disabled_without_mesh_trace() {
+        // The interposed test harness runs without MESH_TRACE: the dump
+        // entry point must report -1, not crash or write anything.
+        let p = malloc(100); // ensure the heap exists
+        unsafe { free(p) };
+        assert_eq!(mesh_trace_dump(), -1);
     }
 
     #[test]

@@ -97,8 +97,8 @@ fn install_process_hooks(mesh: &Mesh) {
         }
         crate::real::pthread_atfork(Some(fork_prepare), Some(fork_parent), Some(fork_child));
         let stats_at_exit_wanted = mesh_core::env_bool("MESH_PRINT_STATS_AT_EXIT").unwrap_or(false);
-        if stats_at_exit_wanted || mesh.is_profiling() {
-            // Both exit dumps write through a private dup of stderr taken
+        if stats_at_exit_wanted || mesh.is_profiling() || mesh.is_tracing() {
+            // All exit dumps write through a private dup of stderr taken
             // now: applications (coreutils' close_stdout) close fd 2 from
             // their own atexit handlers, which run before ours (LIFO).
             STATS_FD.store(
@@ -109,17 +109,23 @@ fn install_process_hooks(mesh: &Mesh) {
         if stats_at_exit_wanted {
             crate::real::atexit(stats_at_exit);
         }
-        if mesh.is_profiling() {
-            // Opt-in SIGUSR2 → heap-profile dump. The handler body is one
-            // atomic store ([`Mesh::request_profile_dump`]); the dump
-            // itself rides the background telemetry thread.
+        if mesh.is_profiling() || mesh.is_tracing() {
+            // Opt-in SIGUSR2 → heap-profile and/or trace dump. The handler
+            // body is atomic stores ([`Mesh::request_profile_dump`],
+            // [`Mesh::request_trace_dump`]); the dumps themselves ride the
+            // background telemetry thread.
             let mut act: libc::sigaction = std::mem::zeroed();
             let handler: extern "C" fn(mesh_core::ffi::c_int) = sigusr2_handler;
             act.sa_sigaction = handler as usize;
             act.sa_flags = libc::SA_RESTART;
             libc::sigemptyset(&mut act.sa_mask);
             libc::sigaction(libc::SIGUSR2, &act, std::ptr::null_mut());
+        }
+        if mesh.is_profiling() {
             crate::real::atexit(prof_at_exit);
+        }
+        if mesh.is_tracing() {
+            crate::real::atexit(trace_at_exit);
         }
     }
 }
@@ -235,12 +241,13 @@ extern "C" fn stats_at_exit() {
 // Heap profiling (mesh-insight)
 // ---------------------------------------------------------------------
 
-/// SIGUSR2 handler: request an asynchronous profile dump. The entire
-/// body is one atomic store — the only thing a signal context may do
+/// SIGUSR2 handler: request asynchronous profile and trace dumps. The
+/// entire body is atomic stores — the only thing a signal context may do
 /// against a heap that might be mid-allocation on this very thread.
 extern "C" fn sigusr2_handler(_sig: mesh_core::ffi::c_int) {
     if let Some(mesh) = built_heap() {
         mesh.request_profile_dump();
+        mesh.request_trace_dump();
     }
 }
 
@@ -266,4 +273,32 @@ pub fn prof_dump_to(fd: i32) -> i32 {
 extern "C" fn prof_at_exit() {
     let fd = STATS_FD.load(Ordering::Acquire);
     prof_dump_to(if fd >= 0 { fd } else { 2 });
+}
+
+// ---------------------------------------------------------------------
+// Slow-path tracing (mesh-trace)
+// ---------------------------------------------------------------------
+
+/// Writes one Chrome trace dump: to `MESH_TRACE_PATH` when configured,
+/// else to `fd` as a single `mesh-trace: `-prefixed line. Returns 0 on
+/// success, -1 when no tracing heap exists.
+pub fn trace_dump_to(fd: i32) -> i32 {
+    let Some(mesh) = built_heap() else { return -1 };
+    with_internal_alloc(|| {
+        if mesh.trace_path().is_some() {
+            return if mesh.dump_trace_now() { 0 } else { -1 };
+        }
+        match mesh.trace_json() {
+            Some(json) => {
+                write_line(fd, &format!("mesh-trace: {json}"));
+                0
+            }
+            None => -1,
+        }
+    })
+}
+
+extern "C" fn trace_at_exit() {
+    let fd = STATS_FD.load(Ordering::Acquire);
+    trace_dump_to(if fd >= 0 { fd } else { 2 });
 }

@@ -33,6 +33,12 @@
 //!   present but the master switch off (the shipping default) and is
 //!   **enforced to stay within 2% of the checked-in baseline floor**;
 //!   `prof_on` measures the enabled-mode tax (informational).
+//! * `trace_off` / `trace_on` — the same bracket for the slow-path
+//!   tracer: `trace_off` churns with the latency histograms always-on
+//!   (as they are everywhere) and the trace rings compiled in but off —
+//!   one predicted branch per slow-path op — and is **enforced like
+//!   `prof_off`**; `trace_on` measures the ring-recording tax
+//!   (informational).
 //!
 //! Output: a human table, one `BENCH_MALLOC.json` trajectory line on
 //! stdout, and the same JSON written to `BENCH_MALLOC.json` in the
@@ -80,6 +86,22 @@ fn heap_prof(enabled: bool) -> Mesh {
             .mesh_period(Duration::from_secs(3600))
             .profiling(enabled)
             .prof_sample_bytes(512 << 10),
+    )
+    .expect("bench heap")
+}
+
+/// The tracing cost bracket: latency histograms are unconditionally on
+/// (they are everywhere), so `enabled == false` measures exactly what
+/// every deployment pays — histogram recording on slow paths plus one
+/// trace-off branch — while `enabled == true` adds the ring writes.
+fn heap_trace(enabled: bool) -> Mesh {
+    Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(1 << 30)
+            .seed(42)
+            .mesh_period(Duration::from_secs(3600))
+            .tracing(enabled)
+            .trace_buf_events(64 << 10),
     )
     .expect("bench heap")
 }
@@ -315,6 +337,12 @@ fn main() {
     let prof_on = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
     let prof_on_stats = m.profile_stats().expect("profiling heap");
     drop(m);
+    let m = heap_trace(false);
+    let trace_off = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
+    let m = heap_trace(true);
+    let trace_on = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
 
     // --- scaling curve 1 → cores (distinct classes per thread) ----------
     let mut scale_threads: Vec<usize> = vec![1, 2, 4, 8]
@@ -407,6 +435,8 @@ fn main() {
         "{:<40} {:>16.0}   ({} samples)",
         "single_thread_churn prof_on", prof_on, prof_on_stats.samples
     );
+    println!("{:<40} {:>16.0}", "single_thread_churn trace_off", trace_off);
+    println!("{:<40} {:>16.0}", "single_thread_churn trace_on", trace_on);
     for &(t, ops) in &scaling {
         println!("{:<40} {:>16.0}", format!("scaling/{t}t distinct classes"), ops);
     }
@@ -462,6 +492,7 @@ fn main() {
         "{{\"cores\":{cores},\"ops_per_thread\":{OPS_PER_THREAD},\
          \"single_thread_ops_sec\":{single:.0},\
          \"prof_off_ops_sec\":{prof_off:.0},\"prof_on_ops_sec\":{prof_on:.0},\
+         \"trace_off_ops_sec\":{trace_off:.0},\"trace_on_ops_sec\":{trace_on:.0},\
          \"scaling\":[{}],\
          \"remote_ping_pong_pairs\":{pairs},\"remote_ping_pong_ops_sec\":{remote:.0},\
          \"mixed_remote\":[{}],\"mixed_remote_efficiency\":{efficiency:.3},\
@@ -508,6 +539,20 @@ fn main() {
         println!(
             "prof-off check OK: {prof_off:.0} ops/sec >= {bar:.0} \
              (98% of min(floor, same-run); prof-on measured {prof_on:.0})"
+        );
+        // Same bar for the tracer: histograms-on/trace-off is the
+        // always-on configuration, so it gets the identical 2% budget.
+        assert!(
+            trace_off >= bar,
+            "trace-disabled churn regressed: {trace_off:.0} ops/sec vs \
+             bar {bar:.0} (98% of min(baseline floor {floor:.0}, same-run \
+             {single:.0})) — the always-on histogram hooks or the trace-off \
+             branch cost more than they may (set MESH_BENCH_NO_ENFORCE=1 \
+             to bypass)"
+        );
+        println!(
+            "trace-off check OK: {trace_off:.0} ops/sec >= {bar:.0} \
+             (98% of min(floor, same-run); trace-on measured {trace_on:.0})"
         );
         // Scaling-efficiency guard: the mixed-remote per-core efficiency
         // (honest points only) may not fall more than 2× below the

@@ -397,6 +397,56 @@ impl Mesh {
         })
     }
 
+    // ----- tracing (mesh-trace) ------------------------------------------
+
+    /// Whether slow-path event tracing (`MESH_TRACE=1`) is active.
+    pub fn is_tracing(&self) -> bool {
+        self.inner.counters.trace_set().is_some()
+    }
+
+    /// The buffered slow-path events as Chrome trace-event JSON (loadable
+    /// in `chrome://tracing` / Perfetto), or `None` when tracing is off.
+    /// Reads race benignly with recording threads: a torn event decodes
+    /// as garbage-or-skipped, never as a malformed document.
+    pub fn trace_json(&self) -> Option<String> {
+        let trace = self.inner.counters.trace_set()?;
+        let uptime_ms = self.inner.counters.uptime_ms();
+        Some(with_internal_alloc(|| trace.chrome_json(uptime_ms)))
+    }
+
+    /// The configured trace-dump destination (`MESH_TRACE_PATH`), if
+    /// tracing is on and a path was set.
+    pub fn trace_path(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .counters
+            .trace_set()
+            .and_then(|t| t.dump_path().map(|p| p.to_path_buf()))
+    }
+
+    /// Requests an asynchronous trace dump from the background thread.
+    /// Async-signal-safe (one atomic store): the C ABI's `SIGUSR2`
+    /// handler co-requests this alongside the profile dump. No-op when
+    /// tracing is off.
+    pub fn request_trace_dump(&self) {
+        if let Some(t) = self.inner.counters.trace_set() {
+            t.request_dump();
+        }
+    }
+
+    /// Writes one trace dump synchronously to the configured destination
+    /// (`MESH_TRACE_PATH`, or stderr as a `mesh-trace: ` line). Returns
+    /// whether tracing was on and a dump was written.
+    pub fn dump_trace_now(&self) -> bool {
+        let Some(t) = self.inner.counters.trace_set() else {
+            return false;
+        };
+        let uptime_ms = self.inner.counters.uptime_ms();
+        with_internal_alloc(|| {
+            t.write_dump(&t.chrome_json(uptime_ms));
+            true
+        })
+    }
+
     /// Runtime control analog of `mallctl` (§4.5): changes the meshing
     /// rate limit. Lock-free.
     pub fn set_mesh_period(&self, period: Duration) {
@@ -588,6 +638,15 @@ impl MeshForkGuard<'_> {
             // nothing of the child's is stranded.)
             mesh.inner.state.clear_senders();
             mesh.inner.state.privatize_after_fork();
+            // The child's latency history and trace buffers describe the
+            // *parent's* threads: wipe both so its telemetry starts from
+            // zero (and a pre-fork dump request cannot fire on parent
+            // events). The rings were quiesced by `lock_all`, so no
+            // orphaned writer can be mid-push here.
+            mesh.inner.counters.zero_latency();
+            if let Some(trace) = mesh.inner.counters.trace_set() {
+                trace.wipe_all();
+            }
             mesh.inner.counters.forks.fetch_add(1, Ordering::Relaxed);
             mesh.respawn_mesher_after_fork();
             unsafe {
@@ -1222,6 +1281,86 @@ mod tests {
         assert!(!p.is_null());
         unsafe { m.free(p) };
         assert_eq!(m.stats().forks, 0, "parent side does not privatize");
+    }
+
+    fn traced_mesh() -> Mesh {
+        Mesh::new(
+            MeshConfig::default()
+                .arena_bytes(64 << 20)
+                .seed(7)
+                .write_barrier(false)
+                .background_meshing(false)
+                .tracing(true)
+                .trace_buf_events(1 << 10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_api_records_and_renders_chrome_json() {
+        let m = traced_mesh();
+        assert!(m.is_tracing());
+        assert!(m.trace_path().is_none());
+        let ptrs: Vec<*mut u8> = (0..2000).map(|_| m.malloc(256)).collect();
+        for p in &ptrs {
+            assert!(!p.is_null());
+        }
+        for p in ptrs {
+            unsafe { m.free(p) };
+        }
+        m.mesh_now();
+        let json = m.trace_json().unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "got: {}", &json[..40.min(json.len())]);
+        assert!(json.contains("\"mesh_trace_version\":1"));
+        assert!(json.contains("\"name\":\"refill\""), "refills traced");
+        assert!(json.contains("\"name\":\"mesh_pass\""), "mesh pass traced");
+        assert!(m.dump_trace_now(), "dump to stderr succeeds");
+        // Histograms saw the same ops.
+        let s = m.stats();
+        assert!(s.latency.count(crate::telemetry::TimedOp::Refill) > 0);
+        assert!(s.latency.count(crate::telemetry::TimedOp::MeshPass) > 0);
+    }
+
+    #[test]
+    fn untraced_heap_has_no_trace_state() {
+        let m = mesh();
+        assert!(!m.is_tracing());
+        assert!(m.trace_json().is_none());
+        assert!(m.trace_path().is_none());
+        assert!(!m.dump_trace_now());
+        m.request_trace_dump(); // no-op, must not panic
+    }
+
+    #[test]
+    fn fork_child_wipes_trace_rings_and_latency() {
+        let m = traced_mesh();
+        let ptrs: Vec<*mut u8> = (0..2000).map(|_| m.malloc(512)).collect();
+        for p in ptrs {
+            unsafe { m.free(p) };
+        }
+        let trace = Arc::clone(m.inner.counters.trace_set().unwrap());
+        assert!(trace.event_count() > 0, "parent recorded events");
+        assert!(
+            m.inner.counters.latency_snapshot().count(crate::telemetry::TimedOp::Refill) > 0,
+            "parent recorded refill latencies"
+        );
+        m.fork_prepare().release_child();
+        // Refill only fires from mutator threads, so no background thread
+        // can race these zeros back up.
+        assert_eq!(
+            m.inner.counters.latency_snapshot().count(crate::telemetry::TimedOp::Refill),
+            0,
+            "child's latency history starts empty"
+        );
+        let json = m.trace_json().unwrap();
+        assert!(
+            !json.contains("\"name\":\"refill\""),
+            "child inherited no parent refill events"
+        );
+        // The child heap keeps tracing.
+        let p = m.malloc(64);
+        assert!(!p.is_null());
+        unsafe { m.free(p) };
     }
 
     #[test]

@@ -45,8 +45,10 @@ use crate::segment::{Segment, SegmentStats, SegmentTable};
 use crate::span::Span;
 use crate::stats::Counters;
 use crate::sys::{self, MemFile, ReleaseStrategy, PAGE_SIZE};
+use crate::telemetry::TimedOp;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Where a span handed out by [`Arena::alloc_span`] came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,6 +282,7 @@ impl Arena {
     }
 
     fn grow_exact(&mut self, desired: u32, min_pages: u32) -> Result<usize, MeshError> {
+        let t0 = Instant::now();
         let Some((start, len)) = self.table.take_range(desired, min_pages) else {
             return Err(MeshError::ArenaExhausted {
                 requested_pages: min_pages as usize,
@@ -308,6 +311,8 @@ impl Arena {
         self.counters
             .mapped_pages
             .store(self.table.mapped_pages(), Ordering::Relaxed);
+        self.counters
+            .record_slow(TimedOp::SegmentGrow, t0, len as u64);
         Ok(idx)
     }
 
@@ -319,6 +324,7 @@ impl Arena {
     /// ranges hold no routed pages — an outstanding entry would mean a
     /// live span was lost.
     pub(crate) fn retire_empty_segments(&mut self, page_map: &PageMap) -> usize {
+        let t0 = Instant::now();
         let mut retired = 0;
         let mut idx = 0;
         while idx < self.table.len() {
@@ -356,6 +362,8 @@ impl Arena {
             self.counters
                 .mapped_pages
                 .store(self.table.mapped_pages(), Ordering::Relaxed);
+            self.counters
+                .record_slow(TimedOp::SegmentRetire, t0, retired as u64);
         }
         retired as usize
     }
@@ -390,6 +398,7 @@ impl Arena {
     /// mapping must still be intact (guaranteed for any never-meshed span
     /// and for mesh sources before their remap).
     pub fn release_physical(&mut self, span: Span) {
+        let t0 = Instant::now();
         let idx = self.seg_index_of(span);
         let seg = self.table.get_mut(idx);
         let file_offset = seg.file_offset_of_page(span.offset);
@@ -403,6 +412,8 @@ impl Arena {
         }
         seg.note_release(span.pages as usize);
         self.set_committed(self.committed_pages - span.pages as usize);
+        self.counters
+            .record_slow(TimedOp::Madvise, t0, span.pages as u64);
     }
 
     /// Releases the file range behind a mesh source *after* its virtual
@@ -414,6 +425,7 @@ impl Arena {
     /// release *before* the remap via [`Arena::release_physical`] — this
     /// method then only adjusts accounting (as does `Nop`).
     pub fn release_after_remap(&mut self, span: Span) {
+        let t0 = Instant::now();
         let idx = self.seg_index_of(span);
         let seg = self.table.get_mut(idx);
         let file_offset = seg.file_offset_of_page(span.offset);
@@ -438,6 +450,8 @@ impl Arena {
         }
         self.table.get_mut(idx).note_release(span.pages as usize);
         self.set_committed(self.committed_pages - span.pages as usize);
+        self.counters
+            .record_slow(TimedOp::Madvise, t0, span.pages as u64);
     }
 
     /// Releases every dirty span to the OS, moving them to the clean bins

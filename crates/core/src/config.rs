@@ -79,6 +79,17 @@ pub struct MeshConfig {
     /// Profile-dump destination (`MESH_PROF_PATH`; `None` = stderr as a
     /// single `mesh-prof: ` line). The file is rewritten on each dump.
     pub(crate) prof_path: Option<PathBuf>,
+    /// Master switch for slow-path event tracing (`MESH_TRACE`). Off by
+    /// default: no rings exist and each slow-path record is one `Option`
+    /// load. The always-on latency histograms are independent of this.
+    pub(crate) trace: bool,
+    /// Per-ring trace capacity in events (`MESH_TRACE_BUF_EVENTS`,
+    /// rounded up to a power of two; 32 bytes per event). Rings
+    /// overwrite oldest when full.
+    pub(crate) trace_buf_events: usize,
+    /// Trace-dump destination (`MESH_TRACE_PATH`; `None` = stderr as a
+    /// single `mesh-trace: ` line). The file is rewritten on each dump.
+    pub(crate) trace_path: Option<PathBuf>,
     /// Objects exchanged per transfer-cache batch (`MESH_TRANSFER_BATCH`).
     /// 1 disables batching entirely: every remote free takes one queue
     /// push and every refill goes straight to the class shard, exactly
@@ -111,6 +122,9 @@ impl Default for MeshConfig {
             prof_sample_bytes: 512 << 10, // tcmalloc's classic rate
             prof_interval: None,
             prof_path: None,
+            trace: false,
+            trace_buf_events: 64 << 10, // 64 Ki events = 2 MiB per ring
+            trace_path: None,
             transfer_batch: 32,
             transfer_cache_slots: 8,
         }
@@ -271,6 +285,40 @@ impl MeshConfig {
         self.prof_path.as_deref()
     }
 
+    /// Enables or disables slow-path event tracing (`MESH_TRACE`).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Sets the per-ring trace capacity in events
+    /// (`MESH_TRACE_BUF_EVENTS`; rounded up to a power of two).
+    pub fn trace_buf_events(mut self, events: usize) -> Self {
+        self.trace_buf_events = events;
+        self
+    }
+
+    /// Sets (or clears) the trace-dump destination (`MESH_TRACE_PATH`).
+    pub fn trace_path(mut self, path: Option<PathBuf>) -> Self {
+        self.trace_path = path;
+        self
+    }
+
+    /// Whether slow-path event tracing is enabled.
+    pub fn is_tracing(&self) -> bool {
+        self.trace
+    }
+
+    /// The configured per-ring trace capacity in events.
+    pub fn trace_buf_event_count(&self) -> usize {
+        self.trace_buf_events
+    }
+
+    /// The configured trace-dump destination, if any.
+    pub fn trace_dump_path(&self) -> Option<&std::path::Path> {
+        self.trace_path.as_deref()
+    }
+
     /// Sets the number of objects exchanged per transfer-cache batch
     /// (`MESH_TRANSFER_BATCH`; 1 = no batching, legacy path).
     pub fn transfer_batch(mut self, n: usize) -> Self {
@@ -376,6 +424,12 @@ impl MeshConfig {
                 "prof_sample_bytes must be ≥ 1 when profiling is enabled".into(),
             ));
         }
+        if self.trace && !(64..=1 << 22).contains(&self.trace_buf_events) {
+            return Err(MeshError::InvalidConfig(format!(
+                "trace_buf_events {} outside 64..=4Mi",
+                self.trace_buf_events
+            )));
+        }
         if !(1..=256).contains(&self.transfer_batch) {
             return Err(MeshError::InvalidConfig(format!(
                 "transfer_batch {} outside 1..=256",
@@ -406,6 +460,9 @@ impl MeshConfig {
     /// | `MESH_PROF_SAMPLE_BYTES` | mean bytes between samples |
     /// | `MESH_PROF_INTERVAL_MS` | periodic profile dumps (0 = off) |
     /// | `MESH_PROF_PATH` | profile-dump file (default: stderr) |
+    /// | `MESH_TRACE` | enable slow-path event tracing |
+    /// | `MESH_TRACE_BUF_EVENTS` | per-ring trace capacity in events |
+    /// | `MESH_TRACE_PATH` | trace-dump file (default: stderr) |
     /// | `MESH_TRANSFER_BATCH` | objects per transfer-cache batch (1 = off) |
     /// | `MESH_TRANSFER_CACHE_SLOTS` | cached batches per size class (0 = off) |
     ///
@@ -442,6 +499,15 @@ impl MeshConfig {
         }
         if let Some(path) = env_path("MESH_PROF_PATH") {
             self = self.prof_path(Some(path));
+        }
+        if let Some(enabled) = env_bool("MESH_TRACE") {
+            self = self.tracing(enabled);
+        }
+        if let Some(events) = env_size("MESH_TRACE_BUF_EVENTS") {
+            self = self.trace_buf_events(events);
+        }
+        if let Some(path) = env_path("MESH_TRACE_PATH") {
+            self = self.trace_path(Some(path));
         }
         if let Some(n) = env_u64("MESH_TRANSFER_BATCH") {
             self = self.transfer_batch(n as usize);
@@ -651,6 +717,37 @@ mod tests {
         assert!(MeshConfig::default()
             .profiling(true)
             .prof_sample_bytes(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn trace_knobs_build_and_validate() {
+        let c = MeshConfig::default();
+        assert!(!c.is_tracing(), "tracing is off by default");
+        assert_eq!(c.trace_buf_event_count(), 64 << 10);
+        assert_eq!(c.trace_dump_path(), None);
+        let c = MeshConfig::default()
+            .tracing(true)
+            .trace_buf_events(4096)
+            .trace_path(Some("/tmp/trace.json".into()));
+        assert!(c.is_tracing());
+        assert_eq!(c.trace_buf_event_count(), 4096);
+        assert_eq!(
+            c.trace_dump_path(),
+            Some(std::path::Path::new("/tmp/trace.json"))
+        );
+        assert!(c.validate().is_ok());
+        // Ring bounds only matter when tracing is on.
+        assert!(MeshConfig::default().trace_buf_events(1).validate().is_ok());
+        assert!(MeshConfig::default()
+            .tracing(true)
+            .trace_buf_events(1)
+            .validate()
+            .is_err());
+        assert!(MeshConfig::default()
+            .tracing(true)
+            .trace_buf_events((1 << 22) + 1)
             .validate()
             .is_err());
     }

@@ -39,7 +39,7 @@ use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES, PAGE_SIZE};
 use crate::stats::Counters;
 use crate::sync::{Mutex, MutexGuard};
-use crate::telemetry::{self, HeapSpectrum, Telemetry};
+use crate::telemetry::{self, HeapSpectrum, Telemetry, TimedOp, TraceSet};
 use crate::transfer_cache::TransferCache;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -186,6 +186,8 @@ pub(crate) struct AllShardGuards<'a> {
     _stat_locals: MutexGuard<'a, Vec<Arc<crate::stats::LocalCounters>>>,
     _senders: MutexGuard<'a, Vec<std::sync::Weak<crate::remote_free::SenderBufs>>>,
     _telemetry_dump: Option<MutexGuard<'a, Instant>>,
+    _hist_locals: MutexGuard<'a, Vec<Arc<crate::telemetry::LocalHists>>>,
+    _trace_rings: Option<MutexGuard<'a, Vec<Arc<crate::telemetry::TraceRing>>>>,
 }
 
 /// Runtime-tunable configuration (the `mallctl` analogs, §4.5) as
@@ -425,6 +427,12 @@ impl std::fmt::Debug for GlobalHeap {
 impl GlobalHeap {
     pub fn new(config: MeshConfig, counters: Arc<Counters>) -> Result<GlobalHeap, MeshError> {
         config.validate()?;
+        // Start the uptime/trace clock at heap birth, and install the
+        // opt-in trace rings before any instrumented path can run.
+        counters.epoch();
+        if let Some(trace) = TraceSet::new(&config) {
+            counters.set_trace(trace);
+        }
         let arena = Arena::new(&config, Arc::clone(&counters))?;
         let base = arena.base_addr();
         let pages = arena.capacity_pages();
@@ -488,30 +496,29 @@ impl GlobalHeap {
     // ----- lock acquisition (with contention accounting) ----------------
 
     /// Acquires one size class's lock, counting contended acquisitions.
+    /// Contended waits feed the class-lock-wait histogram and — when a
+    /// mesh pass is active and the waiter is not the mesher — the
+    /// mutator-pause histogram. The uncontended path pays no clock read.
     pub fn lock_class(&self, class: SizeClass) -> MutexGuard<'_, ClassState> {
         let shard = &self.classes[class.index()];
-        match shard.state.try_lock() {
-            Some(guard) => guard,
-            None => {
-                self.counters.class_lock_contention[class.index()]
-                    .fetch_add(1, Ordering::Relaxed);
-                shard.state.lock()
-            }
+        let (guard, waited) = shard.state.lock_timed();
+        if let Some(ns) = waited {
+            self.counters.class_lock_contention[class.index()].fetch_add(1, Ordering::Relaxed);
+            self.counters.record_lock_wait(TimedOp::ClassLockWait, ns);
         }
+        guard
     }
 
-    /// Acquires the arena leaf lock, counting contended acquisitions.
+    /// Acquires the arena leaf lock, counting contended acquisitions
+    /// (timed like [`GlobalHeap::lock_class`]).
     /// Lock order: at most one class (or large) lock may be held.
     pub fn lock_arena(&self) -> MutexGuard<'_, Arena> {
-        match self.arena.try_lock() {
-            Some(guard) => guard,
-            None => {
-                self.counters
-                    .arena_lock_contention
-                    .fetch_add(1, Ordering::Relaxed);
-                self.arena.lock()
-            }
+        let (guard, waited) = self.arena.lock_timed();
+        if let Some(ns) = waited {
+            self.counters.arena_lock_contention.fetch_add(1, Ordering::Relaxed);
+            self.counters.record_lock_wait(TimedOp::ArenaLockWait, ns);
         }
+        guard
     }
 
     // ----- remote-free queues -------------------------------------------
@@ -532,12 +539,14 @@ impl GlobalHeap {
         if shard.queue.is_empty() {
             return;
         }
+        let t0 = Instant::now();
+        let mut drained = 0u64;
         for addr in shard.queue.drain() {
-            self.counters
-                .remote_free_drained
-                .fetch_add(1, Ordering::Relaxed);
+            drained += 1;
             self.apply_remote_free(class, st, addr);
         }
+        self.counters.remote_free_drained.fetch_add(drained, Ordering::Relaxed);
+        self.counters.record_slow(TimedOp::RemoteDrain, t0, drained);
     }
 
     /// Validates and applies one queued free. Invalid pointers and double
@@ -819,6 +828,8 @@ impl GlobalHeap {
         let mut st = self.lock_class(class);
         self.drain_class_locked(class, &mut st);
         self.release_vector_locked(class, &mut st, sv);
+        let t0 = Instant::now();
+        let returned = cache.len() as u64;
         let batch = self.transfer.batch();
         while !cache.is_empty() {
             let n = batch.min(cache.len());
@@ -834,6 +845,7 @@ impl GlobalHeap {
                 }
             }
         }
+        self.counters.record_slow(TimedOp::TransferSpill, t0, returned);
     }
 
     fn release_vector_locked(&self, class: SizeClass, st: &mut ClassState, sv: &mut ShuffleVector) {
@@ -850,6 +862,8 @@ impl GlobalHeap {
             let mh = st.slab.get(old).expect("attached id is live");
             let (in_use, count) = (mh.in_use(), mh.object_count());
             if in_use - sv.available() >= count.div_ceil(2) {
+                let t0 = Instant::now();
+                let mut spilled = 0u64;
                 let batch = self.transfer.batch();
                 let mut budget =
                     (self.transfer.room(class.index()) * batch).min(sv.available());
@@ -859,6 +873,7 @@ impl GlobalHeap {
                         break;
                     }
                     budget -= chunk.len();
+                    spilled += chunk.len() as u64;
                     match self.transfer.try_push(class.index(), chunk) {
                         Ok(()) => {
                             self.counters.transfer_spills.fetch_add(1, Ordering::Relaxed);
@@ -870,6 +885,7 @@ impl GlobalHeap {
                         }
                     }
                 }
+                self.counters.record_slow(TimedOp::TransferSpill, t0, spilled);
             }
         }
         {
@@ -1102,7 +1118,8 @@ impl GlobalHeap {
     /// index, then the large shard, then the arena leaf, then the
     /// transfer-cache leaves, then the scheduler leaves, then the
     /// per-thread stats registry, then the sender-buffer registry, then
-    /// the telemetry dump clock —
+    /// the telemetry dump clock, then the histogram-block registry, then
+    /// the trace-ring registry —
     /// quiescing the heap for `fork()`. Any
     /// in-flight refill, drain, meshing pass, thread-block
     /// (un)registration, or dump-clock claim completes before this
@@ -1117,6 +1134,8 @@ impl GlobalHeap {
         let stat_locals = self.counters.lock_locals();
         let senders = self.senders.lock();
         let telemetry_dump = self.telemetry.as_ref().map(|t| t.lock_dump_clock());
+        let hist_locals = self.counters.lock_hist_locals();
+        let trace_rings = self.counters.trace_set().map(|t| t.lock_rings());
         AllShardGuards {
             _classes: classes,
             _large: large,
@@ -1128,6 +1147,8 @@ impl GlobalHeap {
             _stat_locals: stat_locals,
             _senders: senders,
             _telemetry_dump: telemetry_dump,
+            _hist_locals: hist_locals,
+            _trace_rings: trace_rings,
         }
     }
 
@@ -1191,6 +1212,9 @@ impl GlobalHeap {
         if !self.rt.meshing() {
             return MeshSummary::default();
         }
+        // While this scope lives, other threads' contended lock waits are
+        // pauses inflicted by the mesher (this thread's own are not).
+        let _pass = crate::stats::MeshPassScope::enter(&self.counters);
         let summary = meshing::mesh_all_classes(self);
         self.scheduler
             .finish_pass(summary.bytes_released() < self.rt.min_mesh_gain_bytes());
@@ -1263,6 +1287,7 @@ impl GlobalHeap {
     /// a time, before the arena leaf): a span whose only "live" objects
     /// sit in the cache would otherwise pin its pages committed forever.
     pub fn purge_and_retire(&self) {
+        let _pass = crate::stats::MeshPassScope::enter(&self.counters);
         self.purge_transfer_all();
         let mut arena = self.lock_arena();
         arena.purge_dirty();
@@ -1360,17 +1385,26 @@ impl GlobalHeap {
             &prof,
             &entries,
             self.counters.snapshot().live_bytes,
+            self.counters.uptime_ms(),
         ))
     }
 
     /// One background-thread telemetry beat: writes a profile dump when
     /// one is due (interval expired, or a request from `SIGUSR2` /
-    /// [`Telemetry::request_dump`]). No-op without profiling.
+    /// [`Telemetry::request_dump`]), and a trace dump when one was
+    /// requested. No-op without profiling or tracing.
     pub(crate) fn telemetry_tick(&self) {
-        let Some(t) = &self.telemetry else { return };
-        if t.take_dump_due() {
-            if let Some(json) = self.profile_json() {
-                t.write_dump(&json);
+        if let Some(t) = &self.telemetry {
+            if t.take_dump_due() {
+                if let Some(json) = self.profile_json() {
+                    t.write_dump(&json);
+                }
+            }
+        }
+        if let Some(trace) = self.counters.trace_set() {
+            if trace.take_dump_due() {
+                let json = trace.chrome_json(self.counters.uptime_ms());
+                trace.write_dump(&json);
             }
         }
     }
@@ -1397,9 +1431,11 @@ impl GlobalHeap {
 
     /// Whether a heap with this configuration runs the background thread:
     /// for background meshing, for telemetry duties (interval dumps,
-    /// signal-requested dumps), or both.
+    /// signal- or API-requested profile and trace dumps), or both.
     pub(crate) fn background_thread_wanted(&self) -> bool {
-        self.rt.background_meshing || self.telemetry.is_some()
+        self.rt.background_meshing
+            || self.telemetry.is_some()
+            || self.counters.trace_set().is_some()
     }
 }
 

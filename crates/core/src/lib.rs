@@ -102,4 +102,7 @@ pub use segment::{SegmentId, SegmentStats};
 pub use size_classes::{SizeClass, MAX_SMALL_SIZE, NUM_SIZE_CLASSES, PAGE_SIZE};
 pub use stats::{HeapStats, SpanSnapshot};
 pub use sys::ReleaseStrategy;
-pub use telemetry::{ClassSpectrum, HeapSpectrum, ProfileStats, SiteSnapshot};
+pub use telemetry::{
+    bucket_upper_ns, ClassSpectrum, HeapSpectrum, LatencySnapshot, ProfileStats, SiteSnapshot,
+    TimedOp, TraceEvent, ALL_TIMED_OPS, LATENCY_BUCKETS, NUM_TIMED_OPS,
+};

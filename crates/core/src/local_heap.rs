@@ -31,9 +31,10 @@ use crate::rng::Rng;
 use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES};
 use crate::stats::{Counters, LocalCounters};
-use crate::telemetry::{Telemetry, ThreadSampler};
+use crate::telemetry::{trace_tid, LocalHists, Telemetry, ThreadSampler, TimedOp, TraceRing};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Where one free request is routed, as decided by a single page-map
 /// lookup (see [`ThreadHeapCore::route`]).
@@ -63,6 +64,13 @@ pub(crate) struct ThreadHeapCore {
     token: u64,
     /// Fast-path counter deltas (single-writer; see [`LocalCounters`]).
     local: Arc<LocalCounters>,
+    /// Per-thread latency histogram block (single-writer, like `local`):
+    /// the refill and transfer-flush timings land here without RMWs.
+    hists: Arc<LocalHists>,
+    /// Per-thread trace-event ring, present only under `MESH_TRACE=1`.
+    /// Registered with the heap's [`crate::telemetry::TraceSet`]; the set
+    /// keeps the ring alive after thread exit so its tail stays dumpable.
+    ring: Option<Arc<TraceRing>>,
     /// The shared block `local` is registered with, kept for flush points
     /// and teardown.
     counters: Arc<Counters>,
@@ -108,6 +116,8 @@ impl ThreadHeapCore {
             rng: Rng::with_seed(seed),
             token,
             local: counters.register_local(),
+            hists: counters.register_local_hists(),
+            ring: counters.trace_set().map(|t| t.register_ring()),
             counters,
             sampler: telemetry.map(|t| Box::new(ThreadSampler::new(t, seed))),
             remote_bufs: Arc::new(SenderBufs::new()),
@@ -120,6 +130,20 @@ impl ThreadHeapCore {
     /// The thread token identifying this heap in `AttachState::Attached`.
     pub fn token(&self) -> u64 {
         self.token
+    }
+
+    /// Records a completed slow-path operation that started at `t0` into
+    /// this thread's histogram block and — when tracing — its event ring.
+    /// Single-writer by construction: only the owning thread calls this.
+    fn record_op(&self, op: TimedOp, t0: Instant, arg: u64) {
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.hists.record(op, dur_ns);
+        if let Some(ring) = &self.ring {
+            let start_ns = t0
+                .saturating_duration_since(self.counters.epoch())
+                .as_nanos() as u64;
+            ring.push(op, trace_tid(), start_ns, dur_ns, arg);
+        }
     }
 
     /// Allocates `size` bytes (Fig 4, `MeshLocal::malloc`): the size
@@ -173,10 +197,10 @@ impl ThreadHeapCore {
             // Refill boundary: already taking the class lock, so fold the
             // batched deltas into the shared counters while we are here.
             self.counters.flush_local(&self.local);
-            if state
-                .refill(&mut self.vectors[idx], class, self.token, &mut self.rng)
-                .is_err()
-            {
+            let refill_t0 = Instant::now();
+            let refilled = state.refill(&mut self.vectors[idx], class, self.token, &mut self.rng);
+            self.record_op(TimedOp::Refill, refill_t0, idx as u64);
+            if refilled.is_err() {
                 // Before reporting exhaustion, return memory the heap is
                 // sitting on: first every sender's buffered remote frees
                 // (sub-batch buffers can pin the last free spans), then
@@ -324,11 +348,17 @@ impl ThreadHeapCore {
     /// node per non-empty class). Lock-free; called at detach, by stats
     /// readers that need settled queues, and on demand.
     pub fn flush_remote(&mut self, state: &GlobalHeap) {
+        let t0 = Instant::now();
+        let mut flushed = 0u64;
         for idx in 0..NUM_SIZE_CLASSES {
             let mut buf = self.remote_bufs.take(idx);
             if !buf.is_empty() {
                 state.flush_remote_batch(idx, &mut buf);
+                flushed += 1;
             }
+        }
+        if flushed > 0 {
+            self.record_op(TimedOp::TransferFlush, t0, flushed);
         }
     }
 
@@ -365,9 +395,12 @@ impl ThreadHeapCore {
 impl Drop for ThreadHeapCore {
     fn drop(&mut self) {
         // Spans are returned by the owning wrapper (`ThreadHeap::drop`
-        // calls `detach_all` with the heap in hand); the delta block can
+        // calls `detach_all` with the heap in hand); the delta blocks can
         // retire here, folding any remaining counts into the shared stats.
+        // The trace ring (if any) stays registered: its tail remains part
+        // of future dumps by design.
         self.counters.unregister_local(&self.local);
+        self.counters.unregister_local_hists(&self.hists);
     }
 }
 
@@ -453,6 +486,34 @@ mod tests {
         for p in ptrs {
             unsafe { heap.free(&state, p) };
         }
+    }
+
+    #[test]
+    fn refills_and_flushes_feed_latency_histograms() {
+        let (state, counters) = setup();
+        let mut a = core(&counters, 31, 1);
+        let mut b = core(&counters, 32, 2);
+        let class = SizeClass::for_size(512).unwrap();
+        let mut ptrs = vec![];
+        for _ in 0..class.object_count() * 2 {
+            let p = a.malloc(&state, 512);
+            assert!(!p.is_null());
+            ptrs.push(p);
+        }
+        for p in ptrs {
+            unsafe { b.free(&state, p) };
+        }
+        b.flush_remote(&state);
+        let snap = counters.snapshot();
+        assert!(
+            snap.latency.count(TimedOp::Refill) >= 2,
+            "each span refill is timed: {:?}",
+            snap.latency.count(TimedOp::Refill)
+        );
+        assert!(
+            snap.latency.count(TimedOp::TransferFlush) >= 1,
+            "explicit remote flush is timed"
+        );
     }
 
     #[test]

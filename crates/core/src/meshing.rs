@@ -33,6 +33,7 @@ use crate::miniheap::MiniHeapId;
 use crate::size_classes::SizeClass;
 use crate::span::Span;
 use crate::sys::ReleaseStrategy;
+use crate::telemetry::TimedOp;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
@@ -94,8 +95,13 @@ pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
         // them to their spans so candidate collection sees the truth (and
         // empty-but-cached spans get reclaimed rather than pinned).
         heap.purge_transfer_locked(class, &mut st);
+        // The selection phase is timed even when it comes up dry: the
+        // partial-bin scan is the `t`-bounded search cost the histogram
+        // exists to expose, and a dry scan (arg 0) is still that cost.
+        let select_t0 = Instant::now();
         let candidates = collect_candidates(heap, &st);
         if candidates.len() < 2 {
+            heap.counters.record_slow(TimedOp::MeshCandidates, select_t0, 0);
             continue;
         }
         let pairs = split_mesher(
@@ -105,12 +111,16 @@ pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
             heap.rt.max_span_count(),
             &mut summary.pairs_probed,
         );
+        heap.counters
+            .record_slow(TimedOp::MeshCandidates, select_t0, pairs.len() as u64);
         for (a, b) in pairs {
             mesh_pair(heap, &mut st, class, a, b, &mut summary);
         }
     }
     let nanos = t0.elapsed().as_nanos() as u64;
     heap.counters.record_mesh_pass(nanos);
+    heap.counters
+        .record_slow(TimedOp::MeshPass, t0, summary.pairs_meshed as u64);
     heap.counters
         .spans_meshed
         .fetch_add(summary.pairs_meshed as u64, Ordering::Relaxed);
@@ -238,6 +248,10 @@ fn mesh_pair(
 
     let mut arena = heap.lock_arena();
 
+    // Copy-window phase: barrier raise through the object copies — the
+    // window during which mutator writes to the source spans fault.
+    let copy_t0 = Instant::now();
+
     // Raise the write barrier and protect every virtual span of the source
     // so no thread can write to an object while it is being copied.
     if let Some(guard) = arena.barrier() {
@@ -269,6 +283,13 @@ fn mesh_pair(
         }
     }
 
+    heap.counters
+        .record_slow(TimedOp::MeshCopy, copy_t0, src_slots.len() as u64);
+
+    // Remap phase: physical release + alias retargeting through the
+    // barrier drop.
+    let remap_t0 = Instant::now();
+
     // Release the source's physical pages and retarget its virtual spans.
     // Ordering depends on the release primitive; see module docs.
     let release_before_remap = arena.release_strategy() == ReleaseStrategy::MadviseDontNeed;
@@ -289,6 +310,8 @@ fn mesh_pair(
     if let Some(guard) = arena.barrier() {
         guard.end_meshing();
     }
+    heap.counters
+        .record_slow(TimedOp::MeshRemap, remap_t0, src_spans.len() as u64);
     drop(arena);
 
     // Fold the source's spans into the destination MiniHeap and retire it.

@@ -18,9 +18,53 @@
 
 use crate::size_classes::NUM_SIZE_CLASSES;
 use crate::sync::Mutex;
-use crate::telemetry::HeapSpectrum;
+use crate::telemetry::{
+    HeapSpectrum, HistSet, LatencySnapshot, LocalHists, TimedOp, TraceSet, ALL_TIMED_OPS,
+};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    /// Whether the current thread is inside a meshing pass. Lock waits by
+    /// the mesher itself are never mutator pauses.
+    static IN_MESH_PASS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current thread as (not) running a meshing pass.
+pub(crate) fn set_in_mesh_pass(v: bool) {
+    IN_MESH_PASS.with(|c| c.set(v));
+}
+
+/// Whether the current thread is running a meshing pass.
+pub(crate) fn in_mesh_pass() -> bool {
+    IN_MESH_PASS.with(|c| c.get())
+}
+
+/// RAII scope marking "a mesh pass (or purge) is running on this thread":
+/// bumps [`Counters::mesh_active`] and sets the thread-local mesher flag,
+/// restoring both on drop (nesting-safe — purge runs inside a pass).
+pub(crate) struct MeshPassScope<'a> {
+    counters: &'a Counters,
+    was: bool,
+}
+
+impl<'a> MeshPassScope<'a> {
+    pub(crate) fn enter(counters: &'a Counters) -> MeshPassScope<'a> {
+        let was = in_mesh_pass();
+        set_in_mesh_pass(true);
+        counters.mesh_active.fetch_add(1, Ordering::Relaxed);
+        MeshPassScope { counters, was }
+    }
+}
+
+impl Drop for MeshPassScope<'_> {
+    fn drop(&mut self) {
+        self.counters.mesh_active.fetch_sub(1, Ordering::Relaxed);
+        set_in_mesh_pass(self.was);
+    }
+}
 
 /// Per-thread counter deltas for the malloc/free fast path.
 ///
@@ -127,9 +171,23 @@ pub struct Counters {
     /// `realloc` calls satisfied without moving the allocation (same size
     /// class, or still within a large allocation's page span).
     pub reallocs_in_place: AtomicU64,
+    /// Mesh passes (or purge phases) currently executing. Nonzero means a
+    /// mutator's contended lock wait is a *pause inflicted by the mesher*
+    /// and is additionally recorded in the mutator-pause histogram.
+    pub mesh_active: AtomicU64,
     /// Live per-thread delta blocks; summed by [`Counters::snapshot`] so
     /// stats stay exact while threads batch.
     locals: Mutex<Vec<Arc<LocalCounters>>>,
+    /// Always-on slow-path latency histograms (shared tier plus
+    /// registered per-thread single-writer blocks).
+    hists: HistSet,
+    /// Opt-in trace rings (`MESH_TRACE=1`); `None` keeps every slow-path
+    /// record to one `Option` load.
+    trace: OnceLock<Arc<TraceSet>>,
+    /// The heap's birth instant: zero point for trace timestamps and
+    /// `uptime_ms`. Initialized lazily on first use so `Counters` keeps
+    /// its `Default`.
+    epoch: OnceLock<Instant>,
 }
 
 impl Counters {
@@ -214,6 +272,92 @@ impl Counters {
         self.mesh_longest_pause_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
+    /// The heap's birth instant (first call wins; the heap constructor
+    /// touches this so uptime starts at init, not at first telemetry read).
+    pub(crate) fn epoch(&self) -> Instant {
+        *self.epoch.get_or_init(Instant::now)
+    }
+
+    /// Nanoseconds since the heap's epoch.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch().elapsed().as_nanos() as u64
+    }
+
+    /// Milliseconds since the heap's epoch.
+    pub(crate) fn uptime_ms(&self) -> u64 {
+        self.epoch().elapsed().as_millis() as u64
+    }
+
+    /// Installs the trace rings (heap construction, `MESH_TRACE=1` only).
+    pub(crate) fn set_trace(&self, trace: Arc<TraceSet>) {
+        let _ = self.trace.set(trace);
+    }
+
+    /// The trace rings, when tracing is on.
+    pub(crate) fn trace_set(&self) -> Option<&Arc<TraceSet>> {
+        self.trace.get()
+    }
+
+    /// Records one completed slow-path operation that began at `start`:
+    /// always into the shared latency histogram, and into the shared
+    /// trace ring when tracing is on.
+    pub(crate) fn record_slow(&self, op: TimedOp, start: Instant, arg: u64) {
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        self.hists.record(op, dur_ns);
+        if let Some(trace) = self.trace.get() {
+            let start_ns = start.saturating_duration_since(self.epoch()).as_nanos() as u64;
+            trace.record_shared(op, start_ns, dur_ns, arg);
+        }
+    }
+
+    /// Records an already-measured wait of `dur_ns` ending now (the shape
+    /// [`crate::sync::Mutex::lock_timed`] reports).
+    pub(crate) fn record_wait(&self, op: TimedOp, dur_ns: u64, arg: u64) {
+        self.hists.record(op, dur_ns);
+        if let Some(trace) = self.trace.get() {
+            let start_ns = self.now_ns().saturating_sub(dur_ns);
+            trace.record_shared(op, start_ns, dur_ns, arg);
+        }
+    }
+
+    /// Records a contended lock wait; when a mesh pass is active and the
+    /// waiter is not the mesher itself, the wait is also a mutator pause —
+    /// measured here, at the lock boundary, because that is the only
+    /// place the mesher can block a mutator.
+    pub(crate) fn record_lock_wait(&self, op: TimedOp, dur_ns: u64) {
+        self.record_wait(op, dur_ns, 0);
+        if self.mesh_active.load(Ordering::Relaxed) > 0 && !in_mesh_pass() {
+            self.record_wait(TimedOp::MutatorPause, dur_ns, 0);
+        }
+    }
+
+    /// Creates and registers a per-thread histogram block (single-writer,
+    /// like [`Counters::register_local`]).
+    pub(crate) fn register_local_hists(&self) -> Arc<LocalHists> {
+        self.hists.register_local()
+    }
+
+    /// Folds and removes a dying thread's histogram block.
+    pub(crate) fn unregister_local_hists(&self, block: &Arc<LocalHists>) {
+        self.hists.unregister_local(block)
+    }
+
+    /// Holds the histogram-registry lock (fork quiescence; a leaf lock).
+    pub(crate) fn lock_hist_locals(&self) -> crate::sync::MutexGuard<'_, Vec<Arc<LocalHists>>> {
+        self.hists.lock_locals()
+    }
+
+    /// Zeroes every latency histogram (fork child: the parent's latency
+    /// history is not this process's).
+    pub(crate) fn zero_latency(&self) {
+        self.hists.zero_all();
+    }
+
+    /// The current latency snapshot (merged shared + per-thread tiers).
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.hists.snapshot()
+    }
+
     /// Takes a coherent-enough snapshot (individual counters are relaxed;
     /// exact cross-counter consistency is not required for reporting).
     /// Pending per-thread deltas are summed in, so totals are exact
@@ -259,6 +403,8 @@ impl Counters {
             mapped_pages: self.mapped_pages.load(Ordering::Relaxed),
             forks: self.forks.load(Ordering::Relaxed),
             reallocs_in_place: self.reallocs_in_place.load(Ordering::Relaxed),
+            uptime_ms: self.uptime_ms(),
+            latency: self.hists.snapshot(),
             spectrum: HeapSpectrum::default(),
         }
     }
@@ -349,6 +495,12 @@ pub struct HeapStats {
     pub forks: u64,
     /// `realloc` calls satisfied in place (no copy, pointer unchanged).
     pub reallocs_in_place: u64,
+    /// Milliseconds since heap initialization (monotonic), so successive
+    /// dumps can be diffed and rated.
+    pub uptime_ms: u64,
+    /// Slow-path latency histograms (always on; see
+    /// [`crate::telemetry::TimedOp`] for the operations measured).
+    pub latency: LatencySnapshot,
     /// Per-class occupancy spectrum with meshability estimates. Filled
     /// only by [`crate::Mesh::stats_with_spectrum`] — plain
     /// [`crate::Mesh::stats`] / [`Counters::snapshot`] leave it empty
@@ -397,7 +549,9 @@ impl HeapStats {
     /// meshing metric). When the snapshot carries an occupancy spectrum
     /// (see [`HeapStats::spectrum`]), a compact per-class summary and the
     /// releasable-bytes estimate are appended, so `malloc_stats(3)` shows
-    /// meshability at a glance.
+    /// meshability at a glance. Slow-path operations that have actually
+    /// fired follow as one `mesh-latency:` line each (count/p50/p99/max);
+    /// a bare snapshot stays a single line.
     pub fn render(&self) -> String {
         let mut line = self.render_counters();
         if !self.spectrum.is_empty() {
@@ -406,6 +560,19 @@ impl HeapStats {
                 self.spectrum.est_releasable_bytes(),
                 self.spectrum.render_compact(),
             ));
+        }
+        for op in ALL_TIMED_OPS {
+            let count = self.latency.count(op);
+            if count > 0 {
+                line.push_str(&format!(
+                    "\nmesh-latency: op={} count={} p50_ns={} p99_ns={} max_ns={}",
+                    op.name(),
+                    count,
+                    self.latency.percentile_ns(op, 0.50),
+                    self.latency.percentile_ns(op, 0.99),
+                    self.latency.max_ns(op),
+                ));
+            }
         }
         line
     }
@@ -416,7 +583,8 @@ impl HeapStats {
              mapped_bytes={} large_allocs={} remote_frees={} invalid_frees={} double_frees={} \
              reallocs_in_place={} mesh_passes={} pairs_meshed={} mesh_pages_released={} \
              pages_purged={} segments={} segments_created={} segments_retired={} forks={} \
-             transfer_hits={} transfer_misses={} transfer_spills={} remote_free_batches={}",
+             transfer_hits={} transfer_misses={} transfer_spills={} remote_free_batches={} \
+             uptime_ms={}",
             self.mallocs,
             self.frees,
             self.live_bytes,
@@ -440,6 +608,7 @@ impl HeapStats {
             self.transfer_misses,
             self.transfer_spills,
             self.remote_free_batches,
+            self.uptime_ms,
         )
     }
 }
@@ -610,6 +779,57 @@ mod tests {
         assert_eq!(s.frees, 1);
         c.unregister_local(&block);
         assert_eq!(c.snapshot().live_bytes, 0);
+    }
+
+    #[test]
+    fn render_appends_latency_lines_only_when_ops_fired() {
+        let c = Counters::default();
+        let bare = c.snapshot().render();
+        assert!(!bare.contains('\n'), "no ops fired, one line");
+        assert!(bare.contains("uptime_ms="), "uptime always present");
+        c.record_wait(TimedOp::Refill, 5_000, 0);
+        c.record_wait(TimedOp::Refill, 50_000, 0);
+        let line = c.snapshot().render();
+        let latency: Vec<&str> = line
+            .lines()
+            .filter(|l| l.starts_with("mesh-latency: "))
+            .collect();
+        assert_eq!(latency.len(), 1, "only the fired op is rendered: {line}");
+        assert!(latency[0].contains("op=refill count=2"), "{line}");
+        assert!(latency[0].contains("max_ns=50000"), "{line}");
+    }
+
+    #[test]
+    fn lock_waits_become_mutator_pauses_only_under_meshing() {
+        let c = Counters::default();
+        c.record_lock_wait(TimedOp::ClassLockWait, 1_000);
+        assert_eq!(c.latency_snapshot().count(TimedOp::MutatorPause), 0);
+        c.mesh_active.fetch_add(1, Ordering::Relaxed);
+        c.record_lock_wait(TimedOp::ClassLockWait, 2_000);
+        assert_eq!(c.latency_snapshot().count(TimedOp::MutatorPause), 1);
+        // The mesher's own waits are never pauses.
+        set_in_mesh_pass(true);
+        c.record_lock_wait(TimedOp::ArenaLockWait, 3_000);
+        set_in_mesh_pass(false);
+        let snap = c.latency_snapshot();
+        assert_eq!(snap.count(TimedOp::MutatorPause), 1);
+        assert_eq!(snap.count(TimedOp::ClassLockWait), 2);
+        assert_eq!(snap.count(TimedOp::ArenaLockWait), 1);
+        // Fork child wipes latency history.
+        c.zero_latency();
+        assert!(c.latency_snapshot().is_empty());
+    }
+
+    #[test]
+    fn record_slow_feeds_hist_and_trace() {
+        let c = Counters::default();
+        let cfg = crate::MeshConfig::default().tracing(true).trace_buf_events(64);
+        c.set_trace(TraceSet::new(&cfg).unwrap());
+        c.record_slow(TimedOp::MeshPass, Instant::now(), 7);
+        assert_eq!(c.latency_snapshot().count(TimedOp::MeshPass), 1);
+        let json = c.trace_set().unwrap().chrome_json(c.uptime_ms());
+        assert!(json.contains("\"name\":\"mesh_pass\""), "{json}");
+        assert!(json.contains("\"args\":{\"arg\":7}"), "{json}");
     }
 
     #[test]

@@ -92,6 +92,22 @@ impl<T> Mutex<T> {
             Err(TryLockError::WouldBlock) => None,
         }
     }
+
+    /// Acquires the lock, reporting how long the *contended* wait took:
+    /// `None` when the uncontended `try_lock` succeeded (nothing timed —
+    /// the fast path pays no clock read), `Some(ns)` when the caller had
+    /// to block. This is the substrate of lock-wait and mutator-pause
+    /// accounting: only waits are measured, at the boundary where they
+    /// happen.
+    #[inline]
+    pub fn lock_timed(&self) -> (MutexGuard<'_, T>, Option<u64>) {
+        if let Some(g) = self.try_lock() {
+            return (g, None);
+        }
+        let t0 = std::time::Instant::now();
+        let g = self.lock();
+        (g, Some(t0.elapsed().as_nanos() as u64))
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +124,24 @@ mod tests {
         }
         assert_eq!(*m.lock(), 6);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn lock_timed_reports_only_contended_waits() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let (_g, waited) = m.lock_timed();
+        assert_eq!(waited, None, "uncontended acquisition is not timed");
+        drop(_g);
+        let m2 = std::sync::Arc::clone(&m);
+        let g = m.lock();
+        let h = std::thread::spawn(move || {
+            let (_g, waited) = m2.lock_timed();
+            waited
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(g);
+        let waited = h.join().unwrap();
+        assert!(waited.is_some(), "blocked acquisition reports a wait");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! ```json
 //! {
 //!   "mesh_profile_version": 1,
+//!   "uptime_ms": 1234,
 //!   "sample_bytes": 524288,
 //!   "samples": 123, "samples_dropped": 0, "sampled_frees": 100,
 //!   "sites": 7, "live_samples": 23,
@@ -33,6 +34,7 @@
 
 use super::{ProfileStats, SiteSnapshot};
 use crate::stats::HeapStats;
+use crate::telemetry::histogram::{bucket_upper_ns, LatencySnapshot, ALL_TIMED_OPS, LATENCY_BUCKETS};
 use crate::telemetry::HeapSpectrum;
 
 /// Renders the version-1 JSON heap profile.
@@ -40,10 +42,11 @@ pub(crate) fn profile_json(
     prof: &ProfileStats,
     entries: &[SiteSnapshot],
     live_bytes_exact: usize,
+    uptime_ms: u64,
 ) -> String {
     let mut out = String::with_capacity(256 + entries.len() * 160);
     out.push_str(&format!(
-        "{{\"mesh_profile_version\":1,\"sample_bytes\":{},\
+        "{{\"mesh_profile_version\":1,\"uptime_ms\":{uptime_ms},\"sample_bytes\":{},\
          \"samples\":{},\"samples_dropped\":{},\"sampled_frees\":{},\
          \"sites\":{},\"live_samples\":{},\
          \"live_bytes_exact\":{},\"live_bytes_estimate\":{},\"entries\":[",
@@ -80,69 +83,272 @@ pub(crate) fn profile_json(
     out
 }
 
-/// Appends one Prometheus metric with `# TYPE` header.
-fn metric(out: &mut String, name: &str, kind: &str, value: impl std::fmt::Display) {
-    out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+/// Appends one Prometheus metric with `# HELP` and `# TYPE` headers.
+fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: impl std::fmt::Display) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+/// Formats nanoseconds as a Prometheus seconds value (plain decimal;
+/// Rust's `f64` `Display` never uses exponent notation).
+fn seconds(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
 }
 
 /// Renders the heap's state as Prometheus text-format metrics: the
-/// [`HeapStats`] counters/gauges, the per-class occupancy spectrum, and
-/// (when profiling) the sampler's own summary.
+/// [`HeapStats`] counters/gauges, the slow-path latency histograms, the
+/// per-class occupancy spectrum, and (when profiling) the sampler's own
+/// summary.
 pub(crate) fn prom_text(stats: &HeapStats, prof: Option<&ProfileStats>) -> String {
-    let mut out = String::with_capacity(4096);
-    metric(&mut out, "mesh_mallocs_total", "counter", stats.mallocs);
-    metric(&mut out, "mesh_frees_total", "counter", stats.frees);
-    metric(&mut out, "mesh_remote_frees_total", "counter", stats.remote_frees);
-    metric(&mut out, "mesh_invalid_frees_total", "counter", stats.invalid_frees);
-    metric(&mut out, "mesh_double_frees_total", "counter", stats.double_frees);
-    metric(&mut out, "mesh_large_allocs_total", "counter", stats.large_allocs);
-    metric(&mut out, "mesh_mesh_passes_total", "counter", stats.mesh_passes);
-    metric(&mut out, "mesh_spans_meshed_total", "counter", stats.spans_meshed);
+    let mut out = String::with_capacity(8192);
+    let counters: &[(&str, &str, u64)] = &[
+        ("mesh_mallocs_total", "Successful allocations.", stats.mallocs),
+        ("mesh_frees_total", "Frees, all paths.", stats.frees),
+        (
+            "mesh_remote_frees_total",
+            "Frees routed through the global heap.",
+            stats.remote_frees,
+        ),
+        (
+            "mesh_invalid_frees_total",
+            "Frees of pointers the heap does not own (discarded).",
+            stats.invalid_frees,
+        ),
+        (
+            "mesh_double_frees_total",
+            "Frees of already-free objects (discarded).",
+            stats.double_frees,
+        ),
+        (
+            "mesh_large_allocs_total",
+            "Allocations above the largest size class.",
+            stats.large_allocs,
+        ),
+        ("mesh_mesh_passes_total", "Completed meshing passes.", stats.mesh_passes),
+        ("mesh_spans_meshed_total", "Span pairs merged by meshing.", stats.spans_meshed),
+        (
+            "mesh_mesh_pages_released_total",
+            "Physical pages released by meshing.",
+            stats.mesh_pages_released,
+        ),
+        (
+            "mesh_mesh_bytes_copied_total",
+            "Object bytes copied while meshing.",
+            stats.mesh_bytes_copied,
+        ),
+        (
+            "mesh_dirty_purges_total",
+            "Dirty-page purge events.",
+            stats.dirty_purges,
+        ),
+        (
+            "mesh_pages_purged_total",
+            "Pages released by dirty purges.",
+            stats.pages_purged,
+        ),
+        (
+            "mesh_refills_total",
+            "Shuffle-vector refills (one class-lock acquisition each).",
+            stats.refills,
+        ),
+        (
+            "mesh_remote_free_queued_total",
+            "Non-local frees enqueued lock-free.",
+            stats.remote_free_queued,
+        ),
+        (
+            "mesh_remote_free_drained_total",
+            "Queued remote frees applied under their class lock.",
+            stats.remote_free_drained,
+        ),
+        (
+            "mesh_reallocs_in_place_total",
+            "realloc calls satisfied without moving the allocation.",
+            stats.reallocs_in_place,
+        ),
+        ("mesh_forks_total", "Heap privatizations in forked children.", stats.forks),
+        (
+            "mesh_transfer_hits_total",
+            "Refills served by popping a transfer-cache batch.",
+            stats.transfer_hits,
+        ),
+        (
+            "mesh_transfer_misses_total",
+            "Refills that missed the transfer cache.",
+            stats.transfer_misses,
+        ),
+        (
+            "mesh_transfer_spills_total",
+            "Batches pushed into the transfer cache.",
+            stats.transfer_spills,
+        ),
+        (
+            "mesh_remote_free_batches_total",
+            "Sender-side remote-free batches flushed as single queue nodes.",
+            stats.remote_free_batches,
+        ),
+        (
+            "mesh_segments_created_total",
+            "Segments mapped over the heap's lifetime.",
+            stats.segments_created,
+        ),
+        (
+            "mesh_segments_retired_total",
+            "Segments unmapped after all their pages went clean.",
+            stats.segments_retired,
+        ),
+    ];
+    for &(name, help, value) in counters {
+        metric(&mut out, name, "counter", help, value);
+    }
     metric(
         &mut out,
-        "mesh_mesh_pages_released_total",
-        "counter",
-        stats.mesh_pages_released,
+        "mesh_live_bytes",
+        "gauge",
+        "Live application bytes (allocated minus freed).",
+        stats.live_bytes,
     );
-    metric(&mut out, "mesh_pages_purged_total", "counter", stats.pages_purged);
-    metric(&mut out, "mesh_reallocs_in_place_total", "counter", stats.reallocs_in_place);
-    metric(&mut out, "mesh_forks_total", "counter", stats.forks);
-    metric(&mut out, "mesh_transfer_hits_total", "counter", stats.transfer_hits);
-    metric(&mut out, "mesh_transfer_misses_total", "counter", stats.transfer_misses);
-    metric(&mut out, "mesh_transfer_spills_total", "counter", stats.transfer_spills);
     metric(
         &mut out,
-        "mesh_remote_free_batches_total",
-        "counter",
-        stats.remote_free_batches,
+        "mesh_heap_bytes",
+        "gauge",
+        "Committed pages in bytes - the physical heap footprint.",
+        stats.heap_bytes(),
     );
-    metric(&mut out, "mesh_live_bytes", "gauge", stats.live_bytes);
-    metric(&mut out, "mesh_heap_bytes", "gauge", stats.heap_bytes());
-    metric(&mut out, "mesh_heap_bytes_peak", "gauge", stats.peak_heap_bytes());
-    metric(&mut out, "mesh_mapped_bytes", "gauge", stats.mapped_bytes());
-    metric(&mut out, "mesh_segments", "gauge", stats.segment_count);
+    metric(
+        &mut out,
+        "mesh_heap_peak_bytes",
+        "gauge",
+        "Peak committed bytes over the heap's lifetime.",
+        stats.peak_heap_bytes(),
+    );
+    // Renamed series kept one release for dashboards still scraping it.
+    out.push_str("# EOL mesh_heap_bytes_peak is a deprecated alias of mesh_heap_peak_bytes\n");
+    metric(
+        &mut out,
+        "mesh_heap_bytes_peak",
+        "gauge",
+        "Deprecated alias of mesh_heap_peak_bytes.",
+        stats.peak_heap_bytes(),
+    );
+    metric(
+        &mut out,
+        "mesh_mapped_bytes",
+        "gauge",
+        "Bytes mapped to segment files - the virtual footprint.",
+        stats.mapped_bytes(),
+    );
+    metric(
+        &mut out,
+        "mesh_segments",
+        "gauge",
+        "Segments currently mapped.",
+        stats.segment_count,
+    );
+    metric(
+        &mut out,
+        "mesh_uptime_seconds",
+        "gauge",
+        "Seconds since heap initialization.",
+        seconds(stats.uptime_ms.saturating_mul(1_000_000)),
+    );
+    latency_metrics(&mut out, &stats.latency);
     spectrum_metrics(&mut out, &stats.spectrum);
     if let Some(p) = prof {
-        metric(&mut out, "mesh_prof_sample_bytes", "gauge", p.sample_bytes);
-        metric(&mut out, "mesh_prof_samples_total", "counter", p.samples);
-        metric(&mut out, "mesh_prof_samples_dropped_total", "counter", p.samples_dropped);
-        metric(&mut out, "mesh_prof_sampled_frees_total", "counter", p.sampled_frees);
-        metric(&mut out, "mesh_prof_sites", "gauge", p.sites);
-        metric(&mut out, "mesh_prof_live_samples", "gauge", p.live_samples);
+        metric(
+            &mut out,
+            "mesh_prof_sample_bytes",
+            "gauge",
+            "Configured geometric sampling rate in bytes.",
+            p.sample_bytes,
+        );
+        metric(
+            &mut out,
+            "mesh_prof_samples_total",
+            "counter",
+            "Allocations sampled.",
+            p.samples,
+        );
+        metric(
+            &mut out,
+            "mesh_prof_samples_dropped_total",
+            "counter",
+            "Samples dropped by the overflow catch-all.",
+            p.samples_dropped,
+        );
+        metric(
+            &mut out,
+            "mesh_prof_sampled_frees_total",
+            "counter",
+            "Sampled objects retired by free.",
+            p.sampled_frees,
+        );
+        metric(
+            &mut out,
+            "mesh_prof_sites",
+            "gauge",
+            "Distinct allocation sites tracked.",
+            p.sites,
+        );
+        metric(
+            &mut out,
+            "mesh_prof_live_samples",
+            "gauge",
+            "Sampled objects still live.",
+            p.live_samples,
+        );
         metric(
             &mut out,
             "mesh_prof_live_bytes_estimate",
             "gauge",
+            "Unbiased live-bytes estimate from the sampler.",
             p.live_bytes_estimate,
         );
     }
     out
 }
 
+/// The slow-path latency histograms as Prometheus `_bucket`/`_sum`/
+/// `_count` series (seconds units). Every op emits a family even when it
+/// never fired (so dashboards can rely on the series existing); zero
+/// buckets below `+Inf` are elided — cumulative counts make them
+/// recoverable — keeping the exposition compact.
+fn latency_metrics(out: &mut String, latency: &LatencySnapshot) {
+    for op in ALL_TIMED_OPS {
+        let name = op.prom_name();
+        out.push_str(&format!(
+            "# HELP {name} Latency of {} slow-path operations.\n# TYPE {name} histogram\n",
+            op.name()
+        ));
+        let buckets = &latency.counts[op.index()];
+        let mut cumulative = 0u64;
+        // The overflow bucket has no finite upper bound: it only feeds
+        // the +Inf line below.
+        for (b, &c) in buckets.iter().enumerate().take(LATENCY_BUCKETS - 1) {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                seconds(bucket_upper_ns(b))
+            ));
+        }
+        cumulative += buckets[LATENCY_BUCKETS - 1];
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", seconds(latency.sum_ns(op))));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+}
+
 /// The spectrum as labelled gauges (only classes holding spans emit
 /// series, so an idle heap's exposition stays small).
 fn spectrum_metrics(out: &mut String, spec: &HeapSpectrum) {
-    out.push_str("# TYPE mesh_class_spans gauge\n");
+    out.push_str(
+        "# HELP mesh_class_spans Spans per size class by occupancy bin.\n\
+         # TYPE mesh_class_spans gauge\n",
+    );
     for c in spec.classes.iter().filter(|c| c.spans() > 0) {
         out.push_str(&format!(
             "mesh_class_spans{{class=\"{}\",bin=\"attached\"}} {}\n",
@@ -162,7 +368,10 @@ fn spectrum_metrics(out: &mut String, spec: &HeapSpectrum) {
             ));
         }
     }
-    out.push_str("# TYPE mesh_class_occupancy gauge\n");
+    out.push_str(
+        "# HELP mesh_class_occupancy Fraction of a class's slots holding live objects.\n\
+         # TYPE mesh_class_occupancy gauge\n",
+    );
     for c in spec.classes.iter().filter(|c| c.total_slots > 0) {
         out.push_str(&format!(
             "mesh_class_occupancy{{class=\"{}\"}} {:.4}\n",
@@ -170,7 +379,10 @@ fn spectrum_metrics(out: &mut String, spec: &HeapSpectrum) {
             c.occupancy()
         ));
     }
-    out.push_str("# TYPE mesh_class_est_meshable_pairs gauge\n");
+    out.push_str(
+        "# HELP mesh_class_est_meshable_pairs Estimated meshable span pairs per class.\n\
+         # TYPE mesh_class_est_meshable_pairs gauge\n",
+    );
     for c in spec.classes.iter().filter(|c| c.est_meshable_pairs > 0) {
         out.push_str(&format!(
             "mesh_class_est_meshable_pairs{{class=\"{}\"}} {}\n",
@@ -181,11 +393,24 @@ fn spectrum_metrics(out: &mut String, spec: &HeapSpectrum) {
         out,
         "mesh_est_releasable_bytes",
         "gauge",
+        "Estimated bytes releasable by meshing every estimated pair.",
         spec.est_releasable_bytes(),
     );
     if spec.large_spans > 0 {
-        metric(out, "mesh_large_spans", "gauge", spec.large_spans);
-        metric(out, "mesh_large_bytes", "gauge", spec.large_bytes);
+        metric(
+            out,
+            "mesh_large_spans",
+            "gauge",
+            "Live large-object spans.",
+            spec.large_spans,
+        );
+        metric(
+            out,
+            "mesh_large_bytes",
+            "gauge",
+            "Bytes held by live large objects.",
+            spec.large_bytes,
+        );
     }
 }
 
@@ -225,8 +450,9 @@ mod tests {
                 freed_bytes: 2_000,
             },
         ];
-        let json = profile_json(&prof(), &entries, 30_000);
+        let json = profile_json(&prof(), &entries, 30_000, 777);
         assert!(json.starts_with("{\"mesh_profile_version\":1,"));
+        assert!(json.contains("\"uptime_ms\":777"));
         assert!(json.contains("\"sample_bytes\":4096"));
         assert!(json.contains("\"live_bytes_exact\":30000"));
         assert!(json.contains("\"frames\":[\"0x1000\",\"0x2000\"]"));
@@ -276,5 +502,117 @@ mod tests {
             let value = parts.next().unwrap();
             assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
         }
+    }
+
+    #[test]
+    fn prom_text_emits_latency_histograms() {
+        use crate::telemetry::histogram::TimedOp;
+        let mut stats = HeapStats::default();
+        // Refill: 3 ops in bucket 5, 1 overflow; sum 5 µs, max 2 µs.
+        let r = TimedOp::Refill.index();
+        stats.latency.counts[r][5] = 3;
+        stats.latency.counts[r][LATENCY_BUCKETS - 1] = 1;
+        stats.latency.sums[r] = 5_000;
+        stats.latency.maxes[r] = 2_000;
+        let text = prom_text(&stats, None);
+        // The populated family: elided zero buckets, cumulative counts,
+        // the overflow landing only in +Inf.
+        assert!(text.contains("# TYPE mesh_refill_seconds histogram\n"));
+        let le5 = format!(
+            "mesh_refill_seconds_bucket{{le=\"{}\"}} 3\n",
+            seconds(bucket_upper_ns(5))
+        );
+        assert!(text.contains(&le5), "bucket 5 line missing in:\n{text}");
+        assert!(text.contains("mesh_refill_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("mesh_refill_seconds_sum 0.000005\n"));
+        assert!(text.contains("mesh_refill_seconds_count 4\n"));
+        // Families that never fired still exist with an empty +Inf.
+        assert!(text.contains("mesh_mutator_pause_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("mesh_mesh_pass_seconds_count 0\n"));
+        // Uptime gauge and the heap-peak rename with its EOL alias.
+        assert!(text.contains("# TYPE mesh_uptime_seconds gauge\n"));
+        assert!(text.contains("# TYPE mesh_heap_peak_bytes gauge\n"));
+        assert!(text.contains("# EOL mesh_heap_bytes_peak"));
+        assert!(text.contains("# TYPE mesh_heap_bytes_peak gauge\n"));
+    }
+
+    /// Conformance lint over the full exposition: `# HELP` precedes every
+    /// `# TYPE`; counter names end `_total`; gauge names do not;
+    /// histogram `_bucket` series are cumulative-monotone and end at
+    /// `+Inf` with a matching `_count`.
+    #[test]
+    fn prom_text_naming_and_structure_conformance() {
+        let mut stats = HeapStats {
+            mallocs: 3,
+            uptime_ms: 1500,
+            ..Default::default()
+        };
+        let r = super::ALL_TIMED_OPS[0].index();
+        stats.latency.counts[r][3] = 2;
+        stats.latency.counts[r][9] = 1;
+        stats.latency.sums[r] = 900;
+        let text = prom_text(&stats, Some(&prof()));
+
+        let mut kinds: std::collections::HashMap<String, String> = Default::default();
+        let mut last_help: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                last_help = Some(rest.split(' ').next().unwrap().to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let (name, kind) = (it.next().unwrap(), it.next().unwrap());
+                assert_eq!(
+                    last_help.as_deref(),
+                    Some(name),
+                    "# TYPE {name} not preceded by its # HELP"
+                );
+                kinds.insert(name.to_string(), kind.to_string());
+            }
+        }
+        for (name, kind) in &kinds {
+            match kind.as_str() {
+                "counter" => assert!(name.ends_with("_total"), "counter {name} lacks _total"),
+                "gauge" => assert!(!name.ends_with("_total"), "gauge {name} ends _total"),
+                "histogram" => {}
+                other => panic!("unexpected kind {other} for {name}"),
+            }
+        }
+        // Histogram structure: per family, bucket counts monotone, last
+        // le is +Inf, and its value equals the family's _count.
+        for (name, kind) in &kinds {
+            if kind != "histogram" {
+                continue;
+            }
+            let mut prev = 0u64;
+            let mut last_le = String::new();
+            let mut inf_value = None;
+            for line in text.lines().filter(|l| l.starts_with(&format!("{name}_bucket{{"))) {
+                let le = line.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= prev, "{name}: bucket counts not cumulative");
+                prev = v;
+                last_le = le.to_string();
+                if le == "+Inf" {
+                    inf_value = Some(v);
+                }
+            }
+            assert_eq!(last_le, "+Inf", "{name}: buckets must end at +Inf");
+            let count_line = text
+                .lines()
+                .find(|l| l.starts_with(&format!("{name}_count ")))
+                .unwrap_or_else(|| panic!("{name}_count missing"));
+            let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert_eq!(Some(count), inf_value, "{name}: +Inf != _count");
+            assert!(
+                text.lines().any(|l| l.starts_with(&format!("{name}_sum "))),
+                "{name}_sum missing"
+            );
+        }
+        // The renamed peak gauge carries its EOL marker immediately
+        // before the alias's own headers.
+        let eol_pos = text.find("# EOL mesh_heap_bytes_peak").expect("EOL marker");
+        let alias_pos = text.find("# HELP mesh_heap_bytes_peak ").expect("alias series");
+        assert!(eol_pos < alias_pos);
+        assert!(text.find("mesh_heap_peak_bytes ").unwrap() < eol_pos, "new name first");
     }
 }

@@ -25,16 +25,24 @@
 //! signal-safety.
 
 mod exposition;
+mod histogram;
 mod profile_table;
 mod sampler;
 mod spectrum;
+mod trace;
 
+pub use histogram::{
+    bucket_upper_ns, LatencySnapshot, TimedOp, ALL_TIMED_OPS, LATENCY_BUCKETS, NUM_TIMED_OPS,
+};
 pub use profile_table::{SiteSnapshot, MAX_FRAMES, OVERFLOW_SITE};
 pub use spectrum::{ClassSpectrum, HeapSpectrum, SPECTRUM_BINS};
+pub use trace::TraceEvent;
 
 pub(crate) use exposition::{profile_json, prom_text};
+pub(crate) use histogram::{HistSet, LocalHists};
 pub(crate) use sampler::ThreadSampler;
 pub(crate) use spectrum::estimate_meshable_pairs;
+pub(crate) use trace::{trace_tid, TraceRing, TraceSet};
 
 use crate::config::MeshConfig;
 use crate::sync::{Mutex, MutexGuard};

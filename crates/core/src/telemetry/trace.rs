@@ -1,0 +1,433 @@
+//! mesh-trace: opt-in (`MESH_TRACE=1`) binary event tracing of the same
+//! slow-path operations the latency histograms measure, drained to
+//! Chrome trace-event JSON (`chrome://tracing` / Perfetto).
+//!
+//! ## Event encoding
+//!
+//! One event is four `u64` words in a lock-free ring:
+//!
+//! | word | contents |
+//! |---|---|
+//! | 0 | bits 0‥16 [`TimedOp`] discriminant; bits 16‥48 recorder tid |
+//! | 1 | start, nanoseconds since the heap's epoch |
+//! | 2 | duration, nanoseconds |
+//! | 3 | op-specific argument (size class, pages, batch length, …) |
+//!
+//! ## Ring discipline
+//!
+//! Rings are fixed-capacity (power-of-two, `MESH_TRACE_BUF_EVENTS`) and
+//! **overwrite oldest**: writers claim slot `head.fetch_add(1) & mask`
+//! and store the four words relaxed. A full ring never blocks and never
+//! drops *new* events — recent history is what a trace is for. Mutator
+//! threads write their own registered ring (no sharing); operations
+//! recorded under global locks (mesh phases, drains, segment work) go to
+//! one shared ring where the `fetch_add` claim keeps writers off each
+//! other's slots. Dumps read racily by design: a slot being overwritten
+//! mid-read yields one inconsistent event (all fields still numbers, so
+//! the JSON stays well-formed), never a torn pointer.
+//!
+//! Tracing off is one `Option` load on each slow-path record; the fast
+//! path is untouched either way.
+
+use super::histogram::TimedOp;
+use crate::config::MeshConfig;
+use crate::sync::{Mutex, MutexGuard};
+use std::cell::Cell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// `u64` words per trace event.
+const EVENT_WORDS: usize = 4;
+
+/// Process-wide trace-thread-id source. Ids are small integers assigned
+/// on a thread's first recorded event (assignment is one `fetch_add` —
+/// no allocation, safe in allocator context). Tid 0 never appears: it is
+/// the "unassigned" sentinel.
+static NEXT_TRACE_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static TRACE_TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The calling thread's trace tid, assigned on first use.
+pub(crate) fn trace_tid() -> u32 {
+    TRACE_TID.with(|c| {
+        let mut tid = c.get();
+        if tid == 0 {
+            tid = NEXT_TRACE_TID.fetch_add(1, Ordering::Relaxed);
+            c.set(tid);
+        }
+        tid
+    })
+}
+
+/// A decoded trace event (dump-side view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The operation.
+    pub op: TimedOp,
+    /// Recording thread's trace tid.
+    pub tid: u32,
+    /// Start, nanoseconds since the heap's epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Op-specific argument.
+    pub arg: u64,
+}
+
+/// One fixed-capacity, overwrite-oldest event ring.
+#[derive(Debug)]
+pub(crate) struct TraceRing {
+    mask: usize,
+    /// Total events ever claimed (monotonic; slot = `head & mask`).
+    head: AtomicUsize,
+    slots: Box<[AtomicU64]>,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> TraceRing {
+        let cap = capacity.next_power_of_two().max(64);
+        TraceRing {
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            slots: (0..cap * EVENT_WORDS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Event capacity (power of two).
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Records one event. Lock-free: one `fetch_add` claim plus four
+    /// relaxed stores; a full ring overwrites its oldest event.
+    pub(crate) fn push(&self, op: TimedOp, tid: u32, start_ns: u64, dur_ns: u64, arg: u64) {
+        let slot = (self.head.fetch_add(1, Ordering::Relaxed) & self.mask) * EVENT_WORDS;
+        let word0 = (op as u16 as u64) | ((tid as u64) << 16);
+        self.slots[slot].store(word0, Ordering::Relaxed);
+        self.slots[slot + 1].store(start_ns, Ordering::Relaxed);
+        self.slots[slot + 2].store(dur_ns, Ordering::Relaxed);
+        self.slots[slot + 3].store(arg, Ordering::Relaxed);
+    }
+
+    /// Number of events currently readable.
+    pub(crate) fn len(&self) -> usize {
+        self.head.load(Ordering::Relaxed).min(self.capacity())
+    }
+
+    /// Drains the readable window, oldest first. Reads race with
+    /// writers by design (see module docs).
+    fn drain(&self, out: &mut Vec<TraceEvent>) {
+        let head = self.head.load(Ordering::Relaxed);
+        let first = head.saturating_sub(self.capacity());
+        for idx in first..head {
+            let slot = (idx & self.mask) * EVENT_WORDS;
+            let word0 = self.slots[slot].load(Ordering::Relaxed);
+            let Some(op) = TimedOp::from_u16(word0 as u16) else {
+                continue; // torn or never-written slot
+            };
+            out.push(TraceEvent {
+                op,
+                tid: (word0 >> 16) as u32,
+                start_ns: self.slots[slot + 1].load(Ordering::Relaxed),
+                dur_ns: self.slots[slot + 2].load(Ordering::Relaxed),
+                arg: self.slots[slot + 3].load(Ordering::Relaxed),
+            });
+        }
+    }
+
+    /// Empties the ring (fork child; single-threaded there, and stale
+    /// slot contents are unreachable once `head` is 0).
+    fn wipe(&self) {
+        self.head.store(0, Ordering::Relaxed);
+        // Invalidate word 0 of every slot so a later partial lap cannot
+        // resurrect pre-wipe events through a decodable op field.
+        for slot in 0..=self.mask {
+            self.slots[slot * EVENT_WORDS].store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The heap's tracing state: per-thread rings plus the shared ring for
+/// events recorded under global locks. `None` on the heap when
+/// `MESH_TRACE` is off — every hook is behind that `Option`.
+pub(crate) struct TraceSet {
+    buf_events: usize,
+    path: Option<PathBuf>,
+    shared: TraceRing,
+    rings: Mutex<Vec<Arc<TraceRing>>>,
+    /// Set by [`TraceSet::request_dump`] (signal-handler safe: one
+    /// atomic store), claimed by the background thread's tick.
+    dump_requested: AtomicBool,
+}
+
+impl std::fmt::Debug for TraceSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSet")
+            .field("buf_events", &self.buf_events)
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceSet {
+    /// Builds the tracing state for `config`, or `None` when tracing is
+    /// off.
+    pub(crate) fn new(config: &MeshConfig) -> Option<Arc<TraceSet>> {
+        if !config.is_tracing() {
+            return None;
+        }
+        let buf_events = config.trace_buf_event_count();
+        Some(Arc::new(TraceSet {
+            buf_events,
+            path: config.trace_dump_path().map(Path::to_path_buf),
+            shared: TraceRing::new(buf_events),
+            rings: Mutex::new(Vec::new()),
+            dump_requested: AtomicBool::new(false),
+        }))
+    }
+
+    /// The configured dump destination (`MESH_TRACE_PATH`), if any.
+    pub(crate) fn dump_path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Creates and registers a per-thread ring (thread-heap creation).
+    /// The ring stays registered after its thread dies: its tail of
+    /// events is part of the trace.
+    pub(crate) fn register_ring(&self) -> Arc<TraceRing> {
+        let ring = Arc::new(TraceRing::new(self.buf_events));
+        self.rings.lock().push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Records an event from a global-lock context into the shared ring.
+    #[inline]
+    pub(crate) fn record_shared(&self, op: TimedOp, start_ns: u64, dur_ns: u64, arg: u64) {
+        self.shared.push(op, trace_tid(), start_ns, dur_ns, arg);
+    }
+
+    /// Requests a trace dump at the next telemetry tick. Safe from a
+    /// signal handler: one relaxed atomic store.
+    #[inline]
+    pub(crate) fn request_dump(&self) {
+        self.dump_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a dump was requested; claims the request.
+    pub(crate) fn take_dump_due(&self) -> bool {
+        self.dump_requested.swap(false, Ordering::Relaxed)
+    }
+
+    /// Holds the ring-registry lock (fork quiescence; a leaf lock).
+    pub(crate) fn lock_rings(&self) -> MutexGuard<'_, Vec<Arc<TraceRing>>> {
+        self.rings.lock()
+    }
+
+    /// Wipes every ring (fork child: the copied rings hold the parent's
+    /// history, which is not this process's trace).
+    pub(crate) fn wipe_all(&self) {
+        self.shared.wipe();
+        for ring in self.rings.lock().iter() {
+            ring.wipe();
+        }
+        self.dump_requested.store(false, Ordering::Relaxed);
+    }
+
+    /// Total readable events across all rings.
+    pub(crate) fn event_count(&self) -> usize {
+        self.shared.len() + self.rings.lock().iter().map(|r| r.len()).sum::<usize>()
+    }
+
+    /// Decoded events from every ring, oldest-first per ring.
+    fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.event_count());
+        self.shared.drain(&mut out);
+        for ring in self.rings.lock().iter() {
+            ring.drain(&mut out);
+        }
+        out
+    }
+
+    /// Renders every ring as Chrome trace-event JSON (the
+    /// `chrome://tracing` / Perfetto "JSON object format"): complete
+    /// (`"ph":"X"`) events with microsecond `ts`/`dur` at nanosecond
+    /// precision, one row per recording thread.
+    pub(crate) fn chrome_json(&self, uptime_ms: u64) -> String {
+        let events = self.events();
+        let pid = std::process::id();
+        let mut out = String::with_capacity(64 + events.len() * 128);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"mesh\",\"ph\":\"X\",\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":{pid},\"tid\":{},\
+                 \"args\":{{\"arg\":{}}}}}",
+                e.op.name(),
+                e.start_ns / 1000,
+                e.start_ns % 1000,
+                e.dur_ns / 1000,
+                e.dur_ns % 1000,
+                e.tid,
+                e.arg,
+            ));
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ns\",\
+             \"otherData\":{{\"mesh_trace_version\":1,\"uptime_ms\":{uptime_ms}}}}}"
+        ));
+        out
+    }
+
+    /// Writes one trace dump: to `MESH_TRACE_PATH` (truncating) or, with
+    /// no path, to stderr as a single `mesh-trace: `-prefixed line.
+    /// Never panics (allocators survive read-only filesystems and closed
+    /// stderr).
+    pub(crate) fn write_dump(&self, json: &str) {
+        match &self.path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    let msg = format!("mesh: trace dump to {} failed: {e}\n", path.display());
+                    unsafe {
+                        crate::ffi::write(2, msg.as_ptr() as *const crate::ffi::c_void, msg.len())
+                    };
+                }
+            }
+            None => {
+                let line = format!("mesh-trace: {json}\n");
+                unsafe {
+                    crate::ffi::write(2, line.as_ptr() as *const crate::ffi::c_void, line.len())
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_config() -> MeshConfig {
+        MeshConfig::default().tracing(true).trace_buf_events(64)
+    }
+
+    #[test]
+    fn disabled_config_builds_no_state() {
+        assert!(TraceSet::new(&MeshConfig::default()).is_none());
+        assert!(TraceSet::new(&trace_config()).is_some());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_drains_in_order() {
+        let ring = TraceRing::new(64);
+        for i in 0..100u64 {
+            ring.push(TimedOp::Refill, 7, i, 10, i);
+        }
+        assert_eq!(ring.len(), 64);
+        let mut events = Vec::new();
+        ring.drain(&mut events);
+        assert_eq!(events.len(), 64);
+        // The newest 64 survive, oldest-first.
+        assert_eq!(events.first().unwrap().arg, 36);
+        assert_eq!(events.last().unwrap().arg, 99);
+        assert!(events.windows(2).all(|w| w[0].arg + 1 == w[1].arg));
+        assert_eq!(events[0].tid, 7);
+        assert_eq!(events[0].op, TimedOp::Refill);
+    }
+
+    #[test]
+    fn wipe_empties_and_blocks_resurrection() {
+        let ring = TraceRing::new(64);
+        for i in 0..200u64 {
+            ring.push(TimedOp::MeshPass, 1, i, 1, 0);
+        }
+        ring.wipe();
+        assert_eq!(ring.len(), 0);
+        let mut events = Vec::new();
+        ring.drain(&mut events);
+        assert!(events.is_empty());
+        // A partial lap after the wipe exposes only post-wipe events.
+        ring.push(TimedOp::Madvise, 2, 5, 6, 7);
+        events.clear();
+        // len is 1 but a racing reader could still only decode slot 0.
+        assert_eq!(ring.len(), 1);
+        ring.drain(&mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].op, TimedOp::Madvise);
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed() {
+        let t = TraceSet::new(&trace_config()).unwrap();
+        t.record_shared(TimedOp::MeshCopy, 1_234_567, 89_012, 42);
+        let ring = t.register_ring();
+        ring.push(TimedOp::Refill, trace_tid(), 2_000_000, 1_500, 3);
+        let json = t.chrome_json(77);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"mesh_copy\""));
+        assert!(json.contains("\"name\":\"refill\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"dur\":89.012"));
+        assert!(json.contains("\"dur\":1.500"));
+        assert!(json.contains("\"uptime_ms\":77"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert!(!json.contains('\n'), "dump is a single line");
+    }
+
+    #[test]
+    fn dump_request_is_one_shot_and_wipe_clears_it() {
+        let t = TraceSet::new(&trace_config()).unwrap();
+        assert!(!t.take_dump_due());
+        t.request_dump();
+        assert!(t.take_dump_due());
+        assert!(!t.take_dump_due());
+        t.request_dump();
+        t.wipe_all();
+        assert!(!t.take_dump_due(), "child inherits no pending dump");
+    }
+
+    #[test]
+    fn wipe_all_empties_every_ring() {
+        let t = TraceSet::new(&trace_config()).unwrap();
+        t.record_shared(TimedOp::MeshPass, 1, 2, 3);
+        let ring = t.register_ring();
+        ring.push(TimedOp::Refill, 1, 1, 1, 1);
+        assert_eq!(t.event_count(), 2);
+        t.wipe_all();
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.chrome_json(0).matches("\"ph\"").count(), 0);
+    }
+
+    #[test]
+    fn trace_tids_are_stable_and_nonzero() {
+        let a = trace_tid();
+        assert!(a > 0);
+        assert_eq!(trace_tid(), a, "tid stable within a thread");
+        let b = std::thread::spawn(trace_tid).join().unwrap();
+        assert_ne!(a, b, "distinct threads get distinct tids");
+    }
+
+    #[test]
+    fn dump_writes_to_path() {
+        let path =
+            std::env::temp_dir().join(format!("mesh-trace-test-{}.json", std::process::id()));
+        let cfg = trace_config().trace_path(Some(path.clone()));
+        let t = TraceSet::new(&cfg).unwrap();
+        t.write_dump("{\"traceEvents\":[]}");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"traceEvents\":[]}\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

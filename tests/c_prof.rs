@@ -16,222 +16,10 @@
 //!
 //! Skips (loudly) when no `cc` is available, like `tests/c_abi.rs`.
 
-use std::path::{Path, PathBuf};
+mod support;
+
 use std::process::{Command, Stdio};
-
-// ---------------------------------------------------------------------
-// Harness plumbing (mirrors tests/c_abi.rs)
-// ---------------------------------------------------------------------
-
-fn workspace_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-}
-
-fn target_dir() -> PathBuf {
-    std::env::var_os("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| workspace_root().join("target"))
-}
-
-fn have_cc() -> bool {
-    Command::new("cc")
-        .arg("--version")
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .status()
-        .is_ok()
-}
-
-fn build_libmesh() -> PathBuf {
-    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
-    let status = Command::new(cargo)
-        .args(["build", "--release", "-p", "mesh-abi"])
-        .current_dir(workspace_root())
-        .env_remove("LD_PRELOAD")
-        .status()
-        .expect("failed to invoke cargo");
-    assert!(status.success(), "building libmesh.so failed");
-    let so = target_dir().join("release").join("libmesh.so");
-    assert!(so.exists(), "missing {}", so.display());
-    so
-}
-
-fn compile_leak(out_dir: &Path) -> PathBuf {
-    let src = workspace_root().join("tests/c/leak.c");
-    let bin = out_dir.join("leak");
-    let status = Command::new("cc")
-        .args(["-O1", "-fno-omit-frame-pointer"])
-        .arg(&src)
-        .arg("-o")
-        .arg(&bin)
-        .status()
-        .expect("failed to invoke cc");
-    assert!(status.success(), "cc failed for leak.c");
-    bin
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON parser (no serde in the offline build). Supports exactly
-// the dump's grammar: objects, arrays, strings without escapes, and
-// non-negative integers.
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Num(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> &Json {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .unwrap_or_else(|| panic!("missing key {key:?} in {self:?}")),
-            _ => panic!("get({key:?}) on non-object {self:?}"),
-        }
-    }
-
-    fn num(&self) -> u64 {
-        match self {
-            Json::Num(n) => *n,
-            _ => panic!("expected number, got {self:?}"),
-        }
-    }
-
-    fn arr(&self) -> &[Json] {
-        match self {
-            Json::Arr(v) => v,
-            _ => panic!("expected array, got {self:?}"),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Json {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let v = p.value();
-        p.skip_ws();
-        assert_eq!(p.pos, p.bytes.len(), "trailing garbage in JSON");
-        v
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) {
-        self.skip_ws();
-        assert_eq!(
-            self.bytes.get(self.pos),
-            Some(&b),
-            "expected {:?} at byte {}",
-            b as char,
-            self.pos
-        );
-        self.pos += 1;
-    }
-
-    fn peek(&mut self) -> u8 {
-        self.skip_ws();
-        *self.bytes.get(self.pos).expect("unexpected end of JSON")
-    }
-
-    fn value(&mut self) -> Json {
-        match self.peek() {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Json::Str(self.string()),
-            b'0'..=b'9' => self.number(),
-            other => panic!("unexpected {:?} at byte {}", other as char, self.pos),
-        }
-    }
-
-    fn object(&mut self) -> Json {
-        self.expect(b'{');
-        let mut fields = Vec::new();
-        if self.peek() != b'}' {
-            loop {
-                let key = self.string();
-                self.expect(b':');
-                fields.push((key, self.value()));
-                match self.peek() {
-                    b',' => self.pos += 1,
-                    b'}' => break,
-                    other => panic!("bad object separator {:?}", other as char),
-                }
-            }
-        }
-        self.expect(b'}');
-        Json::Obj(fields)
-    }
-
-    fn array(&mut self) -> Json {
-        self.expect(b'[');
-        let mut items = Vec::new();
-        if self.peek() != b']' {
-            loop {
-                items.push(self.value());
-                match self.peek() {
-                    b',' => self.pos += 1,
-                    b']' => break,
-                    other => panic!("bad array separator {:?}", other as char),
-                }
-            }
-        }
-        self.expect(b']');
-        Json::Arr(items)
-    }
-
-    fn string(&mut self) -> String {
-        self.expect(b'"');
-        let start = self.pos;
-        while self.bytes[self.pos] != b'"' {
-            assert_ne!(self.bytes[self.pos], b'\\', "dump strings never escape");
-            self.pos += 1;
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("valid utf8")
-            .to_string();
-        self.pos += 1;
-        s
-    }
-
-    fn number(&mut self) -> Json {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit())
-        {
-            self.pos += 1;
-        }
-        Json::Num(
-            std::str::from_utf8(&self.bytes[start..self.pos])
-                .unwrap()
-                .parse()
-                .expect("integer"),
-        )
-    }
-}
-
-// ---------------------------------------------------------------------
-// The test
-// ---------------------------------------------------------------------
+use support::{build_libmesh, compile_c, have_cc, target_dir, Parser};
 
 #[test]
 fn leak_profile_attributes_the_leaking_site() {
@@ -242,7 +30,7 @@ fn leak_profile_attributes_the_leaking_site() {
     let so = build_libmesh();
     let out_dir = target_dir().join("c-prof-tests");
     std::fs::create_dir_all(&out_dir).unwrap();
-    let bin = compile_leak(&out_dir);
+    let bin = compile_c("leak", &out_dir, &["-O1", "-fno-omit-frame-pointer"]);
     let dump_path = out_dir.join("leak-profile.json");
     std::fs::remove_file(&dump_path).ok();
 
@@ -272,6 +60,7 @@ fn leak_profile_attributes_the_leaking_site() {
     assert_eq!(dump.get("mesh_profile_version").num(), 1);
     assert_eq!(dump.get("sample_bytes").num(), 16 << 10, "16K knob honoured");
     for field in [
+        "uptime_ms",
         "samples",
         "samples_dropped",
         "sampled_frees",

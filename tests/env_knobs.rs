@@ -1,6 +1,7 @@
 //! `MeshConfig::apply_env` against real process environment — suffix
 //! parsing, the boolean/seed knobs, the `MESH_PROF*` profiling knobs,
-//! and warn-and-ignore on malformed values.
+//! the `MESH_TRACE*` tracing knobs, and warn-and-ignore on malformed
+//! values.
 //!
 //! Own test binary with a single test: `std::env::set_var` is not safe
 //! against concurrent `getenv` from other test threads, so the env is
@@ -21,6 +22,9 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     std::env::set_var("MESH_PROF_PATH", "   "); // malformed (blank)
     std::env::set_var("MESH_TRANSFER_BATCH", "8");
     std::env::set_var("MESH_TRANSFER_CACHE_SLOTS", "banana"); // malformed
+    std::env::set_var("MESH_TRACE", "1");
+    std::env::set_var("MESH_TRACE_BUF_EVENTS", "banana"); // malformed
+    std::env::set_var("MESH_TRACE_PATH", "/tmp/mesh-env-knobs-trace.json");
 
     let c = MeshConfig::default().apply_env();
     assert_eq!(c.max_heap_size(), 64 << 20, "suffix-parsed cap");
@@ -49,13 +53,25 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
         MeshConfig::default().transfer_cache_slot_count(),
         "malformed MESH_TRANSFER_CACHE_SLOTS ignored (warned), default kept"
     );
+    assert!(c.is_tracing(), "MESH_TRACE=1 enables the tracer");
+    assert_eq!(
+        c.trace_buf_event_count(),
+        MeshConfig::default().trace_buf_event_count(),
+        "malformed MESH_TRACE_BUF_EVENTS ignored (warned), default kept"
+    );
+    assert_eq!(
+        c.trace_dump_path().map(|p| p.to_path_buf()),
+        Some(std::path::PathBuf::from("/tmp/mesh-env-knobs-trace.json")),
+        "MESH_TRACE_PATH parsed"
+    );
     assert!(c.validate().is_ok());
 
     // The parsed config actually drives a heap (seed fixed by MESH_SEED,
-    // profiler live): a sampled churn must produce samples and retire
-    // them through free.
+    // profiler and tracer live): a sampled churn must produce samples
+    // and retire them through free, and the tracer must buffer events.
     let mesh = mesh::core::Mesh::new(c).unwrap();
     assert!(mesh.is_profiling());
+    assert!(mesh.is_tracing());
     let mut ptrs = Vec::new();
     for _ in 0..4096 {
         let p = mesh.malloc(100);
@@ -69,6 +85,11 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     }
     assert_eq!(mesh.stats().live_bytes, 0);
     assert_eq!(mesh.profile_stats().unwrap().live_bytes_estimate, 0);
+    let json = mesh.trace_json().expect("tracing on");
+    assert!(
+        json.contains("\"name\":\"refill\""),
+        "churn produced no refill trace events"
+    );
     drop(mesh);
 
     // A second heap with the interval knob well-formed: 0 still means
@@ -82,4 +103,10 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     std::env::set_var("MESH_PROF_INTERVAL_MS", "0");
     let c = MeshConfig::default().apply_env();
     assert_eq!(c.prof_dump_interval(), None, "0 disables interval dumps");
+
+    // A well-formed buffer size (suffix-parsed) reaches the config.
+    std::env::set_var("MESH_TRACE_BUF_EVENTS", "4K");
+    let c = MeshConfig::default().apply_env();
+    assert_eq!(c.trace_buf_event_count(), 4 << 10);
+    assert!(c.validate().is_ok());
 }

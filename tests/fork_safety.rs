@@ -5,11 +5,17 @@
 //! arena is `MAP_SHARED` memory files, only segment privatization keeps
 //! those writes out of the parent.
 //!
+//! The heap runs with tracing on, so the fork protocol's telemetry
+//! contract is exercised too: the child starts with wiped trace rings
+//! and zeroed latency histograms (no inherited parent history), records
+//! its own events from its own churn, and the parent's trace survives
+//! the fork intact.
+//!
 //! Own test binary: forking a multi-threaded cargo-test harness is only
 //! safe when this file's single test is all that runs in the process.
 
 use mesh::core::ffi;
-use mesh::core::{Mesh, MeshConfig};
+use mesh::core::{Mesh, MeshConfig, TimedOp};
 
 const SLOTS: usize = 384;
 const SIZE: usize = 1500;
@@ -25,6 +31,18 @@ fn child_tag(i: usize) -> u8 {
 /// Child-side body; returns success instead of panicking (a panic would
 /// unwind into the forked copy of the test harness).
 fn child_body(mesh: &Mesh, ptrs: &[*mut u8]) -> bool {
+    // Telemetry fork contract: the parent's refill history (latency and
+    // trace events) must not leak into the child. Refill only fires on
+    // mutator threads, so the freshly respawned background thread cannot
+    // race these checks the way drain/mesh ops could.
+    if mesh.stats().latency.count(TimedOp::Refill) != 0 {
+        return false;
+    }
+    match mesh.trace_json() {
+        Some(json) if json.contains("\"name\":\"refill\"") => return false,
+        Some(_) => {}
+        None => return false, // tracing must survive the fork
+    }
     for (i, &p) in ptrs.iter().enumerate() {
         for j in (0..SIZE).step_by(11) {
             if unsafe { *p.add(j) } != parent_tag(i) {
@@ -55,6 +73,16 @@ fn child_body(mesh: &Mesh, ptrs: &[*mut u8]) -> bool {
             }
         }
     }
+    // The child's own churn refilled shuffle vectors: its rings and
+    // histograms must now carry child-recorded events.
+    if mesh.stats().latency.count(TimedOp::Refill) == 0 {
+        return false;
+    }
+    match mesh.trace_json() {
+        Some(json) if !json.contains("\"name\":\"refill\"") => return false,
+        Some(_) => {}
+        None => return false,
+    }
     mesh.stats().forks == 1
 }
 
@@ -65,7 +93,9 @@ fn fork_preserves_parent_and_child_heaps() {
             .seed(23)
             .arena_bytes(128 << 20)
             .initial_segment_bytes(4 << 20)
-            .segment_bytes(4 << 20),
+            .segment_bytes(4 << 20)
+            .tracing(true)
+            .trace_buf_events(1 << 10),
     )
     .unwrap();
     let ptrs: Vec<*mut u8> = (0..SLOTS).map(|_| mesh.malloc(SIZE)).collect();
@@ -83,6 +113,10 @@ fn fork_preserves_parent_and_child_heaps() {
         }
     }
     mesh.mesh_now();
+    assert!(
+        mesh.stats().latency.count(TimedOp::Refill) > 0,
+        "parent recorded no refills before forking"
+    );
 
     let guard = mesh.fork_prepare();
     let pid = unsafe { ffi::fork() };
@@ -127,4 +161,18 @@ fn fork_preserves_parent_and_child_heaps() {
     let stats = mesh.stats();
     assert_eq!(stats.forks, 0, "parent never privatizes");
     assert_eq!(stats.double_frees, 0);
+
+    // The parent's telemetry is untouched by the fork: its pre-fork
+    // refill history still renders as valid single-line Chrome JSON.
+    assert!(
+        stats.latency.count(TimedOp::Refill) > 0,
+        "fork wiped the parent's latency history"
+    );
+    let json = mesh.trace_json().expect("tracing on");
+    assert!(json.starts_with("{\"traceEvents\":["), "bad envelope: {json}");
+    assert!(json.contains("\"mesh_trace_version\":1"));
+    assert!(
+        json.contains("\"name\":\"refill\""),
+        "fork wiped the parent's trace rings"
+    );
 }
