@@ -395,6 +395,20 @@ pub extern "C" fn mesh_trace_dump() -> c_int {
     runtime::trace_dump_to(2)
 }
 
+/// Writes the mesh-sense document (version-1 JSON: pressure, residency
+/// decomposition, the meshing-effectiveness ledger, and the snapshot
+/// time series; see DESIGN.md §4f) to `MESH_SENSE_PATH` — or to stderr
+/// as one `mesh-sense: ` line when no path is configured. Returns 0 on
+/// success, -1 when sensing is off (`MESH_SENSE_INTERVAL_MS=0`) or no
+/// heap exists. `kill -USR2 <pid>` reaches the same dump asynchronously.
+#[no_mangle]
+pub extern "C" fn mesh_sense_dump() -> c_int {
+    if in_internal_alloc() {
+        return -1;
+    }
+    runtime::sense_dump_to(2)
+}
+
 // ---------------------------------------------------------------------
 // Tests — these run with Mesh interposed over the test harness's own
 // malloc (the lib target links its #[no_mangle] symbols into the test
@@ -535,6 +549,16 @@ mod tests {
         let p = malloc(100); // ensure the heap exists
         unsafe { free(p) };
         assert_eq!(mesh_prof_dump(), -1);
+    }
+
+    #[test]
+    fn sense_dump_writes_by_default() {
+        // Sensing is on by default (MESH_SENSE_INTERVAL_MS defaults to
+        // 1000), so the dump entry point must succeed — one `mesh-sense:`
+        // stderr line — without any env setup.
+        let p = malloc(100); // ensure the heap exists
+        unsafe { free(p) };
+        assert_eq!(mesh_sense_dump(), 0);
     }
 
     #[test]

@@ -109,10 +109,11 @@ fn install_process_hooks(mesh: &Mesh) {
         if stats_at_exit_wanted {
             crate::real::atexit(stats_at_exit);
         }
-        if mesh.is_profiling() || mesh.is_tracing() {
-            // Opt-in SIGUSR2 → heap-profile and/or trace dump. The handler
-            // body is atomic stores ([`Mesh::request_profile_dump`],
-            // [`Mesh::request_trace_dump`]); the dumps themselves ride the
+        if mesh.is_profiling() || mesh.is_tracing() || mesh.is_sensing() {
+            // Opt-in SIGUSR2 → heap-profile, trace, and/or sense dump.
+            // The handler body is atomic stores
+            // ([`Mesh::request_profile_dump`], [`Mesh::request_trace_dump`],
+            // [`Mesh::request_sense_dump`]); the dumps themselves ride the
             // background telemetry thread.
             let mut act: libc::sigaction = std::mem::zeroed();
             let handler: extern "C" fn(mesh_core::ffi::c_int) = sigusr2_handler;
@@ -126,6 +127,12 @@ fn install_process_hooks(mesh: &Mesh) {
         }
         if mesh.is_tracing() {
             crate::real::atexit(trace_at_exit);
+        }
+        // Sense dumps at exit only when a destination file is configured:
+        // sensing is on by default, and an unconditional stderr dump from
+        // every preloaded process would be noise, not observability.
+        if mesh.sense_path().is_some() {
+            crate::real::atexit(sense_at_exit);
         }
     }
 }
@@ -248,6 +255,7 @@ extern "C" fn sigusr2_handler(_sig: mesh_core::ffi::c_int) {
     if let Some(mesh) = built_heap() {
         mesh.request_profile_dump();
         mesh.request_trace_dump();
+        mesh.request_sense_dump();
     }
 }
 
@@ -301,4 +309,32 @@ pub fn trace_dump_to(fd: i32) -> i32 {
 extern "C" fn trace_at_exit() {
     let fd = STATS_FD.load(Ordering::Acquire);
     trace_dump_to(if fd >= 0 { fd } else { 2 });
+}
+
+// ---------------------------------------------------------------------
+// Pressure/residency sensing (mesh-sense)
+// ---------------------------------------------------------------------
+
+/// Writes one mesh-sense dump: to `MESH_SENSE_PATH` when configured,
+/// else to `fd` as a single `mesh-sense: `-prefixed line. Returns 0 on
+/// success, -1 when no sensing heap exists.
+pub fn sense_dump_to(fd: i32) -> i32 {
+    let Some(mesh) = built_heap() else { return -1 };
+    with_internal_alloc(|| {
+        if mesh.sense_path().is_some() {
+            return if mesh.dump_sense_now() { 0 } else { -1 };
+        }
+        match mesh.sense_json() {
+            Some(json) => {
+                write_line(fd, &format!("mesh-sense: {json}"));
+                0
+            }
+            None => -1,
+        }
+    })
+}
+
+extern "C" fn sense_at_exit() {
+    let fd = STATS_FD.load(Ordering::Acquire);
+    sense_dump_to(if fd >= 0 { fd } else { 2 });
 }

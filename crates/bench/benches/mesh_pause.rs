@@ -127,6 +127,11 @@ fn main() {
     );
     for &op in &phases {
         let (count, p50, p99, max) = summarize(&delta, op);
+        // A histogram this run never hit would render an all-zero row
+        // that reads like "measured instant": skip it.
+        if count == 0 {
+            continue;
+        }
         println!("{:<18} {count:>10} {p50:>12} {p99:>12} {max:>12}", op.name());
     }
     let (pause_count, pause_p50, pause_p99, pause_max) = summarize(&delta, TimedOp::MutatorPause);

@@ -339,7 +339,9 @@ impl Mesh {
         let stats = self.stats_with_spectrum();
         with_internal_alloc(|| {
             let prof = self.inner.state.telemetry.as_ref().map(|t| t.stats());
-            crate::telemetry::prom_text(&stats, prof.as_ref())
+            let sense = self.inner.state.sense.as_ref().and_then(|s| s.latest());
+            let rejects = self.inner.state.ledger.reject_totals();
+            crate::telemetry::prom_text(&stats, prof.as_ref(), sense.as_ref(), &rejects)
         })
     }
 
@@ -390,6 +392,83 @@ impl Mesh {
             match self.inner.state.profile_json() {
                 Some(json) => {
                     t.write_dump(&json);
+                    true
+                }
+                None => false,
+            }
+        })
+    }
+
+    // ----- sensing (mesh-sense) ------------------------------------------
+
+    /// Whether the pressure/residency sensor (`MESH_SENSE_INTERVAL_MS`)
+    /// is active on this heap.
+    pub fn is_sensing(&self) -> bool {
+        self.inner.state.sense.is_some()
+    }
+
+    /// The latest sensor snapshot, or `None` when sensing is off or no
+    /// poll has completed yet. Lock-free (seqlock read).
+    pub fn sense_latest(&self) -> Option<crate::telemetry::SenseSnapshot> {
+        self.inner.state.sense.as_ref().and_then(|s| s.latest())
+    }
+
+    /// The sensor state — snapshot history, residency decomposition, and
+    /// the meshing-effectiveness ledger — as version-1 JSON (see DESIGN.md
+    /// §4f for the schema), or `None` when sensing is off. Takes one fresh
+    /// poll first so the document is current.
+    pub fn sense_json(&self) -> Option<String> {
+        with_internal_alloc(|| {
+            self.inner.state.sense.as_ref()?;
+            self.inner.state.sense_poll();
+            self.inner.state.sense_json()
+        })
+    }
+
+    /// The meshing-effectiveness ledger's per-reason reject totals, in
+    /// [`crate::telemetry::ALL_REJECT_REASONS`] order. Always available
+    /// (the ledger records regardless of sensing).
+    pub fn ledger_reject_totals(&self) -> [u64; crate::telemetry::REJECT_REASONS] {
+        self.inner.state.ledger.reject_totals()
+    }
+
+    /// Ledger rows for the most recent mesh passes, oldest first.
+    pub fn ledger_recent(&self) -> Vec<crate::telemetry::PassRecord> {
+        with_internal_alloc(|| self.inner.state.ledger.recent())
+    }
+
+    /// The configured sense-dump destination (`MESH_SENSE_PATH`), if
+    /// sensing is on and a path was set.
+    pub fn sense_path(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .state
+            .sense
+            .as_ref()
+            .and_then(|s| s.dump_path().map(|p| p.to_path_buf()))
+    }
+
+    /// Requests an asynchronous sense dump from the background thread.
+    /// Async-signal-safe (one atomic store): the C ABI's `SIGUSR2`
+    /// handler co-requests this alongside the profile and trace dumps.
+    /// No-op when sensing is off.
+    pub fn request_sense_dump(&self) {
+        if let Some(s) = &self.inner.state.sense {
+            s.request_dump();
+        }
+    }
+
+    /// Writes one sense dump synchronously to the configured destination
+    /// (`MESH_SENSE_PATH`, or stderr as a `mesh-sense: ` line). Returns
+    /// whether sensing was on and a dump was written.
+    pub fn dump_sense_now(&self) -> bool {
+        with_internal_alloc(|| {
+            let Some(s) = &self.inner.state.sense else {
+                return false;
+            };
+            self.inner.state.sense_poll();
+            match self.inner.state.sense_json() {
+                Some(json) => {
+                    s.write_dump(&json);
                     true
                 }
                 None => false,
@@ -647,6 +726,12 @@ impl MeshForkGuard<'_> {
             if let Some(trace) = mesh.inner.counters.trace_set() {
                 trace.wipe_all();
             }
+            // Likewise the sense ring and meshing ledger: their history is
+            // the parent's, and a pre-fork dump request must not fire here.
+            if let Some(sense) = &mesh.inner.state.sense {
+                sense.wipe_for_child();
+            }
+            mesh.inner.state.ledger.wipe_for_child();
             mesh.inner.counters.forks.fetch_add(1, Ordering::Relaxed);
             mesh.respawn_mesher_after_fork();
             unsafe {

@@ -99,6 +99,23 @@ pub struct MeshConfig {
     /// (`MESH_TRANSFER_CACHE_SLOTS`). 0 disables the middle tier (sender
     /// side free batching stays on when `transfer_batch > 1`).
     pub(crate) transfer_cache_slots: usize,
+    /// Interval between mesh-sense polls (`MESH_SENSE_INTERVAL_MS`;
+    /// `None` = sensing off). On by default at 1 Hz: each poll reads
+    /// pressure/RSS sources, decomposes residency, and appends one
+    /// snapshot to the in-memory ring — cheap enough to leave running.
+    pub(crate) sense_interval: Option<Duration>,
+    /// Snapshots retained in the sense ring (`MESH_SENSE_HISTORY`). At
+    /// the default 1 s interval, 120 snapshots = two minutes of history.
+    pub(crate) sense_history: usize,
+    /// Pages sampled with `mincore(2)` per sense poll
+    /// (`MESH_SENSE_MINCORE_PAGES`; 0 disables the sweep and
+    /// `est_resident_bytes` falls back to committed bytes).
+    pub(crate) sense_mincore_pages: usize,
+    /// Sense-dump destination (`MESH_SENSE_PATH`; `None` = stderr as a
+    /// single `mesh-sense: ` line on explicit request only — sensing is
+    /// on by default, so there is no unsolicited at-exit dump without a
+    /// path). The file is rewritten on each dump.
+    pub(crate) sense_path: Option<PathBuf>,
 }
 
 impl Default for MeshConfig {
@@ -127,6 +144,10 @@ impl Default for MeshConfig {
             trace_path: None,
             transfer_batch: 32,
             transfer_cache_slots: 8,
+            sense_interval: Some(Duration::from_millis(1000)),
+            sense_history: 120,
+            sense_mincore_pages: 256,
+            sense_path: None,
         }
     }
 }
@@ -343,6 +364,58 @@ impl MeshConfig {
         self.transfer_cache_slots
     }
 
+    /// Sets (or clears) the mesh-sense poll interval
+    /// (`MESH_SENSE_INTERVAL_MS`; `None` disables sensing).
+    pub fn sense_interval(mut self, interval: Option<Duration>) -> Self {
+        self.sense_interval = interval;
+        self
+    }
+
+    /// Sets the number of snapshots retained in the sense ring
+    /// (`MESH_SENSE_HISTORY`).
+    pub fn sense_history(mut self, snapshots: usize) -> Self {
+        self.sense_history = snapshots;
+        self
+    }
+
+    /// Sets the per-poll `mincore` page budget
+    /// (`MESH_SENSE_MINCORE_PAGES`; 0 disables the residency sweep).
+    pub fn sense_mincore_pages(mut self, pages: usize) -> Self {
+        self.sense_mincore_pages = pages;
+        self
+    }
+
+    /// Sets (or clears) the sense-dump destination (`MESH_SENSE_PATH`).
+    pub fn sense_path(mut self, path: Option<PathBuf>) -> Self {
+        self.sense_path = path;
+        self
+    }
+
+    /// Whether mesh-sense polling is enabled.
+    pub fn is_sensing(&self) -> bool {
+        self.sense_interval.is_some()
+    }
+
+    /// The configured sense poll interval, if sensing is enabled.
+    pub fn sense_poll_interval(&self) -> Option<Duration> {
+        self.sense_interval
+    }
+
+    /// The configured sense-ring capacity in snapshots.
+    pub fn sense_history_len(&self) -> usize {
+        self.sense_history
+    }
+
+    /// The configured per-poll `mincore` page budget.
+    pub fn sense_mincore_page_budget(&self) -> usize {
+        self.sense_mincore_pages
+    }
+
+    /// The configured sense-dump destination, if any.
+    pub fn sense_dump_path(&self) -> Option<&std::path::Path> {
+        self.sense_path.as_deref()
+    }
+
     /// Whether meshing is enabled.
     pub fn is_meshing_enabled(&self) -> bool {
         self.meshing
@@ -442,6 +515,20 @@ impl MeshConfig {
                 self.transfer_cache_slots
             )));
         }
+        if self.sense_interval.is_some() {
+            if !(2..=100_000).contains(&self.sense_history) {
+                return Err(MeshError::InvalidConfig(format!(
+                    "sense_history {} outside 2..=100000",
+                    self.sense_history
+                )));
+            }
+            if self.sense_mincore_pages > 1 << 24 {
+                return Err(MeshError::InvalidConfig(format!(
+                    "sense_mincore_pages {} above 16Mi",
+                    self.sense_mincore_pages
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -465,6 +552,10 @@ impl MeshConfig {
     /// | `MESH_TRACE_PATH` | trace-dump file (default: stderr) |
     /// | `MESH_TRANSFER_BATCH` | objects per transfer-cache batch (1 = off) |
     /// | `MESH_TRANSFER_CACHE_SLOTS` | cached batches per size class (0 = off) |
+    /// | `MESH_SENSE_INTERVAL_MS` | mesh-sense poll period (0 = off; default 1000) |
+    /// | `MESH_SENSE_HISTORY` | snapshots retained in the sense ring |
+    /// | `MESH_SENSE_MINCORE_PAGES` | pages sampled per poll (0 = no sweep) |
+    /// | `MESH_SENSE_PATH` | sense-dump file (default: stderr, on request) |
     ///
     /// Size knobs accept `K`/`M`/`G`/`T` suffixes (optionally followed by
     /// `B` or `iB`, case-insensitive): `MESH_MAX_HEAP_BYTES=8G`. Malformed
@@ -514,6 +605,18 @@ impl MeshConfig {
         }
         if let Some(n) = env_u64("MESH_TRANSFER_CACHE_SLOTS") {
             self = self.transfer_cache_slots(n as usize);
+        }
+        if let Some(ms) = env_u64("MESH_SENSE_INTERVAL_MS") {
+            self = self.sense_interval((ms > 0).then(|| Duration::from_millis(ms)));
+        }
+        if let Some(n) = env_u64("MESH_SENSE_HISTORY") {
+            self = self.sense_history(n as usize);
+        }
+        if let Some(n) = env_size("MESH_SENSE_MINCORE_PAGES") {
+            self = self.sense_mincore_pages(n);
+        }
+        if let Some(path) = env_path("MESH_SENSE_PATH") {
+            self = self.sense_path(Some(path));
         }
         self
     }
@@ -748,6 +851,39 @@ mod tests {
         assert!(MeshConfig::default()
             .tracing(true)
             .trace_buf_events((1 << 22) + 1)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn sense_knobs_build_and_validate() {
+        let c = MeshConfig::default();
+        assert!(c.is_sensing(), "sensing is on by default");
+        assert_eq!(c.sense_poll_interval(), Some(Duration::from_millis(1000)));
+        assert_eq!(c.sense_history_len(), 120);
+        assert_eq!(c.sense_mincore_page_budget(), 256);
+        assert_eq!(c.sense_dump_path(), None);
+        let c = MeshConfig::default()
+            .sense_interval(Some(Duration::from_millis(100)))
+            .sense_history(16)
+            .sense_mincore_pages(0)
+            .sense_path(Some("/tmp/sense.json".into()));
+        assert_eq!(c.sense_poll_interval(), Some(Duration::from_millis(100)));
+        assert_eq!(c.sense_history_len(), 16);
+        assert_eq!(c.sense_mincore_page_budget(), 0, "0 = no sweep, still valid");
+        assert_eq!(
+            c.sense_dump_path(),
+            Some(std::path::Path::new("/tmp/sense.json"))
+        );
+        assert!(c.validate().is_ok());
+        let off = MeshConfig::default().sense_interval(None);
+        assert!(!off.is_sensing());
+        // Ring/budget bounds only matter when sensing is on.
+        assert!(off.clone().sense_history(1).validate().is_ok());
+        assert!(MeshConfig::default().sense_history(1).validate().is_err());
+        assert!(MeshConfig::default().sense_history(100_001).validate().is_err());
+        assert!(MeshConfig::default()
+            .sense_mincore_pages((1 << 24) + 1)
             .validate()
             .is_err());
     }

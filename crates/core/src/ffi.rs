@@ -133,6 +133,9 @@ extern "C" {
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
     pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
     pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+    // Residency sampling (mesh-sense): one byte per page, bit 0 set when
+    // the page is resident.
+    pub fn mincore(addr: *mut c_void, length: size_t, vec: *mut u8) -> c_int;
     pub fn fallocate(fd: c_int, mode: c_int, offset: off_t, len: off_t) -> c_int;
     pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;

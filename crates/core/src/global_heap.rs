@@ -39,7 +39,10 @@ use crate::shuffle_vector::ShuffleVector;
 use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES, PAGE_SIZE};
 use crate::stats::Counters;
 use crate::sync::{Mutex, MutexGuard};
-use crate::telemetry::{self, HeapSpectrum, Telemetry, TimedOp, TraceSet};
+use crate::telemetry::{
+    self, HeapSpectrum, MeshLedger, SenseSnapshot, SenseState, Telemetry, TimedOp, TraceSet,
+    ABSENT,
+};
 use crate::transfer_cache::TransferCache;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -186,6 +189,7 @@ pub(crate) struct AllShardGuards<'a> {
     _stat_locals: MutexGuard<'a, Vec<Arc<crate::stats::LocalCounters>>>,
     _senders: MutexGuard<'a, Vec<std::sync::Weak<crate::remote_free::SenderBufs>>>,
     _telemetry_dump: Option<MutexGuard<'a, Instant>>,
+    _sense_clock: Option<MutexGuard<'a, Instant>>,
     _hist_locals: MutexGuard<'a, Vec<Arc<crate::telemetry::LocalHists>>>,
     _trace_rings: Option<MutexGuard<'a, Vec<Arc<crate::telemetry::TraceRing>>>>,
 }
@@ -411,6 +415,12 @@ pub(crate) struct GlobalHeap {
     /// Sampled-profiling state (`None` when `MESH_PROF` is off — the
     /// zero-overhead mode).
     pub(crate) telemetry: Option<Arc<Telemetry>>,
+    /// mesh-sense pressure/residency polling state (`None` when
+    /// `MESH_SENSE_INTERVAL_MS=0`; on by default).
+    pub(crate) sense: Option<SenseState>,
+    /// Per-pass meshing-effectiveness ledger (always on; one lock + a few
+    /// atomic adds per rate-limited pass).
+    pub(crate) ledger: MeshLedger,
     base: usize,
     pages: u32,
 }
@@ -461,6 +471,8 @@ impl GlobalHeap {
             scheduler: MeshScheduler::new(),
             counters,
             telemetry: Telemetry::new(&config),
+            sense: SenseState::new(&config),
+            ledger: MeshLedger::new(),
             base,
             pages,
         })
@@ -500,13 +512,24 @@ impl GlobalHeap {
     /// mesh pass is active and the waiter is not the mesher — the
     /// mutator-pause histogram. The uncontended path pays no clock read.
     pub fn lock_class(&self, class: SizeClass) -> MutexGuard<'_, ClassState> {
+        self.lock_class_reporting(class).0
+    }
+
+    /// [`GlobalHeap::lock_class`] variant that also reports whether the
+    /// acquisition was contended — the meshing ledger's class-contention
+    /// signal (a pass that waited for the lock ran against a heap some
+    /// mutator was reshaping moments earlier).
+    pub(crate) fn lock_class_reporting(
+        &self,
+        class: SizeClass,
+    ) -> (MutexGuard<'_, ClassState>, bool) {
         let shard = &self.classes[class.index()];
         let (guard, waited) = shard.state.lock_timed();
         if let Some(ns) = waited {
             self.counters.class_lock_contention[class.index()].fetch_add(1, Ordering::Relaxed);
             self.counters.record_lock_wait(TimedOp::ClassLockWait, ns);
         }
-        guard
+        (guard, waited.is_some())
     }
 
     /// Acquires the arena leaf lock, counting contended acquisitions
@@ -641,13 +664,19 @@ impl GlobalHeap {
     /// candidates: a cached object keeps its claim bit set, which would
     /// otherwise make a meshable span look occupied — and, worse, a span
     /// whose only "live" objects sit in the cache would never be meshed
-    /// or reclaimed. The class lock must be held.
-    pub(crate) fn purge_transfer_locked(&self, class: SizeClass, st: &mut ClassState) {
+    /// or reclaimed. The class lock must be held. Returns the number of
+    /// cached objects released (the ledger's "pinned by transfer cache"
+    /// signal: spans those objects sat in could not have been candidates
+    /// until this flush).
+    pub(crate) fn purge_transfer_locked(&self, class: SizeClass, st: &mut ClassState) -> u64 {
+        let mut released = 0u64;
         for batch in self.transfer.take_all(class.index()) {
             for addr in batch {
                 self.release_claimed(class, st, addr);
+                released += 1;
             }
         }
+        released
     }
 
     /// Empties every class's transfer cache (one class lock at a time):
@@ -1118,8 +1147,8 @@ impl GlobalHeap {
     /// index, then the large shard, then the arena leaf, then the
     /// transfer-cache leaves, then the scheduler leaves, then the
     /// per-thread stats registry, then the sender-buffer registry, then
-    /// the telemetry dump clock, then the histogram-block registry, then
-    /// the trace-ring registry —
+    /// the telemetry dump clock, then the sense poll clock, then the
+    /// histogram-block registry, then the trace-ring registry —
     /// quiescing the heap for `fork()`. Any
     /// in-flight refill, drain, meshing pass, thread-block
     /// (un)registration, or dump-clock claim completes before this
@@ -1134,6 +1163,7 @@ impl GlobalHeap {
         let stat_locals = self.counters.lock_locals();
         let senders = self.senders.lock();
         let telemetry_dump = self.telemetry.as_ref().map(|t| t.lock_dump_clock());
+        let sense_clock = self.sense.as_ref().map(|s| s.lock_poll_clock());
         let hist_locals = self.counters.lock_hist_locals();
         let trace_rings = self.counters.trace_set().map(|t| t.lock_rings());
         AllShardGuards {
@@ -1147,6 +1177,7 @@ impl GlobalHeap {
             _stat_locals: stat_locals,
             _senders: senders,
             _telemetry_dump: telemetry_dump,
+            _sense_clock: sense_clock,
             _hist_locals: hist_locals,
             _trace_rings: trace_rings,
         }
@@ -1389,10 +1420,114 @@ impl GlobalHeap {
         ))
     }
 
+    /// Takes one mesh-sense poll: reads the pressure sources, decomposes
+    /// residency from the segment snapshots, advances the bounded
+    /// `mincore` sweep, and appends a snapshot to the ring. Called by
+    /// [`GlobalHeap::telemetry_tick`] and by synchronous dump paths.
+    /// Takes the arena leaf lock briefly (for the segment snapshots),
+    /// then the sense poll clock — the ring's single-writer guard —
+    /// for the sweep and push. Respects the canonical lock order (the
+    /// clock comes after the arena; neither is held across the other).
+    pub(crate) fn sense_poll(&self) {
+        let Some(sense) = &self.sense else { return };
+        let segs = self.segment_stats();
+        let res = telemetry::decompose(&segs);
+        let p = telemetry::read_pressure();
+        let stats = self.counters.snapshot();
+        let _clock = sense.lock_poll_clock();
+        let est_resident_bytes =
+            sense.sweep(self.base, &segs, res.mapped_bytes, res.committed_bytes);
+        sense.push(&SenseSnapshot {
+            at_ms: self.counters.uptime_ms(),
+            rss_bytes: p.rss_bytes.unwrap_or(ABSENT),
+            est_resident_bytes,
+            live_bytes: res.live_bytes,
+            heap_bytes: stats.heap_bytes() as u64,
+            mapped_bytes: res.mapped_bytes,
+            free_dirty_bytes: res.free_dirty_bytes,
+            free_clean_bytes: res.free_clean_bytes,
+            meta_bytes: res.meta_bytes,
+            psi_avg10_milli: p.psi_avg10_milli.unwrap_or(ABSENT),
+            psi_avg60_milli: p.psi_avg60_milli.unwrap_or(ABSENT),
+            cgroup_limit_bytes: p.cgroup_limit_bytes.unwrap_or(ABSENT),
+            cgroup_usage_bytes: p.cgroup_usage_bytes.unwrap_or(ABSENT),
+            mallocs: stats.mallocs,
+            frees: stats.frees,
+            mesh_passes: stats.mesh_passes,
+            pairs_meshed: stats.spans_meshed,
+        });
+    }
+
+    /// Renders the version-1 mesh-sense JSON: current residency (per
+    /// segment and heap-wide), the mesh-pass effectiveness ledger, and
+    /// the retained snapshot time series. `None` when sensing is off.
+    /// Allocates; callers hold the internal-alloc guard.
+    pub fn sense_json(&self) -> Option<String> {
+        let sense = self.sense.as_ref()?;
+        let segs = self.segment_stats();
+        let res = telemetry::decompose(&segs);
+        let mut seg_rows = String::new();
+        for (i, s) in res.segments.iter().enumerate() {
+            if i > 0 {
+                seg_rows.push(',');
+            }
+            seg_rows.push_str(&format!(
+                "{{\"id\":{},\"start_page\":{},\"pages\":{},\"live_pages\":{},\
+                 \"free_dirty_pages\":{},\"free_clean_pages\":{},\"meta_pages\":{},\
+                 \"committed_pages\":{}}}",
+                s.id,
+                s.start_page,
+                s.pages,
+                s.live_pages,
+                s.free_dirty_pages,
+                s.free_clean_pages,
+                s.meta_pages,
+                s.committed_pages,
+            ));
+        }
+        let totals = self.ledger.reject_totals();
+        let mut reject_rows = String::new();
+        for (i, r) in telemetry::ALL_REJECT_REASONS.iter().enumerate() {
+            if i > 0 {
+                reject_rows.push(',');
+            }
+            reject_rows.push_str(&format!("\"{}\":{}", r.name(), totals[i]));
+        }
+        let passes: Vec<String> = self.ledger.recent().iter().map(|p| p.json()).collect();
+        let snaps: Vec<String> = sense.snapshots().iter().map(|s| s.json()).collect();
+        Some(format!(
+            "{{\"mesh_sense_version\":1,\"uptime_ms\":{},\
+             \"interval_ms\":{},\"history\":{},\"mincore_page_budget\":{},\
+             \"residency\":{{\"mapped_bytes\":{},\"live_bytes\":{},\
+             \"free_dirty_bytes\":{},\"free_clean_bytes\":{},\"meta_bytes\":{},\
+             \"committed_bytes\":{},\"segments\":[{}]}},\
+             \"ledger\":{{\"passes_recorded\":{},\"rejected_total\":{{{}}},\
+             \"passes\":[{}]}},\
+             \"snapshots\":[{}]}}",
+            self.counters.uptime_ms(),
+            sense.interval().as_millis(),
+            sense.history(),
+            sense.mincore_page_budget(),
+            res.mapped_bytes,
+            res.live_bytes,
+            res.free_dirty_bytes,
+            res.free_clean_bytes,
+            res.meta_bytes,
+            res.committed_bytes,
+            seg_rows,
+            self.ledger.passes_recorded(),
+            reject_rows,
+            passes.join(","),
+            snaps.join(","),
+        ))
+    }
+
     /// One background-thread telemetry beat: writes a profile dump when
     /// one is due (interval expired, or a request from `SIGUSR2` /
-    /// [`Telemetry::request_dump`]), and a trace dump when one was
-    /// requested. No-op without profiling or tracing.
+    /// [`Telemetry::request_dump`]), a trace dump when one was requested,
+    /// a mesh-sense poll when the poll clock expires, and a sense dump
+    /// when one was requested. No-op without profiling, tracing, or
+    /// sensing.
     pub(crate) fn telemetry_tick(&self) {
         if let Some(t) = &self.telemetry {
             if t.take_dump_due() {
@@ -1405,6 +1540,16 @@ impl GlobalHeap {
             if trace.take_dump_due() {
                 let json = trace.chrome_json(self.counters.uptime_ms());
                 trace.write_dump(&json);
+            }
+        }
+        if let Some(sense) = &self.sense {
+            if sense.take_poll_due() {
+                self.sense_poll();
+            }
+            if sense.take_dump_due() {
+                if let Some(json) = self.sense_json() {
+                    sense.write_dump(&json);
+                }
             }
         }
     }
@@ -1426,16 +1571,21 @@ impl GlobalHeap {
                 park = park.min(d);
             }
         }
+        if let Some(s) = &self.sense {
+            park = park.min(s.time_until_poll());
+        }
         park.clamp(Duration::from_millis(1), crate::mesher::IDLE_PARK)
     }
 
     /// Whether a heap with this configuration runs the background thread:
     /// for background meshing, for telemetry duties (interval dumps,
-    /// signal- or API-requested profile and trace dumps), or both.
+    /// signal- or API-requested profile, trace, and sense dumps; periodic
+    /// sense polls), or both.
     pub(crate) fn background_thread_wanted(&self) -> bool {
         self.rt.background_meshing
             || self.telemetry.is_some()
             || self.counters.trace_set().is_some()
+            || self.sense.is_some()
     }
 }
 

@@ -121,13 +121,18 @@ mod tests {
             )
             .unwrap()
         };
-        // Nothing scheduled (no background meshing, no telemetry): one
-        // full idle slice — the ~20× wakeup cut over 50 ms polling.
-        let h = heap(MeshConfig::default());
+        // Nothing scheduled (no background meshing, no telemetry, sensing
+        // off): one full idle slice — the ~20× wakeup cut over 50 ms
+        // polling.
+        let h = heap(MeshConfig::default().sense_interval(None));
         assert_eq!(h.next_park(), super::IDLE_PARK);
+        // Default-on sensing (1 s interval) bounds the park by the poll.
+        let h = heap(MeshConfig::default());
+        assert!(h.next_park() <= Duration::from_secs(1));
         // Background meshing with a 100 ms period: park to the deadline.
         let h = heap(
             MeshConfig::default()
+                .sense_interval(None)
                 .background_meshing(true)
                 .mesh_period(Duration::from_millis(100)),
         );

@@ -30,10 +30,10 @@
 
 use crate::global_heap::{ClassState, GlobalHeap, PARTIAL_BINS};
 use crate::miniheap::MiniHeapId;
-use crate::size_classes::SizeClass;
+use crate::size_classes::{SizeClass, PAGE_SIZE};
 use crate::span::Span;
 use crate::sys::ReleaseStrategy;
-use crate::telemetry::TimedOp;
+use crate::telemetry::{PassRecord, RejectReason, TimedOp, REJECT_REASONS};
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
@@ -79,27 +79,38 @@ pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
     // purge itself is wall-clock rate-limited by the scheduler. A purge
     // can leave non-initial segments with all pages clean, so segment
     // retirement rides the same rate limiter.
+    // Ledger bookkeeping: `pages_purged` moved by this pass's purge work
+    // becomes the pass's madvise-bytes figure.
+    let purged_before = heap.counters.pages_purged.load(Ordering::Relaxed);
     if heap.scheduler.should_purge(heap.rt.mesh_period()) {
         heap.purge_and_retire();
     }
     let mut summary = MeshSummary::default();
+    let mut candidates_scanned = 0u64;
+    let mut rejected = [0u64; REJECT_REASONS];
     // Every class drains — non-meshable classes (≥ one page per object)
     // still rely on passes to apply queued remote frees promptly.
     for class in SizeClass::all() {
-        let mut st = heap.lock_class(class);
+        let (mut st, contended) = heap.lock_class_reporting(class);
+        if contended {
+            rejected[RejectReason::ClassContention as usize] += 1;
+        }
         heap.drain_class_locked(class, &mut st);
         if !class.is_meshable() {
             continue;
         }
         // Cached objects hold claim bits that inflate occupancy; return
         // them to their spans so candidate collection sees the truth (and
-        // empty-but-cached spans get reclaimed rather than pinned).
-        heap.purge_transfer_locked(class, &mut st);
+        // empty-but-cached spans get reclaimed rather than pinned). Every
+        // flushed object marks a span the cache was pinning.
+        rejected[RejectReason::PinnedTransfer as usize] +=
+            heap.purge_transfer_locked(class, &mut st);
         // The selection phase is timed even when it comes up dry: the
         // partial-bin scan is the `t`-bounded search cost the histogram
         // exists to expose, and a dry scan (arg 0) is still that cost.
         let select_t0 = Instant::now();
         let candidates = collect_candidates(heap, &st);
+        candidates_scanned += candidates.len() as u64;
         if candidates.len() < 2 {
             heap.counters.record_slow(TimedOp::MeshCandidates, select_t0, 0);
             continue;
@@ -110,6 +121,7 @@ pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
             heap.rt.probe_limit(),
             heap.rt.max_span_count(),
             &mut summary.pairs_probed,
+            &mut rejected[RejectReason::OccupancyOverlap as usize],
         );
         heap.counters
             .record_slow(TimedOp::MeshCandidates, select_t0, pairs.len() as u64);
@@ -130,6 +142,16 @@ pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
     heap.counters
         .mesh_bytes_copied
         .fetch_add(summary.bytes_copied as u64, Ordering::Relaxed);
+    let purged = heap.counters.pages_purged.load(Ordering::Relaxed) - purged_before;
+    heap.ledger.record(PassRecord {
+        at_ms: heap.counters.uptime_ms(),
+        candidates: candidates_scanned,
+        probes: summary.pairs_probed as u64,
+        rejected,
+        pairs_meshed: summary.pairs_meshed as u64,
+        bytes_recovered: summary.bytes_released() as u64,
+        madvise_bytes: purged * PAGE_SIZE as u64,
+    });
     summary
 }
 
@@ -155,12 +177,16 @@ fn collect_candidates(heap: &GlobalHeap, st: &ClassState) -> Vec<MiniHeapId> {
 /// The SplitMesher procedure of Figure 2: shuffle the candidate list,
 /// split it into halves, and probe `Sl[j]` against `Sr[(j+i) % len]` for
 /// `i < t`. Returns the pairs to mesh (each span in at most one pair).
+/// Every probed pair that fails — overlapping bitmaps, or a combined
+/// alias count over the page-table budget — bumps `rejects` (the
+/// ledger's occupancy-overlap tally).
 fn split_mesher(
     st: &mut ClassState,
     mut candidates: Vec<MiniHeapId>,
     probe_limit: usize,
     max_spans: usize,
     probes: &mut usize,
+    rejects: &mut u64,
 ) -> Vec<(MiniHeapId, MiniHeapId)> {
     st.rng.shuffle(&mut candidates);
     let half = candidates.len() / 2;
@@ -187,12 +213,15 @@ fn split_mesher(
             let b = st.slab.get(right[k]).expect("candidate is live");
             // Combined alias count must stay within the page-table budget.
             if a.span_count() + b.span_count() > max_spans {
+                *rejects += 1;
                 continue;
             }
             if a.bitmap().meshes_with(b.bitmap()) {
                 used_l[j] = true;
                 used_r[k] = true;
                 pairs.push((left[j], right[k]));
+            } else {
+                *rejects += 1;
             }
         }
     }
@@ -482,7 +511,8 @@ mod tests {
         let candidates = collect_candidates(&h, &st);
         assert_eq!(candidates.len(), 8);
         let mut probes = 0;
-        let pairs = split_mesher(&mut st, candidates, 64, 3, &mut probes);
+        let mut rejects = 0u64;
+        let pairs = split_mesher(&mut st, candidates, 64, 3, &mut probes, &mut rejects);
         assert!(probes > 0);
         // With t=64 and only two "shapes", SplitMesher should pair nearly
         // everything; at minimum one pair must exist.

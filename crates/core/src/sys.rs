@@ -471,6 +471,31 @@ pub fn process_rss_kb() -> Option<u64> {
     Some(pages * (PAGE_SIZE as u64 / 1024))
 }
 
+/// Counts how many of the `pages` pages starting at `addr` are resident
+/// in physical memory, via `mincore(2)` (the mesh-sense residency
+/// sampler). `addr` must be page-aligned and inside a live mapping owned
+/// by the caller (the arena reservation qualifies: retired ranges revert
+/// to `PROT_NONE` reservations, which `mincore` reports as non-resident
+/// without faulting). Returns `None` when the kernel rejects the range
+/// (e.g. a race with an unmap) or on non-Linux test stubs.
+pub fn resident_pages(addr: usize, pages: usize) -> Option<usize> {
+    if pages == 0 {
+        return Some(0);
+    }
+    let mut vec = vec![0u8; pages];
+    let rc = unsafe {
+        libc::mincore(
+            addr as *mut libc::c_void,
+            pages * PAGE_SIZE,
+            vec.as_mut_ptr(),
+        )
+    };
+    if rc != 0 {
+        return None;
+    }
+    Some(vec.iter().filter(|&&b| b & 1 != 0).count())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,5 +636,24 @@ mod tests {
         // Only checks the plumbing; exact values are environment-dependent.
         let r = process_rss_kb();
         assert!(r.is_none() || r.unwrap() > 0);
+    }
+
+    #[test]
+    fn resident_pages_tracks_touch_and_release() {
+        let f = MemFile::create(4 * PAGE_SIZE).unwrap();
+        let base = map_file_shared(&f).unwrap();
+        unsafe {
+            std::ptr::write_bytes(base, 0x5C, 2 * PAGE_SIZE);
+        }
+        let r = resident_pages(base as usize, 4).expect("mapped range");
+        assert!(r >= 2, "touched pages must be resident, got {r}");
+        let s = ReleaseStrategy::detect(&f, base);
+        unsafe {
+            s.release(&f, base, 2 * PAGE_SIZE, 0);
+        }
+        let after = resident_pages(base as usize, 4).expect("mapped range");
+        assert!(after <= r, "release must not grow residency");
+        unsafe { unmap(base, 4 * PAGE_SIZE) };
+        assert_eq!(resident_pages(0x10, 1), None, "unmapped range rejected");
     }
 }

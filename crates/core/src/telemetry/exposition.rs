@@ -35,7 +35,7 @@
 use super::{ProfileStats, SiteSnapshot};
 use crate::stats::HeapStats;
 use crate::telemetry::histogram::{bucket_upper_ns, LatencySnapshot, ALL_TIMED_OPS, LATENCY_BUCKETS};
-use crate::telemetry::HeapSpectrum;
+use crate::telemetry::{HeapSpectrum, SenseSnapshot, ABSENT, ALL_REJECT_REASONS, REJECT_REASONS};
 
 /// Renders the version-1 JSON heap profile.
 pub(crate) fn profile_json(
@@ -98,9 +98,15 @@ fn seconds(ns: u64) -> String {
 
 /// Renders the heap's state as Prometheus text-format metrics: the
 /// [`HeapStats`] counters/gauges, the slow-path latency histograms, the
-/// per-class occupancy spectrum, and (when profiling) the sampler's own
-/// summary.
-pub(crate) fn prom_text(stats: &HeapStats, prof: Option<&ProfileStats>) -> String {
+/// per-class occupancy spectrum, the meshing-effectiveness reject
+/// totals, (when sensing) the latest pressure/residency snapshot, and
+/// (when profiling) the sampler's own summary.
+pub(crate) fn prom_text(
+    stats: &HeapStats,
+    prof: Option<&ProfileStats>,
+    sense: Option<&SenseSnapshot>,
+    rejects: &[u64; REJECT_REASONS],
+) -> String {
     let mut out = String::with_capacity(8192);
     let counters: &[(&str, &str, u64)] = &[
         ("mesh_mallocs_total", "Successful allocations.", stats.mallocs),
@@ -224,7 +230,10 @@ pub(crate) fn prom_text(stats: &HeapStats, prof: Option<&ProfileStats>) -> Strin
         stats.peak_heap_bytes(),
     );
     // Renamed series kept one release for dashboards still scraping it.
-    out.push_str("# EOL mesh_heap_bytes_peak is a deprecated alias of mesh_heap_peak_bytes\n");
+    out.push_str(
+        "# EOL mesh_heap_bytes_peak is a deprecated alias of mesh_heap_peak_bytes, \
+         removal no earlier than 2026-12-01\n",
+    );
     metric(
         &mut out,
         "mesh_heap_bytes_peak",
@@ -255,6 +264,23 @@ pub(crate) fn prom_text(stats: &HeapStats, prof: Option<&ProfileStats>) -> Strin
     );
     latency_metrics(&mut out, &stats.latency);
     spectrum_metrics(&mut out, &stats.spectrum);
+    // The effectiveness ledger's per-reason reject totals. Every reason
+    // label is always emitted (zeros included) so rate() queries never
+    // see a series appear from nowhere.
+    out.push_str(
+        "# HELP mesh_pass_rejected_total Mesh-pass pair rejections by reason.\n\
+         # TYPE mesh_pass_rejected_total counter\n",
+    );
+    for reason in ALL_REJECT_REASONS {
+        out.push_str(&format!(
+            "mesh_pass_rejected_total{{reason=\"{}\"}} {}\n",
+            reason.name(),
+            rejects[reason as usize]
+        ));
+    }
+    if let Some(s) = sense {
+        sense_metrics(&mut out, s);
+    }
     if let Some(p) = prof {
         metric(
             &mut out,
@@ -307,6 +333,72 @@ pub(crate) fn prom_text(stats: &HeapStats, prof: Option<&ProfileStats>) -> Strin
         );
     }
     out
+}
+
+/// Formats a milli-percent PSI reading as a plain decimal percentage.
+fn psi_pct(milli: u64) -> String {
+    format!("{}.{:03}", milli / 1000, milli % 1000)
+}
+
+/// The latest sense snapshot as gauges. Sources that were unreadable on
+/// this host (no cgroup limit, no PSI, no /proc) carry the [`ABSENT`]
+/// sentinel and their series are simply omitted — absence of data, not a
+/// zero reading.
+fn sense_metrics(out: &mut String, s: &SenseSnapshot) {
+    if s.rss_bytes != ABSENT {
+        metric(
+            out,
+            "mesh_rss_bytes",
+            "gauge",
+            "Process resident set size from /proc.",
+            s.rss_bytes,
+        );
+    }
+    if s.est_resident_bytes != ABSENT {
+        metric(
+            out,
+            "mesh_resident_est_bytes",
+            "gauge",
+            "Estimated resident bytes of the heap mapping (sampled mincore).",
+            s.est_resident_bytes,
+        );
+    }
+    if s.psi_avg10_milli != ABSENT {
+        metric(
+            out,
+            "mesh_pressure_psi_avg10",
+            "gauge",
+            "Memory PSI some avg10 percentage from /proc/pressure/memory.",
+            psi_pct(s.psi_avg10_milli),
+        );
+    }
+    if s.psi_avg60_milli != ABSENT {
+        metric(
+            out,
+            "mesh_pressure_psi_avg60",
+            "gauge",
+            "Memory PSI some avg60 percentage from /proc/pressure/memory.",
+            psi_pct(s.psi_avg60_milli),
+        );
+    }
+    if s.cgroup_limit_bytes != ABSENT {
+        metric(
+            out,
+            "mesh_cgroup_limit_bytes",
+            "gauge",
+            "Effective cgroup memory limit (absent when unlimited).",
+            s.cgroup_limit_bytes,
+        );
+    }
+    if s.cgroup_usage_bytes != ABSENT {
+        metric(
+            out,
+            "mesh_cgroup_usage_bytes",
+            "gauge",
+            "Cgroup memory usage reported by the controller.",
+            s.cgroup_usage_bytes,
+        );
+    }
 }
 
 /// The slow-path latency histograms as Prometheus `_bucket`/`_sum`/
@@ -486,16 +578,21 @@ mod tests {
             est_meshable_pairs: 1,
             meshable: true,
         };
-        let text = prom_text(&stats, Some(&prof()));
+        let text = prom_text(&stats, Some(&prof()), None, &[0; REJECT_REASONS]);
         assert!(text.contains("# TYPE mesh_mallocs_total counter\nmesh_mallocs_total 7\n"));
         assert!(text.contains("mesh_live_bytes 1234"));
         assert!(text.contains("mesh_class_spans{class=\"48\",bin=\"attached\"} 1"));
         assert!(text.contains("mesh_class_spans{class=\"48\",bin=\"q0_25\"} 2"));
         assert!(text.contains("mesh_class_est_meshable_pairs{class=\"48\"} 1"));
         assert!(text.contains("mesh_prof_live_bytes_estimate 24000"));
-        // Without profiling, the prof series are absent.
-        let text = prom_text(&stats, None);
+        // Every reject reason emits a series even at zero.
+        assert!(text.contains("mesh_pass_rejected_total{reason=\"occupancy_overlap\"} 0"));
+        assert!(text.contains("mesh_pass_rejected_total{reason=\"copy_abort\"} 0"));
+        // Without profiling, the prof series are absent; without a sense
+        // snapshot, the sense gauges are too.
+        let text = prom_text(&stats, None, None, &[0; REJECT_REASONS]);
         assert!(!text.contains("mesh_prof_"));
+        assert!(!text.contains("mesh_rss_bytes"));
         // Every non-comment line is `name{labels} value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
@@ -514,7 +611,7 @@ mod tests {
         stats.latency.counts[r][LATENCY_BUCKETS - 1] = 1;
         stats.latency.sums[r] = 5_000;
         stats.latency.maxes[r] = 2_000;
-        let text = prom_text(&stats, None);
+        let text = prom_text(&stats, None, None, &[0; REJECT_REASONS]);
         // The populated family: elided zero buckets, cumulative counts,
         // the overflow landing only in +Inf.
         assert!(text.contains("# TYPE mesh_refill_seconds histogram\n"));
@@ -551,7 +648,20 @@ mod tests {
         stats.latency.counts[r][3] = 2;
         stats.latency.counts[r][9] = 1;
         stats.latency.sums[r] = 900;
-        let text = prom_text(&stats, Some(&prof()));
+        // Sense on, with a mixed present/absent snapshot, so the lint
+        // also covers the mesh-sense gauge families and the labelled
+        // reject counter.
+        let sense = SenseSnapshot {
+            at_ms: 1000,
+            rss_bytes: 10 << 20,
+            est_resident_bytes: 8 << 20,
+            psi_avg10_milli: 12_340,
+            psi_avg60_milli: ABSENT,
+            cgroup_limit_bytes: ABSENT,
+            cgroup_usage_bytes: 9 << 20,
+            ..Default::default()
+        };
+        let text = prom_text(&stats, Some(&prof()), Some(&sense), &[3, 1, 0, 0]);
 
         let mut kinds: std::collections::HashMap<String, String> = Default::default();
         let mut last_help: Option<String> = None;
@@ -614,5 +724,47 @@ mod tests {
         let alias_pos = text.find("# HELP mesh_heap_bytes_peak ").expect("alias series");
         assert!(eol_pos < alias_pos);
         assert!(text.find("mesh_heap_peak_bytes ").unwrap() < eol_pos, "new name first");
+        // Present sense sources emit gauges; absent ones emit nothing.
+        assert!(text.contains("mesh_rss_bytes 10485760\n"));
+        assert!(text.contains("mesh_resident_est_bytes 8388608\n"));
+        assert!(text.contains("mesh_pressure_psi_avg10 12.340\n"));
+        assert!(text.contains("mesh_cgroup_usage_bytes 9437184\n"));
+        assert!(!text.contains("mesh_pressure_psi_avg60"), "ABSENT source elided");
+        assert!(!text.contains("mesh_cgroup_limit_bytes"), "unlimited cgroup elided");
+        assert!(text.contains("mesh_pass_rejected_total{reason=\"occupancy_overlap\"} 3\n"));
+        assert!(text.contains("mesh_pass_rejected_total{reason=\"pinned_transfer\"} 1\n"));
+    }
+
+    /// Pins the deprecation contract for the renamed peak gauge: the
+    /// canonical `mesh_heap_peak_bytes` and the deprecated
+    /// `mesh_heap_bytes_peak` alias are emitted side by side, carry the
+    /// same value, and the alias's `# EOL` marker names its earliest
+    /// removal date. Remove the alias (and this test) no earlier than
+    /// 2026-12-01.
+    #[test]
+    fn heap_peak_alias_emitted_until_eol_date() {
+        let stats = HeapStats {
+            committed_pages_peak: 1792,
+            ..Default::default()
+        };
+        let text = prom_text(&stats, None, None, &[0; REJECT_REASONS]);
+        let value_of = |name: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(&format!("{name} ")))
+                .unwrap_or_else(|| panic!("{name} series missing"))
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let peak = stats.peak_heap_bytes() as u64;
+        assert!(peak > 0);
+        assert_eq!(value_of("mesh_heap_peak_bytes"), peak);
+        assert_eq!(value_of("mesh_heap_bytes_peak"), peak, "alias tracks canonical");
+        assert!(
+            text.contains("# EOL mesh_heap_bytes_peak is a deprecated alias of mesh_heap_peak_bytes, removal no earlier than 2026-12-01\n"),
+            "EOL marker must state the removal date"
+        );
     }
 }

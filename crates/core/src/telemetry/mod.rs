@@ -26,19 +26,28 @@
 
 mod exposition;
 mod histogram;
+mod ledger;
 mod profile_table;
+mod residency;
 mod sampler;
+mod sense;
 mod spectrum;
 mod trace;
 
 pub use histogram::{
     bucket_upper_ns, LatencySnapshot, TimedOp, ALL_TIMED_OPS, LATENCY_BUCKETS, NUM_TIMED_OPS,
 };
+pub use ledger::{
+    MeshLedger, PassRecord, RejectReason, ALL_REJECT_REASONS, LEDGER_PASSES, REJECT_REASONS,
+};
 pub use profile_table::{SiteSnapshot, MAX_FRAMES, OVERFLOW_SITE};
+pub use residency::{decompose, ResidencyBreakdown, SegmentResidency};
+pub use sense::{PressureReading, SenseSnapshot, SenseState, ABSENT};
 pub use spectrum::{ClassSpectrum, HeapSpectrum, SPECTRUM_BINS};
 pub use trace::TraceEvent;
 
 pub(crate) use exposition::{profile_json, prom_text};
+pub(crate) use sense::read_pressure;
 pub(crate) use histogram::{HistSet, LocalHists};
 pub(crate) use sampler::ThreadSampler;
 pub(crate) use spectrum::estimate_meshable_pairs;

@@ -25,6 +25,10 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     std::env::set_var("MESH_TRACE", "1");
     std::env::set_var("MESH_TRACE_BUF_EVENTS", "banana"); // malformed
     std::env::set_var("MESH_TRACE_PATH", "/tmp/mesh-env-knobs-trace.json");
+    std::env::set_var("MESH_SENSE_INTERVAL_MS", "200");
+    std::env::set_var("MESH_SENSE_HISTORY", "banana"); // malformed
+    std::env::set_var("MESH_SENSE_MINCORE_PAGES", "1K");
+    std::env::set_var("MESH_SENSE_PATH", "/tmp/mesh-env-knobs-sense.json");
 
     let c = MeshConfig::default().apply_env();
     assert_eq!(c.max_heap_size(), 64 << 20, "suffix-parsed cap");
@@ -63,6 +67,27 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
         c.trace_dump_path().map(|p| p.to_path_buf()),
         Some(std::path::PathBuf::from("/tmp/mesh-env-knobs-trace.json")),
         "MESH_TRACE_PATH parsed"
+    );
+    assert!(c.is_sensing(), "sensing stays on with a parsed interval");
+    assert_eq!(
+        c.sense_poll_interval(),
+        Some(std::time::Duration::from_millis(200)),
+        "MESH_SENSE_INTERVAL_MS parsed"
+    );
+    assert_eq!(
+        c.sense_history_len(),
+        MeshConfig::default().sense_history_len(),
+        "malformed MESH_SENSE_HISTORY ignored (warned), default kept"
+    );
+    assert_eq!(
+        c.sense_mincore_page_budget(),
+        1 << 10,
+        "suffix-parsed mincore budget"
+    );
+    assert_eq!(
+        c.sense_dump_path().map(|p| p.to_path_buf()),
+        Some(std::path::PathBuf::from("/tmp/mesh-env-knobs-sense.json")),
+        "MESH_SENSE_PATH parsed"
     );
     assert!(c.validate().is_ok());
 
@@ -108,5 +133,20 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     std::env::set_var("MESH_TRACE_BUF_EVENTS", "4K");
     let c = MeshConfig::default().apply_env();
     assert_eq!(c.trace_buf_event_count(), 4 << 10);
+    assert!(c.validate().is_ok());
+
+    // MESH_SENSE_INTERVAL_MS=0 disables sensing entirely, and with it
+    // the history/budget bounds stop applying.
+    std::env::set_var("MESH_SENSE_INTERVAL_MS", "0");
+    let c = MeshConfig::default().apply_env();
+    assert!(!c.is_sensing(), "0 disables sensing");
+    assert_eq!(c.sense_poll_interval(), None);
+    assert!(c.validate().is_ok());
+
+    // A well-formed history reaches the config and validates.
+    std::env::set_var("MESH_SENSE_INTERVAL_MS", "1000");
+    std::env::set_var("MESH_SENSE_HISTORY", "30");
+    let c = MeshConfig::default().apply_env();
+    assert_eq!(c.sense_history_len(), 30);
     assert!(c.validate().is_ok());
 }
