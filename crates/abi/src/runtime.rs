@@ -109,6 +109,15 @@ fn install_process_hooks(mesh: &Mesh) {
         if stats_at_exit_wanted {
             crate::real::atexit(stats_at_exit);
         }
+        if mesh.harden_aborts() {
+            // The one-line abort diagnostic must survive applications that
+            // close or redirect fd 2 after startup: point it at a private
+            // dup of stderr taken now (fall back to fd 2 if dup fails).
+            let fd = crate::real::fcntl(2, crate::real::F_DUPFD_CLOEXEC, 3);
+            if fd >= 0 {
+                mesh_core::set_abort_fd(fd);
+            }
+        }
         if mesh.is_profiling() || mesh.is_tracing() || mesh.is_sensing() {
             // Opt-in SIGUSR2 → heap-profile, trace, and/or sense dump.
             // The handler body is atomic stores

@@ -39,6 +39,16 @@
 //!   one predicted branch per slow-path op — and is **enforced like
 //!   `prof_off`**; `trace_on` measures the ring-recording tax
 //!   (informational).
+//! * `harden_off` / `harden_full` / per-feature — the hardened-mode cost
+//!   bracket: `harden_off` churns with the `MESH_HARDEN` machinery
+//!   compiled in but the policy off (the shipping default — one
+//!   predictable branch per free) and is **enforced like `prof_off`**;
+//!   `harden_full` measures every detector armed (count policy), and
+//!   `harden_poison` / `harden_quarantine` isolate the two small-object
+//!   detectors. The guard-page tax is measured separately on a
+//!   large-object churn (`harden_large_base` vs `harden_guard`), since
+//!   guards only exist on the large path. All enabled-mode numbers are
+//!   informational — hardening is opt-in and priced accordingly.
 //!
 //! Output: a human table, one `BENCH_MALLOC.json` trajectory line on
 //! stdout, and the same JSON written to `BENCH_MALLOC.json` in the
@@ -52,7 +62,7 @@
 //! scheduler, not the allocator).
 
 use mesh_bench::banner;
-use mesh_core::{Mesh, MeshConfig, SizeClass};
+use mesh_core::{HardenPolicy, Mesh, MeshConfig, SizeClass};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -102,6 +112,32 @@ fn heap_trace(enabled: bool) -> Mesh {
             .mesh_period(Duration::from_secs(3600))
             .tracing(enabled)
             .trace_buf_events(64 << 10),
+    )
+    .expect("bench heap")
+}
+
+/// One point of the hardened-mode cost bracket: the policy plus an
+/// explicit per-feature mask. `harden_off` passes `Off` (the shipping
+/// default — the detectors compile to one predictable branch); the
+/// enabled points use `Count` so every detection is a counter bump, not
+/// an abort, and the measured tax is pure detection overhead.
+fn heap_harden(
+    policy: HardenPolicy,
+    poison: bool,
+    quarantine: bool,
+    guard: bool,
+    canary: bool,
+) -> Mesh {
+    Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(1 << 30)
+            .seed(42)
+            .mesh_period(Duration::from_secs(3600))
+            .harden_policy(policy)
+            .harden_poison(poison)
+            .harden_quarantine(quarantine)
+            .harden_guard(guard)
+            .harden_canary(canary),
     )
     .expect("bench heap")
 }
@@ -344,6 +380,31 @@ fn main() {
     let trace_on = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
     drop(m);
 
+    // --- hardened-mode cost bracket --------------------------------------
+    let m = heap_harden(HardenPolicy::Off, true, true, true, true);
+    let harden_off = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
+    let m = heap_harden(HardenPolicy::Count, true, true, true, true);
+    let harden_full = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
+    let m = heap_harden(HardenPolicy::Count, true, false, false, false);
+    let harden_poison = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
+    let m = heap_harden(HardenPolicy::Count, false, true, false, false);
+    let harden_quarantine = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
+    // Guard pages only exist on the large path, so their tax is priced on
+    // a large-object churn against its own unhardened baseline. Count
+    // policy: the tail page is poison-filled at allocation and scanned at
+    // free (the degraded form; abort mode swaps the scan for mprotect).
+    let large_ops = OPS_PER_THREAD / 8;
+    let m = heap();
+    let harden_large_base = churn(&m, 1, large_ops, |_| 20_000);
+    drop(m);
+    let m = heap_harden(HardenPolicy::Count, false, false, true, false);
+    let harden_guard = churn(&m, 1, large_ops, |_| 20_000);
+    drop(m);
+
     // --- scaling curve 1 → cores (distinct classes per thread) ----------
     let mut scale_threads: Vec<usize> = vec![1, 2, 4, 8]
         .into_iter()
@@ -437,6 +498,25 @@ fn main() {
     );
     println!("{:<40} {:>16.0}", "single_thread_churn trace_off", trace_off);
     println!("{:<40} {:>16.0}", "single_thread_churn trace_on", trace_on);
+    println!("{:<40} {:>16.0}", "single_thread_churn harden_off", harden_off);
+    println!(
+        "{:<40} {:>16.0}   ({:.2}x tax)",
+        "single_thread_churn harden_full",
+        harden_full,
+        harden_off / harden_full.max(1.0)
+    );
+    println!("{:<40} {:>16.0}", "single_thread_churn harden_poison", harden_poison);
+    println!(
+        "{:<40} {:>16.0}",
+        "single_thread_churn harden_quarantine", harden_quarantine
+    );
+    println!("{:<40} {:>16.0}", "large_churn (20000 B) baseline", harden_large_base);
+    println!(
+        "{:<40} {:>16.0}   ({:.2}x tax)",
+        "large_churn (20000 B) harden_guard",
+        harden_guard,
+        harden_large_base / harden_guard.max(1.0)
+    );
     for &(t, ops) in &scaling {
         println!("{:<40} {:>16.0}", format!("scaling/{t}t distinct classes"), ops);
     }
@@ -493,6 +573,11 @@ fn main() {
          \"single_thread_ops_sec\":{single:.0},\
          \"prof_off_ops_sec\":{prof_off:.0},\"prof_on_ops_sec\":{prof_on:.0},\
          \"trace_off_ops_sec\":{trace_off:.0},\"trace_on_ops_sec\":{trace_on:.0},\
+         \"harden_off_ops_sec\":{harden_off:.0},\"harden_full_ops_sec\":{harden_full:.0},\
+         \"harden_poison_ops_sec\":{harden_poison:.0},\
+         \"harden_quarantine_ops_sec\":{harden_quarantine:.0},\
+         \"harden_large_base_ops_sec\":{harden_large_base:.0},\
+         \"harden_guard_ops_sec\":{harden_guard:.0},\
          \"scaling\":[{}],\
          \"remote_ping_pong_pairs\":{pairs},\"remote_ping_pong_ops_sec\":{remote:.0},\
          \"mixed_remote\":[{}],\"mixed_remote_efficiency\":{efficiency:.3},\
@@ -553,6 +638,22 @@ fn main() {
         println!(
             "trace-off check OK: {trace_off:.0} ops/sec >= {bar:.0} \
              (98% of min(floor, same-run); trace-on measured {trace_on:.0})"
+        );
+        // Same bar for hardened mode: policy-off is the shipping default,
+        // so the disabled branches get the identical 2% budget. The
+        // enabled-mode tax is opt-in and deliberately unenforced.
+        assert!(
+            harden_off >= bar,
+            "harden-disabled churn regressed: {harden_off:.0} ops/sec vs \
+             bar {bar:.0} (98% of min(baseline floor {floor:.0}, same-run \
+             {single:.0})) — the disabled-mode hardening branches cost more \
+             than they may (set MESH_BENCH_NO_ENFORCE=1 to bypass)"
+        );
+        println!(
+            "harden-off check OK: {harden_off:.0} ops/sec >= {bar:.0} \
+             (98% of min(floor, same-run); harden-full measured \
+             {harden_full:.0}, {:.2}x tax)",
+            harden_off / harden_full.max(1.0)
         );
         // Scaling-efficiency guard: the mixed-remote per-core efficiency
         // (honest points only) may not fall more than 2× below the

@@ -399,6 +399,18 @@ impl Mesh {
         })
     }
 
+    // ----- hardening (MESH_HARDEN) ---------------------------------------
+
+    /// Whether hardened mode (`MESH_HARDEN`) is active on this heap.
+    pub fn is_hardened(&self) -> bool {
+        self.inner.state.harden.active()
+    }
+
+    /// Whether hardened mode is set to abort on violations (`MESH_HARDEN=abort`).
+    pub fn harden_aborts(&self) -> bool {
+        self.inner.state.harden.aborts()
+    }
+
     // ----- sensing (mesh-sense) ------------------------------------------
 
     /// Whether the pressure/residency sensor (`MESH_SENSE_INTERVAL_MS`)
@@ -580,6 +592,11 @@ impl Mesh {
     pub fn fork_prepare(&self) -> MeshForkGuard<'_> {
         with_internal_alloc(|| {
             let mut main = self.inner.main.lock();
+            // Drain the main core's hardened-mode quarantine first: parked
+            // frees complete through the normal path while every lock is
+            // still free to take, so the child never inherits delayed
+            // frees it would have to reconstruct.
+            main.drain_quarantine(&self.inner.state);
             // Flush the main core's sender buffers while the heap is still
             // live: the child wipes the sender registry (other threads'
             // buffer locks may be inherited held), so anything left here

@@ -31,6 +31,79 @@ static SLOTS: [[AtomicUsize; 3]; MAX_ARENAS] =
 static INSTALL: Once = Once::new();
 static mut OLD_ACTION: MaybeUninit<libc::sigaction> = MaybeUninit::uninit();
 
+/// Registry of hardened-mode guard pages living *inside* registered
+/// arenas. The handler's contract for arena faults is "retry until the
+/// meshing pass that protected the span finishes" — but a guard page (the
+/// `PROT_NONE` tail of a guarded large object) is unwritable for the
+/// object's whole lifetime, so its faults must be forwarded to the
+/// default action instead of retried forever. A fixed-size linear-probe
+/// table: registrations are mutated from allocation/free paths and read
+/// lock-free from the signal handler.
+const GUARD_CAP: usize = 1024;
+const GUARD_PROBES: usize = 64;
+const GUARD_TOMB: usize = usize::MAX;
+static GUARD_PAGES: [AtomicUsize; GUARD_CAP] =
+    [const { AtomicUsize::new(0) }; GUARD_CAP];
+
+fn guard_probe_seq(page: usize) -> impl Iterator<Item = usize> {
+    let h = (page >> 12).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..GUARD_PROBES).map(move |i| h.wrapping_add(i) & (GUARD_CAP - 1))
+}
+
+/// Registers the guard page at `page` for fault forwarding. Returns
+/// `false` when the probe window is full — the caller must then degrade
+/// to a non-faulting (poison-scan) guard for that object.
+pub(crate) fn register_guard_page(page: usize) -> bool {
+    debug_assert_eq!(page & 0xFFF, 0, "guard registrations are page-aligned");
+    for slot in guard_probe_seq(page) {
+        let e = &GUARD_PAGES[slot];
+        let cur = e.load(Ordering::Relaxed);
+        if (cur == 0 || cur == GUARD_TOMB)
+            && e.compare_exchange(cur, page, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Removes `page` from the registry; returns whether it was registered
+/// (i.e. whether the object carried a faulting guard rather than a
+/// degraded poison-scan one).
+pub(crate) fn unregister_guard_page(page: usize) -> bool {
+    for slot in guard_probe_seq(page) {
+        let e = &GUARD_PAGES[slot];
+        let cur = e.load(Ordering::Relaxed);
+        if cur == page {
+            // Tombstone, not zero: later entries in some other page's
+            // probe sequence may live past this slot.
+            e.store(GUARD_TOMB, Ordering::Release);
+            return true;
+        }
+        if cur == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether `page` is a registered guard page. Async-signal-safe (atomic
+/// loads only); also consulted by fork privatization to know which tails
+/// to re-protect.
+pub(crate) fn guard_page_registered(page: usize) -> bool {
+    for slot in guard_probe_seq(page) {
+        let cur = GUARD_PAGES[slot].load(Ordering::Acquire);
+        if cur == page {
+            return true;
+        }
+        if cur == 0 {
+            return false;
+        }
+    }
+    false
+}
+
 /// Registration handle for one arena's address range. Deregisters on drop.
 #[derive(Debug)]
 pub struct BarrierGuard {
@@ -114,6 +187,13 @@ extern "C" fn segv_handler(
     ctx: *mut libc::c_void,
 ) {
     let addr = unsafe { (*info).si_addr() } as usize;
+    // A hardened-mode guard page is permanently unwritable: forward the
+    // fault (normally to SIG_DFL, so the process dies with SIGSEGV at
+    // the overflowing instruction) instead of entering the retry loop.
+    if guard_page_registered(addr & !0xFFF) {
+        forward(sig, info, ctx);
+        return;
+    }
     for slot in &SLOTS {
         let start = slot[0].load(Ordering::Acquire);
         if start == 0 || addr < start {
@@ -127,10 +207,11 @@ extern "C" fn segv_handler(
         if flag_ptr.is_null() {
             continue;
         }
-        // Inside a registered arena: wait out the meshing pass, then return
-        // to retry the faulting instruction. If no pass is active the fault
-        // raced with pass completion (the remap already made the page
-        // writable), so retrying is also correct.
+        // Inside a registered arena (and not a guard page): wait out the
+        // meshing pass, then return to retry the faulting instruction. If
+        // no pass is active the fault raced with pass completion (the
+        // remap already made the page writable), so retrying is also
+        // correct.
         let flag = unsafe { &*flag_ptr };
         while flag.load(Ordering::Acquire) {
             unsafe { libc::sched_yield() };
@@ -172,6 +253,22 @@ mod tests {
     use crate::sys::{map_file_shared, protect_read, protect_read_write, unmap, MemFile, PAGE_SIZE};
     use std::sync::Arc;
     use std::time::Duration;
+
+    #[test]
+    fn guard_page_registry_roundtrip() {
+        let page = 0x7f12_3456_7000usize;
+        assert!(!guard_page_registered(page));
+        assert!(register_guard_page(page));
+        assert!(guard_page_registered(page));
+        // A colliding-but-different page is not reported.
+        assert!(!guard_page_registered(page + 0x1000));
+        assert!(unregister_guard_page(page));
+        assert!(!guard_page_registered(page));
+        assert!(!unregister_guard_page(page), "second remove is a no-op");
+        // Tombstoned slots are reusable.
+        assert!(register_guard_page(page));
+        assert!(unregister_guard_page(page));
+    }
 
     #[test]
     fn register_and_drop_free_slots() {

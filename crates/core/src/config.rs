@@ -6,6 +6,7 @@
 //! "Mesh (no meshing)" and "Mesh (no rand)" configurations from §6.3.
 
 use crate::error::MeshError;
+use crate::harden::{parse_harden_policy, HardenConfig, HardenPolicy};
 use crate::size_classes::PAGE_SIZE;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -116,6 +117,11 @@ pub struct MeshConfig {
     /// on by default, so there is no unsolicited at-exit dump without a
     /// path). The file is rewritten on each dump.
     pub(crate) sense_path: Option<PathBuf>,
+    /// Hardened-mode configuration (`MESH_HARDEN` and friends): policy
+    /// off/count/abort plus per-feature switches for poisoning,
+    /// quarantine, guard pages, and the mesh-time canary sweep. Off by
+    /// default — the hardened branches collapse to one predictable test.
+    pub(crate) harden: HardenConfig,
 }
 
 impl Default for MeshConfig {
@@ -148,6 +154,7 @@ impl Default for MeshConfig {
             sense_history: 120,
             sense_mincore_pages: 256,
             sense_path: None,
+            harden: HardenConfig::default(),
         }
     }
 }
@@ -416,6 +423,66 @@ impl MeshConfig {
         self.sense_path.as_deref()
     }
 
+    /// Sets the hardened-mode policy (`MESH_HARDEN`): [`HardenPolicy::Off`],
+    /// count, or abort-on-detection.
+    pub fn harden_policy(mut self, policy: HardenPolicy) -> Self {
+        self.harden.policy = policy;
+        self
+    }
+
+    /// Enables or disables free poisoning within hardened mode
+    /// (`MESH_HARDEN_POISON`; no effect while the policy is `Off`).
+    pub fn harden_poison(mut self, enabled: bool) -> Self {
+        self.harden.poison = enabled;
+        self
+    }
+
+    /// Enables or disables the delayed-reuse quarantine within hardened
+    /// mode (`MESH_HARDEN_QUARANTINE`).
+    pub fn harden_quarantine(mut self, enabled: bool) -> Self {
+        self.harden.quarantine = enabled;
+        self
+    }
+
+    /// Enables or disables large-object guard pages within hardened mode
+    /// (`MESH_HARDEN_GUARD`).
+    pub fn harden_guard(mut self, enabled: bool) -> Self {
+        self.harden.guard = enabled;
+        self
+    }
+
+    /// Enables or disables the mesh-time canary sweep within hardened
+    /// mode (`MESH_HARDEN_CANARY`; also requires poisoning, which writes
+    /// the canaries).
+    pub fn harden_canary(mut self, enabled: bool) -> Self {
+        self.harden.canary = enabled;
+        self
+    }
+
+    /// Sets the per-thread quarantine byte cap
+    /// (`MESH_HARDEN_QUARANTINE_BYTES`).
+    pub fn harden_quarantine_bytes(mut self, bytes: usize) -> Self {
+        self.harden.quarantine_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-thread quarantine slot cap
+    /// (`MESH_HARDEN_QUARANTINE_SLOTS`).
+    pub fn harden_quarantine_slots(mut self, slots: usize) -> Self {
+        self.harden.quarantine_slots = slots;
+        self
+    }
+
+    /// The resolved hardened-mode configuration.
+    pub fn harden_config(&self) -> HardenConfig {
+        self.harden
+    }
+
+    /// Whether hardened mode is active (policy is not `Off`).
+    pub fn is_hardened(&self) -> bool {
+        self.harden.active()
+    }
+
     /// Whether meshing is enabled.
     pub fn is_meshing_enabled(&self) -> bool {
         self.meshing
@@ -515,6 +582,27 @@ impl MeshConfig {
                 self.transfer_cache_slots
             )));
         }
+        if self.harden.active() && self.harden.quarantine {
+            if !(1..=1 << 20).contains(&self.harden.quarantine_slots) {
+                return Err(MeshError::InvalidConfig(format!(
+                    "harden quarantine_slots {} outside 1..=1Mi",
+                    self.harden.quarantine_slots
+                )));
+            }
+            if !(PAGE_SIZE..=1 << 30).contains(&self.harden.quarantine_bytes) {
+                return Err(MeshError::InvalidConfig(format!(
+                    "harden quarantine_bytes {} outside one page..=1G",
+                    self.harden.quarantine_bytes
+                )));
+            }
+        }
+        if self.harden.active() && self.harden.canary && !self.harden.poison {
+            return Err(MeshError::InvalidConfig(
+                "harden canary sweep requires poisoning (canaries are written by the \
+                 poison fill); set MESH_HARDEN_CANARY=0 or MESH_HARDEN_POISON=1"
+                    .into(),
+            ));
+        }
         if self.sense_interval.is_some() {
             if !(2..=100_000).contains(&self.sense_history) {
                 return Err(MeshError::InvalidConfig(format!(
@@ -556,6 +644,13 @@ impl MeshConfig {
     /// | `MESH_SENSE_HISTORY` | snapshots retained in the sense ring |
     /// | `MESH_SENSE_MINCORE_PAGES` | pages sampled per poll (0 = no sweep) |
     /// | `MESH_SENSE_PATH` | sense-dump file (default: stderr, on request) |
+    /// | `MESH_HARDEN` | hardened mode: `off` / `count` (alias `full`) / `abort` (alias `die`) |
+    /// | `MESH_HARDEN_POISON` | free poisoning + reallocation verify |
+    /// | `MESH_HARDEN_QUARANTINE` | delayed-reuse quarantine |
+    /// | `MESH_HARDEN_GUARD` | trailing guard page on large objects |
+    /// | `MESH_HARDEN_CANARY` | canary sweep during mesh copy windows |
+    /// | `MESH_HARDEN_QUARANTINE_BYTES` | per-thread quarantine byte cap |
+    /// | `MESH_HARDEN_QUARANTINE_SLOTS` | per-thread quarantine slot cap |
     ///
     /// Size knobs accept `K`/`M`/`G`/`T` suffixes (optionally followed by
     /// `B` or `iB`, case-insensitive): `MESH_MAX_HEAP_BYTES=8G`. Malformed
@@ -617,6 +712,31 @@ impl MeshConfig {
         }
         if let Some(path) = env_path("MESH_SENSE_PATH") {
             self = self.sense_path(Some(path));
+        }
+        if let Some(policy) = env_parsed(
+            "MESH_HARDEN",
+            parse_harden_policy,
+            "one of off/count/abort (aliases: full, die, 0/1, on/off)",
+        ) {
+            self = self.harden_policy(policy);
+        }
+        if let Some(enabled) = env_bool("MESH_HARDEN_POISON") {
+            self = self.harden_poison(enabled);
+        }
+        if let Some(enabled) = env_bool("MESH_HARDEN_QUARANTINE") {
+            self = self.harden_quarantine(enabled);
+        }
+        if let Some(enabled) = env_bool("MESH_HARDEN_GUARD") {
+            self = self.harden_guard(enabled);
+        }
+        if let Some(enabled) = env_bool("MESH_HARDEN_CANARY") {
+            self = self.harden_canary(enabled);
+        }
+        if let Some(bytes) = env_size("MESH_HARDEN_QUARANTINE_BYTES") {
+            self = self.harden_quarantine_bytes(bytes);
+        }
+        if let Some(n) = env_u64("MESH_HARDEN_QUARANTINE_SLOTS") {
+            self = self.harden_quarantine_slots(n as usize);
         }
         self
     }
@@ -899,6 +1019,49 @@ mod tests {
         assert!(MeshConfig::default().transfer_batch(0).validate().is_err());
         assert!(MeshConfig::default().transfer_batch(257).validate().is_err());
         assert!(MeshConfig::default().transfer_cache_slots(1025).validate().is_err());
+    }
+
+    #[test]
+    fn harden_knobs_build_and_validate() {
+        let c = MeshConfig::default();
+        assert!(!c.is_hardened(), "hardened mode is off by default");
+        let h = c.harden_config();
+        assert_eq!(h.policy, HardenPolicy::Off);
+        assert!(h.poison && h.quarantine && h.guard && h.canary, "features default on");
+        assert_eq!(h.quarantine_bytes, 256 << 10);
+        assert_eq!(h.quarantine_slots, 512);
+        let c = MeshConfig::default()
+            .harden_policy(HardenPolicy::Count)
+            .harden_poison(true)
+            .harden_quarantine(true)
+            .harden_guard(false)
+            .harden_canary(false)
+            .harden_quarantine_bytes(64 << 10)
+            .harden_quarantine_slots(32);
+        assert!(c.is_hardened());
+        let h = c.harden_config();
+        assert!(h.poison_on() && h.quarantine_on());
+        assert!(!h.guard_on() && !h.canary_on());
+        assert_eq!(h.quarantine_bytes, 64 << 10);
+        assert_eq!(h.quarantine_slots, 32);
+        assert!(c.validate().is_ok());
+        // Quarantine bounds only matter while hardening (and the
+        // quarantine) are on.
+        assert!(MeshConfig::default().harden_quarantine_slots(0).validate().is_ok());
+        let on = MeshConfig::default().harden_policy(HardenPolicy::Count);
+        assert!(on.clone().harden_quarantine_slots(0).validate().is_err());
+        assert!(on.clone().harden_quarantine_slots((1 << 20) + 1).validate().is_err());
+        assert!(on.clone().harden_quarantine_bytes(16).validate().is_err());
+        assert!(on.clone().harden_quarantine_bytes(2 << 30).validate().is_err());
+        assert!(on
+            .clone()
+            .harden_quarantine(false)
+            .harden_quarantine_slots(0)
+            .validate()
+            .is_ok());
+        // Canary without poison has nothing to verify.
+        assert!(on.clone().harden_poison(false).validate().is_err());
+        assert!(on.harden_poison(false).harden_canary(false).validate().is_ok());
     }
 
     #[test]

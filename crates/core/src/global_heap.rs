@@ -30,6 +30,7 @@
 use crate::arena::Arena;
 use crate::config::MeshConfig;
 use crate::error::MeshError;
+use crate::harden::{self, HardenConfig, HardenKind};
 use crate::meshing::{self, MeshSummary};
 use crate::miniheap::{AttachState, MiniHeap, MiniHeapId, Slab, NOT_BINNED};
 use crate::page_map::{PageMap, LARGE_CLASS};
@@ -421,6 +422,12 @@ pub(crate) struct GlobalHeap {
     /// Per-pass meshing-effectiveness ledger (always on; one lock + a few
     /// atomic adds per rate-limited pass).
     pub(crate) ledger: MeshLedger,
+    /// Hardened-mode configuration (`MESH_HARDEN`; policy `Off` keeps
+    /// every hardened branch to one predictable test).
+    pub(crate) harden: HardenConfig,
+    /// Seed-derived canary word per size class (class-keyed, never
+    /// address-keyed: meshing aliases several addresses onto one slot).
+    class_canaries: [u64; NUM_SIZE_CLASSES],
     base: usize,
     pages: u32,
 }
@@ -473,6 +480,8 @@ impl GlobalHeap {
             telemetry: Telemetry::new(&config),
             sense: SenseState::new(&config),
             ledger: MeshLedger::new(),
+            harden: config.harden,
+            class_canaries: std::array::from_fn(|i| harden::canary_word(seed, i)),
             base,
             pages,
         })
@@ -502,6 +511,49 @@ impl GlobalHeap {
             Some(page as u32)
         } else {
             None
+        }
+    }
+
+    // ----- hardened-mode policy engine ----------------------------------
+
+    /// The canary word objects of size class `class_idx` carry while free.
+    #[inline]
+    pub(crate) fn canary(&self, class_idx: usize) -> u64 {
+        self.class_canaries[class_idx]
+    }
+
+    /// Records one hardened-mode violation at `addr`: no-op with
+    /// hardening off, a `harden_*` counter bump under the count policy,
+    /// and a one-line diagnostic plus `SIGABRT` under the die policy.
+    #[inline]
+    pub(crate) fn harden_violation(&self, kind: HardenKind, addr: usize) {
+        if !self.harden.active() {
+            return;
+        }
+        self.counters.harden_violations[kind as usize].fetch_add(1, Ordering::Relaxed);
+        if self.harden.aborts() {
+            harden::harden_abort(kind, addr);
+        }
+    }
+
+    /// Writes the free-object poison layout over one small object (no-op
+    /// unless poisoning is on).
+    #[inline]
+    pub(crate) fn poison_object(&self, addr: usize, size: usize, class_idx: usize) {
+        if self.harden.poison_on() {
+            unsafe { harden::poison_fill(addr, size, self.class_canaries[class_idx]) };
+        }
+    }
+
+    /// Verifies the poison layout of a free small object about to be
+    /// handed out again; a mismatch is a use-after-free write
+    /// (`kind=poison`). No-op unless poisoning is on.
+    #[inline]
+    pub(crate) fn verify_poison(&self, addr: usize, size: usize, class_idx: usize) {
+        if self.harden.poison_on()
+            && !unsafe { harden::poison_verify(addr, size, self.class_canaries[class_idx]) }
+        {
+            self.harden_violation(HardenKind::Poison, addr);
         }
     }
 
@@ -575,31 +627,32 @@ impl GlobalHeap {
     /// Validates and applies one queued free. Invalid pointers and double
     /// frees are detected here — the queue push was optimistic.
     fn apply_remote_free(&self, class: SizeClass, st: &mut ClassState, addr: usize) {
-        let invalid = |c: &Counters| {
-            c.invalid_frees.fetch_add(1, Ordering::Relaxed);
+        let invalid = |h: &GlobalHeap| {
+            h.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            h.harden_violation(HardenKind::InvalidFree, addr);
         };
         let Some(page) = self.page_of_addr(addr) else {
-            return invalid(&self.counters);
+            return invalid(self);
         };
         // Re-resolve through the page map: meshing may have retargeted the
         // span to a surviving MiniHeap since the enqueue (same class, same
         // slot offsets — §4.5.1 keeps virtual addresses stable).
         let Some(info) = self.page_map.get(page) else {
-            return invalid(&self.counters);
+            return invalid(self);
         };
         if info.class_code as usize != class.index() {
-            return invalid(&self.counters);
+            return invalid(self);
         }
         let (object_size, attached, now_empty) = {
             let Some(mh) = st.slab.get(info.id) else {
-                return invalid(&self.counters);
+                return invalid(self);
             };
             let offset = addr - info.span_start(self.base, page);
             let slot = offset / mh.object_size();
             // Tail waste and misaligned interior pointers are hostile
             // frees, mirroring the local path's validation.
             if slot >= mh.object_count() || !offset.is_multiple_of(mh.object_size()) {
-                return invalid(&self.counters);
+                return invalid(self);
             }
             // A cached (detach-spilled) object's claim bit is set, so
             // `unset` alone would wave a duplicate of it through: catch
@@ -608,14 +661,20 @@ impl GlobalHeap {
             // matches the pre-existing attached-vector one.)
             if self.transfer.contains(class.index(), addr) {
                 self.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                self.harden_violation(HardenKind::DoubleFree, addr);
                 return;
             }
             if !mh.bitmap().unset(slot) {
                 self.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                self.harden_violation(HardenKind::DoubleFree, addr);
                 return;
             }
             (mh.object_size(), mh.is_attached(), mh.in_use() == 0)
         };
+        // The slot is free as of this unset: write the poison layout so a
+        // later reallocation (or the mesh-time canary sweep) can vouch
+        // nothing wrote through the stale pointer.
+        self.poison_object(addr, object_size, class.index());
         self.counters.frees.fetch_add(1, Ordering::Relaxed);
         self.counters.remote_frees.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -766,6 +825,18 @@ impl GlobalHeap {
         let (span, _) = arena.alloc_span(class.span_pages() as u32)?;
         let id = st.slab.insert(MiniHeap::new_small(class, span));
         self.page_map.set_span(span, id, class.index() as u8);
+        drop(arena);
+        if self.harden.poison_on() {
+            // A fresh span's slots are all free: give each the poison
+            // layout so first-allocation verification has something to
+            // check (mmap zero fill would read as a violation).
+            let start = self.base + span.byte_offset();
+            let size = class.object_size();
+            let canary = self.class_canaries[class.index()];
+            for slot in 0..class.object_count() {
+                unsafe { harden::poison_fill(start + slot * size, size, canary) };
+            }
+        }
         Ok(id)
     }
 
@@ -947,7 +1018,8 @@ impl GlobalHeap {
     /// the interior pointer behave normally.
     pub fn malloc_large_aligned(&self, size: usize, align: usize) -> Result<usize, MeshError> {
         debug_assert!(align.is_power_of_two());
-        let extra = (align / PAGE_SIZE).saturating_sub(1);
+        let guarded = self.harden.guard_on();
+        let extra = (align / PAGE_SIZE).saturating_sub(1) + usize::from(guarded);
         let requested = size.div_ceil(PAGE_SIZE).max(1).saturating_add(extra);
         // Absurd sizes (near usize::MAX) must fail as exhaustion, not
         // truncate in the page-count narrowing below; the byte length must
@@ -962,57 +1034,123 @@ impl GlobalHeap {
         let Ok(pages) = u32::try_from(requested) else {
             return Err(exhausted());
         };
-        let span = {
+        let (span, object_bytes, addr) = {
             let mut large = self.large.lock();
             let mut arena = self.lock_arena();
             let (span, _) = arena.alloc_span(pages)?;
-            let id = large.insert(MiniHeap::new_large(span));
+            let start = self.base + span.offset as usize * PAGE_SIZE;
+            let addr = if align > PAGE_SIZE {
+                (start + align - 1) & !(align - 1)
+            } else {
+                start
+            };
+            let mut mh = if guarded {
+                MiniHeap::new_large_guarded(span)
+            } else {
+                MiniHeap::new_large(span)
+            };
+            if addr != start {
+                // Hardened frees are pinned to the exact handed-out
+                // address, so remember where the over-aligned object
+                // actually starts.
+                mh.set_large_start_off(addr - start);
+            }
+            let object_bytes = mh.object_size();
+            let id = large.insert(mh);
             self.page_map.set_span(span, id, LARGE_CLASS);
-            span
+            (span, object_bytes, addr)
         };
+        if guarded {
+            // The span's last page is the guard. Die policy: register the
+            // page with the write-barrier fault handler (so its faults
+            // forward to SIG_DFL instead of the barrier's retry loop) and
+            // make it PROT_NONE — a linear overflow then faults on the
+            // first byte past the object. Count policy — or a full guard
+            // registry — degrades to a poison fill verified when the
+            // object dies. The fill goes in first either way, so even a
+            // failed mprotect leaves a checkable guard.
+            let tail = (self.base + span.byte_offset() + span.byte_len() - PAGE_SIZE) as *mut u8;
+            unsafe {
+                std::ptr::write_bytes(tail, harden::POISON_BYTE, PAGE_SIZE);
+                if self.harden.aborts() && crate::barrier::register_guard_page(tail as usize) {
+                    let _ = crate::sys::protect_none(tail, PAGE_SIZE);
+                }
+            }
+        }
         self.counters.large_allocs.fetch_add(1, Ordering::Relaxed);
         self.counters.mallocs.fetch_add(1, Ordering::Relaxed);
         self.counters
             .live_bytes
-            .fetch_add(span.byte_len(), Ordering::Relaxed);
+            .fetch_add(object_bytes, Ordering::Relaxed);
         let start = self.base + span.offset as usize * PAGE_SIZE;
-        let addr = if align > PAGE_SIZE {
-            (start + align - 1) & !(align - 1)
-        } else {
-            start
-        };
-        debug_assert!(addr + size <= start + span.byte_len());
+        debug_assert!(addr + size <= start + object_bytes);
         if let Some(t) = &self.telemetry {
             // Large objects are traced exactly (sampling probability ≈ 1
             // at these sizes); keyed by the address actually handed out,
             // which is what free() will present.
-            t.record_large(addr, span.byte_len());
+            t.record_large(addr, object_bytes);
         }
         Ok(addr)
     }
 
-    fn free_large(&self, page: u32) -> bool {
+    fn free_large(&self, addr: usize, page: u32) -> bool {
         let mut large = self.large.lock();
         // Re-check under the lock: a racing free may already have retired
         // this object (its page-map entries are then cleared or reused).
         let Some(info) = self.page_map.get(page) else {
             self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            self.harden_violation(HardenKind::InvalidFree, addr);
             return false;
         };
         if !info.is_large() {
             self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            self.harden_violation(HardenKind::InvalidFree, addr);
             return false;
         }
         let Some(mh) = large.get(info.id) else {
             self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            self.harden_violation(HardenKind::InvalidFree, addr);
             return false;
         };
+        // Classic mode accepts any pointer into the live span (C-lenient,
+        // like the interior-offset tolerance on the small path). Hardened
+        // mode pins free to the exact address malloc returned: an interior
+        // pointer must not be able to release — or double-count — the
+        // whole object.
+        if self.harden.active() {
+            let start = self.base + mh.span().byte_offset() + mh.large_start_off();
+            if addr != start {
+                self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+                self.harden_violation(HardenKind::InvalidFree, addr);
+                return false;
+            }
+        }
         if !mh.bitmap().unset(0) {
             self.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+            self.harden_violation(HardenKind::DoubleFree, addr);
             return false;
         }
         let mh = large.remove(info.id);
         let span = mh.span();
+        if mh.is_guarded() {
+            let tail = (self.base + span.byte_offset() + span.byte_len() - PAGE_SIZE) as *mut u8;
+            unsafe {
+                if crate::barrier::unregister_guard_page(tail as usize) {
+                    // Faulting guard: it was PROT_NONE (nothing can have
+                    // been written through it) and the span is about to
+                    // be released and recycled, so restore protection.
+                    let _ = crate::sys::protect_read_write(tail, PAGE_SIZE);
+                } else {
+                    // Poison-scan guard (count policy, or die policy
+                    // degraded on a full registry): any write past the
+                    // object corrupted the fill.
+                    let tail_bytes = std::slice::from_raw_parts(tail, PAGE_SIZE);
+                    if tail_bytes.iter().any(|&b| b != harden::POISON_BYTE) {
+                        self.harden_violation(HardenKind::Guard, tail as usize);
+                    }
+                }
+            }
+        }
         {
             let mut arena = self.lock_arena();
             self.page_map.clear_span(span);
@@ -1051,6 +1189,7 @@ impl GlobalHeap {
             Some((page, info)) => self.free_routed(addr, page, info),
             None => {
                 self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+                self.harden_violation(HardenKind::InvalidFree, addr);
                 false
             }
         }
@@ -1112,7 +1251,7 @@ impl GlobalHeap {
 
     fn free_resolved_inner(&self, addr: usize, page: u32, info: crate::page_map::PageInfo) -> bool {
         if info.is_large() {
-            return self.free_large(page);
+            return self.free_large(addr, page);
         }
         self.counters
             .remote_free_queued
@@ -1132,6 +1271,7 @@ impl GlobalHeap {
         }
         let Some((page, info)) = self.resolve_free(addr) else {
             self.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            self.harden_violation(HardenKind::InvalidFree, addr);
             return false;
         };
         let accepted = self.free_resolved_inner(addr, page, info);
@@ -1215,6 +1355,27 @@ impl GlobalHeap {
                             );
                             ok = false;
                         }
+                    }
+                }
+            }
+        }
+        if self.harden.guard_on() && self.harden.aborts() {
+            // The identity remap re-backed every page read-write, clobbering
+            // the PROT_NONE guard tails of live large objects.
+            let large = self.large.lock();
+            for (_, mh) in large.iter() {
+                if mh.is_guarded() {
+                    let span = mh.span();
+                    let tail =
+                        (self.base + span.byte_offset() + span.byte_len() - PAGE_SIZE) as *mut u8;
+                    // Degraded (poison-scan) guards must stay readable —
+                    // only registered faulting guards get PROT_NONE back.
+                    if !crate::barrier::guard_page_registered(tail as usize) {
+                        continue;
+                    }
+                    if let Err(e) = unsafe { crate::sys::protect_none(tail, PAGE_SIZE) } {
+                        eprintln!("mesh: fork guard re-protect failed ({e})");
+                        ok = false;
                     }
                 }
             }

@@ -73,6 +73,7 @@ pub mod config;
 pub mod error;
 pub mod ffi;
 mod global_heap;
+pub mod harden;
 mod local_heap;
 mod mesher;
 pub mod meshing;
@@ -97,6 +98,10 @@ pub use alloc_api::{
 };
 pub use config::{env_bool, env_size, env_u64, parse_bool, parse_size, MeshConfig};
 pub use error::MeshError;
+pub use harden::{
+    parse_harden_policy, set_abort_fd, HardenConfig, HardenKind, HardenPolicy, ALL_HARDEN_KINDS,
+    HARDEN_KINDS, POISON_BYTE,
+};
 pub use meshing::MeshSummary;
 pub use segment::{SegmentId, SegmentStats};
 pub use size_classes::{SizeClass, MAX_SMALL_SIZE, NUM_SIZE_CLASSES, PAGE_SIZE};

@@ -25,6 +25,7 @@
 //! free is counted and discarded instead of corrupting the freelist.
 
 use crate::global_heap::GlobalHeap;
+use crate::harden::HardenKind;
 use crate::page_map::PageInfo;
 use crate::remote_free::SenderBufs;
 use crate::rng::Rng;
@@ -93,6 +94,21 @@ pub(crate) struct ThreadHeapCore {
     /// cores that are never detached (the `GlobalAlloc` TLS heaps), whose
     /// buffers could otherwise strand objects forever.
     batched: bool,
+    /// Delayed-reuse quarantine (hardened mode, `MESH_HARDEN` with
+    /// quarantine on): locally freed objects are parked here — poisoned,
+    /// their slots still claimed — instead of becoming immediately
+    /// reusable. Eviction order is randomized by the thread PRNG; evicted
+    /// objects have their poison verified (a dangling write while parked
+    /// trips it) and then take the normal free path. Empty when hardening
+    /// is off.
+    quarantine: Vec<(usize, usize)>,
+    /// Membership index over `quarantine` addresses: a second free of a
+    /// parked pointer is a deterministic double free, caught before any
+    /// routing.
+    quarantine_set: std::collections::HashSet<usize>,
+    /// Total object bytes currently parked (bounded by
+    /// `MESH_HARDEN_QUARANTINE_BYTES`).
+    quarantine_bytes: usize,
 }
 
 impl ThreadHeapCore {
@@ -124,6 +140,9 @@ impl ThreadHeapCore {
             sender_epoch: 0,
             cache: (0..NUM_SIZE_CLASSES).map(|_| Vec::new()).collect(),
             batched,
+            quarantine: Vec::new(),
+            quarantine_set: std::collections::HashSet::new(),
+            quarantine_bytes: 0,
         }
     }
 
@@ -165,6 +184,10 @@ impl ThreadHeapCore {
         let mut pressure = 0u8;
         loop {
             if let Some(addr) = self.vectors[idx].malloc() {
+                // Hardened mode: the slot held poison since it was freed
+                // (or since its span came fresh from the arena); a write
+                // that landed in it while free is a caught use-after-free.
+                state.verify_poison(addr, class.object_size(), idx);
                 self.local.on_malloc(class.object_size());
                 if let Some(s) = self.sampler.as_deref_mut() {
                     s.on_alloc(addr, class.object_size());
@@ -187,6 +210,7 @@ impl ThreadHeapCore {
                     }
                 }
                 if let Some(addr) = self.cache[idx].pop() {
+                    state.verify_poison(addr, class.object_size(), idx);
                     self.local.on_malloc(class.object_size());
                     if let Some(s) = self.sampler.as_deref_mut() {
                         s.on_alloc(addr, class.object_size());
@@ -273,6 +297,44 @@ impl ThreadHeapCore {
             // free is checked exactly once.
             s.telemetry().on_free(addr);
         }
+        if state.harden.quarantine_on() {
+            // Before any routing: a second free of a parked pointer is a
+            // deterministic double free (its slot is still claimed, so
+            // the routed checks below would accept it).
+            if self.quarantine_set.contains(&addr) {
+                state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                state.harden_violation(HardenKind::DoubleFree, addr);
+                return;
+            }
+            // Only local-route frees are parked: the remote path already
+            // defers reuse behind the queue drain, and large objects are
+            // covered by guard pages instead.
+            if let FreeRoute::Local { class_idx, slot } = self.route(state, addr) {
+                if !self.cache[class_idx].is_empty() && self.cache[class_idx].contains(&addr) {
+                    state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                    state.harden_violation(HardenKind::DoubleFree, addr);
+                    return;
+                }
+                let sv = &self.vectors[class_idx];
+                if sv.is_available(slot) {
+                    state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                    state.harden_violation(HardenKind::DoubleFree, addr);
+                    return;
+                }
+                let size = sv.object_size();
+                state.poison_object(addr, size, class_idx);
+                self.quarantine_push(state, addr, class_idx, size);
+                return;
+            }
+        }
+        self.free_now(state, addr);
+    }
+
+    /// The routed free proper — everything [`ThreadHeapCore::free`] does
+    /// after the quarantine decision. Also the quarantine eviction path,
+    /// which must bypass the parking logic (the evicted object *is* the
+    /// delayed free).
+    unsafe fn free_now(&mut self, state: &GlobalHeap, addr: usize) {
         match self.route(state, addr) {
             FreeRoute::Local { class_idx, slot } => {
                 // A batch-cache-held slot has its claim bit set but is not
@@ -283,17 +345,24 @@ impl ThreadHeapCore {
                 // consumed batch exists for this class.
                 if !self.cache[class_idx].is_empty() && self.cache[class_idx].contains(&addr) {
                     state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                    state.harden_violation(HardenKind::DoubleFree, addr);
                     return;
                 }
                 let sv = &mut self.vectors[class_idx];
                 if sv.free_slot(slot, &mut self.rng) {
-                    self.local.on_free(sv.object_size());
+                    let size = sv.object_size();
+                    // Freed memory is poisoned now and verified when the
+                    // slot is next handed out.
+                    state.poison_object(addr, size, class_idx);
+                    self.local.on_free(size);
                 } else {
                     state.counters.double_frees.fetch_add(1, Ordering::Relaxed);
+                    state.harden_violation(HardenKind::DoubleFree, addr);
                 }
             }
             FreeRoute::LocalInvalid | FreeRoute::Unowned => {
                 state.counters.invalid_frees.fetch_add(1, Ordering::Relaxed);
+                state.harden_violation(HardenKind::InvalidFree, addr);
             }
             FreeRoute::Global { page, info } => {
                 // Small remote frees are buffered per class and flushed as
@@ -344,6 +413,45 @@ impl ThreadHeapCore {
         }
     }
 
+    /// Parks one freed object in the quarantine, evicting (randomly) as
+    /// long as either bound — slots or bytes — is exceeded. The parked
+    /// slot stays claimed: meshing copies it, reallocation cannot reach
+    /// it, and its memory holds the poison pattern the whole time.
+    fn quarantine_push(&mut self, state: &GlobalHeap, addr: usize, class_idx: usize, size: usize) {
+        self.quarantine.push((addr, class_idx));
+        self.quarantine_set.insert(addr);
+        self.quarantine_bytes += size;
+        while self.quarantine.len() > state.harden.quarantine_slots
+            || self.quarantine_bytes > state.harden.quarantine_bytes
+        {
+            self.quarantine_evict(state);
+        }
+    }
+
+    /// Evicts one random quarantine entry: verifies its poison (a
+    /// dangling write while parked lands here) and then completes the
+    /// delayed free through the normal path.
+    fn quarantine_evict(&mut self, state: &GlobalHeap) {
+        if self.quarantine.is_empty() {
+            return;
+        }
+        let pick = self.rng.below(self.quarantine.len() as u32) as usize;
+        let (addr, class_idx) = self.quarantine.swap_remove(pick);
+        self.quarantine_set.remove(&addr);
+        let size = SizeClass::from_index(class_idx).object_size();
+        self.quarantine_bytes -= size;
+        state.verify_poison(addr, size, class_idx);
+        unsafe { self.free_now(state, addr) };
+    }
+
+    /// Empties the quarantine (thread teardown, fork, explicit settle):
+    /// every parked free completes through the normal path.
+    pub fn drain_quarantine(&mut self, state: &GlobalHeap) {
+        while !self.quarantine.is_empty() {
+            self.quarantine_evict(state);
+        }
+    }
+
     /// Flushes every pending sender-side remote-free buffer (one batch
     /// node per non-empty class). Lock-free; called at detach, by stats
     /// readers that need settled queues, and on demand.
@@ -373,6 +481,7 @@ impl ThreadHeapCore {
     /// remainders back in the transfer cache, and flushes the batched
     /// statistics deltas. Nothing this thread held can be stranded.
     pub fn detach_all(&mut self, state: &GlobalHeap) {
+        self.drain_quarantine(state);
         self.flush_remote(state);
         for (idx, sv) in self.vectors.iter_mut().enumerate() {
             if sv.miniheap().is_some() || !self.cache[idx].is_empty() {

@@ -126,7 +126,7 @@ pub(crate) fn mesh_all_classes(heap: &GlobalHeap) -> MeshSummary {
         heap.counters
             .record_slow(TimedOp::MeshCandidates, select_t0, pairs.len() as u64);
         for (a, b) in pairs {
-            mesh_pair(heap, &mut st, class, a, b, &mut summary);
+            mesh_pair(heap, &mut st, class, a, b, &mut summary, &mut rejected);
         }
     }
     let nanos = t0.elapsed().as_nanos() as u64;
@@ -239,6 +239,7 @@ fn mesh_pair(
     a: MiniHeapId,
     b: MiniHeapId,
     summary: &mut MeshSummary,
+    rejected: &mut [u64; REJECT_REASONS],
 ) {
     // Destination = more live objects → we copy the smaller side. Ties
     // break segment-aware: evacuate the span whose segment has fewer
@@ -288,6 +289,44 @@ fn mesh_pair(
     }
     for &vs in &src_spans {
         arena.protect_span(vs);
+    }
+
+    // Hardened canary sweep: with the sources frozen behind the barrier,
+    // every *free* slot of both primaries must still hold its class
+    // canary (written when the slot died). A corrupt canary means a
+    // dangling write landed in memory this pair is about to copy over or
+    // alias; refuse to mesh and surface the violation instead of baking
+    // the corruption into a shared physical span.
+    if heap.harden.canary_on() {
+        let canary = heap.canary(class.index());
+        let mut bad = None;
+        'sweep: for (id, primary) in [(src_id, src_primary), (dst_id, dst_primary)] {
+            let mh = st.slab.get(id).expect("mesh candidate is live");
+            let base = arena_base + primary.byte_offset();
+            for slot in 0..class.object_count() {
+                if mh.bitmap().is_set(slot) {
+                    continue;
+                }
+                let addr = base + slot * object_size;
+                if !unsafe { crate::harden::canary_intact(addr, object_size, canary) } {
+                    bad = Some(addr);
+                    break 'sweep;
+                }
+            }
+        }
+        if let Some(addr) = bad {
+            // Unwind the copy window: restore write access and drop the
+            // barrier, leaving both spans exactly as found.
+            for &vs in &src_spans {
+                arena.unprotect_span(vs);
+            }
+            if let Some(guard) = arena.barrier() {
+                guard.end_meshing();
+            }
+            rejected[RejectReason::CanaryTrip as usize] += 1;
+            heap.harden_violation(crate::harden::HardenKind::Canary, addr);
+            return;
+        }
     }
 
     // Copy each live source object to the same slot of the destination.
@@ -434,7 +473,8 @@ mod tests {
         let committed_before = h.lock_arena().committed_pages();
 
         let mut summary = MeshSummary::default();
-        mesh_pair(&h, &mut st, class, a, b, &mut summary);
+        let mut rejected = [0u64; REJECT_REASONS];
+        mesh_pair(&h, &mut st, class, a, b, &mut summary, &mut rejected);
         assert_eq!(summary.pairs_meshed, 1);
         assert_eq!(summary.pages_released, class.span_pages());
         assert_eq!(
@@ -479,7 +519,8 @@ mod tests {
             let addr_a = base + st.slab.get(a).unwrap().span().byte_offset();
             let addr_b = base + st.slab.get(b).unwrap().span().byte_offset();
             let mut summary = MeshSummary::default();
-            mesh_pair(&h, &mut st, class, a, b, &mut summary);
+            let mut rejected = [0u64; REJECT_REASONS];
+            mesh_pair(&h, &mut st, class, a, b, &mut summary, &mut rejected);
             (addr_a, addr_b)
         };
 

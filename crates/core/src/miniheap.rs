@@ -81,6 +81,15 @@ pub struct MiniHeap {
     pub(crate) bin: u8,
     /// Position inside the bin's vector, for O(1) removal.
     pub(crate) bin_slot: u32,
+    /// Large-object singleton whose span carries a trailing hardened-mode
+    /// guard page: the last page is not part of the object and must be
+    /// unprotected/verified before the span is released.
+    guarded: bool,
+    /// Byte offset of the object's start within the span — non-zero only
+    /// for over-aligned large objects, whose first aligned address sits
+    /// past the span head. Lets hardened mode pin `free` to the exact
+    /// address malloc returned.
+    start_off: u32,
 }
 
 impl MiniHeap {
@@ -96,6 +105,8 @@ impl MiniHeap {
             state: AttachState::Detached,
             bin: NOT_BINNED,
             bin_slot: 0,
+            guarded: false,
+            start_off: 0,
         }
     }
 
@@ -113,7 +124,53 @@ impl MiniHeap {
             state: AttachState::Detached,
             bin: NOT_BINNED,
             bin_slot: 0,
+            guarded: false,
+            start_off: 0,
         }
+    }
+
+    /// Creates a large-object singleton whose span ends with a hardened
+    /// guard page: the object occupies `byte_len - PAGE_SIZE`, so
+    /// `usable_size`/`realloc` see the true object size and any linear
+    /// overflow lands on the guard.
+    pub fn new_large_guarded(span: Span) -> Self {
+        debug_assert!(span.pages >= 2, "guarded span needs object + guard pages");
+        let bitmap = AtomicBitmap::new(1);
+        bitmap.try_set(0);
+        MiniHeap {
+            object_size: (span.byte_len() - crate::size_classes::PAGE_SIZE) as u32,
+            object_count: 1,
+            size_class: None,
+            bitmap,
+            virtual_spans: vec![span],
+            state: AttachState::Detached,
+            bin: NOT_BINNED,
+            bin_slot: 0,
+            guarded: true,
+            start_off: 0,
+        }
+    }
+
+    /// Whether this large-object span carries a trailing guard page.
+    #[inline]
+    pub fn is_guarded(&self) -> bool {
+        self.guarded
+    }
+
+    /// Records the object's byte offset within the span (over-aligned
+    /// large objects only; see `start_off`).
+    #[inline]
+    pub fn set_large_start_off(&mut self, off: usize) {
+        debug_assert!(self.is_large());
+        debug_assert!(off < self.object_size as usize);
+        self.start_off = off as u32;
+    }
+
+    /// Byte offset of the object's start within the span (0 unless the
+    /// object is over-aligned).
+    #[inline]
+    pub fn large_start_off(&self) -> usize {
+        self.start_off as usize
     }
 
     /// Object size in bytes.

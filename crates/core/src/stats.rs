@@ -16,6 +16,7 @@
 //!
 //! [`HeapStats`] is a coherent snapshot taken on demand.
 
+use crate::harden::{ALL_HARDEN_KINDS, HARDEN_KINDS};
 use crate::size_classes::NUM_SIZE_CLASSES;
 use crate::sync::Mutex;
 use crate::telemetry::{
@@ -171,6 +172,11 @@ pub struct Counters {
     /// `realloc` calls satisfied without moving the allocation (same size
     /// class, or still within a large allocation's page span).
     pub reallocs_in_place: AtomicU64,
+    /// Hardened-mode violations by kind (indexed by
+    /// [`crate::harden::HardenKind`]): count-mode detections of double
+    /// frees, invalid frees, poison/UAF writes, guard-tail overwrites,
+    /// and mesh-time canary trips. All zero unless `MESH_HARDEN` is on.
+    pub harden_violations: [AtomicU64; HARDEN_KINDS],
     /// Mesh passes (or purge phases) currently executing. Nonzero means a
     /// mutator's contended lock wait is a *pause inflicted by the mesher*
     /// and is additionally recorded in the mutator-pause histogram.
@@ -403,6 +409,9 @@ impl Counters {
             mapped_pages: self.mapped_pages.load(Ordering::Relaxed),
             forks: self.forks.load(Ordering::Relaxed),
             reallocs_in_place: self.reallocs_in_place.load(Ordering::Relaxed),
+            harden_violations: std::array::from_fn(|i| {
+                self.harden_violations[i].load(Ordering::Relaxed)
+            }),
             uptime_ms: self.uptime_ms(),
             latency: self.hists.snapshot(),
             spectrum: HeapSpectrum::default(),
@@ -495,6 +504,9 @@ pub struct HeapStats {
     pub forks: u64,
     /// `realloc` calls satisfied in place (no copy, pointer unchanged).
     pub reallocs_in_place: u64,
+    /// Hardened-mode violations by kind (indexed by
+    /// [`crate::harden::HardenKind`]); all zero unless `MESH_HARDEN` is on.
+    pub harden_violations: [u64; HARDEN_KINDS],
     /// Milliseconds since heap initialization (monotonic), so successive
     /// dumps can be diffed and rated.
     pub uptime_ms: u64,
@@ -535,6 +547,11 @@ impl HeapStats {
     /// Total contended class-lock acquisitions across all size classes.
     pub fn total_class_contention(&self) -> u64 {
         self.class_lock_contention.iter().sum()
+    }
+
+    /// Total hardened-mode violations across all kinds.
+    pub fn total_harden_violations(&self) -> u64 {
+        self.harden_violations.iter().sum()
     }
 
     /// Bytes currently mapped to segment files (virtual footprint of the
@@ -578,7 +595,7 @@ impl HeapStats {
     }
 
     fn render_counters(&self) -> String {
-        format!(
+        let mut line = format!(
             "mesh: mallocs={} frees={} live_bytes={} heap_bytes={} peak_heap_bytes={} \
              mapped_bytes={} large_allocs={} remote_frees={} invalid_frees={} double_frees={} \
              reallocs_in_place={} mesh_passes={} pairs_meshed={} mesh_pages_released={} \
@@ -609,7 +626,11 @@ impl HeapStats {
             self.transfer_spills,
             self.remote_free_batches,
             self.uptime_ms,
-        )
+        );
+        for (i, kind) in ALL_HARDEN_KINDS.iter().enumerate() {
+            line.push_str(&format!(" harden_{}={}", kind.name(), self.harden_violations[i]));
+        }
+        line
     }
 }
 
@@ -702,6 +723,8 @@ mod tests {
         c.mallocs.fetch_add(7, Ordering::Relaxed);
         c.spans_meshed.fetch_add(2, Ordering::Relaxed);
         c.forks.fetch_add(1, Ordering::Relaxed);
+        c.harden_violations[crate::harden::HardenKind::Poison as usize]
+            .fetch_add(3, Ordering::Relaxed);
         let line = c.snapshot().render();
         assert!(line.starts_with("mesh: "));
         assert!(!line.contains('\n'));
@@ -710,6 +733,9 @@ mod tests {
         assert!(line.contains("forks=1"));
         assert!(line.contains("transfer_hits=0"));
         assert!(line.contains("remote_free_batches=0"));
+        assert!(line.contains("harden_poison=3"), "{line}");
+        assert!(line.contains("harden_double_free=0"), "{line}");
+        assert!(line.contains("harden_canary=0"), "{line}");
     }
 
     #[test]

@@ -75,7 +75,8 @@ impl<T> Mutex<T> {
         Mutex(StdMutex::new(value))
     }
 
-    /// Acquires the lock, ignoring poisoning.
+    /// Acquires the lock, blocking until available (poisoned locks are
+    /// recovered, not propagated as a second panic).
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
@@ -171,5 +172,27 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 1, "poisoned mutex still usable");
+    }
+
+    #[test]
+    fn try_lock_recovers_poison_without_reporting_contention() {
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // The panicking thread released the (poisoned) lock on unwind:
+        // try_lock must hand out the recovered guard, not report the
+        // poison as contention.
+        let g = m.try_lock().expect("poisoned-but-free lock acquired");
+        assert_eq!(*g, 7);
+        drop(g);
+        // lock_timed's fast path goes through try_lock: a poisoned free
+        // lock is still an untimed acquisition.
+        let (g, waited) = m.lock_timed();
+        assert_eq!(*g, 7);
+        assert_eq!(waited, None, "recovered acquisition is uncontended");
     }
 }

@@ -298,6 +298,21 @@ pub unsafe fn protect_read(addr: *mut u8, len: usize) -> io::Result<()> {
     }
 }
 
+/// Marks `[addr, addr+len)` inaccessible (`PROT_NONE`) — the hardened
+/// mode's trailing guard page on large objects: any touch faults
+/// deterministically instead of corrupting the neighbour.
+///
+/// # Safety
+///
+/// `addr`/`len` must denote pages inside a live mapping owned by the caller.
+pub unsafe fn protect_none(addr: *mut u8, len: usize) -> io::Result<()> {
+    if libc::mprotect(addr as *mut libc::c_void, len, libc::PROT_NONE) != 0 {
+        Err(last_err())
+    } else {
+        Ok(())
+    }
+}
+
 /// Restores read-write access to `[addr, addr+len)`.
 ///
 /// # Safety

@@ -33,6 +33,7 @@
 //! counter for cross-checking the estimator.
 
 use super::{ProfileStats, SiteSnapshot};
+use crate::harden::ALL_HARDEN_KINDS;
 use crate::stats::HeapStats;
 use crate::telemetry::histogram::{bucket_upper_ns, LatencySnapshot, ALL_TIMED_OPS, LATENCY_BUCKETS};
 use crate::telemetry::{HeapSpectrum, SenseSnapshot, ABSENT, ALL_REJECT_REASONS, REJECT_REASONS};
@@ -276,6 +277,20 @@ pub(crate) fn prom_text(
             "mesh_pass_rejected_total{{reason=\"{}\"}} {}\n",
             reason.name(),
             rejects[reason as usize]
+        ));
+    }
+    // Hardened-mode violations by kind. Like the reject counter, every
+    // kind label is emitted even at zero (and even with `MESH_HARDEN`
+    // off) so alerting rules can be written once.
+    out.push_str(
+        "# HELP mesh_harden_violations_total Hardened-mode memory-safety violations by kind.\n\
+         # TYPE mesh_harden_violations_total counter\n",
+    );
+    for kind in ALL_HARDEN_KINDS {
+        out.push_str(&format!(
+            "mesh_harden_violations_total{{kind=\"{}\"}} {}\n",
+            kind.name(),
+            stats.harden_violations[kind as usize]
         ));
     }
     if let Some(s) = sense {
@@ -661,7 +676,7 @@ mod tests {
             cgroup_usage_bytes: 9 << 20,
             ..Default::default()
         };
-        let text = prom_text(&stats, Some(&prof()), Some(&sense), &[3, 1, 0, 0]);
+        let text = prom_text(&stats, Some(&prof()), Some(&sense), &[3, 1, 0, 0, 0]);
 
         let mut kinds: std::collections::HashMap<String, String> = Default::default();
         let mut last_help: Option<String> = None;
@@ -733,6 +748,31 @@ mod tests {
         assert!(!text.contains("mesh_cgroup_limit_bytes"), "unlimited cgroup elided");
         assert!(text.contains("mesh_pass_rejected_total{reason=\"occupancy_overlap\"} 3\n"));
         assert!(text.contains("mesh_pass_rejected_total{reason=\"pinned_transfer\"} 1\n"));
+    }
+
+    /// Pins the names of the hostile-input counter families and the
+    /// hardened-mode violation family: dashboards and the CI gauntlet
+    /// grep for these exact series, so renaming any of them is a
+    /// breaking change to the exposition contract.
+    #[test]
+    fn hostile_input_and_harden_families_are_pinned() {
+        let mut stats = HeapStats {
+            invalid_frees: 4,
+            double_frees: 2,
+            ..Default::default()
+        };
+        stats.harden_violations[crate::harden::HardenKind::Poison as usize] = 3;
+        let text = prom_text(&stats, None, None, &[0; REJECT_REASONS]);
+        assert!(text.contains("# TYPE mesh_invalid_frees_total counter\nmesh_invalid_frees_total 4\n"));
+        assert!(text.contains("# TYPE mesh_double_frees_total counter\nmesh_double_frees_total 2\n"));
+        // Every harden kind emits a labelled series, zeros included and
+        // regardless of whether hardening is enabled.
+        assert!(text.contains("# TYPE mesh_harden_violations_total counter\n"));
+        assert!(text.contains("mesh_harden_violations_total{kind=\"double_free\"} 0\n"));
+        assert!(text.contains("mesh_harden_violations_total{kind=\"invalid_free\"} 0\n"));
+        assert!(text.contains("mesh_harden_violations_total{kind=\"poison\"} 3\n"));
+        assert!(text.contains("mesh_harden_violations_total{kind=\"guard\"} 0\n"));
+        assert!(text.contains("mesh_harden_violations_total{kind=\"canary\"} 0\n"));
     }
 
     /// Pins the deprecation contract for the renamed peak gauge: the

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const LEDGER_PASSES: usize = 64;
 
 /// Number of distinct rejection reasons.
-pub const REJECT_REASONS: usize = 4;
+pub const REJECT_REASONS: usize = 5;
 
 /// Why a candidate pair (or candidate span) failed to mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,10 @@ pub enum RejectReason {
     /// single-lock pass (the class lock is held end to end); recorded so a
     /// future concurrent mesher inherits the accounting slot.
     CopyAbort = 3,
+    /// Hardened mode found a corrupted free-slot canary inside the copy
+    /// window and refused to mesh the pair (`MESH_HARDEN` with the canary
+    /// sweep on; also surfaces as a `harden_canary` violation).
+    CanaryTrip = 4,
 }
 
 /// Every reason, in counter-index order.
@@ -46,6 +50,7 @@ pub const ALL_REJECT_REASONS: [RejectReason; REJECT_REASONS] = [
     RejectReason::PinnedTransfer,
     RejectReason::ClassContention,
     RejectReason::CopyAbort,
+    RejectReason::CanaryTrip,
 ];
 
 impl RejectReason {
@@ -57,6 +62,7 @@ impl RejectReason {
             RejectReason::PinnedTransfer => "pinned_transfer",
             RejectReason::ClassContention => "class_contention",
             RejectReason::CopyAbort => "copy_abort",
+            RejectReason::CanaryTrip => "canary_trip",
         }
     }
 }
@@ -210,14 +216,14 @@ mod tests {
         let l = MeshLedger::new();
         assert_eq!(l.passes_recorded(), 0);
         assert!(l.recent().is_empty());
-        l.record(rec(10, 2, [3, 1, 0, 0]));
-        l.record(rec(20, 0, [0, 0, 2, 0]));
+        l.record(rec(10, 2, [3, 1, 0, 0, 0]));
+        l.record(rec(20, 0, [0, 0, 2, 0, 1]));
         assert_eq!(l.passes_recorded(), 2);
         let r = l.recent();
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].at_ms, 10, "oldest first");
         assert_eq!(r[1].at_ms, 20);
-        assert_eq!(l.reject_totals(), [3, 1, 2, 0]);
+        assert_eq!(l.reject_totals(), [3, 1, 2, 0, 1]);
         assert_eq!(r[0].rejected_total(), 4);
     }
 
@@ -225,7 +231,7 @@ mod tests {
     fn ring_keeps_only_last_passes() {
         let l = MeshLedger::new();
         for i in 0..(LEDGER_PASSES as u64 + 9) {
-            l.record(rec(i, 1, [1, 0, 0, 0]));
+            l.record(rec(i, 1, [1, 0, 0, 0, 0]));
         }
         assert_eq!(l.passes_recorded(), LEDGER_PASSES as u64 + 9);
         let r = l.recent();
@@ -240,7 +246,7 @@ mod tests {
 
     #[test]
     fn json_names_every_reason() {
-        let j = rec(5, 1, [4, 3, 2, 1]).json();
+        let j = rec(5, 1, [4, 3, 2, 1, 5]).json();
         for r in ALL_REJECT_REASONS {
             assert!(j.contains(&format!("\"{}\":", r.name())), "{j}");
         }

@@ -1,0 +1,28 @@
+/* Deliberate use-after-free write. Under MESH_HARDEN=abort (with the
+ * quarantine disabled so the slot can recycle) the hardened allocator
+ * must detect the corrupted poison fill when the slot is handed out
+ * again, print its one-line diagnostic, and SIGABRT — this program
+ * reaching its final printf is the failure mode the harness asserts
+ * against. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    unsigned char *p = malloc(64);
+    if (!p)
+        return 1;
+    memset(p, 0x5A, 64);
+    free(p);
+    /* The UAF write proper; volatile so the compiler cannot elide the
+     * (undefined-behaviour) store into freed memory. */
+    *(volatile unsigned char *)(p + 16) = 0xAA;
+    /* The freed slot sits in the attached span's shuffle vector, so it
+     * must be reissued within one span's worth of allocations. */
+    for (int i = 0; i < 512; i++) {
+        if (!malloc(64))
+            return 1;
+    }
+    printf("uaf_abort UNEXPECTED: hardened allocator missed the UAF\n");
+    return 0;
+}

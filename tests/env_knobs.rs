@@ -149,4 +149,66 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
     let c = MeshConfig::default().apply_env();
     assert_eq!(c.sense_history_len(), 30);
     assert!(c.validate().is_ok());
+
+    // Hardened-mode knobs (set after the first heap ran: MESH_HARDEN
+    // changes free semantics, so the unhardened churn above must not see
+    // it). `full` is an alias of `count`; per-feature toggles and the
+    // quarantine bounds parse with the usual warn-on-malformed contract.
+    std::env::set_var("MESH_HARDEN", "full");
+    std::env::set_var("MESH_HARDEN_POISON", "1");
+    std::env::set_var("MESH_HARDEN_QUARANTINE", "0");
+    std::env::set_var("MESH_HARDEN_GUARD", "banana"); // malformed
+    std::env::set_var("MESH_HARDEN_CANARY", "1");
+    std::env::set_var("MESH_HARDEN_QUARANTINE_BYTES", "128K");
+    std::env::set_var("MESH_HARDEN_QUARANTINE_SLOTS", "banana"); // malformed
+    let c = MeshConfig::default().apply_env();
+    assert!(c.is_hardened(), "MESH_HARDEN=full activates count mode");
+    let h = c.harden_config();
+    assert!(!h.aborts(), "full counts, it does not abort");
+    assert!(h.poison_on());
+    assert!(!h.quarantine_on(), "MESH_HARDEN_QUARANTINE=0 disables");
+    assert!(h.guard_on(), "malformed toggle ignored (warned), default kept");
+    assert!(h.canary_on());
+    assert_eq!(h.quarantine_bytes, 128 << 10, "suffix-parsed bound");
+    assert_eq!(
+        h.quarantine_slots,
+        mesh::core::HardenConfig::default().quarantine_slots,
+        "malformed slot bound ignored (warned), default kept"
+    );
+    assert!(c.validate().is_ok());
+
+    // Every policy spelling lands where documented.
+    std::env::set_var("MESH_HARDEN", "abort");
+    assert!(MeshConfig::default().apply_env().harden_config().aborts());
+    std::env::set_var("MESH_HARDEN", "die");
+    assert!(MeshConfig::default().apply_env().harden_config().aborts());
+    std::env::set_var("MESH_HARDEN", "banana"); // malformed
+    assert!(
+        !MeshConfig::default().apply_env().is_hardened(),
+        "malformed policy ignored (warned), default Off kept"
+    );
+    std::env::set_var("MESH_HARDEN", "off");
+    assert!(!MeshConfig::default().apply_env().is_hardened());
+
+    // A counting hardened heap built from the environment detects a
+    // double free end to end.
+    std::env::set_var("MESH_HARDEN", "count");
+    std::env::set_var("MESH_HARDEN_QUARANTINE", "1");
+    std::env::set_var("MESH_HARDEN_QUARANTINE_SLOTS", "16");
+    let c = MeshConfig::default().apply_env();
+    assert!(c.validate().is_ok());
+    let mesh = mesh::core::Mesh::new(c).unwrap();
+    let p = mesh.malloc(64);
+    assert!(!p.is_null());
+    unsafe {
+        mesh.free(p);
+        mesh.free(p); // quarantined: deterministically caught
+    }
+    let s = mesh.stats();
+    assert_eq!(
+        s.harden_violations[mesh::core::HardenKind::DoubleFree as usize],
+        1,
+        "double free of a quarantined pointer counted under its kind"
+    );
+    assert_eq!(s.total_harden_violations(), 1);
 }

@@ -2,11 +2,22 @@
 //! stay coherent (and §4.4.4 requires it to *discard* memory-management
 //! errors, not crash) under every hostile input a C program can produce.
 
-use mesh::core::{Mesh, MeshConfig, MeshError};
+use mesh::core::{HardenKind, HardenPolicy, Mesh, MeshConfig, MeshError};
 use std::time::Duration;
 
 fn small_heap(seed: u64) -> Mesh {
     Mesh::new(MeshConfig::default().arena_bytes(16 << 20).seed(seed)).unwrap()
+}
+
+fn hardened_heap(seed: u64) -> Mesh {
+    Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(16 << 20)
+            .seed(seed)
+            .background_meshing(false)
+            .harden_policy(HardenPolicy::Count),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -244,6 +255,115 @@ fn thread_heap_outliving_frees_from_other_threads() {
         unsafe { mesh.free(p as *mut u8) };
     }
     assert_eq!(mesh.stats().live_bytes, 0);
+}
+
+#[test]
+fn hostile_free_of_pointer_into_quarantined_slot() {
+    // Hardening off: freeing the same slot twice on the local fast path
+    // is C-style UB the bitmap-less path is documented not to catch; an
+    // *interior* pointer into it is misaligned and discarded. The heap
+    // must stay coherent either way.
+    let mesh = small_heap(20);
+    let p = mesh.malloc(64);
+    unsafe {
+        mesh.free(p);
+        mesh.free(p.add(8));
+    }
+    assert_eq!(mesh.stats().invalid_frees, 1, "misaligned free discarded");
+    let q = mesh.malloc(64);
+    assert!(!q.is_null());
+    unsafe { mesh.free(q) };
+
+    // Hardening on: the base pointer is deterministically a double free
+    // (quarantine membership), the interior pointer an invalid free, and
+    // both are attributed to their hardened kinds.
+    let mesh = hardened_heap(21);
+    let p = mesh.malloc(64);
+    unsafe {
+        mesh.free(p); // parked
+        mesh.free(p); // hostile: free of a quarantined pointer
+        mesh.free(p.add(8)); // hostile: pointer *into* the quarantined slot
+    }
+    let s = mesh.stats();
+    assert_eq!(s.harden_violations[HardenKind::DoubleFree as usize], 1);
+    assert_eq!(s.harden_violations[HardenKind::InvalidFree as usize], 1);
+    let q = mesh.malloc(64);
+    assert!(!q.is_null());
+    unsafe { mesh.free(q) };
+    assert_eq!(
+        mesh.stats().total_harden_violations(),
+        2,
+        "legitimate traffic after the attack adds no violations"
+    );
+}
+
+#[test]
+fn hostile_realloc_of_quarantined_pointer() {
+    // Hardening off: realloc-after-free is UB; the classic heap resolves
+    // the stale slot and must at least not corrupt itself.
+    let mesh = small_heap(22);
+    let p = mesh.malloc(128);
+    unsafe {
+        mesh.free(p);
+        let q = mesh.realloc(p, 256);
+        if !q.is_null() {
+            mesh.free(q);
+        }
+    }
+
+    // Hardening on: the quarantined slot is still claimed, so realloc
+    // can size it — but its internal free of the old pointer hits the
+    // quarantine membership check and is counted as the double free it
+    // is. The new allocation is real and usable.
+    let mesh = hardened_heap(23);
+    let p = mesh.malloc(128);
+    unsafe {
+        mesh.free(p); // parked
+        let q = mesh.realloc(p, 256); // hostile: realloc of freed pointer
+        assert!(!q.is_null());
+        std::ptr::write_bytes(q, 0x3C, 256);
+        mesh.free(q);
+    }
+    let s = mesh.stats();
+    assert_eq!(
+        s.harden_violations[HardenKind::DoubleFree as usize],
+        1,
+        "realloc of a quarantined pointer counted as double free"
+    );
+}
+
+#[test]
+fn hostile_interior_free_on_guarded_large_object() {
+    // Hardening off (no guard pages): the classic path is C-lenient —
+    // any pointer into the live span resolves to the owning singleton
+    // and releases it; the next interior free is then a counted miss.
+    let mesh = small_heap(24);
+    let p = mesh.malloc(50_000);
+    unsafe { mesh.free(p.add(4096)) };
+    let s = mesh.stats();
+    assert_eq!(s.frees, 1, "interior pointer released the object");
+    assert_eq!(s.live_bytes, 0);
+    unsafe { mesh.free(p.add(17)) };
+    assert_eq!(mesh.stats().invalid_frees, 1, "now-dangling free discarded");
+
+    // Hardening on: same discard contract with the guard page in place,
+    // attributed to kind=invalid_free; the base free then passes the
+    // tail-page scan (nothing was overflowed).
+    let mesh = hardened_heap(25);
+    let p = mesh.malloc(50_000);
+    let usable = mesh.usable_size(p).expect("own pointer");
+    unsafe {
+        std::ptr::write_bytes(p, 0x77, usable);
+        mesh.free(p.add(4096)); // hostile: interior page of a guarded object
+        mesh.free(p.add(17)); // hostile: unaligned interior pointer
+    }
+    let s = mesh.stats();
+    assert!(s.harden_violations[HardenKind::InvalidFree as usize] >= 2);
+    assert_eq!(s.harden_violations[HardenKind::Guard as usize], 0);
+    unsafe { mesh.free(p) };
+    let s = mesh.stats();
+    assert_eq!(s.live_bytes, 0, "base free of the guarded object lands");
+    assert_eq!(s.harden_violations[HardenKind::Guard as usize], 0);
 }
 
 #[test]
