@@ -13,13 +13,17 @@
 //! Exported: `malloc`, `free`, `calloc`, `realloc`, `reallocarray`,
 //! `aligned_alloc`, `posix_memalign`, `memalign`, `valloc`, `pvalloc`,
 //! `malloc_usable_size`, `malloc_trim`, `mallopt`, `malloc_stats`, plus
-//! the Mesh-specific diagnostics `mesh_stats_print()`, `mesh_mesh_now()`
-//! and `mesh_prof_dump()`. Tunables arrive via `MESH_*` environment
-//! variables (see [`mesh_core::MeshConfig::apply_env`]);
+//! the Mesh-specific diagnostics `mesh_stats_print()`, `mesh_mesh_now()`,
+//! `mesh_prof_dump()`, `mesh_trace_dump()`, `mesh_sense_dump()`,
+//! `mesh_ctl_active()` and `mesh_ctl_path()`. Tunables arrive via
+//! `MESH_*` environment variables (see
+//! [`mesh_core::MeshConfig::apply_env`]);
 //! `MESH_PRINT_STATS_AT_EXIT=1` dumps a one-line machine-readable
-//! summary at process exit, and `MESH_PROF=1` turns on the sampled heap
+//! summary at process exit, `MESH_PROF=1` turns on the sampled heap
 //! profiler (JSON dumps at exit, on `SIGUSR2`, every
-//! `MESH_PROF_INTERVAL_MS`, or via `mesh_prof_dump()`).
+//! `MESH_PROF_INTERVAL_MS`, or via `mesh_prof_dump()`), and
+//! `MESH_CTL=/path/sock` serves live introspection and control over a
+//! Unix socket (drive it with `mesh-top` or `nc -U`).
 //!
 //! ## The four hard problems (see DESIGN.md "ABI & bootstrap")
 //!
@@ -407,6 +411,44 @@ pub extern "C" fn mesh_sense_dump() -> c_int {
         return -1;
     }
     runtime::sense_dump_to(2)
+}
+
+/// Whether the mesh-ctl control socket (`MESH_CTL=/path/sock`) is
+/// configured *and* listening in this process. Returns 0 when no socket
+/// was configured, the bind lost the path to a live owner, or no heap
+/// exists.
+#[no_mangle]
+pub extern "C" fn mesh_ctl_active() -> c_int {
+    match runtime::built_heap() {
+        Some(mesh) => mesh.ctl_active() as c_int,
+        None => 0,
+    }
+}
+
+/// Copies the configured mesh-ctl socket path (NUL-terminated) into
+/// `buf`, returning its length in bytes (excluding the NUL) — or -1 when
+/// no socket is configured, no heap exists, or `buf` is too small. Pass
+/// a 108-byte buffer (`sizeof(sun_path)`): every accepted path fits.
+///
+/// # Safety
+///
+/// `buf` must be null (treated as too small) or valid for `len` writable
+/// bytes.
+#[no_mangle]
+pub unsafe extern "C" fn mesh_ctl_path(buf: *mut mesh_core::ffi::c_char, len: size_t) -> c_int {
+    let Some(mesh) = runtime::built_heap() else {
+        return -1;
+    };
+    let Some(path) = mesh.ctl_path() else {
+        return -1;
+    };
+    let bytes = path.as_os_str().as_encoded_bytes();
+    if buf.is_null() || bytes.len() + 1 > len {
+        return -1;
+    }
+    std::ptr::copy_nonoverlapping(bytes.as_ptr(), buf as *mut u8, bytes.len());
+    *buf.add(bytes.len()) = 0;
+    bytes.len() as c_int
 }
 
 // ---------------------------------------------------------------------

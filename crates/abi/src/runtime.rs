@@ -143,6 +143,13 @@ fn install_process_hooks(mesh: &Mesh) {
         if mesh.sense_path().is_some() {
             crate::real::atexit(sense_at_exit);
         }
+        // The heap statics are never dropped in an interposed process, so
+        // the ctl socket path would outlive us as a stale file without
+        // this (the next process reclaims it anyway, but only after a
+        // connect probe).
+        if mesh.ctl_path().is_some() {
+            crate::real::atexit(ctl_at_exit);
+        }
     }
 }
 
@@ -346,4 +353,14 @@ pub fn sense_dump_to(fd: i32) -> i32 {
 extern "C" fn sense_at_exit() {
     let fd = STATS_FD.load(Ordering::Acquire);
     sense_dump_to(if fd >= 0 { fd } else { 2 });
+}
+
+// ---------------------------------------------------------------------
+// Control socket (mesh-ctl)
+// ---------------------------------------------------------------------
+
+extern "C" fn ctl_at_exit() {
+    if let Some(mesh) = built_heap() {
+        mesh.ctl_shutdown();
+    }
 }

@@ -49,6 +49,11 @@
 //!   large-object churn (`harden_large_base` vs `harden_guard`), since
 //!   guards only exist on the large path. All enabled-mode numbers are
 //!   informational — hardening is opt-in and priced accordingly.
+//! * `ctl_idle` — the mesh-ctl cost bracket: the control socket bound
+//!   and served by the background thread but with no client connected —
+//!   exactly what a deployment that *could* be inspected pays all the
+//!   time. The socket lives entirely off-thread, so this is **enforced
+//!   like `prof_off`**: within 2% of the baseline floor.
 //!
 //! Output: a human table, one `BENCH_MALLOC.json` trajectory line on
 //! stdout, and the same JSON written to `BENCH_MALLOC.json` in the
@@ -112,6 +117,24 @@ fn heap_trace(enabled: bool) -> Mesh {
             .mesh_period(Duration::from_secs(3600))
             .tracing(enabled)
             .trace_buf_events(64 << 10),
+    )
+    .expect("bench heap")
+}
+
+/// The enabled-but-idle control-socket configuration: the listener is
+/// bound and polled by the background thread (50 ms parks) while the
+/// mutator churns — the standing cost of being inspectable. The fast
+/// path has no ctl hook at all, so this must be indistinguishable from
+/// the default heap.
+fn heap_ctl() -> Mesh {
+    let path = std::env::temp_dir().join(format!("mesh-bench-ctl-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    Mesh::new(
+        MeshConfig::default()
+            .arena_bytes(1 << 30)
+            .seed(42)
+            .mesh_period(Duration::from_secs(3600))
+            .ctl(Some(path)),
     )
     .expect("bench heap")
 }
@@ -380,6 +403,12 @@ fn main() {
     let trace_on = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
     drop(m);
 
+    // --- mesh-ctl cost bracket -------------------------------------------
+    let m = heap_ctl();
+    assert!(m.ctl_active(), "bench ctl socket failed to bind");
+    let ctl_idle = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
+    drop(m);
+
     // --- hardened-mode cost bracket --------------------------------------
     let m = heap_harden(HardenPolicy::Off, true, true, true, true);
     let harden_off = churn(&m, 1, OPS_PER_THREAD * 4, |_| 256);
@@ -498,6 +527,7 @@ fn main() {
     );
     println!("{:<40} {:>16.0}", "single_thread_churn trace_off", trace_off);
     println!("{:<40} {:>16.0}", "single_thread_churn trace_on", trace_on);
+    println!("{:<40} {:>16.0}", "single_thread_churn ctl_idle", ctl_idle);
     println!("{:<40} {:>16.0}", "single_thread_churn harden_off", harden_off);
     println!(
         "{:<40} {:>16.0}   ({:.2}x tax)",
@@ -573,6 +603,7 @@ fn main() {
          \"single_thread_ops_sec\":{single:.0},\
          \"prof_off_ops_sec\":{prof_off:.0},\"prof_on_ops_sec\":{prof_on:.0},\
          \"trace_off_ops_sec\":{trace_off:.0},\"trace_on_ops_sec\":{trace_on:.0},\
+         \"ctl_idle_ops_sec\":{ctl_idle:.0},\
          \"harden_off_ops_sec\":{harden_off:.0},\"harden_full_ops_sec\":{harden_full:.0},\
          \"harden_poison_ops_sec\":{harden_poison:.0},\
          \"harden_quarantine_ops_sec\":{harden_quarantine:.0},\
@@ -639,6 +670,17 @@ fn main() {
             "trace-off check OK: {trace_off:.0} ops/sec >= {bar:.0} \
              (98% of min(floor, same-run); trace-on measured {trace_on:.0})"
         );
+        // Same bar for the control socket: enabled-but-idle is what any
+        // inspectable deployment pays continuously, and the socket is
+        // served entirely off-thread — the fast path has no ctl hook.
+        assert!(
+            ctl_idle >= bar,
+            "ctl-idle churn regressed: {ctl_idle:.0} ops/sec vs bar \
+             {bar:.0} (98% of min(baseline floor {floor:.0}, same-run \
+             {single:.0})) — an enabled-but-idle control socket may not \
+             tax the mutator (set MESH_BENCH_NO_ENFORCE=1 to bypass)"
+        );
+        println!("ctl-idle check OK: {ctl_idle:.0} ops/sec >= {bar:.0} (98% of min(floor, same-run))");
         // Same bar for hardened mode: policy-off is the shipping default,
         // so the disabled branches get the identical 2% budget. The
         // enabled-mode tax is opt-in and deliberately unenforced.

@@ -293,10 +293,13 @@ impl Mesh {
     /// every MiniHeap under the shard locks; use
     /// [`Mesh::stats_with_spectrum`] where meshability matters.
     pub fn stats(&self) -> HeapStats {
+        // The snapshot itself allocates (spectrum vectors, latency
+        // buckets) — it must stay inside the guard too, or an interposed
+        // process samples its own exposition path.
         with_internal_alloc(|| {
             self.inner.state.drain_all();
-        });
-        self.inner.counters.snapshot()
+            self.inner.counters.snapshot()
+        })
     }
 
     /// [`Mesh::stats`] plus the occupancy spectrum filled in
@@ -556,6 +559,42 @@ impl Mesh {
         self.inner.state.rt.set_probe_limit(t);
     }
 
+    // ----- mesh-ctl (control socket) -------------------------------------
+
+    /// The configured mesh-ctl socket path (`MESH_CTL`), whether or not
+    /// the bind succeeded. `None` when no socket was configured.
+    pub fn ctl_path(&self) -> Option<std::path::PathBuf> {
+        self.inner.state.ctl.as_ref().map(|c| c.path().to_path_buf())
+    }
+
+    /// Whether the mesh-ctl socket is configured *and* listening (a bind
+    /// can lose the path to a live owner; see the ctl module docs).
+    pub fn ctl_active(&self) -> bool {
+        self.inner
+            .state
+            .ctl
+            .as_ref()
+            .is_some_and(|c| c.is_listening())
+    }
+
+    /// Stops serving the control socket and unlinks its path. Idempotent;
+    /// used by the C ABI's exit hook so interposed processes clean up
+    /// even though the heap itself is never dropped.
+    pub fn ctl_shutdown(&self) {
+        if let Some(ctl) = &self.inner.state.ctl {
+            with_internal_alloc(|| ctl.shutdown());
+        }
+    }
+
+    /// The sampled live-heap profile as an uncompressed pprof protobuf
+    /// (gzip-free; `go tool pprof` and speedscope both accept it), or
+    /// `None` when profiling is off. See the `telemetry::pprof` module
+    /// docs for how the Horvitz–Thompson estimates map onto pprof's
+    /// `inuse_objects`/`inuse_space`.
+    pub fn pprof_profile(&self) -> Option<Vec<u8>> {
+        with_internal_alloc(|| self.inner.state.pprof_profile())
+    }
+
     /// The page-release primitive the arena detected at startup.
     pub fn release_strategy(&self) -> ReleaseStrategy {
         self.inner.state.lock_arena().release_strategy()
@@ -749,6 +788,12 @@ impl MeshForkGuard<'_> {
                 sense.wipe_for_child();
             }
             mesh.inner.state.ledger.wipe_for_child();
+            // The inherited listener and connections belong to the parent;
+            // the child answers on the same path with a fresh listener
+            // (see the ctl module docs on per-process paths).
+            if let Some(ctl) = &mesh.inner.state.ctl {
+                ctl.rebind_for_child();
+            }
             mesh.inner.counters.forks.fetch_add(1, Ordering::Relaxed);
             mesh.respawn_mesher_after_fork();
             unsafe {

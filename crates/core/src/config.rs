@@ -11,6 +11,10 @@ use crate::size_classes::PAGE_SIZE;
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// Longest control-socket path accepted: `sockaddr_un.sun_path` is 108
+/// bytes on Linux including the terminating NUL.
+pub(crate) const CTL_PATH_MAX: usize = 107;
+
 /// Builder-style configuration for a [`crate::Mesh`] heap.
 ///
 /// # Examples
@@ -117,6 +121,16 @@ pub struct MeshConfig {
     /// on by default, so there is no unsolicited at-exit dump without a
     /// path). The file is rewritten on each dump.
     pub(crate) sense_path: Option<PathBuf>,
+    /// mesh-ctl control-socket path (`MESH_CTL`; `None` = no socket, the
+    /// default). When set, the background thread binds a Unix-domain
+    /// listener here and answers the line-oriented mesh-ctl protocol —
+    /// live introspection and a whitelisted knob surface for running
+    /// processes. A forked child unlinks and re-binds the path.
+    pub(crate) ctl_path: Option<PathBuf>,
+    /// Maximum concurrently connected mesh-ctl clients
+    /// (`MESH_CTL_MAX_CLIENTS`); further connections are accepted and
+    /// immediately dropped so a misbehaving scraper cannot pile up fds.
+    pub(crate) ctl_max_clients: usize,
     /// Hardened-mode configuration (`MESH_HARDEN` and friends): policy
     /// off/count/abort plus per-feature switches for poisoning,
     /// quarantine, guard pages, and the mesh-time canary sweep. Off by
@@ -154,6 +168,8 @@ impl Default for MeshConfig {
             sense_history: 120,
             sense_mincore_pages: 256,
             sense_path: None,
+            ctl_path: None,
+            ctl_max_clients: 4,
             harden: HardenConfig::default(),
         }
     }
@@ -423,6 +439,30 @@ impl MeshConfig {
         self.sense_path.as_deref()
     }
 
+    /// Sets (or clears) the mesh-ctl control-socket path (`MESH_CTL`;
+    /// `None` = no socket).
+    pub fn ctl(mut self, path: Option<PathBuf>) -> Self {
+        self.ctl_path = path;
+        self
+    }
+
+    /// Sets the maximum concurrently connected mesh-ctl clients
+    /// (`MESH_CTL_MAX_CLIENTS`).
+    pub fn ctl_max_clients(mut self, n: usize) -> Self {
+        self.ctl_max_clients = n;
+        self
+    }
+
+    /// The configured control-socket path, if the socket is enabled.
+    pub fn ctl_socket_path(&self) -> Option<&std::path::Path> {
+        self.ctl_path.as_deref()
+    }
+
+    /// The configured mesh-ctl client cap.
+    pub fn ctl_client_cap(&self) -> usize {
+        self.ctl_max_clients
+    }
+
     /// Sets the hardened-mode policy (`MESH_HARDEN`): [`HardenPolicy::Off`],
     /// count, or abort-on-detection.
     pub fn harden_policy(mut self, policy: HardenPolicy) -> Self {
@@ -603,6 +643,20 @@ impl MeshConfig {
                     .into(),
             ));
         }
+        if let Some(path) = &self.ctl_path {
+            let len = path.as_os_str().len();
+            if len == 0 || len > CTL_PATH_MAX {
+                return Err(MeshError::InvalidConfig(format!(
+                    "ctl socket path is {len} bytes; sun_path allows 1..={CTL_PATH_MAX}"
+                )));
+            }
+            if !(1..=64).contains(&self.ctl_max_clients) {
+                return Err(MeshError::InvalidConfig(format!(
+                    "ctl_max_clients {} outside 1..=64",
+                    self.ctl_max_clients
+                )));
+            }
+        }
         if self.sense_interval.is_some() {
             if !(2..=100_000).contains(&self.sense_history) {
                 return Err(MeshError::InvalidConfig(format!(
@@ -644,6 +698,8 @@ impl MeshConfig {
     /// | `MESH_SENSE_HISTORY` | snapshots retained in the sense ring |
     /// | `MESH_SENSE_MINCORE_PAGES` | pages sampled per poll (0 = no sweep) |
     /// | `MESH_SENSE_PATH` | sense-dump file (default: stderr, on request) |
+    /// | `MESH_CTL` | mesh-ctl Unix-socket path (default: no socket) |
+    /// | `MESH_CTL_MAX_CLIENTS` | concurrent ctl clients (1..=64, default 4) |
     /// | `MESH_HARDEN` | hardened mode: `off` / `count` (alias `full`) / `abort` (alias `die`) |
     /// | `MESH_HARDEN_POISON` | free poisoning + reallocation verify |
     /// | `MESH_HARDEN_QUARANTINE` | delayed-reuse quarantine |
@@ -712,6 +768,27 @@ impl MeshConfig {
         }
         if let Some(path) = env_path("MESH_SENSE_PATH") {
             self = self.sense_path(Some(path));
+        }
+        // Bounds are enforced here (warn-and-ignore) rather than left to
+        // `validate()`: under LD_PRELOAD a validation failure kills heap
+        // construction for the whole process, which is far worse than
+        // running without a control socket.
+        if let Some(path) = env_parsed(
+            "MESH_CTL",
+            |s| {
+                let t = s.trim();
+                (!t.is_empty() && t.len() <= CTL_PATH_MAX).then(|| PathBuf::from(t))
+            },
+            "a socket path of 1..=107 bytes",
+        ) {
+            self = self.ctl(Some(path));
+        }
+        if let Some(n) = env_parsed(
+            "MESH_CTL_MAX_CLIENTS",
+            |s| s.trim().parse::<usize>().ok().filter(|n| (1..=64).contains(n)),
+            "an integer in 1..=64",
+        ) {
+            self = self.ctl_max_clients(n);
         }
         if let Some(policy) = env_parsed(
             "MESH_HARDEN",
@@ -1019,6 +1096,31 @@ mod tests {
         assert!(MeshConfig::default().transfer_batch(0).validate().is_err());
         assert!(MeshConfig::default().transfer_batch(257).validate().is_err());
         assert!(MeshConfig::default().transfer_cache_slots(1025).validate().is_err());
+    }
+
+    #[test]
+    fn ctl_knobs_build_and_validate() {
+        let c = MeshConfig::default();
+        assert_eq!(c.ctl_socket_path(), None, "ctl socket is off by default");
+        assert_eq!(c.ctl_client_cap(), 4);
+        let c = MeshConfig::default()
+            .ctl(Some("/tmp/mesh-ctl.sock".into()))
+            .ctl_max_clients(8);
+        assert_eq!(
+            c.ctl_socket_path(),
+            Some(std::path::Path::new("/tmp/mesh-ctl.sock"))
+        );
+        assert_eq!(c.ctl_client_cap(), 8);
+        assert!(c.validate().is_ok());
+        // sun_path holds at most CTL_PATH_MAX bytes plus the NUL.
+        let long = "/tmp/".to_string() + &"x".repeat(CTL_PATH_MAX);
+        assert!(MeshConfig::default().ctl(Some(long.into())).validate().is_err());
+        assert!(MeshConfig::default().ctl(Some("".into())).validate().is_err());
+        // Client-cap bounds only matter while the socket is on.
+        let on = MeshConfig::default().ctl(Some("/tmp/s".into()));
+        assert!(on.clone().ctl_max_clients(0).validate().is_err());
+        assert!(on.ctl_max_clients(65).validate().is_err());
+        assert!(MeshConfig::default().ctl_max_clients(0).validate().is_ok());
     }
 
     #[test]

@@ -151,6 +151,21 @@ extern "C" {
     pub fn waitpid(pid: c_int, status: *mut c_int, options: c_int) -> c_int;
     pub fn _exit(status: c_int) -> !;
     pub fn __errno_location() -> *mut c_int;
+    // Best-effort symbolization for the pprof export (glibc ≥ 2.34 ships
+    // dladdr in libc proper; no -ldl needed).
+    pub fn dladdr(addr: *const c_void, info: *mut Dl_info) -> c_int;
+}
+
+/// `dladdr(3)`'s result record. Pointers are into loader-owned storage
+/// and stay valid for the life of the mapped object; they may be null
+/// when no symbol (or no object) covers the address.
+#[repr(C)]
+#[allow(non_camel_case_types)]
+pub struct Dl_info {
+    pub dli_fname: *const c_char,
+    pub dli_fbase: *mut c_void,
+    pub dli_sname: *const c_char,
+    pub dli_saddr: *mut c_void,
 }
 
 /// The calling thread's `errno` value.

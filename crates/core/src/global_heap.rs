@@ -41,8 +41,8 @@ use crate::size_classes::{SizeClass, NUM_SIZE_CLASSES, PAGE_SIZE};
 use crate::stats::Counters;
 use crate::sync::{Mutex, MutexGuard};
 use crate::telemetry::{
-    self, HeapSpectrum, MeshLedger, SenseSnapshot, SenseState, Telemetry, TimedOp, TraceSet,
-    ABSENT,
+    self, CtlState, HeapSpectrum, MeshLedger, SenseSnapshot, SenseState, Telemetry, TimedOp,
+    TraceSet, ABSENT, CTL_PARK,
 };
 use crate::transfer_cache::TransferCache;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -193,6 +193,9 @@ pub(crate) struct AllShardGuards<'a> {
     _sense_clock: Option<MutexGuard<'a, Instant>>,
     _hist_locals: MutexGuard<'a, Vec<Arc<crate::telemetry::LocalHists>>>,
     _trace_rings: Option<MutexGuard<'a, Vec<Arc<crate::telemetry::TraceRing>>>>,
+    /// Last in the order: no ctl response write may be in flight across
+    /// `fork`, so a client sees a complete envelope or a clean EOF.
+    _ctl: Option<MutexGuard<'a, crate::telemetry::CtlIo>>,
 }
 
 /// Runtime-tunable configuration (the `mallctl` analogs, §4.5) as
@@ -425,6 +428,10 @@ pub(crate) struct GlobalHeap {
     /// Hardened-mode configuration (`MESH_HARDEN`; policy `Off` keeps
     /// every hardened branch to one predictable test).
     pub(crate) harden: HardenConfig,
+    /// mesh-ctl control-socket server (`None` unless `MESH_CTL` names a
+    /// path). Served by the background thread; the malloc fast path never
+    /// touches it.
+    pub(crate) ctl: Option<CtlState>,
     /// Seed-derived canary word per size class (class-keyed, never
     /// address-keyed: meshing aliases several addresses onto one slot).
     class_canaries: [u64; NUM_SIZE_CLASSES],
@@ -481,6 +488,9 @@ impl GlobalHeap {
             sense: SenseState::new(&config),
             ledger: MeshLedger::new(),
             harden: config.harden,
+            ctl: config
+                .ctl_socket_path()
+                .map(|p| CtlState::bind(p, config.ctl_client_cap())),
             class_canaries: std::array::from_fn(|i| harden::canary_word(seed, i)),
             base,
             pages,
@@ -1288,8 +1298,8 @@ impl GlobalHeap {
     /// transfer-cache leaves, then the scheduler leaves, then the
     /// per-thread stats registry, then the sender-buffer registry, then
     /// the telemetry dump clock, then the sense poll clock, then the
-    /// histogram-block registry, then the trace-ring registry —
-    /// quiescing the heap for `fork()`. Any
+    /// histogram-block registry, then the trace-ring registry, then the
+    /// ctl socket's I/O lock — quiescing the heap for `fork()`. Any
     /// in-flight refill, drain, meshing pass, thread-block
     /// (un)registration, or dump-clock claim completes before this
     /// returns, so a child forked at any moment inherits consistent heap
@@ -1306,6 +1316,7 @@ impl GlobalHeap {
         let sense_clock = self.sense.as_ref().map(|s| s.lock_poll_clock());
         let hist_locals = self.counters.lock_hist_locals();
         let trace_rings = self.counters.trace_set().map(|t| t.lock_rings());
+        let ctl = self.ctl.as_ref().map(|c| c.lock_io());
         AllShardGuards {
             _classes: classes,
             _large: large,
@@ -1320,6 +1331,7 @@ impl GlobalHeap {
             _sense_clock: sense_clock,
             _hist_locals: hist_locals,
             _trace_rings: trace_rings,
+            _ctl: ctl,
         }
     }
 
@@ -1687,8 +1699,8 @@ impl GlobalHeap {
     /// one is due (interval expired, or a request from `SIGUSR2` /
     /// [`Telemetry::request_dump`]), a trace dump when one was requested,
     /// a mesh-sense poll when the poll clock expires, and a sense dump
-    /// when one was requested. No-op without profiling, tracing, or
-    /// sensing.
+    /// when one was requested — then a beat of the mesh-ctl socket. No-op
+    /// without profiling, tracing, sensing, or a control socket.
     pub(crate) fn telemetry_tick(&self) {
         if let Some(t) = &self.telemetry {
             if t.take_dump_due() {
@@ -1713,6 +1725,7 @@ impl GlobalHeap {
                 }
             }
         }
+        self.ctl_tick();
     }
 
     /// How long the background thread may park: until the meshing
@@ -1735,18 +1748,24 @@ impl GlobalHeap {
         if let Some(s) = &self.sense {
             park = park.min(s.time_until_poll());
         }
+        // A live control socket needs polling-grade latency; a ctl that
+        // failed to bind costs nothing.
+        if self.ctl.as_ref().is_some_and(|c| c.is_listening()) {
+            park = park.min(CTL_PARK);
+        }
         park.clamp(Duration::from_millis(1), crate::mesher::IDLE_PARK)
     }
 
     /// Whether a heap with this configuration runs the background thread:
     /// for background meshing, for telemetry duties (interval dumps,
     /// signal- or API-requested profile, trace, and sense dumps; periodic
-    /// sense polls), or both.
+    /// sense polls), to serve the mesh-ctl socket, or any combination.
     pub(crate) fn background_thread_wanted(&self) -> bool {
         self.rt.background_meshing
             || self.telemetry.is_some()
             || self.counters.trace_set().is_some()
             || self.sense.is_some()
+            || self.ctl.is_some()
     }
 }
 

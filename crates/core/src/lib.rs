@@ -108,8 +108,9 @@ pub use size_classes::{SizeClass, MAX_SMALL_SIZE, NUM_SIZE_CLASSES, PAGE_SIZE};
 pub use stats::{HeapStats, SpanSnapshot};
 pub use sys::ReleaseStrategy;
 pub use telemetry::{
-    bucket_upper_ns, ClassSpectrum, HeapSpectrum, LatencySnapshot, PassRecord, PressureReading,
-    ProfileStats, RejectReason, ResidencyBreakdown, SegmentResidency, SenseSnapshot, SiteSnapshot,
-    TimedOp, TraceEvent, ABSENT, ALL_REJECT_REASONS, ALL_TIMED_OPS, LATENCY_BUCKETS,
-    LEDGER_PASSES, NUM_TIMED_OPS, REJECT_REASONS,
+    bucket_upper_ns, parse_pprof, ClassSpectrum, HeapSpectrum, LatencySnapshot, PassRecord,
+    PprofParseError, PprofSummary, PressureReading, ProfileStats, RejectReason,
+    ResidencyBreakdown, SegmentResidency, SenseSnapshot, SiteSnapshot, TimedOp, TraceEvent,
+    ABSENT, ALL_REJECT_REASONS, ALL_TIMED_OPS, LATENCY_BUCKETS, LEDGER_PASSES, NUM_TIMED_OPS,
+    REJECT_REASONS,
 };

@@ -158,10 +158,12 @@ impl ThreadHeapCore {
         let dur_ns = t0.elapsed().as_nanos() as u64;
         self.hists.record(op, dur_ns);
         if let Some(ring) = &self.ring {
-            let start_ns = t0
-                .saturating_duration_since(self.counters.epoch())
-                .as_nanos() as u64;
-            ring.push(op, trace_tid(), start_ns, dur_ns, arg);
+            if self.counters.trace_set().is_some_and(|t| t.is_enabled()) {
+                let start_ns = t0
+                    .saturating_duration_since(self.counters.epoch())
+                    .as_nanos() as u64;
+                ring.push(op, trace_tid(), start_ns, dur_ns, arg);
+            }
         }
     }
 

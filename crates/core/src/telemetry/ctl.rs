@@ -1,0 +1,678 @@
+//! mesh-ctl: the opt-in (`MESH_CTL=/path/sock`) Unix-domain control
+//! socket — live out-of-process introspection and control for a running
+//! heap.
+//!
+//! ## Protocol (version 1)
+//!
+//! Line-oriented over `SOCK_STREAM`. On connect the server sends one
+//! greeting line, `mesh-ctl 1\n`. Each request is one line; each
+//! response is either
+//!
+//! ```text
+//! ok <len>\n<len payload bytes>\n
+//! err <message>\n
+//! ```
+//!
+//! The length-prefixed framing keeps the payload binary-safe (the
+//! `pprof` envelope is a protobuf, not text). Commands:
+//!
+//! | request | payload |
+//! |---|---|
+//! | `stats` | `mesh: key=value` text block (the exit-dump format) |
+//! | `prom` | Prometheus text exposition |
+//! | `profile` | version-1 heap-profile JSON (`err` when `MESH_PROF` off) |
+//! | `pprof` | pprof protobuf of the live-heap profile (binary) |
+//! | `trace` | Chrome trace-event JSON (`err` when `MESH_TRACE` off) |
+//! | `sense` | version-1 mesh-sense JSON (`err` when sensing off) |
+//! | `ledger` | meshing-effectiveness ledger JSON (always available) |
+//! | `spectrum` | per-class occupancy-spectrum JSON |
+//! | `mesh_now` | runs one meshing pass; summary JSON |
+//! | `madvise_now` | purges dirty pages + retires segments; `{}` |
+//! | `set <knob> <value>` | applies a whitelisted knob; ack JSON |
+//! | `help` | this command list |
+//!
+//! ## The knob whitelist
+//!
+//! `set` accepts only knobs whose application is a single atomic store
+//! on state that every reader already tolerates changing between two
+//! loads: `meshing`, `mesh_period_ms`, `probe_limit`,
+//! `sense_interval_ms`, `trace`, `prof_sample_bytes`, `transfer_batch`.
+//! Structural configuration (arena size, size classes, hardening,
+//! enabling a subsystem that was built disabled) is rejected — those
+//! choices sized tables and spawned state at heap birth, and no lock
+//! ordering lets a socket command rebuild them under live traffic.
+//!
+//! ## Threading and fork safety
+//!
+//! The socket is served entirely by the existing background thread: the
+//! listener is non-blocking, [`CtlState::tick`] accepts/reads/responds
+//! during the telemetry beat, and `GlobalHeap::next_park` bounds the
+//! park at [`CTL_PARK`] while the socket is live. The malloc fast path
+//! never touches any of this. All server allocations happen inside the
+//! tick's `with_internal_alloc` scope (the mesher wraps the whole beat).
+//!
+//! The single I/O mutex joins `GlobalHeap::lock_all`'s fork-quiescence
+//! set, so `fork()` cannot land mid-response: a client sees either a
+//! complete envelope or a clean EOF, never a torn frame. The child drops
+//! every inherited connection and the inherited listener, unlinks the
+//! path, and re-binds it ([`CtlState::rebind_for_child`]) — the path
+//! follows the newest process, so operators who fork should configure
+//! per-process socket paths (e.g. with `$$` in the wrapper).
+
+use crate::sync::{Mutex, MutexGuard};
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Park bound for the background thread while the socket is live: the
+/// worst-case latency from request to response. Large enough to keep an
+/// idle-but-enabled socket near-free, small enough that `mesh-top`
+/// refreshes feel live.
+pub(crate) const CTL_PARK: Duration = Duration::from_millis(50);
+
+/// Longest accepted request line, bytes. Every real command fits in a
+/// fraction of this; anything longer is a confused (or hostile) client.
+const MAX_REQUEST_BYTES: usize = 256;
+
+/// Per-response write timeout. A client that stops reading for this long
+/// forfeits its connection rather than wedging the background thread.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// The greeting sent on accept: protocol name + version.
+const GREETING: &[u8] = b"mesh-ctl 1\n";
+
+/// One accepted client connection and its partial-request buffer.
+#[derive(Debug)]
+struct CtlConn {
+    stream: UnixStream,
+    buf: Vec<u8>,
+}
+
+/// The mutable socket state: the listener and the accepted connections.
+/// One mutex guards it all so exactly one guard joins the fork-
+/// quiescence set.
+#[derive(Debug)]
+pub(crate) struct CtlIo {
+    /// `None` when binding failed (another live process owns the path) —
+    /// the heap then runs with the socket disabled rather than failing
+    /// construction.
+    listener: Option<UnixListener>,
+    conns: Vec<CtlConn>,
+}
+
+/// The control-socket server state hung off the global heap.
+#[derive(Debug)]
+pub(crate) struct CtlState {
+    path: PathBuf,
+    max_clients: usize,
+    io: Mutex<CtlIo>,
+}
+
+/// A parsed request.
+enum Request<'a> {
+    Envelope(&'a str),
+    Set { knob: &'a str, value: &'a str },
+}
+
+/// What the dispatcher answered with.
+pub(crate) enum Response {
+    Ok(Vec<u8>),
+    Err(String),
+}
+
+impl Response {
+    fn ok_str(s: String) -> Response {
+        Response::Ok(s.into_bytes())
+    }
+
+    fn err(msg: &str) -> Response {
+        Response::Err(msg.to_string())
+    }
+
+    /// Serializes the wire frame: `ok <len>\n<payload>\n` / `err <msg>\n`.
+    fn frame(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(payload) => {
+                let mut out = format!("ok {}\n", payload.len()).into_bytes();
+                out.extend_from_slice(payload);
+                out.push(b'\n');
+                out
+            }
+            Response::Err(msg) => format!("err {msg}\n").into_bytes(),
+        }
+    }
+}
+
+impl CtlState {
+    /// Binds the socket at `path`, handling the stale-socket case: a
+    /// leftover path whose owner is gone (connect refused) is unlinked
+    /// and re-bound; a path with a *live* owner is left alone and this
+    /// heap runs with the socket disabled (two processes cannot share
+    /// one listener, and stealing a running server's socket out from
+    /// under it would be worse than a warning).
+    pub(crate) fn bind(path: &Path, max_clients: usize) -> CtlState {
+        let listener = Self::bind_listener(path);
+        CtlState {
+            path: path.to_path_buf(),
+            max_clients: max_clients.max(1),
+            io: Mutex::new(CtlIo {
+                listener,
+                conns: Vec::new(),
+            }),
+        }
+    }
+
+    fn bind_listener(path: &Path) -> Option<UnixListener> {
+        let listener = match UnixListener::bind(path) {
+            Ok(l) => Some(l),
+            Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                // Probe: a refused connect means the previous owner died
+                // without unlinking — reclaim the path.
+                match UnixStream::connect(path) {
+                    Err(pe) if pe.kind() == ErrorKind::ConnectionRefused => {
+                        let _ = std::fs::remove_file(path);
+                        match UnixListener::bind(path) {
+                            Ok(l) => Some(l),
+                            Err(e2) => {
+                                eprintln!(
+                                    "mesh: ctl rebind of stale socket {} failed ({e2}); \
+                                     control socket disabled",
+                                    path.display()
+                                );
+                                None
+                            }
+                        }
+                    }
+                    _ => {
+                        eprintln!(
+                            "mesh: ctl socket {} has a live owner; control socket disabled \
+                             for this process",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "mesh: ctl bind at {} failed ({e}); control socket disabled",
+                    path.display()
+                );
+                None
+            }
+        };
+        if let Some(l) = &listener {
+            // The background thread must never block in accept().
+            let _ = l.set_nonblocking(true);
+        }
+        listener
+    }
+
+    /// The socket path this server was configured with.
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the listener actually bound (false: a live owner held the
+    /// path, or bind failed).
+    pub(crate) fn is_listening(&self) -> bool {
+        self.io.lock().listener.is_some()
+    }
+
+    /// Holds the I/O lock (fork quiescence: no response write may be in
+    /// flight across `fork`). Ordered after every other `lock_all` guard.
+    pub(crate) fn lock_io(&self) -> MutexGuard<'_, CtlIo> {
+        self.io.lock()
+    }
+
+    /// Child-side fork recovery: every inherited connection and the
+    /// inherited listener belong to the parent — drop them (the parent
+    /// keeps serving its accepted clients), unlink the path, and bind a
+    /// fresh listener so the child answers on the same address.
+    pub(crate) fn rebind_for_child(&self) {
+        let mut io = self.io.lock();
+        io.conns.clear();
+        io.listener = None;
+        let _ = std::fs::remove_file(&self.path);
+        io.listener = Self::bind_listener(&self.path);
+    }
+
+    /// Stops serving: drops all connections (clients see EOF) and the
+    /// listener, and unlinks the path. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        let mut io = self.io.lock();
+        if io.listener.is_some() || !io.conns.is_empty() {
+            io.conns.clear();
+            io.listener = None;
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    /// One background-thread beat: accepts pending connections (greeting
+    /// each; over-cap connections are accepted and immediately dropped),
+    /// reads request lines from every client, and answers them through
+    /// `dispatch`. Runs under the caller's `with_internal_alloc` scope.
+    pub(crate) fn tick(&self, dispatch: &mut dyn FnMut(&str) -> Response) {
+        let mut io = self.io.lock();
+        let CtlIo { listener, conns } = &mut *io;
+        if let Some(listener) = listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if conns.len() >= self.max_clients {
+                            drop(stream);
+                            continue;
+                        }
+                        let _ = stream.set_nonblocking(true);
+                        let mut conn = CtlConn {
+                            stream,
+                            buf: Vec::new(),
+                        };
+                        if write_frame(&mut conn.stream, GREETING) {
+                            conns.push(conn);
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        conns.retain_mut(|conn| serve_conn(conn, dispatch));
+    }
+}
+
+impl Drop for CtlState {
+    fn drop(&mut self) {
+        // Best-effort path cleanup on heap teardown. A forked child that
+        // re-bound the same path races this when the parent exits first;
+        // per-process paths avoid that (see module docs).
+        self.shutdown();
+    }
+}
+
+/// Reads whatever the client has sent, answers every complete line, and
+/// says whether the connection should be kept.
+fn serve_conn(conn: &mut CtlConn, dispatch: &mut dyn FnMut(&str) -> Response) -> bool {
+    let mut chunk = [0u8; 512];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return false, // client hung up
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                if conn.buf.len() > MAX_REQUEST_BYTES {
+                    let _ = write_frame(
+                        &mut conn.stream,
+                        &Response::err("request line too long").frame(),
+                    );
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+        let Ok(line) = std::str::from_utf8(&line[..pos]) else {
+            let _ = write_frame(&mut conn.stream, &Response::err("request not UTF-8").frame());
+            return false;
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let response = dispatch(line);
+        if !write_frame(&mut conn.stream, &response.frame()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Writes one frame with a bounded blocking write (the stream is
+/// otherwise non-blocking). Returns whether the client is still good.
+fn write_frame(stream: &mut UnixStream, bytes: &[u8]) -> bool {
+    if stream.set_nonblocking(false).is_err() {
+        return false;
+    }
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let ok = stream.write_all(bytes).and_then(|()| stream.flush()).is_ok();
+    ok && stream.set_nonblocking(true).is_ok()
+}
+
+/// Parses one request line into a [`Request`], or an error message.
+fn parse(line: &str) -> Result<Request<'_>, &'static str> {
+    let mut words = line.split_whitespace();
+    let cmd = words.next().ok_or("empty request")?;
+    if cmd == "set" {
+        let knob = words.next().ok_or("usage: set <knob> <value>")?;
+        let value = words.next().ok_or("usage: set <knob> <value>")?;
+        if words.next().is_some() {
+            return Err("usage: set <knob> <value>");
+        }
+        return Ok(Request::Set { knob, value });
+    }
+    if words.next().is_some() {
+        return Err("unexpected argument");
+    }
+    Ok(Request::Envelope(cmd))
+}
+
+/// The command list returned by `help`.
+const HELP: &str = "stats prom profile pprof trace sense ledger spectrum \
+mesh_now madvise_now set help\nknobs: meshing mesh_period_ms probe_limit \
+sense_interval_ms trace prof_sample_bytes transfer_batch";
+
+impl crate::global_heap::GlobalHeap {
+    /// Serves one beat of the control socket, if one is configured.
+    /// Called from the background thread's telemetry beat, inside its
+    /// `with_internal_alloc` scope, with no shard locks held (both
+    /// `mesh_now` and the envelope renderers take their own).
+    pub(crate) fn ctl_tick(&self) {
+        let Some(ctl) = &self.ctl else { return };
+        ctl.tick(&mut |line| self.ctl_dispatch(line));
+    }
+
+    /// Answers one request line. Every envelope is rendered on demand
+    /// from the same code paths the dump files use; every `set` is a
+    /// single atomic store (see the module docs for the whitelist
+    /// argument).
+    pub(crate) fn ctl_dispatch(&self, line: &str) -> Response {
+        let request = match parse(line) {
+            Ok(r) => r,
+            Err(msg) => return Response::err(msg),
+        };
+        match request {
+            Request::Envelope("stats") => {
+                self.drain_all();
+                let mut stats = self.counters.snapshot();
+                stats.spectrum = self.occupancy_spectrum();
+                Response::ok_str(stats.render())
+            }
+            Request::Envelope("prom") => {
+                self.drain_all();
+                let mut stats = self.counters.snapshot();
+                stats.spectrum = self.occupancy_spectrum();
+                let prof = self.telemetry.as_ref().map(|t| t.stats());
+                let sense = self.sense.as_ref().and_then(|s| s.latest());
+                let rejects = self.ledger.reject_totals();
+                Response::ok_str(crate::telemetry::prom_text(
+                    &stats,
+                    prof.as_ref(),
+                    sense.as_ref(),
+                    &rejects,
+                ))
+            }
+            Request::Envelope("profile") => match self.profile_json() {
+                Some(json) => Response::ok_str(json),
+                None => Response::err("profiling off (set MESH_PROF=1)"),
+            },
+            Request::Envelope("pprof") => match self.pprof_profile() {
+                Some(bytes) => Response::Ok(bytes),
+                None => Response::err("profiling off (set MESH_PROF=1)"),
+            },
+            Request::Envelope("trace") => match self.counters.trace_set() {
+                Some(trace) => Response::ok_str(trace.chrome_json(self.counters.uptime_ms())),
+                None => Response::err("tracing off (set MESH_TRACE=1)"),
+            },
+            Request::Envelope("sense") => {
+                if self.sense.is_none() {
+                    return Response::err("sensing off (MESH_SENSE_INTERVAL_MS=0)");
+                }
+                self.sense_poll();
+                match self.sense_json() {
+                    Some(json) => Response::ok_str(json),
+                    None => Response::err("sensing off (MESH_SENSE_INTERVAL_MS=0)"),
+                }
+            }
+            Request::Envelope("ledger") => Response::ok_str(self.ledger_json()),
+            Request::Envelope("spectrum") => {
+                self.drain_all();
+                Response::ok_str(spectrum_json(
+                    &self.occupancy_spectrum(),
+                    self.counters.uptime_ms(),
+                ))
+            }
+            Request::Envelope("mesh_now") => {
+                let s = self.mesh_now();
+                Response::ok_str(format!(
+                    "{{\"pairs_meshed\":{},\"pages_released\":{},\"bytes_copied\":{},\
+                     \"pairs_probed\":{},\"meshing_enabled\":{}}}",
+                    s.pairs_meshed,
+                    s.pages_released,
+                    s.bytes_copied,
+                    s.pairs_probed,
+                    self.rt.meshing(),
+                ))
+            }
+            Request::Envelope("madvise_now") => {
+                self.purge_and_retire();
+                Response::ok_str("{\"purged\":true}".to_string())
+            }
+            Request::Envelope("help") => Response::ok_str(HELP.to_string()),
+            Request::Envelope(_) => Response::err("unknown command (try: help)"),
+            Request::Set { knob, value } => self.ctl_set(knob, value),
+        }
+    }
+
+    /// Applies one whitelisted knob. Each arm is a single atomic store;
+    /// a knob whose subsystem was built disabled is an error, not a
+    /// silent no-op.
+    fn ctl_set(&self, knob: &str, value: &str) -> Response {
+        fn parse_u64(value: &str) -> Result<u64, Response> {
+            value
+                .parse::<u64>()
+                .map_err(|_| Response::err("value must be an unsigned integer"))
+        }
+        fn parse_flag(value: &str) -> Result<bool, Response> {
+            crate::config::parse_bool(value).ok_or_else(|| Response::err("value must be 0 or 1"))
+        }
+        let ack = |v: u64| Response::ok_str(format!("{{\"knob\":\"{knob}\",\"value\":{v}}}"));
+        match knob {
+            "meshing" => match parse_flag(value) {
+                Ok(on) => {
+                    self.rt.set_meshing(on);
+                    ack(on as u64)
+                }
+                Err(e) => e,
+            },
+            "mesh_period_ms" => match parse_u64(value) {
+                Ok(ms) if ms > 0 => {
+                    self.rt.set_mesh_period(Duration::from_millis(ms));
+                    ack(ms)
+                }
+                Ok(_) => Response::err("mesh_period_ms must be > 0"),
+                Err(e) => e,
+            },
+            "probe_limit" => match parse_u64(value) {
+                Ok(t) if t > 0 => {
+                    self.rt.set_probe_limit(t as usize);
+                    ack(t)
+                }
+                Ok(_) => Response::err("probe_limit must be > 0"),
+                Err(e) => e,
+            },
+            "sense_interval_ms" => match (&self.sense, parse_u64(value)) {
+                (None, _) => Response::err("sensing off (MESH_SENSE_INTERVAL_MS=0)"),
+                (Some(_), Err(e)) => e,
+                (Some(sense), Ok(ms)) => {
+                    sense.set_interval(Duration::from_millis(ms));
+                    ack(sense.interval().as_millis() as u64)
+                }
+            },
+            "trace" => match (self.counters.trace_set(), parse_flag(value)) {
+                (None, _) => Response::err("tracing off (set MESH_TRACE=1)"),
+                (Some(_), Err(e)) => e,
+                (Some(trace), Ok(on)) => {
+                    trace.set_enabled(on);
+                    ack(on as u64)
+                }
+            },
+            "prof_sample_bytes" => match (&self.telemetry, parse_u64(value)) {
+                (None, _) => Response::err("profiling off (set MESH_PROF=1)"),
+                (Some(_), Err(e)) => e,
+                (Some(t), Ok(bytes)) => {
+                    t.set_sample_bytes(bytes as usize);
+                    ack(t.sample_bytes() as u64)
+                }
+            },
+            "transfer_batch" => match parse_u64(value) {
+                Ok(n) => {
+                    self.transfer.set_batch(n as usize);
+                    ack(self.transfer.batch() as u64)
+                }
+                Err(e) => e,
+            },
+            _ => Response::err("unknown knob (try: help)"),
+        }
+    }
+
+    /// The meshing-effectiveness ledger as a standalone JSON envelope
+    /// (the same rows `sense` embeds, available even with sensing off).
+    pub(crate) fn ledger_json(&self) -> String {
+        let totals = self.ledger.reject_totals();
+        let mut reject_rows = String::new();
+        for (i, r) in crate::telemetry::ALL_REJECT_REASONS.iter().enumerate() {
+            if i > 0 {
+                reject_rows.push(',');
+            }
+            reject_rows.push_str(&format!("\"{}\":{}", r.name(), totals[i]));
+        }
+        let passes: Vec<String> = self.ledger.recent().iter().map(|p| p.json()).collect();
+        format!(
+            "{{\"mesh_ledger_version\":1,\"uptime_ms\":{},\"passes_recorded\":{},\
+             \"rejected_total\":{{{}}},\"passes\":[{}]}}",
+            self.counters.uptime_ms(),
+            self.ledger.passes_recorded(),
+            reject_rows,
+            passes.join(","),
+        )
+    }
+}
+
+/// Renders a [`crate::telemetry::HeapSpectrum`] as the `spectrum`
+/// envelope.
+pub(crate) fn spectrum_json(spec: &crate::telemetry::HeapSpectrum, uptime_ms: u64) -> String {
+    let mut classes = String::new();
+    for (i, c) in spec.classes.iter().enumerate() {
+        if i > 0 {
+            classes.push(',');
+        }
+        let bins: Vec<String> = c.bins.iter().map(|b| b.to_string()).collect();
+        classes.push_str(&format!(
+            "{{\"object_size\":{},\"attached_spans\":{},\"bins\":[{}],\
+             \"live_objects\":{},\"total_slots\":{},\"est_meshable_pairs\":{},\
+             \"meshable\":{}}}",
+            c.object_size,
+            c.attached_spans,
+            bins.join(","),
+            c.live_objects,
+            c.total_slots,
+            c.est_meshable_pairs,
+            c.meshable,
+        ));
+    }
+    format!(
+        "{{\"mesh_spectrum_version\":1,\"uptime_ms\":{uptime_ms},\"classes\":[{}],\
+         \"large_spans\":{},\"large_bytes\":{}}}",
+        classes, spec.large_spans, spec.large_bytes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sock_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mesh-ctl-test-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        assert_eq!(Response::ok_str("abc".into()).frame(), b"ok 3\nabc\n");
+        assert_eq!(Response::err("nope").frame(), b"err nope\n");
+        assert_eq!(Response::Ok(vec![0, 1, 2]).frame(), b"ok 3\n\x00\x01\x02\n");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(matches!(parse("stats"), Ok(Request::Envelope("stats"))));
+        assert!(matches!(
+            parse("set trace 1"),
+            Ok(Request::Set { knob: "trace", value: "1" })
+        ));
+        assert!(parse("set trace").is_err());
+        assert!(parse("set trace 1 2").is_err());
+        assert!(parse("stats now").is_err());
+    }
+
+    #[test]
+    fn bind_serves_and_reclaims_stale_sockets() {
+        let path = sock_path("bind");
+        let _ = std::fs::remove_file(&path);
+        let ctl = CtlState::bind(&path, 2);
+        assert!(ctl.is_listening());
+        // A second server on the same live path must stand down.
+        let loser = CtlState::bind(&path, 2);
+        assert!(!loser.is_listening());
+        drop(loser);
+        assert!(path.exists(), "loser's drop must not unlink the winner's socket");
+        drop(ctl);
+        assert!(!path.exists(), "shutdown unlinks the socket path");
+        // A stale path (owner died without unlinking) is reclaimed.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists());
+        let stale = CtlState::bind(&path, 2);
+        assert!(stale.is_listening(), "stale socket is unlinked and re-bound");
+        drop(stale);
+    }
+
+    #[test]
+    fn tick_accepts_greets_and_answers() {
+        let path = sock_path("tick");
+        let _ = std::fs::remove_file(&path);
+        let ctl = CtlState::bind(&path, 1);
+        let mut client = UnixStream::connect(&path).unwrap();
+        // Over-cap client: accepted then dropped.
+        let mut extra = UnixStream::connect(&path).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        let mut greeting = [0u8; GREETING.len()];
+        client.read_exact(&mut greeting).unwrap();
+        assert_eq!(&greeting, GREETING);
+        assert_eq!(extra.read(&mut [0u8; 8]).unwrap(), 0, "over-cap sees EOF");
+        client.write_all(b"ping\n").unwrap();
+        ctl.tick(&mut |line| {
+            assert_eq!(line, "ping");
+            Response::ok_str("pong".into())
+        });
+        let mut reply = [0u8; 10];
+        client.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"ok 4\npong\n");
+        // Client EOF retires the connection on the next tick.
+        drop(client);
+        ctl.tick(&mut |_| Response::err("unreached"));
+        assert!(ctl.io.lock().conns.is_empty());
+        drop(ctl);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let path = sock_path("oversize");
+        let _ = std::fs::remove_file(&path);
+        let ctl = CtlState::bind(&path, 1);
+        let mut client = UnixStream::connect(&path).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        client.write_all(&vec![b'x'; MAX_REQUEST_BYTES + 1]).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        let mut out = Vec::new();
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        client.read_to_end(&mut out).unwrap(); // greeting + err + EOF
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("err request line too long"), "got {text:?}");
+        drop(ctl);
+        let _ = std::fs::remove_file(&path);
+    }
+}

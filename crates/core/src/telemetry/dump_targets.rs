@@ -1,0 +1,150 @@
+//! One shared gate for the three dump channels (profile / trace /
+//! sense). Each channel used to hand-roll the same trio — a
+//! `MESH_*_PATH` destination, a signal-safe request flag for the SIGUSR2
+//! co-dump, and a never-panicking writer for atexit — so the three
+//! copies drifted independently. [`DumpTarget`] is that trio once;
+//! [`DumpKind`] names the channel (stderr prefix, failure label, and the
+//! matching mesh-ctl envelope command).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which dump channel a [`DumpTarget`] serves. Each maps to one
+/// `MESH_*_PATH` knob, one stderr prefix, and one mesh-ctl envelope
+/// command of the same name as [`DumpKind::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DumpKind {
+    Profile,
+    Trace,
+    Sense,
+}
+
+impl DumpKind {
+    /// The stderr line prefix (`mesh-prof: {json}` and friends) — stable
+    /// grep targets for the interposition tests.
+    pub(crate) fn prefix(self) -> &'static str {
+        match self {
+            DumpKind::Profile => "mesh-prof",
+            DumpKind::Trace => "mesh-trace",
+            DumpKind::Sense => "mesh-sense",
+        }
+    }
+
+    /// Human label used in failure messages and as the mesh-ctl command
+    /// that returns this channel's envelope.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            DumpKind::Profile => "profile",
+            DumpKind::Trace => "trace",
+            DumpKind::Sense => "sense",
+        }
+    }
+}
+
+/// Destination + request flag for one dump channel. Rendering stays with
+/// the channel owner (profile JSON, Chrome trace JSON, sense JSON); this
+/// type only decides *where* a rendered envelope goes and *when* one was
+/// asked for.
+#[derive(Debug)]
+pub(crate) struct DumpTarget {
+    kind: DumpKind,
+    path: Option<PathBuf>,
+    /// Set by `request` (the SIGUSR2 handler's entire body — one atomic
+    /// store is all a signal context may do here), claimed by the
+    /// background thread's tick.
+    requested: AtomicBool,
+}
+
+impl DumpTarget {
+    pub(crate) fn new(kind: DumpKind, path: Option<PathBuf>) -> Self {
+        DumpTarget {
+            kind,
+            path,
+            requested: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured dump destination (`MESH_*_PATH`), if any.
+    pub(crate) fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Requests a dump at the next telemetry tick. The only entry point
+    /// safe from a signal handler: one relaxed atomic store.
+    #[inline]
+    pub(crate) fn request(&self) {
+        self.requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a dump was requested; claims the request.
+    pub(crate) fn take_requested(&self) -> bool {
+        self.requested.swap(false, Ordering::Relaxed)
+    }
+
+    /// Drops any pending request (fork children inherit none).
+    pub(crate) fn clear_requested(&self) {
+        self.requested.store(false, Ordering::Relaxed);
+    }
+
+    /// Writes one rendered envelope: to the configured path (truncating —
+    /// the file always holds the latest dump) or, with no path, to stderr
+    /// as a single prefixed line. Never panics: an allocator must survive
+    /// a read-only filesystem or a closed stderr.
+    pub(crate) fn write(&self, json: &str) {
+        match &self.path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    let msg = format!(
+                        "mesh: {} dump to {} failed: {e}\n",
+                        self.kind.label(),
+                        path.display()
+                    );
+                    unsafe {
+                        crate::ffi::write(2, msg.as_ptr() as *const crate::ffi::c_void, msg.len())
+                    };
+                }
+            }
+            None => {
+                let line = format!("{}: {json}\n", self.kind.prefix());
+                unsafe {
+                    crate::ffi::write(2, line.as_ptr() as *const crate::ffi::c_void, line.len())
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_is_one_shot_and_clearable() {
+        let t = DumpTarget::new(DumpKind::Trace, None);
+        assert!(!t.take_requested());
+        t.request();
+        assert!(t.take_requested());
+        assert!(!t.take_requested(), "claim is one-shot");
+        t.request();
+        t.clear_requested();
+        assert!(!t.take_requested(), "clear drops a pending request");
+    }
+
+    #[test]
+    fn write_truncates_the_file() {
+        let path = std::env::temp_dir().join(format!("mesh-dt-test-{}.json", std::process::id()));
+        let t = DumpTarget::new(DumpKind::Profile, Some(path.clone()));
+        assert_eq!(t.path(), Some(path.as_path()));
+        t.write("{\"a\":1}");
+        t.write("{\"b\":2}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"b\":2}\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kinds_name_their_channels() {
+        assert_eq!(DumpKind::Profile.prefix(), "mesh-prof");
+        assert_eq!(DumpKind::Sense.label(), "sense");
+        assert_eq!(DumpKind::Trace.label(), "trace");
+    }
+}

@@ -24,9 +24,12 @@
 //! sampling math, the tables' lock-freedom argument, and the dump path's
 //! signal-safety.
 
+mod ctl;
+mod dump_targets;
 mod exposition;
 mod histogram;
 mod ledger;
+mod pprof;
 mod profile_table;
 mod residency;
 mod sampler;
@@ -46,6 +49,10 @@ pub use sense::{PressureReading, SenseSnapshot, SenseState, ABSENT};
 pub use spectrum::{ClassSpectrum, HeapSpectrum, SPECTRUM_BINS};
 pub use trace::TraceEvent;
 
+pub use pprof::{parse_pprof, PprofParseError, PprofSummary};
+
+pub(crate) use ctl::{CtlIo, CtlState, CTL_PARK};
+pub(crate) use dump_targets::{DumpKind, DumpTarget};
 pub(crate) use exposition::{profile_json, prom_text};
 pub(crate) use sense::read_pressure;
 pub(crate) use histogram::{HistSet, LocalHists};
@@ -56,8 +63,8 @@ pub(crate) use trace::{trace_tid, TraceRing, TraceSet};
 use crate::config::MeshConfig;
 use crate::sync::{Mutex, MutexGuard};
 use profile_table::{FingerprintTable, SampledSet};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -89,14 +96,16 @@ pub struct ProfileStats {
 /// is off — every hook is behind that `Option`.
 #[derive(Debug)]
 pub struct Telemetry {
-    sample_bytes: usize,
+    /// Mean bytes between samples. Atomic so mesh-ctl's
+    /// `set prof_sample_bytes` can retune a live process; samplers
+    /// re-read it at each countdown re-arm, so changes propagate within
+    /// one sampling period per thread.
+    sample_bytes: AtomicUsize,
     table: FingerprintTable,
     live: SampledSet,
     dump_interval: Option<Duration>,
-    dump_path: Option<PathBuf>,
-    /// Set by [`Telemetry::request_dump`] (the SIGUSR2 handler's entire
-    /// body — one atomic store is all a signal context may do here).
-    dump_requested: AtomicBool,
+    /// Destination + SIGUSR2 request flag (`MESH_PROF_PATH`).
+    target: DumpTarget,
     /// Interval-dump clock. Held only for the claim instant, never across
     /// the dump I/O; joins `GlobalHeap::lock_all`'s fork-quiescence set.
     last_dump: Mutex<Instant>,
@@ -120,12 +129,11 @@ impl Telemetry {
             .saturating_mul(2)
             .clamp(1 << 12, 1 << 20);
         Some(Arc::new(Telemetry {
-            sample_bytes: rate,
+            sample_bytes: AtomicUsize::new(rate),
             table: FingerprintTable::new(SITE_CAPACITY),
             live: SampledSet::new(capacity),
             dump_interval: config.prof_interval,
-            dump_path: config.prof_path.clone(),
-            dump_requested: AtomicBool::new(false),
+            target: DumpTarget::new(DumpKind::Profile, config.prof_path.clone()),
             last_dump: Mutex::new(Instant::now()),
             samples: AtomicU64::new(0),
             samples_dropped: AtomicU64::new(0),
@@ -136,12 +144,21 @@ impl Telemetry {
     /// Mean bytes between samples.
     #[inline]
     pub fn sample_bytes(&self) -> usize {
-        self.sample_bytes
+        self.sample_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the mean bytes between samples (mesh-ctl
+    /// `set prof_sample_bytes`). Zero is clamped to 1; already-armed
+    /// per-thread countdowns finish at the old rate, and their recorded
+    /// weights stay consistent because each sample carries the rate it
+    /// was drawn at.
+    pub fn set_sample_bytes(&self, rate: usize) {
+        self.sample_bytes.store(rate.max(1), Ordering::Relaxed);
     }
 
     /// The configured dump destination (`MESH_PROF_PATH`), if any.
     pub fn dump_path(&self) -> Option<&Path> {
-        self.dump_path.as_deref()
+        self.target.path()
     }
 
     /// Records one sample: interns the chain, tracks the object as live,
@@ -188,7 +205,7 @@ impl Telemetry {
     /// Profiler self-summary.
     pub fn stats(&self) -> ProfileStats {
         ProfileStats {
-            sample_bytes: self.sample_bytes,
+            sample_bytes: self.sample_bytes(),
             samples: self.samples.load(Ordering::Relaxed),
             samples_dropped: self.samples_dropped.load(Ordering::Relaxed),
             sampled_frees: self.sampled_frees.load(Ordering::Relaxed),
@@ -208,13 +225,13 @@ impl Telemetry {
     /// point safe from a signal handler: one relaxed atomic store.
     #[inline]
     pub fn request_dump(&self) {
-        self.dump_requested.store(true, Ordering::Relaxed);
+        self.target.request();
     }
 
     /// Whether a dump is due (an explicit request, or the interval clock
     /// expiring). Claims the slot: the interval clock restarts.
     pub(crate) fn take_dump_due(&self) -> bool {
-        if self.dump_requested.swap(false, Ordering::Relaxed) {
+        if self.target.take_requested() {
             return true;
         }
         let Some(interval) = self.dump_interval else {
@@ -236,31 +253,11 @@ impl Telemetry {
         Some(interval.saturating_sub(self.last_dump.lock().elapsed()))
     }
 
-    /// Writes one dump: to `MESH_PROF_PATH` (truncating — the file always
-    /// holds the latest profile) or, with no path, to stderr as a single
-    /// `mesh-prof: `-prefixed line. Never panics: an allocator must
-    /// survive a read-only filesystem or a closed stderr.
+    /// Writes one dump via the shared [`DumpTarget`]: to `MESH_PROF_PATH`
+    /// (truncating — the file always holds the latest profile) or, with
+    /// no path, to stderr as a single `mesh-prof: `-prefixed line.
     pub(crate) fn write_dump(&self, json: &str) {
-        match &self.dump_path {
-            Some(path) => {
-                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
-                    let msg = format!("mesh: profile dump to {} failed: {e}\n", path.display());
-                    unsafe {
-                        crate::ffi::write(
-                            2,
-                            msg.as_ptr() as *const crate::ffi::c_void,
-                            msg.len(),
-                        )
-                    };
-                }
-            }
-            None => {
-                let line = format!("mesh-prof: {json}\n");
-                unsafe {
-                    crate::ffi::write(2, line.as_ptr() as *const crate::ffi::c_void, line.len())
-                };
-            }
-        }
+        self.target.write(json);
     }
 
     /// Holds the dump-clock lock (fork quiescence: a child must not

@@ -25,8 +25,8 @@
 
 use crate::config::MeshConfig;
 use crate::sync::{Mutex, MutexGuard};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Sentinel for "source absent / unlimited" in snapshot fields.
@@ -334,11 +334,13 @@ pub(crate) fn parse_smaps_rss_kb(text: &str) -> Option<u64> {
 /// is off (`MESH_SENSE_INTERVAL_MS=0`).
 #[derive(Debug)]
 pub struct SenseState {
-    interval: Duration,
+    /// Poll interval in nanoseconds. Atomic so mesh-ctl's
+    /// `set sense_interval_ms` can retune a live process; the background
+    /// thread re-reads it at every park computation.
+    interval_ns: AtomicU64,
     mincore_pages: usize,
-    path: Option<PathBuf>,
-    /// Set by [`SenseState::request_dump`] (signal-safe: one store).
-    dump_requested: AtomicBool,
+    /// Destination + SIGUSR2 request flag (`MESH_SENSE_PATH`).
+    target: super::DumpTarget,
     /// Poll clock; claimed by the background thread, joins `lock_all`'s
     /// fork-quiescence set. Also serializes ring writes.
     last_poll: Mutex<Instant>,
@@ -358,10 +360,9 @@ impl SenseState {
         let interval = config.sense_interval?;
         let history = config.sense_history.max(2);
         Some(SenseState {
-            interval,
+            interval_ns: AtomicU64::new(interval.as_nanos() as u64),
             mincore_pages: config.sense_mincore_pages,
-            path: config.sense_path.clone(),
-            dump_requested: AtomicBool::new(false),
+            target: super::DumpTarget::new(super::DumpKind::Sense, config.sense_path.clone()),
             last_poll: Mutex::new(Instant::now()),
             slots: (0..history).map(|_| SnapshotSlot::new()).collect(),
             total: AtomicUsize::new(0),
@@ -372,7 +373,16 @@ impl SenseState {
 
     /// The poll interval.
     pub fn interval(&self) -> Duration {
-        self.interval
+        Duration::from_nanos(self.interval_ns.load(Ordering::Relaxed))
+    }
+
+    /// Retunes the poll interval at runtime (mesh-ctl
+    /// `set sense_interval_ms`). Zero is clamped to 1 ms — sensing
+    /// cannot be turned fully off this way, only made slow or fast —
+    /// and the new deadline takes effect at the next park computation.
+    pub fn set_interval(&self, interval: Duration) {
+        let ns = interval.as_nanos().max(1_000_000) as u64;
+        self.interval_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Ring capacity in snapshots.
@@ -387,24 +397,24 @@ impl SenseState {
 
     /// The configured dump destination (`MESH_SENSE_PATH`), if any.
     pub fn dump_path(&self) -> Option<&Path> {
-        self.path.as_deref()
+        self.target.path()
     }
 
     /// Requests a sense dump at the next telemetry tick. Signal-safe.
     #[inline]
     pub fn request_dump(&self) {
-        self.dump_requested.store(true, Ordering::Relaxed);
+        self.target.request();
     }
 
     /// Whether an explicit dump request is pending (claims it).
     pub(crate) fn take_dump_due(&self) -> bool {
-        self.dump_requested.swap(false, Ordering::Relaxed)
+        self.target.take_requested()
     }
 
     /// Whether a poll is due; claims the slot (the clock restarts).
     pub(crate) fn take_poll_due(&self) -> bool {
         let mut last = self.last_poll.lock();
-        if last.elapsed() >= self.interval {
+        if last.elapsed() >= self.interval() {
             *last = Instant::now();
             true
         } else {
@@ -415,7 +425,7 @@ impl SenseState {
     /// Time until the poll clock next expires: the background thread's
     /// park bound.
     pub(crate) fn time_until_poll(&self) -> Duration {
-        self.interval.saturating_sub(self.last_poll.lock().elapsed())
+        self.interval().saturating_sub(self.last_poll.lock().elapsed())
     }
 
     /// Holds the poll-clock lock (fork quiescence). A leaf lock.
@@ -490,25 +500,11 @@ impl SenseState {
         (mapped_bytes * ratio) >> 16
     }
 
-    /// Writes one dump: to `MESH_SENSE_PATH` (truncating) or stderr as a
-    /// single `mesh-sense: ` line. Never panics.
+    /// Writes one dump via the shared [`super::DumpTarget`]: to
+    /// `MESH_SENSE_PATH` (truncating) or stderr as a single
+    /// `mesh-sense: ` line.
     pub(crate) fn write_dump(&self, json: &str) {
-        match &self.path {
-            Some(path) => {
-                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
-                    let msg = format!("mesh: sense dump to {} failed: {e}\n", path.display());
-                    unsafe {
-                        crate::ffi::write(2, msg.as_ptr() as *const crate::ffi::c_void, msg.len())
-                    };
-                }
-            }
-            None => {
-                let line = format!("mesh-sense: {json}\n");
-                unsafe {
-                    crate::ffi::write(2, line.as_ptr() as *const crate::ffi::c_void, line.len())
-                };
-            }
-        }
+        self.target.write(json);
     }
 
     /// Forgets all snapshots and sweep state: a forked child's history
@@ -517,7 +513,7 @@ impl SenseState {
         self.total.store(0, Ordering::Relaxed);
         self.sweep_cursor.store(0, Ordering::Relaxed);
         self.resident_ratio_fp.store(ABSENT, Ordering::Relaxed);
-        self.dump_requested.store(false, Ordering::Relaxed);
+        self.target.clear_requested();
         for slot in &self.slots {
             let s = slot.seq.load(Ordering::Relaxed);
             slot.seq.store(s + 2, Ordering::Relaxed);

@@ -33,7 +33,7 @@ use super::histogram::TimedOp;
 use crate::config::MeshConfig;
 use crate::sync::{Mutex, MutexGuard};
 use std::cell::Cell;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -155,19 +155,20 @@ impl TraceRing {
 /// `MESH_TRACE` is off — every hook is behind that `Option`.
 pub(crate) struct TraceSet {
     buf_events: usize,
-    path: Option<PathBuf>,
+    /// Runtime on/off gate (mesh-ctl `set trace 0|1`). Starts on; rings
+    /// stay allocated while off, so re-enabling is one atomic store.
+    enabled: AtomicBool,
     shared: TraceRing,
     rings: Mutex<Vec<Arc<TraceRing>>>,
-    /// Set by [`TraceSet::request_dump`] (signal-handler safe: one
-    /// atomic store), claimed by the background thread's tick.
-    dump_requested: AtomicBool,
+    /// Destination + SIGUSR2 request flag (`MESH_TRACE_PATH`).
+    target: super::DumpTarget,
 }
 
 impl std::fmt::Debug for TraceSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceSet")
             .field("buf_events", &self.buf_events)
-            .field("path", &self.path)
+            .field("path", &self.target.path())
             .finish_non_exhaustive()
     }
 }
@@ -182,16 +183,31 @@ impl TraceSet {
         let buf_events = config.trace_buf_event_count();
         Some(Arc::new(TraceSet {
             buf_events,
-            path: config.trace_dump_path().map(Path::to_path_buf),
+            enabled: AtomicBool::new(true),
             shared: TraceRing::new(buf_events),
             rings: Mutex::new(Vec::new()),
-            dump_requested: AtomicBool::new(false),
+            target: super::DumpTarget::new(
+                super::DumpKind::Trace,
+                config.trace_dump_path().map(Path::to_path_buf),
+            ),
         }))
     }
 
     /// The configured dump destination (`MESH_TRACE_PATH`), if any.
     pub(crate) fn dump_path(&self) -> Option<&Path> {
-        self.path.as_deref()
+        self.target.path()
+    }
+
+    /// Whether event recording is currently on.
+    #[inline]
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns event recording on or off at runtime (mesh-ctl
+    /// `set trace 0|1`). Rings and their history are kept either way.
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Creates and registers a per-thread ring (thread-heap creation).
@@ -203,22 +219,25 @@ impl TraceSet {
         ring
     }
 
-    /// Records an event from a global-lock context into the shared ring.
+    /// Records an event from a global-lock context into the shared ring
+    /// (a no-op while recording is disabled).
     #[inline]
     pub(crate) fn record_shared(&self, op: TimedOp, start_ns: u64, dur_ns: u64, arg: u64) {
-        self.shared.push(op, trace_tid(), start_ns, dur_ns, arg);
+        if self.is_enabled() {
+            self.shared.push(op, trace_tid(), start_ns, dur_ns, arg);
+        }
     }
 
     /// Requests a trace dump at the next telemetry tick. Safe from a
     /// signal handler: one relaxed atomic store.
     #[inline]
     pub(crate) fn request_dump(&self) {
-        self.dump_requested.store(true, Ordering::Relaxed);
+        self.target.request();
     }
 
     /// Whether a dump was requested; claims the request.
     pub(crate) fn take_dump_due(&self) -> bool {
-        self.dump_requested.swap(false, Ordering::Relaxed)
+        self.target.take_requested()
     }
 
     /// Holds the ring-registry lock (fork quiescence; a leaf lock).
@@ -233,7 +252,7 @@ impl TraceSet {
         for ring in self.rings.lock().iter() {
             ring.wipe();
         }
-        self.dump_requested.store(false, Ordering::Relaxed);
+        self.target.clear_requested();
     }
 
     /// Total readable events across all rings.
@@ -284,27 +303,11 @@ impl TraceSet {
         out
     }
 
-    /// Writes one trace dump: to `MESH_TRACE_PATH` (truncating) or, with
-    /// no path, to stderr as a single `mesh-trace: `-prefixed line.
-    /// Never panics (allocators survive read-only filesystems and closed
-    /// stderr).
+    /// Writes one trace dump via the shared [`super::DumpTarget`]: to
+    /// `MESH_TRACE_PATH` (truncating) or, with no path, to stderr as a
+    /// single `mesh-trace: `-prefixed line.
     pub(crate) fn write_dump(&self, json: &str) {
-        match &self.path {
-            Some(path) => {
-                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
-                    let msg = format!("mesh: trace dump to {} failed: {e}\n", path.display());
-                    unsafe {
-                        crate::ffi::write(2, msg.as_ptr() as *const crate::ffi::c_void, msg.len())
-                    };
-                }
-            }
-            None => {
-                let line = format!("mesh-trace: {json}\n");
-                unsafe {
-                    crate::ffi::write(2, line.as_ptr() as *const crate::ffi::c_void, line.len())
-                };
-            }
-        }
+        self.target.write(json);
     }
 }
 

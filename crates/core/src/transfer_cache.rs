@@ -28,12 +28,16 @@
 
 use crate::size_classes::NUM_SIZE_CLASSES;
 use crate::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-size-class stacks of object-address batches.
 #[derive(Debug)]
 pub(crate) struct TransferCache {
     /// Objects per batch; 1 disables batching entirely (legacy path).
-    batch: usize,
+    /// Atomic so mesh-ctl's `set transfer_batch` can retune a live
+    /// process; in-flight batches built at the old size stay valid —
+    /// consumers take whatever length a popped batch has.
+    batch: AtomicUsize,
     /// Max batches cached per class; 0 disables the cache (but not
     /// sender-side free batching).
     slots: usize,
@@ -43,7 +47,7 @@ pub(crate) struct TransferCache {
 impl TransferCache {
     pub fn new(batch: usize, slots: usize) -> TransferCache {
         TransferCache {
-            batch: batch.max(1),
+            batch: AtomicUsize::new(batch.max(1)),
             slots,
             classes: (0..NUM_SIZE_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
         }
@@ -52,7 +56,14 @@ impl TransferCache {
     /// Objects moved per batch.
     #[inline]
     pub fn batch(&self) -> usize {
-        self.batch
+        self.batch.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the batch size at runtime (mesh-ctl `set transfer_batch`,
+    /// clamped to ≥ 1). Already-parked batches keep their old length;
+    /// only newly built ones see the new size.
+    pub fn set_batch(&self, batch: usize) {
+        self.batch.store(batch.max(1), Ordering::Relaxed);
     }
 
     /// Whether remote frees are buffered in the sender and pushed as
@@ -60,13 +71,13 @@ impl TransferCache {
     /// path exactly.
     #[inline]
     pub fn batching_enabled(&self) -> bool {
-        self.batch > 1
+        self.batch() > 1
     }
 
     /// Whether object batches are parked between threads at all.
     #[inline]
     pub fn cache_enabled(&self) -> bool {
-        self.batch > 1 && self.slots > 0
+        self.batch() > 1 && self.slots > 0
     }
 
     /// Pops one batch for a refill. Lock order: leaf only.

@@ -1,0 +1,228 @@
+//! mesh-ctl across a real `fork()`: the ctl I/O lock joins the
+//! `lock_all` fork-quiescence protocol (ordered last), so a client that
+//! is mid-`profile` when the process forks must observe either a
+//! complete envelope or a clean EOF at a frame boundary — never a torn
+//! frame. The child's `release_child` drops the inherited listener and
+//! connections and re-binds a fresh listener on the same path, so the
+//! forked process answers ctl requests too, while the parent keeps
+//! serving the clients it had already accepted.
+//!
+//! Own test binary: forking a multi-threaded cargo-test harness is only
+//! safe when this file's single test is all that runs in the process.
+
+use mesh::core::ffi;
+use mesh::core::{Mesh, MeshConfig};
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reads one `\n`-terminated line, byte at a time (frames are tiny).
+/// `Ok(None)` is EOF before the first byte — a clean frame boundary.
+fn read_line(stream: &mut UnixStream) -> std::io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut b = [0u8; 1];
+        match stream.read(&mut b) {
+            Ok(0) if line.is_empty() => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!("EOF inside a header line: {line:?}"),
+                ))
+            }
+            Ok(_) if b[0] == b'\n' => {
+                return Ok(Some(String::from_utf8(line).expect("ascii header")))
+            }
+            Ok(_) => line.push(b[0]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Issues one command and reads the full response frame. `Ok(None)` is
+/// a clean EOF at the frame boundary; a torn frame (EOF or timeout
+/// inside a frame) comes back as `Err` and fails the test.
+fn request(stream: &mut UnixStream, cmd: &str) -> std::io::Result<Option<Vec<u8>>> {
+    stream.write_all(cmd.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let Some(header) = read_line(stream)? else {
+        return Ok(None);
+    };
+    let len: usize = header
+        .strip_prefix("ok ")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unexpected response header: {header:?}"));
+    let mut payload = vec![0u8; len + 1]; // body + trailing newline
+    stream.read_exact(&mut payload)?; // EOF here = torn frame = Err
+    assert_eq!(payload.pop(), Some(b'\n'), "missing frame terminator");
+    Ok(Some(payload))
+}
+
+/// Connects and consumes the greeting. Retries briefly: the listener is
+/// bound synchronously but served by the background thread.
+fn connect(path: &Path) -> UnixStream {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match UnixStream::connect(path) {
+            Ok(mut s) => {
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+                // EOF instead of a greeting: over-cap connections are
+                // accepted then dropped — with a single client that is
+                // a teardown race, so retry until the deadline.
+                if let Some(g) = read_line(&mut s).expect("greeting read") {
+                    assert_eq!(g, "mesh-ctl 1", "protocol greeting");
+                    return s;
+                }
+            }
+            Err(_) if std::time::Instant::now() < deadline => {}
+            Err(e) => panic!("connect to ctl socket failed: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Child-side body; returns success instead of panicking (a panic would
+/// unwind into the forked copy of the test harness).
+fn child_body(mesh: &Mesh, sock: &Path) -> bool {
+    if !mesh.ctl_active() {
+        return false; // re-bind on the same path failed
+    }
+    // The child's fresh listener answers a fresh client end to end.
+    let mut s = match UnixStream::connect(sock) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+    match read_line(&mut s) {
+        Ok(Some(g)) if g == "mesh-ctl 1" => {}
+        _ => return false,
+    }
+    let stats = match request(&mut s, "stats") {
+        Ok(Some(p)) => p,
+        _ => return false,
+    };
+    if !stats.starts_with(b"mesh: ") {
+        return false;
+    }
+    let profile = match request(&mut s, "profile") {
+        Ok(Some(p)) => p,
+        _ => return false,
+    };
+    if !profile.starts_with(b"{\"mesh_profile_version\":1") {
+        return false;
+    }
+    mesh.stats().forks == 1
+}
+
+#[test]
+fn ctl_clients_survive_fork_without_torn_frames() {
+    let sock =
+        std::env::temp_dir().join(format!("mesh-ctl-fork-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mesh = Mesh::new(
+        MeshConfig::default()
+            .seed(23)
+            .arena_bytes(64 << 20)
+            .profiling(true)
+            .prof_sample_bytes(16 << 10)
+            .ctl(Some(sock.clone())),
+    )
+    .unwrap();
+    assert!(mesh.ctl_active(), "listener bound at construction");
+
+    // Populate the profile so `profile` envelopes are non-trivial.
+    let ptrs: Vec<*mut u8> = (0..4096).map(|_| mesh.malloc(128)).collect();
+    for (i, &p) in ptrs.iter().enumerate() {
+        assert!(!p.is_null());
+        if i % 8 != 0 {
+            unsafe { mesh.free(p) };
+        }
+    }
+
+    // Hammer `profile` from a parent-side client across the fork. Every
+    // response must be a complete envelope; the loop tolerates only a
+    // clean EOF at a frame boundary (and fails the test on a torn one).
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let client = {
+        let sock = sock.clone();
+        let stop = Arc::clone(&stop);
+        let completed = Arc::clone(&completed);
+        std::thread::spawn(move || {
+            let mut s = connect(&sock);
+            while !stop.load(Ordering::Acquire) {
+                match request(&mut s, "profile").expect("torn profile frame") {
+                    Some(payload) => {
+                        assert!(
+                            payload.starts_with(b"{\"mesh_profile_version\":1")
+                                && payload.ends_with(b"]}"),
+                            "incomplete envelope: {:?}",
+                            String::from_utf8_lossy(&payload)
+                        );
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                    None => return, // clean EOF: server went away at a boundary
+                }
+            }
+        })
+    };
+
+    // Let the client get into its cadence before forking under it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while completed.load(Ordering::Acquire) < 3 {
+        assert!(
+            std::time::Instant::now() < deadline && !client.is_finished(),
+            "ctl client never reached a steady cadence"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let before_fork = completed.load(Ordering::Acquire);
+
+    let guard = mesh.fork_prepare();
+    let pid = unsafe { ffi::fork() };
+    assert!(pid >= 0, "fork failed");
+    if pid == 0 {
+        guard.release_child();
+        let ok = child_body(&mesh, &sock);
+        // _exit: the forked harness copy must not run its own teardown.
+        unsafe { ffi::_exit(if ok { 0 } else { 1 }) };
+    }
+    guard.release_parent();
+
+    let mut status: i32 = -1;
+    let waited = unsafe { ffi::waitpid(pid, &mut status, 0) };
+    assert_eq!(waited, pid, "waitpid failed");
+    assert!(
+        status & 0x7F == 0 && (status >> 8) & 0xFF == 0,
+        "child failed: raw status {status:#x}"
+    );
+
+    // The parent kept serving its already-accepted client after the
+    // fork (the child re-bound the *path*, not this connection).
+    let resumed = std::time::Instant::now() + Duration::from_secs(30);
+    while completed.load(Ordering::Acquire) <= before_fork {
+        assert!(
+            std::time::Instant::now() < resumed && !client.is_finished(),
+            "parent-side ctl service never resumed after fork"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Release);
+    client.join().expect("ctl client thread failed");
+
+    assert_eq!(mesh.stats().forks, 0, "parent never privatizes");
+    for (i, &p) in ptrs.iter().enumerate() {
+        if i % 8 == 0 {
+            unsafe { mesh.free(p) };
+        }
+    }
+    drop(mesh);
+    // The child's _exit skipped teardown, so its re-bound socket file
+    // may survive; this unlink keeps repeated runs deterministic.
+    let _ = std::fs::remove_file(&sock);
+}

@@ -211,4 +211,94 @@ fn apply_env_reads_knobs_and_ignores_malformed() {
         "double free of a quarantined pointer counted under its kind"
     );
     assert_eq!(s.total_harden_violations(), 1);
+    drop(mesh);
+
+    // mesh-ctl knobs follow the same warn-and-ignore contract: a bad
+    // value must never kill an interposed process, it just runs without
+    // a control socket.
+    std::env::set_var("MESH_CTL", "   "); // malformed (blank)
+    std::env::set_var("MESH_CTL_MAX_CLIENTS", "banana"); // malformed
+    let c = MeshConfig::default().apply_env();
+    assert!(
+        c.ctl_socket_path().is_none(),
+        "blank MESH_CTL ignored (warned)"
+    );
+    assert_eq!(
+        c.ctl_client_cap(),
+        4,
+        "malformed client cap ignored (warned), default kept"
+    );
+    std::env::set_var("MESH_CTL", "x".repeat(200)); // longer than sun_path
+    std::env::set_var("MESH_CTL_MAX_CLIENTS", "0"); // below 1..=64
+    let c = MeshConfig::default().apply_env();
+    assert!(
+        c.ctl_socket_path().is_none(),
+        "overlong MESH_CTL ignored (warned)"
+    );
+    assert_eq!(c.ctl_client_cap(), 4, "out-of-range cap ignored (warned)");
+    std::env::set_var("MESH_CTL_MAX_CLIENTS", "65"); // above 1..=64
+    assert_eq!(MeshConfig::default().apply_env().ctl_client_cap(), 4);
+
+    let sock = std::env::temp_dir().join(format!("mesh-env-knobs-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    std::env::set_var("MESH_CTL", &sock);
+    std::env::set_var("MESH_CTL_MAX_CLIENTS", "8");
+    let c = MeshConfig::default().apply_env();
+    assert_eq!(c.ctl_socket_path(), Some(sock.as_path()), "MESH_CTL parsed");
+    assert_eq!(c.ctl_client_cap(), 8, "MESH_CTL_MAX_CLIENTS parsed");
+    assert!(c.validate().is_ok());
+
+    // The parsed knobs drive a live server end to end: a stale socket
+    // file on the path is reclaimed, the heap binds and answers the v1
+    // greeting plus a `stats` request, and a second heap on the same
+    // path stands down without disturbing the owner.
+    drop(std::os::unix::net::UnixListener::bind(&sock).unwrap()); // stale file
+    assert!(sock.exists());
+    let mesh = mesh::core::Mesh::new(c).unwrap();
+    assert!(mesh.ctl_active(), "stale socket file reclaimed and re-bound");
+    assert_eq!(mesh.ctl_path(), Some(sock.clone()));
+
+    use std::io::{BufRead, BufReader, Read, Write};
+    let stream = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "mesh-ctl 1\n", "protocol greeting");
+    reader.get_mut().write_all(b"stats\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok "), "stats response header: {line:?}");
+    let len: usize = line[3..].trim().parse().unwrap();
+    let mut payload = vec![0u8; len + 1]; // body + trailing newline
+    reader.read_exact(&mut payload).unwrap();
+    assert_eq!(payload.pop(), Some(b'\n'), "binary-safe frame terminator");
+    let text = String::from_utf8(payload).unwrap();
+    assert!(text.starts_with("mesh: "), "stats payload: {text:?}");
+
+    let loser = mesh::core::Mesh::new(MeshConfig::default().apply_env()).unwrap();
+    assert!(
+        !loser.ctl_active(),
+        "a second heap must not steal a live socket"
+    );
+    drop(loser);
+    assert!(
+        sock.exists(),
+        "loser teardown must not unlink the owner's socket"
+    );
+    drop(reader);
+    drop(mesh);
+    // The mesher thread holds only a Weak on the heap, so teardown (and
+    // with it the unlink) may trail a final in-flight tick briefly.
+    let gone = (0..200).any(|_| {
+        if sock.exists() {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            false
+        } else {
+            true
+        }
+    });
+    assert!(gone, "heap teardown failed to unlink its socket");
 }
