@@ -53,17 +53,23 @@
 //!
 //! The single I/O mutex joins `GlobalHeap::lock_all`'s fork-quiescence
 //! set, so `fork()` cannot land mid-response: a client sees either a
-//! complete envelope or a clean EOF, never a torn frame. The child drops
-//! every inherited connection and the inherited listener, unlinks the
-//! path, and re-binds it ([`CtlState::rebind_for_child`]) — the path
-//! follows the newest process, so operators who fork should configure
-//! per-process socket paths (e.g. with `$$` in the wrapper).
+//! complete envelope or a clean EOF, never a torn frame. The mutex is a
+//! *leaf* in the lock order — [`CtlState::tick`] extracts complete
+//! request lines under it, **drops it** while the dispatcher computes
+//! responses (dispatch takes class/arena/sender locks that `lock_all`
+//! acquires before the ctl lock; holding the ctl lock across dispatch
+//! would invert that order and deadlock a concurrent `fork`), then
+//! re-acquires it to write the frames. The child drops every inherited
+//! connection and the inherited listener, unlinks the path, and re-binds
+//! it ([`CtlState::rebind_for_child`]) — the path follows the newest
+//! process, so operators who fork should configure per-process socket
+//! paths (e.g. with `$$` in the wrapper).
 
 use crate::sync::{Mutex, MutexGuard};
 use std::io::{ErrorKind, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Park bound for the background thread while the socket is live: the
 /// worst-case latency from request to response. Large enough to keep an
@@ -71,13 +77,22 @@ use std::time::Duration;
 /// refreshes feel live.
 pub(crate) const CTL_PARK: Duration = Duration::from_millis(50);
 
-/// Longest accepted request line, bytes. Every real command fits in a
-/// fraction of this; anything longer is a confused (or hostile) client.
+/// Longest accepted *single* request line, bytes. Every real command
+/// fits in a fraction of this; anything longer is a confused (or
+/// hostile) client. The cap applies per line — complete lines are
+/// drained as they arrive, so a pipelined burst of short commands may
+/// total far more than this.
 const MAX_REQUEST_BYTES: usize = 256;
 
-/// Per-response write timeout. A client that stops reading for this long
-/// forfeits its connection rather than wedging the background thread.
+/// Whole-frame write deadline. A client that cannot drain a frame within
+/// this budget forfeits its connection rather than wedging the background
+/// thread: the deadline bounds the *entire frame*, not one `write(2)`, so
+/// a trickle-reading client cannot hold the I/O lock hostage by accepting
+/// one byte per timeout.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Back-off between short-write retries while waiting out `WRITE_TIMEOUT`.
+const WRITE_RETRY: Duration = Duration::from_millis(2);
 
 /// The greeting sent on accept: protocol name + version.
 const GREETING: &[u8] = b"mesh-ctl 1\n";
@@ -85,6 +100,10 @@ const GREETING: &[u8] = b"mesh-ctl 1\n";
 /// One accepted client connection and its partial-request buffer.
 #[derive(Debug)]
 struct CtlConn {
+    /// Stable identity: responses computed with the I/O lock dropped are
+    /// routed back by id, so a connection that vanished in between
+    /// (shutdown, child rebind, client death) just loses its frames.
+    id: u64,
     stream: UnixStream,
     buf: Vec<u8>,
 }
@@ -99,6 +118,7 @@ pub(crate) struct CtlIo {
     /// construction.
     listener: Option<UnixListener>,
     conns: Vec<CtlConn>,
+    next_id: u64,
 }
 
 /// The control-socket server state hung off the global heap.
@@ -159,6 +179,7 @@ impl CtlState {
             io: Mutex::new(CtlIo {
                 listener,
                 conns: Vec::new(),
+                next_id: 0,
             }),
         }
     }
@@ -166,34 +187,7 @@ impl CtlState {
     fn bind_listener(path: &Path) -> Option<UnixListener> {
         let listener = match UnixListener::bind(path) {
             Ok(l) => Some(l),
-            Err(e) if e.kind() == ErrorKind::AddrInUse => {
-                // Probe: a refused connect means the previous owner died
-                // without unlinking — reclaim the path.
-                match UnixStream::connect(path) {
-                    Err(pe) if pe.kind() == ErrorKind::ConnectionRefused => {
-                        let _ = std::fs::remove_file(path);
-                        match UnixListener::bind(path) {
-                            Ok(l) => Some(l),
-                            Err(e2) => {
-                                eprintln!(
-                                    "mesh: ctl rebind of stale socket {} failed ({e2}); \
-                                     control socket disabled",
-                                    path.display()
-                                );
-                                None
-                            }
-                        }
-                    }
-                    _ => {
-                        eprintln!(
-                            "mesh: ctl socket {} has a live owner; control socket disabled \
-                             for this process",
-                            path.display()
-                        );
-                        None
-                    }
-                }
-            }
+            Err(e) if e.kind() == ErrorKind::AddrInUse => Self::reclaim_stale(path),
             Err(e) => {
                 eprintln!(
                     "mesh: ctl bind at {} failed ({e}); control socket disabled",
@@ -209,6 +203,68 @@ impl CtlState {
         listener
     }
 
+    /// `EADDRINUSE`: the path already exists. A refused connect means the
+    /// previous owner died without unlinking, and the path is reclaimed.
+    ///
+    /// The probe-unlink-bind sequence is serialized across processes by an
+    /// exclusive lock on a `<path>.lock` sidecar: without it, two racers
+    /// can both observe "refused", and the second unlink removes the
+    /// first's *freshly bound* socket — both then believe they are
+    /// listening, and the first's shutdown later unlinks the second's live
+    /// path. Under the lock, whichever process reclaims first turns the
+    /// other's probe into a live connect, and the loser stands down
+    /// without unlinking anything. The sidecar itself is never unlinked
+    /// (removing a lockfile re-opens the race it exists to close); it is a
+    /// zero-byte file next to the socket.
+    fn reclaim_stale(path: &Path) -> Option<UnixListener> {
+        let mut lock_path = path.as_os_str().to_os_string();
+        lock_path.push(".lock");
+        let lock_file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&lock_path);
+        // Held until this fn returns; best-effort — an unwritable
+        // directory degrades to the (racy) unserialized probe rather than
+        // disabling recovery outright.
+        let _lock = match lock_file {
+            Ok(f) => {
+                let _ = f.lock();
+                Some(f)
+            }
+            Err(_) => None,
+        };
+        match UnixStream::connect(path) {
+            // NotFound: the stale owner's own cleanup won the unlink race;
+            // the path is simply free now.
+            Err(pe)
+                if pe.kind() == ErrorKind::ConnectionRefused
+                    || pe.kind() == ErrorKind::NotFound =>
+            {
+                let _ = std::fs::remove_file(path);
+                match UnixListener::bind(path) {
+                    Ok(l) => Some(l),
+                    Err(e2) => {
+                        eprintln!(
+                            "mesh: ctl rebind of stale socket {} failed ({e2}); \
+                             control socket disabled",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            }
+            _ => {
+                eprintln!(
+                    "mesh: ctl socket {} has a live owner; control socket disabled \
+                     for this process",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
     /// The socket path this server was configured with.
     pub(crate) fn path(&self) -> &Path {
         &self.path
@@ -221,7 +277,10 @@ impl CtlState {
     }
 
     /// Holds the I/O lock (fork quiescence: no response write may be in
-    /// flight across `fork`). Ordered after every other `lock_all` guard.
+    /// flight across `fork`). Ordered after every other `lock_all` guard,
+    /// and a strict *leaf*: `tick` never acquires a class/arena/sender
+    /// lock while holding it — dispatch runs with it dropped — so taking
+    /// it last can never invert against the shard order.
     pub(crate) fn lock_io(&self) -> MutexGuard<'_, CtlIo> {
         self.io.lock()
     }
@@ -253,32 +312,73 @@ impl CtlState {
     /// each; over-cap connections are accepted and immediately dropped),
     /// reads request lines from every client, and answers them through
     /// `dispatch`. Runs under the caller's `with_internal_alloc` scope.
+    ///
+    /// Three phases around the I/O lock, which is a leaf in the heap's
+    /// lock order: accept/read under the lock, dispatch with the lock
+    /// **dropped** (the handlers take class/arena/sender locks that
+    /// `GlobalHeap::lock_all` orders before the ctl lock — holding the
+    /// ctl lock here would ABBA-deadlock a concurrent `fork`), then
+    /// re-acquire to write the response frames. A connection that
+    /// disappears between phases (shutdown, child rebind) silently drops
+    /// its responses; the requests' side effects (`mesh_now`, `set`)
+    /// still land, as the client had fully sent them.
     pub(crate) fn tick(&self, dispatch: &mut dyn FnMut(&str) -> Response) {
-        let mut io = self.io.lock();
-        let CtlIo { listener, conns } = &mut *io;
-        if let Some(listener) = listener {
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if conns.len() >= self.max_clients {
-                            drop(stream);
-                            continue;
+        // Phase 1 — under the I/O lock: accept and read. Nothing in here
+        // touches a shard lock.
+        let mut requests: Vec<(u64, String)> = Vec::new();
+        {
+            let mut io = self.io.lock();
+            let CtlIo {
+                listener,
+                conns,
+                next_id,
+            } = &mut *io;
+            if let Some(listener) = listener {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if conns.len() >= self.max_clients {
+                                drop(stream);
+                                continue;
+                            }
+                            let _ = stream.set_nonblocking(true);
+                            let mut conn = CtlConn {
+                                id: *next_id,
+                                stream,
+                                buf: Vec::new(),
+                            };
+                            *next_id += 1;
+                            if write_frame(&mut conn.stream, GREETING) {
+                                conns.push(conn);
+                            }
                         }
-                        let _ = stream.set_nonblocking(true);
-                        let mut conn = CtlConn {
-                            stream,
-                            buf: Vec::new(),
-                        };
-                        if write_frame(&mut conn.stream, GREETING) {
-                            conns.push(conn);
-                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(_) => break,
                     }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                    Err(_) => break,
                 }
             }
+            conns.retain_mut(|conn| read_requests(conn, &mut requests));
         }
-        conns.retain_mut(|conn| serve_conn(conn, dispatch));
+        if requests.is_empty() {
+            return;
+        }
+        // Phase 2 — lock dropped: the dispatcher takes whatever heap
+        // locks it needs; a concurrent lock_all interleaves freely.
+        let frames: Vec<(u64, Vec<u8>)> = requests
+            .iter()
+            .map(|(id, line)| (*id, dispatch(line).frame()))
+            .collect();
+        // Phase 3 — under the I/O lock again: route each frame back to
+        // its connection by id and write it.
+        let mut io = self.io.lock();
+        for (id, frame) in frames {
+            let Some(pos) = io.conns.iter().position(|c| c.id == id) else {
+                continue;
+            };
+            if !write_frame(&mut io.conns[pos].stream, &frame) {
+                io.conns.remove(pos);
+            }
+        }
     }
 }
 
@@ -291,15 +391,40 @@ impl Drop for CtlState {
     }
 }
 
-/// Reads whatever the client has sent, answers every complete line, and
-/// says whether the connection should be kept.
-fn serve_conn(conn: &mut CtlConn, dispatch: &mut dyn FnMut(&str) -> Response) -> bool {
+/// Reads whatever the client has sent, appending every complete request
+/// line to `out` (tagged with the connection id), and says whether the
+/// connection should be kept. Complete lines are drained as they arrive,
+/// so [`MAX_REQUEST_BYTES`] bounds a *single line* — a pipelined burst of
+/// short commands may total far more — and the residual buffer only ever
+/// holds one unterminated partial line.
+fn read_requests(conn: &mut CtlConn, out: &mut Vec<(u64, String)>) -> bool {
     let mut chunk = [0u8; 512];
     loop {
         match conn.stream.read(&mut chunk) {
             Ok(0) => return false, // client hung up
             Ok(n) => {
                 conn.buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
+                    if pos > MAX_REQUEST_BYTES {
+                        let _ = write_frame(
+                            &mut conn.stream,
+                            &Response::err("request line too long").frame(),
+                        );
+                        return false;
+                    }
+                    let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+                    let Ok(line) = std::str::from_utf8(&line[..pos]) else {
+                        let _ = write_frame(
+                            &mut conn.stream,
+                            &Response::err("request not UTF-8").frame(),
+                        );
+                        return false;
+                    };
+                    let line = line.trim();
+                    if !line.is_empty() {
+                        out.push((conn.id, line.to_string()));
+                    }
+                }
                 if conn.buf.len() > MAX_REQUEST_BYTES {
                     let _ = write_frame(
                         &mut conn.stream,
@@ -313,33 +438,33 @@ fn serve_conn(conn: &mut CtlConn, dispatch: &mut dyn FnMut(&str) -> Response) ->
             Err(_) => return false,
         }
     }
-    while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
-        let line: Vec<u8> = conn.buf.drain(..=pos).collect();
-        let Ok(line) = std::str::from_utf8(&line[..pos]) else {
-            let _ = write_frame(&mut conn.stream, &Response::err("request not UTF-8").frame());
-            return false;
-        };
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let response = dispatch(line);
-        if !write_frame(&mut conn.stream, &response.frame()) {
-            return false;
-        }
-    }
     true
 }
 
-/// Writes one frame with a bounded blocking write (the stream is
-/// otherwise non-blocking). Returns whether the client is still good.
+/// Writes one frame on the (non-blocking) stream under a whole-frame
+/// deadline. Returns whether the client is still good. `SO_SNDTIMEO`
+/// would re-arm per `write(2)`, letting a client that drains one byte
+/// per timeout hold the background thread — and with it the I/O lock —
+/// indefinitely; the explicit deadline caps the total at
+/// [`WRITE_TIMEOUT`] regardless of how the client trickles.
 fn write_frame(stream: &mut UnixStream, bytes: &[u8]) -> bool {
-    if stream.set_nonblocking(false).is_err() {
-        return false;
+    let deadline = Instant::now() + WRITE_TIMEOUT;
+    let mut off = 0;
+    while off < bytes.len() {
+        match stream.write(&bytes[off..]) {
+            Ok(0) => return false,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+                std::thread::sleep(WRITE_RETRY);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
     }
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let ok = stream.write_all(bytes).and_then(|()| stream.flush()).is_ok();
-    ok && stream.set_nonblocking(true).is_ok()
+    true
 }
 
 /// Parses one request line into a [`Request`], or an error message.
@@ -674,5 +799,138 @@ mod tests {
         assert!(text.contains("err request line too long"), "got {text:?}");
         drop(ctl);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_complete_line_is_rejected() {
+        let path = sock_path("oversize-line");
+        let _ = std::fs::remove_file(&path);
+        let ctl = CtlState::bind(&path, 1);
+        let mut client = UnixStream::connect(&path).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        let mut big = vec![b'x'; MAX_REQUEST_BYTES + 1];
+        big.push(b'\n');
+        client.write_all(&big).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        let mut out = Vec::new();
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        client.read_to_end(&mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("err request line too long"), "got {text:?}");
+        drop(ctl);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The per-line cap must not punish pipelining: many individually
+    /// valid short commands whose total exceeds `MAX_REQUEST_BYTES` in
+    /// one burst are all answered.
+    #[test]
+    fn pipelined_burst_exceeding_line_cap_is_answered() {
+        let path = sock_path("pipeline");
+        let _ = std::fs::remove_file(&path);
+        let ctl = CtlState::bind(&path, 1);
+        let mut client = UnixStream::connect(&path).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        let mut greeting = [0u8; GREETING.len()];
+        client.read_exact(&mut greeting).unwrap();
+        let n = 2 * MAX_REQUEST_BYTES / 5; // "ping\n" ×n ≈ 2× the cap
+        client.write_all("ping\n".repeat(n).as_bytes()).unwrap();
+        let mut served = 0;
+        ctl.tick(&mut |line| {
+            assert_eq!(line, "ping");
+            served += 1;
+            Response::ok_str("pong".into())
+        });
+        assert_eq!(served, n, "every pipelined command is dispatched");
+        let mut reply = vec![0u8; b"ok 4\npong\n".len() * n];
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        client.read_exact(&mut reply).unwrap();
+        assert!(reply.chunks(10).all(|c| c == b"ok 4\npong\n"));
+        drop(ctl);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression test for the fork lock-order inversion: the dispatcher
+    /// (which takes class/arena locks ordered *before* the ctl lock in
+    /// `GlobalHeap::lock_all`) must run with the I/O lock dropped, or a
+    /// concurrent `fork_prepare` holding shard locks and waiting on the
+    /// ctl lock would ABBA-deadlock against this thread.
+    #[test]
+    fn dispatch_runs_with_io_lock_dropped() {
+        let path = sock_path("lockfree-dispatch");
+        let _ = std::fs::remove_file(&path);
+        let ctl = CtlState::bind(&path, 1);
+        let mut client = UnixStream::connect(&path).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        client.write_all(b"ping\n").unwrap();
+        let mut dispatched = false;
+        ctl.tick(&mut |_| {
+            assert!(
+                ctl.io.try_lock().is_some(),
+                "I/O lock held across dispatch: fork lock-order inversion"
+            );
+            dispatched = true;
+            Response::ok_str("pong".into())
+        });
+        assert!(dispatched);
+        drop(ctl);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A client that stops reading forfeits its connection once the
+    /// whole-frame deadline expires — the background thread must not be
+    /// wedged by a full socket buffer.
+    #[test]
+    fn stalled_reader_is_dropped_at_frame_deadline() {
+        let path = sock_path("stall");
+        let _ = std::fs::remove_file(&path);
+        let ctl = CtlState::bind(&path, 1);
+        let mut client = UnixStream::connect(&path).unwrap();
+        ctl.tick(&mut |_| Response::err("unreached"));
+        client.write_all(b"big\n").unwrap();
+        // Never read the response: an 8 MiB payload overflows both
+        // socket buffers, so the write hits the deadline.
+        let started = Instant::now();
+        ctl.tick(&mut |_| Response::Ok(vec![b'z'; 8 << 20]));
+        assert!(
+            started.elapsed() < WRITE_TIMEOUT + Duration::from_secs(5),
+            "tick must give up on a stalled reader near the frame deadline"
+        );
+        assert!(
+            ctl.io.lock().conns.is_empty(),
+            "stalled connection is dropped"
+        );
+        drop(client);
+        drop(ctl);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Two processes racing to reclaim the same stale path must elect
+    /// exactly one winner, and the loser's drop must not unlink the
+    /// winner's live socket (the sidecar flock serializes
+    /// probe-unlink-bind).
+    #[test]
+    fn concurrent_stale_reclaim_elects_one_winner() {
+        let path = sock_path("reclaim-race");
+        let _ = std::fs::remove_file(&path);
+        // Fabricate a stale socket: bound, then owner gone, path left.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists());
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let p = path.clone();
+                std::thread::spawn(move || CtlState::bind(&p, 2))
+            })
+            .collect();
+        let states: Vec<CtlState> = racers.into_iter().map(|h| h.join().unwrap()).collect();
+        let listening = states.iter().filter(|s| s.is_listening()).count();
+        assert_eq!(listening, 1, "exactly one racer may reclaim the stale path");
+        let (winner, loser): (Vec<CtlState>, Vec<CtlState>) =
+            states.into_iter().partition(|s| s.is_listening());
+        drop(loser);
+        assert!(path.exists(), "loser's drop must not unlink the winner's socket");
+        UnixStream::connect(&path).expect("winner still serving after loser drop");
+        drop(winner);
+        assert!(!path.exists());
     }
 }

@@ -1,11 +1,15 @@
 //! mesh-ctl across a real `fork()`: the ctl I/O lock joins the
-//! `lock_all` fork-quiescence protocol (ordered last), so a client that
-//! is mid-`profile` when the process forks must observe either a
+//! `lock_all` fork-quiescence protocol (ordered last, and a strict leaf
+//! — dispatch runs with it dropped, so a request in flight at fork time
+//! cannot invert the lock order against `fork_prepare`), so a client
+//! that is mid-`profile` when the process forks must observe either a
 //! complete envelope or a clean EOF at a frame boundary — never a torn
-//! frame. The child's `release_child` drops the inherited listener and
-//! connections and re-binds a fresh listener on the same path, so the
-//! forked process answers ctl requests too, while the parent keeps
-//! serving the clients it had already accepted.
+//! frame. The fork is repeated while the client hammers, so fork
+//! quiescence keeps landing inside live request windows. The child's
+//! `release_child` drops the inherited listener and connections and
+//! re-binds a fresh listener on the same path, so the forked process
+//! answers ctl requests too, while the parent keeps serving the clients
+//! it had already accepted.
 //!
 //! Own test binary: forking a multi-threaded cargo-test harness is only
 //! safe when this file's single test is all that runs in the process.
@@ -116,6 +120,8 @@ fn child_body(mesh: &Mesh, sock: &Path) -> bool {
     if !profile.starts_with(b"{\"mesh_profile_version\":1") {
         return false;
     }
+    // Children are siblings forked from the same parent (whose own
+    // counter never moves), so every child observes exactly one fork.
     mesh.stats().forks == 1
 }
 
@@ -181,36 +187,42 @@ fn ctl_clients_survive_fork_without_torn_frames() {
         );
         std::thread::sleep(Duration::from_millis(5));
     }
-    let before_fork = completed.load(Ordering::Acquire);
+    // Repeated forks: each quiescence lands somewhere inside the
+    // client's request cadence, covering the fork-vs-request-in-flight
+    // interleavings (the old lock-held-across-dispatch design could
+    // ABBA-deadlock exactly here).
+    for round in 0..3u64 {
+        let before_fork = completed.load(Ordering::Acquire);
 
-    let guard = mesh.fork_prepare();
-    let pid = unsafe { ffi::fork() };
-    assert!(pid >= 0, "fork failed");
-    if pid == 0 {
-        guard.release_child();
-        let ok = child_body(&mesh, &sock);
-        // _exit: the forked harness copy must not run its own teardown.
-        unsafe { ffi::_exit(if ok { 0 } else { 1 }) };
-    }
-    guard.release_parent();
+        let guard = mesh.fork_prepare();
+        let pid = unsafe { ffi::fork() };
+        assert!(pid >= 0, "fork failed");
+        if pid == 0 {
+            guard.release_child();
+            let ok = child_body(&mesh, &sock);
+            // _exit: the forked harness copy must not run its own teardown.
+            unsafe { ffi::_exit(if ok { 0 } else { 1 }) };
+        }
+        guard.release_parent();
 
-    let mut status: i32 = -1;
-    let waited = unsafe { ffi::waitpid(pid, &mut status, 0) };
-    assert_eq!(waited, pid, "waitpid failed");
-    assert!(
-        status & 0x7F == 0 && (status >> 8) & 0xFF == 0,
-        "child failed: raw status {status:#x}"
-    );
-
-    // The parent kept serving its already-accepted client after the
-    // fork (the child re-bound the *path*, not this connection).
-    let resumed = std::time::Instant::now() + Duration::from_secs(30);
-    while completed.load(Ordering::Acquire) <= before_fork {
+        let mut status: i32 = -1;
+        let waited = unsafe { ffi::waitpid(pid, &mut status, 0) };
+        assert_eq!(waited, pid, "waitpid failed");
         assert!(
-            std::time::Instant::now() < resumed && !client.is_finished(),
-            "parent-side ctl service never resumed after fork"
+            status & 0x7F == 0 && (status >> 8) & 0xFF == 0,
+            "child failed (round {round}): raw status {status:#x}"
         );
-        std::thread::sleep(Duration::from_millis(5));
+
+        // The parent kept serving its already-accepted client after the
+        // fork (the child re-bound the *path*, not this connection).
+        let resumed = std::time::Instant::now() + Duration::from_secs(30);
+        while completed.load(Ordering::Acquire) <= before_fork {
+            assert!(
+                std::time::Instant::now() < resumed && !client.is_finished(),
+                "parent-side ctl service never resumed after fork (round {round})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
     stop.store(true, Ordering::Release);
     client.join().expect("ctl client thread failed");
